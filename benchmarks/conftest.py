@@ -1,0 +1,22 @@
+"""Shared helpers for the experiment benchmarks (E1-E10).
+
+Each ``test_eNN_*.py`` module regenerates one experiment from the index in
+``DESIGN.md``: it runs a seeded trial battery, prints the experiment's table
+(the "rows the paper would report" — this paper is a brief announcement with
+no tables of its own, so these are the tables its lemmas imply; see
+``EXPERIMENTS.md``), and wraps one representative run in pytest-benchmark
+for timing.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def emit(title: str, table: str) -> None:
+    """Print one experiment table so it survives pytest's capture buffers."""
+    banner = "=" * len(title)
+    sys.stdout.write(f"\n{title}\n{banner}\n{table}\n")
+    sys.stdout.flush()

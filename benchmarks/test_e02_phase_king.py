@@ -1,0 +1,84 @@
+"""E2 — Lemmas 2-3: Phase-King decomposition; decides within t + 1 king
+rounds against every implemented Byzantine strategy.
+
+Tables: (a) rounds/messages vs (n, t) fault-free; (b) decision round and
+safety under each Byzantine strategy at n = 13, t = 4.  Shape expectations:
+the exchange count grows linearly in t (fixed mode runs exactly
+``3 (t + 1)`` exchanges) and message count grows as Theta(n^2) per exchange.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.algorithms.phase_king import run_phase_king
+from repro.analysis.experiments import format_table, summarize
+from repro.core.properties import check_agreement, check_termination
+from repro.sim.failures import (
+    anti_phase_king_strategy,
+    equivocating_strategy,
+    random_noise_strategy,
+    silent_strategy,
+)
+
+SEEDS = range(10)
+
+STRATEGIES = {
+    "none": None,
+    "silent": lambda: silent_strategy,
+    "noise": random_noise_strategy,
+    "equivocating": equivocating_strategy,
+    "adaptive": anti_phase_king_strategy,
+}
+
+
+def run_once(n, t, strategy_factory, seed, mode="fixed"):
+    inits = [i % 2 for i in range(n)]
+    byzantine = (
+        {}
+        if strategy_factory is None
+        else {pid: strategy_factory() for pid in range(n - t, n)}
+    )
+    result = run_phase_king(inits, t=t, byzantine=byzantine, mode=mode, seed=seed)
+    correct = [pid for pid in range(n) if pid not in byzantine]
+    decisions = {p: result.decisions[p] for p in correct if p in result.decisions}
+    check_termination(decisions, correct)
+    check_agreement(decisions)
+    return result
+
+
+def test_e2_scaling_table():
+    rows = []
+    for n, t in ((4, 1), (7, 2), (13, 4), (22, 7), (40, 13)):
+        results = [run_once(n, t, None, seed) for seed in SEEDS]
+        exchanges = summarize([r.exchanges for r in results])
+        messages = summarize([r.trace.message_count() for r in results])
+        rows.append(
+            [n, t, f"{exchanges.mean:.0f}", 3 * (t + 1), f"{messages.mean:.0f}"]
+        )
+    emit(
+        "E2a: Phase-King (fixed mode) scaling, fault-free",
+        format_table(
+            ["n", "t", "exchanges(mean)", "3(t+1) bound", "msgs(mean)"], rows
+        ),
+    )
+
+
+def test_e2_strategy_table():
+    n, t = 13, 4
+    rows = []
+    for name, factory in STRATEGIES.items():
+        results = [run_once(n, t, factory, seed) for seed in SEEDS]
+        exchanges = summarize([r.exchanges for r in results])
+        rows.append(
+            [name, len(results), f"{exchanges.mean:.0f}", "agreement+termination"]
+        )
+    emit(
+        "E2b: Phase-King (fixed) vs Byzantine strategies, n=13 t=4",
+        format_table(["strategy", "trials", "exchanges(mean)", "checked"], rows),
+    )
+
+
+@pytest.mark.benchmark(group="e2-phase-king")
+def test_e2_bench_one_run(benchmark):
+    result = benchmark(lambda: run_once(13, 4, equivocating_strategy, seed=3))
+    assert result.decisions

@@ -1,0 +1,83 @@
+"""E3 — Lemmas 4-5: Ben-Or round distributions.
+
+Shape expectations from the literature: unanimous inputs decide in one
+round; split inputs decide in a number of rounds whose expectation grows
+(exponentially, with private coins) as ``n`` grows; crashes within the
+budget do not change the shape.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.algorithms.ben_or import ben_or_template_consensus
+from repro.analysis.experiments import format_table, summarize
+from repro.analysis.metrics import decision_rounds
+from repro.core.properties import check_agreement
+from repro.sim.async_runtime import AsyncRuntime
+from repro.sim.failures import CrashPlan
+
+SEEDS = range(30)
+
+
+def run_once(inits, t, seed, crash_plans=()):
+    n = len(inits)
+    processes = [ben_or_template_consensus() for _ in range(n)]
+    runtime = AsyncRuntime(
+        processes, init_values=inits, t=t, seed=seed,
+        crash_plans=crash_plans, max_time=100_000.0,
+    )
+    result = runtime.run()
+    check_agreement(result.decisions)
+    return max(decision_rounds(result.trace).values())
+
+
+def test_e3_rounds_table():
+    rows = []
+    for n in (4, 6, 8, 10, 12):
+        t = (n - 1) // 2
+        unanimous = summarize([run_once([1] * n, t, s) for s in SEEDS])
+        split = summarize(
+            [run_once([i % 2 for i in range(n)], t, s) for s in SEEDS]
+        )
+        rows.append(
+            [
+                n,
+                f"{unanimous.mean:.2f}",
+                f"{split.mean:.2f}",
+                f"{split.p90:.0f}",
+                f"{split.maximum:.0f}",
+            ]
+        )
+    emit(
+        "E3a: Ben-Or rounds to decide (30 seeds each)",
+        format_table(
+            ["n", "unanimous(mean)", "split(mean)", "split(p90)", "split(max)"],
+            rows,
+        ),
+    )
+
+
+def test_e3_crash_table():
+    n, t = 8, 3
+    rows = []
+    for crashes in (0, 1, 2, 3):
+        plans = [
+            CrashPlan(n - 1 - i, at_time=1.0 + 2.0 * i) for i in range(crashes)
+        ]
+        rounds = summarize(
+            [
+                run_once([i % 2 for i in range(n)], t, s, plans)
+                for s in SEEDS
+            ]
+        )
+        rows.append([crashes, f"{rounds.mean:.2f}", f"{rounds.maximum:.0f}"])
+    emit(
+        "E3b: Ben-Or rounds vs crash count (n=8, t=3)",
+        format_table(["crashes", "rounds(mean)", "rounds(max)"], rows),
+    )
+
+
+@pytest.mark.benchmark(group="e3-ben-or")
+def test_e3_bench_split_run(benchmark):
+    rounds = benchmark(lambda: run_once([i % 2 for i in range(8)], 3, seed=11))
+    assert rounds >= 1

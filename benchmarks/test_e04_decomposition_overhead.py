@@ -1,0 +1,106 @@
+"""E4 — the decomposition is behaviour-preserving and essentially free.
+
+Identical seeds are run through the monolithic and the template-decomposed
+variants of Ben-Or (asynchronous) and Phase-King (synchronous).  Expected
+shape: identical decisions and identical message counts in 100% of trials;
+wall-clock overhead of the object-oriented structure within noise.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.algorithms.ben_or import MonolithicBenOr, ben_or_template_consensus
+from repro.algorithms.phase_king import MonolithicPhaseKing, run_phase_king
+from repro.analysis.experiments import format_table
+from repro.sim.async_runtime import AsyncRuntime
+from repro.sim.sync_runtime import SyncRuntime
+
+SEEDS = range(25)
+
+
+def ben_or_pair(seed, n=7, t=3):
+    inits = [i % 2 for i in range(n)]
+    decomposed = AsyncRuntime(
+        [ben_or_template_consensus() for _ in range(n)],
+        init_values=inits, t=t, seed=seed, max_time=50_000.0,
+    ).run()
+    monolithic = AsyncRuntime(
+        [MonolithicBenOr() for _ in range(n)],
+        init_values=inits, t=t, seed=seed, max_time=50_000.0,
+    ).run()
+    return decomposed, monolithic
+
+
+def phase_king_pair(seed, n=10, t=3):
+    inits = [i % 2 for i in range(n)]
+    decomposed = run_phase_king(inits, t=t, mode="fixed", seed=seed)
+    monolithic = SyncRuntime(
+        [MonolithicPhaseKing(t) for _ in range(n)],
+        init_values=inits, t=t, seed=seed,
+        stop_when="all_decided", max_exchanges=3 * (t + 1) + 3,
+    ).run()
+    return decomposed, monolithic
+
+
+def test_e4_equivalence_table():
+    rows = []
+    for name, pair in (("Ben-Or (async)", ben_or_pair), ("Phase-King (sync)", phase_king_pair)):
+        same_decisions = 0
+        same_messages = 0
+        for seed in SEEDS:
+            decomposed, monolithic = pair(seed)
+            if decomposed.decisions == monolithic.decisions:
+                same_decisions += 1
+            if decomposed.trace.message_count() == monolithic.trace.message_count():
+                same_messages += 1
+        rows.append(
+            [
+                name,
+                len(SEEDS),
+                f"{same_decisions}/{len(SEEDS)}",
+                f"{same_messages}/{len(SEEDS)}",
+            ]
+        )
+    emit(
+        "E4: decomposed vs monolithic under identical seeds",
+        format_table(
+            ["algorithm", "trials", "identical decisions", "identical msg counts"],
+            rows,
+        ),
+    )
+    assert rows[0][2] == f"{len(SEEDS)}/{len(SEEDS)}"
+    assert rows[1][2] == f"{len(SEEDS)}/{len(SEEDS)}"
+
+
+@pytest.mark.benchmark(group="e4-overhead")
+def test_e4_bench_decomposed_ben_or(benchmark):
+    def run():
+        return AsyncRuntime(
+            [ben_or_template_consensus() for _ in range(7)],
+            init_values=[i % 2 for i in range(7)], t=3, seed=5,
+            max_time=50_000.0,
+        ).run()
+
+    assert benchmark(run).decisions
+
+
+@pytest.mark.benchmark(group="e4-overhead")
+def test_e4_bench_monolithic_ben_or(benchmark):
+    def run():
+        return AsyncRuntime(
+            [MonolithicBenOr() for _ in range(7)],
+            init_values=[i % 2 for i in range(7)], t=3, seed=5,
+            max_time=50_000.0,
+        ).run()
+
+    assert benchmark(run).decisions
+
+
+@pytest.mark.benchmark(group="e4-overhead-sync")
+def test_e4_bench_decomposed_phase_king(benchmark):
+    assert benchmark(lambda: phase_king_pair(3)[0]).decisions
+
+
+@pytest.mark.benchmark(group="e4-overhead-sync")
+def test_e4_bench_monolithic_phase_king(benchmark):
+    assert benchmark(lambda: phase_king_pair(3)[1]).decisions

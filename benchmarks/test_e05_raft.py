@@ -1,0 +1,80 @@
+"""E5 — Lemmas 6-7: Raft consensus under churn, and the VAC view per term.
+
+Tables: time-to-all-decided and terms used for 3/5/7-node clusters under
+(a) no faults, (b) an early crash of a likely leader, (c) a healing
+partition.  Shape expectations: fault-free runs decide within one election
+timeout plus a few broadcast delays; crashes/partitions add roughly one
+election timeout per extra term; the VAC coherence check (Lemma 7) passes
+in every run.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.algorithms.raft import check_raft_vac, run_raft_consensus
+from repro.analysis.experiments import format_table, summarize
+from repro.core.properties import check_agreement
+from repro.sim.failures import CrashPlan
+from repro.sim.network import NetworkConfig, Partition, UniformDelay
+
+SEEDS = range(12)
+
+
+def run_once(n, seed, scenario):
+    inits = list(range(n))
+    crash_plans = []
+    network = NetworkConfig(delay_model=UniformDelay(0.5, 1.5))
+    if scenario == "leader-crash":
+        crash_plans = [CrashPlan(seed % n, at_time=14.0)]
+    elif scenario == "partition":
+        minority = list(range(n // 2))
+        majority = list(range(n // 2, n))
+        network = NetworkConfig(
+            delay_model=UniformDelay(0.5, 1.5),
+            partitions=[Partition(5.0, 60.0, [minority, majority])],
+        )
+    result = run_raft_consensus(
+        inits, seed=seed, crash_plans=crash_plans, network=network,
+        max_time=3_000.0,
+    )
+    check_agreement(result.decisions)
+    terms = check_raft_vac(result.trace)
+    return result, terms
+
+
+def test_e5_table():
+    rows = []
+    for scenario in ("fault-free", "leader-crash", "partition"):
+        for n in (3, 5, 7):
+            outcomes = [run_once(n, seed, scenario) for seed in SEEDS]
+            latency = summarize([r.final_time for r, _terms in outcomes])
+            terms = summarize([t for _r, t in outcomes])
+            rows.append(
+                [
+                    scenario,
+                    n,
+                    f"{latency.mean:.0f}",
+                    f"{latency.p90:.0f}",
+                    f"{terms.mean:.1f}",
+                    "vac-coherent",
+                ]
+            )
+    emit(
+        "E5: Raft time-to-decide and terms (election timeout 10-20, heartbeat 2)",
+        format_table(
+            ["scenario", "n", "vtime(mean)", "vtime(p90)", "terms(mean)", "lemma 7"],
+            rows,
+        ),
+    )
+
+
+@pytest.mark.benchmark(group="e5-raft")
+def test_e5_bench_fault_free(benchmark):
+    result, _terms = benchmark(lambda: run_once(5, seed=4, scenario="fault-free"))
+    assert result.decisions
+
+
+@pytest.mark.benchmark(group="e5-raft")
+def test_e5_bench_leader_crash(benchmark):
+    result, _terms = benchmark(lambda: run_once(5, seed=4, scenario="leader-crash"))
+    assert result.decisions

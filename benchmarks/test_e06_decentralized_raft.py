@@ -1,0 +1,94 @@
+"""E6 — Section 4.3's sketch: decentralized Raft vs Ben-Or.
+
+Same VAC, different reconciliator (randomized timer vs coin).  Shape
+expectation from the paper's discussion: the timer mechanism resolves
+stalemates faster in rounds (a single first riser drags all vacillators to
+one value) at the cost of waiting out timeouts in virtual time.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.algorithms.ben_or import ben_or_template_consensus
+from repro.algorithms.decentralized_raft import decentralized_raft_consensus
+from repro.analysis.experiments import format_table, summarize
+from repro.analysis.metrics import decision_rounds
+from repro.core.properties import check_agreement
+from repro.sim.async_runtime import AsyncRuntime
+
+SEEDS = range(25)
+
+
+def run_once(factory, n, seed, key="vac"):
+    inits = [i % 2 for i in range(n)]
+    processes = [factory() for _ in range(n)]
+    runtime = AsyncRuntime(
+        processes, init_values=inits, t=(n - 1) // 2, seed=seed,
+        max_time=100_000.0,
+    )
+    result = runtime.run()
+    check_agreement(result.decisions)
+    return (
+        max(decision_rounds(result.trace, key).values()),
+        result.final_time,
+        result.trace.message_count(),
+    )
+
+
+def test_e6_table():
+    from repro.algorithms.shared_coin import shared_coin_ac_consensus
+
+    def sc_rounds(trace):
+        from repro.analysis.metrics import decision_rounds as dr
+
+        return max(dr(trace, "ac").values())
+
+    rows = []
+    for n in (4, 6, 8, 10):
+        coin = [run_once(ben_or_template_consensus, n, s) for s in SEEDS]
+        timer = [run_once(decentralized_raft_consensus, n, s) for s in SEEDS]
+        shared = [
+            run_once(shared_coin_ac_consensus, n, s, key="ac") for s in SEEDS
+        ]
+        coin_rounds = summarize([r for r, _t, _m in coin])
+        timer_rounds = summarize([r for r, _t, _m in timer])
+        shared_rounds = summarize([r for r, _t, _m in shared])
+        coin_time = summarize([t for _r, t, _m in coin])
+        timer_time = summarize([t for _r, t, _m in timer])
+        shared_time = summarize([t for _r, t, _m in shared])
+        rows.append(
+            [
+                n,
+                f"{coin_rounds.mean:.2f}",
+                f"{timer_rounds.mean:.2f}",
+                f"{shared_rounds.mean:.2f}",
+                f"{coin_time.mean:.0f}",
+                f"{timer_time.mean:.0f}",
+                f"{shared_time.mean:.0f}",
+            ]
+        )
+    emit(
+        "E6: mixer comparison on split inputs "
+        "(coin = Ben-Or VAC template, timer = decentralized Raft, "
+        "AC+guarded-coin = Algorithm 2 with a conciliator exchange)",
+        format_table(
+            [
+                "n",
+                "rounds coin",
+                "rounds timer",
+                "rounds AC+conc",
+                "vtime coin",
+                "vtime timer",
+                "vtime AC+conc",
+            ],
+            rows,
+        ),
+    )
+
+
+@pytest.mark.benchmark(group="e6-decentralized-raft")
+def test_e6_bench_timer_run(benchmark):
+    rounds, _time, _msgs = benchmark(
+        lambda: run_once(decentralized_raft_consensus, 8, seed=9)
+    )
+    assert rounds >= 1

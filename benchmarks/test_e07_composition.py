@@ -1,0 +1,110 @@
+"""E7 — Section 5: VAC from two ACs is correct, and what it costs.
+
+The composition is compared against the native VAC in both substrates:
+
+* message passing — ``VacFromTwoAdoptCommits(PhaseKingAC, PhaseKingAC)``
+  (4 exchanges/invocation) vs Ben-Or's native VAC (2 message rounds);
+* shared memory — ``RegisterVacFromTwoAcs`` (4 collect phases) vs a single
+  register AC (2 phases).
+
+Shape expectation: the construction doubles the step/exchange cost of the
+detector — the paper's framework buys modularity, not speed — while every
+invocation remains VAC-coherent.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.algorithms.phase_king.adopt_commit import PhaseKingAdoptCommit
+from repro.core.composition import VacFromTwoAdoptCommits
+from repro.core.properties import check_vac_round
+from repro.analysis.experiments import format_table, summarize
+from repro.memory.adopt_commit import RegisterAdoptCommit
+from repro.memory.composition import RegisterVacFromTwoAcs
+from repro.memory.scheduler import MemoryScheduler, SharedMemoryProcess
+from repro.sim.ops import Annotate
+from repro.sim.sync_runtime import SyncRuntime
+
+from tests.helpers import OneShotDetector, collect_outcomes
+
+SEEDS = range(20)
+
+
+def run_sync_composed(n, inits, seed):
+    vac = VacFromTwoAdoptCommits(PhaseKingAdoptCommit(), PhaseKingAdoptCommit())
+    processes = [OneShotDetector(vac) for _ in range(n)]
+    runtime = SyncRuntime(
+        processes, init_values=inits, t=(n - 1) // 4, seed=seed,
+        stop_when="all_done", max_exchanges=8,
+    )
+    result = runtime.run()
+    outcomes = collect_outcomes(result.trace)
+    check_vac_round(outcomes)
+    return result.exchanges, result.trace.message_count()
+
+
+class MemOneShot(SharedMemoryProcess):
+    def __init__(self, obj):
+        self.obj = obj
+
+    def run(self, api):
+        outcome = yield from self.obj.invoke(api, api.init_value)
+        yield Annotate("outcome", outcome)
+
+
+def run_memory(obj_factory, n, inits, seed):
+    scheduler = MemoryScheduler(
+        [MemOneShot(obj_factory(n)) for _ in range(n)],
+        init_values=inits, seed=seed,
+    )
+    result = scheduler.run()
+    return result.steps
+
+
+def test_e7_message_passing_table():
+    rows = []
+    for n in (4, 8, 16):
+        inits = [i % 2 for i in range(n)]
+        stats = [run_sync_composed(n, inits, s) for s in SEEDS]
+        exchanges = summarize([e for e, _m in stats])
+        messages = summarize([m for _e, m in stats])
+        rows.append([n, f"{exchanges.mean:.0f}", 2, f"{messages.mean:.0f}"])
+    emit(
+        "E7a: VAC from two Phase-King ACs (sync) — exchanges per invocation "
+        "vs the native Ben-Or VAC's 2 message rounds",
+        format_table(
+            ["n", "composed exchanges", "native VAC rounds", "msgs(mean)"], rows
+        ),
+    )
+
+
+def test_e7_shared_memory_table():
+    rows = []
+    for n in (2, 4, 8):
+        inits = [i % 2 for i in range(n)]
+        single = summarize(
+            [run_memory(RegisterAdoptCommit, n, inits, s) for s in SEEDS]
+        )
+        composed = summarize(
+            [run_memory(RegisterVacFromTwoAcs, n, inits, s) for s in SEEDS]
+        )
+        rows.append(
+            [
+                n,
+                f"{single.mean:.0f}",
+                f"{composed.mean:.0f}",
+                f"{composed.mean / single.mean:.2f}x",
+            ]
+        )
+    emit(
+        "E7b: shared-memory steps per invocation — single AC vs composed VAC",
+        format_table(["n", "AC steps", "VAC(2xAC) steps", "overhead"], rows),
+    )
+
+
+@pytest.mark.benchmark(group="e7-composition")
+def test_e7_bench_composed_sync_vac(benchmark):
+    exchanges, _msgs = benchmark(
+        lambda: run_sync_composed(8, [i % 2 for i in range(8)], seed=3)
+    )
+    assert exchanges == 4

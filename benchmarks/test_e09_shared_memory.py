@@ -1,0 +1,83 @@
+"""E9 — Aspnes' framework [2] over shared memory: wait-free randomized
+consensus from register adopt-commit + probabilistic-write conciliator.
+
+Tables: steps-to-decide vs n under the random (oblivious) scheduler, and
+the conciliator's standalone agreement frequency vs its theoretical floor
+``(1 - 1/2n)^(n-1)``.  Shape expectation: expected template rounds is O(1),
+so steps grow roughly linearly in n (collect cost) — not exponentially.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.experiments import format_table, summarize
+from repro.core.properties import check_agreement
+from repro.memory import run_shared_memory_consensus
+from repro.memory.conciliator import ProbabilisticWriteConciliator
+from repro.memory.scheduler import MemoryScheduler, SharedMemoryProcess
+from repro.sim.ops import Annotate
+
+SEEDS = range(30)
+
+
+def run_consensus(n, seed):
+    inits = [i % 2 for i in range(n)]
+    result = run_shared_memory_consensus(inits, seed=seed)
+    check_agreement(result.decisions)
+    return result.steps
+
+
+def test_e9_steps_table():
+    rows = []
+    for n in (2, 4, 8, 16):
+        steps = summarize([run_consensus(n, seed) for seed in SEEDS])
+        rows.append(
+            [n, f"{steps.mean:.0f}", f"{steps.p90:.0f}", f"{steps.mean / n:.0f}"]
+        )
+    emit(
+        "E9a: shared-memory consensus steps to all-decided (oblivious scheduler)",
+        format_table(["n", "steps(mean)", "steps(p90)", "steps/n"], rows),
+    )
+
+
+class ConciliatorShot(SharedMemoryProcess):
+    def __init__(self, conciliator):
+        self.conciliator = conciliator
+
+    def run(self, api):
+        value = yield from self.conciliator.invoke(api, api.init_value)
+        yield Annotate("outcome", value)
+
+
+def conciliator_agrees(n, seed):
+    conciliator = ProbabilisticWriteConciliator(n)
+    scheduler = MemoryScheduler(
+        [ConciliatorShot(conciliator) for _ in range(n)],
+        init_values=[i % 2 for i in range(n)],
+        seed=seed,
+    )
+    result = scheduler.run()
+    outcomes = {v for _p, _t, v in result.trace.annotations("outcome")}
+    return len(outcomes) == 1
+
+
+def test_e9_conciliator_table():
+    rows = []
+    trials = 80
+    for n in (2, 4, 8):
+        agreements = sum(conciliator_agrees(n, seed) for seed in range(trials))
+        floor = (1 - 1 / (2 * n)) ** (n - 1)
+        rows.append(
+            [n, trials, f"{agreements / trials:.2f}", f"{floor:.2f}"]
+        )
+        assert agreements / trials > 0.3
+    emit(
+        "E9b: probabilistic-write conciliator agreement frequency vs floor",
+        format_table(["n", "trials", "agree freq", "(1-1/2n)^(n-1)"], rows),
+    )
+
+
+@pytest.mark.benchmark(group="e9-shared-memory")
+def test_e9_bench_consensus(benchmark):
+    steps = benchmark(lambda: run_consensus(8, seed=13))
+    assert steps > 0

@@ -1,0 +1,72 @@
+"""E10 — substrate validation: kernel throughput and determinism.
+
+Not a paper claim, but the credibility floor under every other experiment:
+the discrete-event kernel must be fast enough for the seed batteries and
+perfectly repeatable.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.experiments import format_table
+from repro.sim.async_runtime import AsyncRuntime
+from repro.sim.ops import Broadcast, Decide, Receive
+from repro.sim.process import FunctionProcess
+
+
+def flood(rounds):
+    def proto(api):
+        for round_no in range(rounds):
+            yield Broadcast(("flood", round_no))
+            yield Receive(
+                count=api.n,
+                predicate=lambda e, r=round_no: e.payload == ("flood", r),
+            )
+        yield Decide("done")
+
+    return proto
+
+
+def run_flood(n, rounds, seed=0):
+    runtime = AsyncRuntime(
+        [FunctionProcess(flood(rounds)) for _ in range(n)],
+        seed=seed,
+        max_events=5_000_000,
+    )
+    return runtime.run()
+
+
+def test_e10_throughput_table():
+    import time
+
+    rows = []
+    for n, rounds in ((4, 50), (8, 50), (16, 25), (32, 10)):
+        start = time.perf_counter()
+        result = run_flood(n, rounds)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            [
+                n,
+                rounds,
+                result.events_processed,
+                f"{result.events_processed / elapsed / 1000.0:.0f}k",
+            ]
+        )
+    emit(
+        "E10: async kernel throughput (message flood)",
+        format_table(["n", "rounds", "events", "events/sec"], rows),
+    )
+
+
+def test_e10_determinism():
+    first = run_flood(8, 20, seed=99)
+    second = run_flood(8, 20, seed=99)
+    assert first.final_time == second.final_time
+    assert first.events_processed == second.events_processed
+    assert len(first.trace) == len(second.trace)
+
+
+@pytest.mark.benchmark(group="e10-simulator")
+def test_e10_bench_kernel(benchmark):
+    result = benchmark(lambda: run_flood(8, 25))
+    assert result.decisions

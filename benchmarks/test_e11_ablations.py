@@ -1,0 +1,170 @@
+"""E11 — ablations of the design choices DESIGN.md calls out.
+
+* **Coin bias** (reconciliator design): Ben-Or's fair coin vs a globally
+  leaning coin.  Expected shape: rounds fall monotonically as the bias
+  grows — the reconciliator's only job is symmetry breaking, and a shared
+  lean breaks symmetry in O(1) rounds (validity permitting, binary domain).
+* **Raft election timeout** (timing property): decision latency vs the
+  timeout range at fixed network latency.  Expected shape: too-small
+  timeouts (comparable to the broadcast time) cause election churn and
+  longer runs; too-large timeouts waste idle time — latency is minimized in
+  a valley where the paper's ``broadcast << timeout`` property holds with a
+  modest constant.
+* **Timer spread** (decentralized Raft reconciliator): a wider randomized
+  timeout spread separates the "first riser" better (fewer rounds) but
+  waits longer per round.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.algorithms.ben_or.reconciliator import CoinFlipReconciliator
+from repro.algorithms.ben_or.vac import BenOrVac
+from repro.algorithms.decentralized_raft import decentralized_raft_consensus
+from repro.algorithms.raft import run_raft_consensus
+from repro.analysis.experiments import format_table, summarize
+from repro.analysis.metrics import decision_rounds
+from repro.core.properties import check_agreement
+from repro.core.template import VacTemplateConsensus
+from repro.sim.async_runtime import AsyncRuntime
+
+SEEDS = range(20)
+
+
+def ben_or_with_bias(bias, n, seed):
+    weights = (1.0 - bias, bias)
+    processes = [
+        VacTemplateConsensus(
+            BenOrVac(), CoinFlipReconciliator((0, 1), weights=weights)
+        )
+        for _ in range(n)
+    ]
+    runtime = AsyncRuntime(
+        processes,
+        init_values=[i % 2 for i in range(n)],
+        t=(n - 1) // 2,
+        seed=seed,
+        max_time=500_000.0,
+    )
+    result = runtime.run()
+    check_agreement(result.decisions)
+    return max(decision_rounds(result.trace).values())
+
+
+def test_e11_coin_bias_table():
+    n = 8
+    rows = []
+    for bias in (0.5, 0.65, 0.8, 0.95):
+        rounds = summarize([ben_or_with_bias(bias, n, s) for s in SEEDS])
+        rows.append([f"{bias:.2f}", f"{rounds.mean:.2f}", f"{rounds.maximum:.0f}"])
+    emit(
+        "E11a: Ben-Or reconciliator coin bias vs rounds (n=8, split inputs)",
+        format_table(["bias toward 1", "rounds(mean)", "rounds(max)"], rows),
+    )
+
+
+def test_e11_raft_timeout_table():
+    rows = []
+    for low, high in ((2.0, 4.0), (5.0, 10.0), (10.0, 20.0), (40.0, 80.0)):
+        latencies = []
+        for seed in SEEDS:
+            result = run_raft_consensus(
+                [1, 2, 3, 4, 5],
+                seed=seed,
+                election_timeout=(low, high),
+                max_time=5_000.0,
+            )
+            check_agreement(result.decisions)
+            latencies.append(result.final_time)
+        stats = summarize(latencies)
+        rows.append(
+            [f"({low:.0f}, {high:.0f})", f"{stats.mean:.0f}", f"{stats.p90:.0f}"]
+        )
+    emit(
+        "E11b: Raft election-timeout ablation (latency Uniform(0.5, 1.5), n=5)",
+        format_table(["timeout range", "vtime(mean)", "vtime(p90)"], rows),
+    )
+
+
+def test_e11_timer_spread_table():
+    n = 8
+    rows = []
+    for low, high in ((5.0, 6.0), (5.0, 15.0), (5.0, 40.0)):
+        rounds, times = [], []
+        for seed in SEEDS:
+            processes = [
+                decentralized_raft_consensus(timeout_range=(low, high))
+                for _ in range(n)
+            ]
+            runtime = AsyncRuntime(
+                processes,
+                init_values=[i % 2 for i in range(n)],
+                t=(n - 1) // 2,
+                seed=seed,
+                max_time=500_000.0,
+            )
+            result = runtime.run()
+            check_agreement(result.decisions)
+            rounds.append(max(decision_rounds(result.trace).values()))
+            times.append(result.final_time)
+        rows.append(
+            [
+                f"({low:.0f}, {high:.0f})",
+                f"{summarize(rounds).mean:.2f}",
+                f"{summarize(times).mean:.0f}",
+            ]
+        )
+    emit(
+        "E11c: decentralized-Raft timer spread vs rounds and virtual time (n=8)",
+        format_table(["timeout range", "rounds(mean)", "vtime(mean)"], rows),
+    )
+
+
+def test_e11_failure_detector_timeout_table():
+    """E11d: Chandra-Toueg's initial FD timeout vs latency and suspicion.
+
+    Expected shape: aggressive timeouts (below the round-trip) cause false
+    suspicions and wasted rounds; conservative ones waste nothing when the
+    coordinator is correct but react slowly when it crashes.
+    """
+    from repro.algorithms.chandra_toueg import run_chandra_toueg
+    from repro.core.properties import check_agreement
+    from repro.sim.failures import CrashPlan
+
+    rows = []
+    for initial in (1.0, 4.0, 8.0, 30.0):
+        healthy, crashed = [], []
+        for seed in SEEDS:
+            result = run_chandra_toueg(
+                [1, 2, 3, 4, 5], seed=seed, initial_timeout=initial
+            )
+            check_agreement(result.decisions)
+            healthy.append(result.final_time)
+            result = run_chandra_toueg(
+                [1, 2, 3, 4, 5],
+                seed=seed,
+                initial_timeout=initial,
+                crash_plans=[CrashPlan(0, at_time=0.5)],  # round-1 coordinator
+            )
+            check_agreement(result.decisions)
+            crashed.append(result.final_time)
+        rows.append(
+            [
+                f"{initial:.0f}",
+                f"{summarize(healthy).mean:.1f}",
+                f"{summarize(crashed).mean:.1f}",
+            ]
+        )
+    emit(
+        "E11d: Chandra-Toueg initial FD timeout vs vtime-to-decide "
+        "(latency Uniform(0.5, 1.5), n=5)",
+        format_table(
+            ["initial timeout", "fault-free vtime", "coord-crash vtime"], rows
+        ),
+    )
+
+
+@pytest.mark.benchmark(group="e11-ablations")
+def test_e11_bench_biased_coin_run(benchmark):
+    rounds = benchmark(lambda: ben_or_with_bias(0.8, 8, seed=3))
+    assert rounds >= 1

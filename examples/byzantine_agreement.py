@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Byzantine agreement with Phase-King decomposed into AC + conciliator.
+
+The scenario the paper's Section 4.1 motivates: a synchronous cluster where
+up to t < n/3 members actively lie — here, two equivocators that tell each
+half of the network a different value.  Phase-King still drives everyone to
+one decision within t + 1 king rounds.
+
+The second half of the demo reproduces the library's adversarial finding:
+the paper-literal *early* decision rule (decide on commit) is breakable by
+a coordinated attack through a Byzantine king, while the classic fixed-round
+rule survives it.  See ``tests/algorithms/test_phase_king_adversarial.py``
+and EXPERIMENTS.md (E2) for the full analysis.
+
+Run:  python examples/byzantine_agreement.py
+"""
+
+from repro import run_phase_king
+from repro.core.properties import PropertyViolation, check_agreement
+from repro.sim.failures import equivocating_strategy
+
+
+def standard_run() -> None:
+    n, t = 7, 2
+    init_values = [0, 1, 0, 1, 1, 0, 1]
+    byzantine = {2: equivocating_strategy(), 5: equivocating_strategy()}
+
+    result = run_phase_king(
+        init_values, t=t, byzantine=byzantine, mode="fixed", seed=7
+    )
+    correct = [pid for pid in range(n) if pid not in byzantine]
+    decisions = {pid: result.decisions[pid] for pid in correct}
+
+    print("--- Phase-King vs two equivocating Byzantine processes ---")
+    print(f"inputs (correct): {[init_values[p] for p in correct]}")
+    print(f"decisions:        {decisions}")
+    print(f"exchanges used:   {result.exchanges}  (bound: 3(t+1) = {3 * (t + 1)})")
+    check_agreement(decisions)
+    print("agreement: OK\n")
+
+
+def adversarial_run() -> None:
+    # The coordinated attack: Byzantine pids 0 and 1 are also the first two
+    # kings.  Round 1: make only pid 2 commit value 1; the Byzantine king
+    # then hands 0 to all adopters, and round 2 commits 0.
+    init_values = [None, None, 1, 1, 1, 0, 0]
+
+    def attack(king_pid):
+        def strategy(api, barrier, inbox):
+            if barrier == 0:
+                return {2: 1, 3: 1, 4: 1, 5: 0, 6: 0}
+            if barrier == 1:
+                return {2: 1, 3: 2, 4: 2, 5: 2, 6: 2}
+            if barrier == 2:
+                return {p: 0 for p in range(api.n)} if api.pid == king_pid else {}
+            return {p: 0 for p in range(api.n)}
+
+        return strategy
+
+    print("--- the early-decide attack (paper-literal Algorithm 2 + 4) ---")
+    for mode in ("early", "fixed"):
+        result = run_phase_king(
+            init_values,
+            t=2,
+            byzantine={0: attack(0), 1: attack(1)},
+            mode=mode,
+            seed=0,
+        )
+        decisions = {pid: result.decisions[pid] for pid in (2, 3, 4, 5, 6)}
+        try:
+            check_agreement(decisions)
+            verdict = "agreement holds"
+        except PropertyViolation:
+            verdict = "AGREEMENT VIOLATED"
+        print(f"mode={mode:5s}  decisions={decisions}  -> {verdict}")
+
+
+if __name__ == "__main__":
+    standard_run()
+    adversarial_run()

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Inspecting an execution: per-round outcomes and lifecycle lanes.
+
+Every run records a full trace; this example shows the built-in renderings
+— the per-round VAC outcome table and the per-process ASCII event lanes —
+on a decentralized-Raft run with a crash and a restart.
+
+Run:  python examples/trace_inspection.py
+"""
+
+from repro import AsyncRuntime, CrashPlan
+from repro.algorithms.decentralized_raft import decentralized_raft_consensus
+from repro.analysis.report import describe_run, event_lanes, round_table
+
+
+def main() -> None:
+    n, t = 5, 2
+    init_values = [0, 1, 0, 1, 1]
+    processes = [decentralized_raft_consensus() for _ in range(n)]
+    runtime = AsyncRuntime(
+        processes,
+        init_values=init_values,
+        t=t,
+        seed=5,
+        crash_plans=[CrashPlan(pid=1, at_time=4.0, restart_at=30.0)],
+        max_time=5_000.0,
+    )
+    result = runtime.run()
+
+    print("summary:", describe_run(result.trace))
+    print()
+    print("per-round VAC outcomes (V vacillate / A adopt / C commit):")
+    print(round_table(result.trace))
+    print()
+    print("lifecycle lanes over virtual time:")
+    print(event_lanes(result.trace, width=60))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,204 @@
+"""Command-line demo runner: ``python -m repro <algorithm> [options]``.
+
+Runs one seeded consensus execution of any algorithm in the library and
+prints the decisions, the per-round outcome table and a summary — a quick
+way to poke at the framework without writing a script.
+
+Examples::
+
+    python -m repro ben-or --n 5 --seed 7
+    python -m repro phase-king --n 7 --byzantine 2 --seed 1
+    python -m repro raft --n 5 --crash 0@12 --seed 3
+    python -m repro decentralized-raft --n 6
+    python -m repro shared-memory --n 4
+    python -m repro shared-coin --n 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import describe_run, round_table
+from repro.analysis.workloads import balanced_split
+from repro.sim.async_runtime import AsyncRuntime
+from repro.sim.failures import CrashPlan, equivocating_strategy
+
+ALGORITHMS = (
+    "ben-or",
+    "phase-king",
+    "phase-queen",
+    "raft",
+    "paxos",
+    "chandra-toueg",
+    "decentralized-raft",
+    "shared-coin",
+    "shared-memory",
+)
+
+
+def _parse_crash(spec: str) -> CrashPlan:
+    """Parse ``pid@time`` or ``pid@time@restart`` into a CrashPlan."""
+    parts = spec.split("@")
+    if len(parts) == 2:
+        return CrashPlan(int(parts[0]), at_time=float(parts[1]))
+    if len(parts) == 3:
+        return CrashPlan(
+            int(parts[0]), at_time=float(parts[1]), restart_at=float(parts[2])
+        )
+    raise argparse.ArgumentTypeError(f"bad crash spec {spec!r}: use pid@time[@restart]")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run one consensus execution and print what happened.",
+    )
+    parser.add_argument("algorithm", choices=ALGORITHMS)
+    parser.add_argument("--n", type=int, default=5, help="number of processes")
+    parser.add_argument("--seed", type=int, default=0, help="run seed")
+    parser.add_argument(
+        "--byzantine",
+        type=int,
+        default=0,
+        help="number of (equivocating) Byzantine processes (phase-king only)",
+    )
+    parser.add_argument(
+        "--crash",
+        type=_parse_crash,
+        action="append",
+        default=[],
+        metavar="PID@TIME[@RESTART]",
+        help="crash plan (repeatable; asynchronous algorithms only)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="print only the summary line"
+    )
+    return parser
+
+
+def _run_async(factory, args, key="vac") -> int:
+    inits = balanced_split(args.n)
+    processes = [factory() for _ in range(args.n)]
+    runtime = AsyncRuntime(
+        processes,
+        init_values=inits,
+        t=(args.n - 1) // 2,
+        seed=args.seed,
+        crash_plans=args.crash,
+        max_time=100_000.0,
+    )
+    result = runtime.run()
+    if not args.quiet:
+        print(f"inputs: {inits}")
+        print(round_table(result.trace, key))
+        print()
+    print(describe_run(result.trace))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    name = args.algorithm
+
+    if name == "ben-or":
+        from repro.algorithms.ben_or import ben_or_template_consensus
+
+        return _run_async(ben_or_template_consensus, args)
+
+    if name == "decentralized-raft":
+        from repro.algorithms.decentralized_raft import decentralized_raft_consensus
+
+        return _run_async(decentralized_raft_consensus, args)
+
+    if name == "shared-coin":
+        from repro.algorithms.shared_coin import shared_coin_ac_consensus
+
+        return _run_async(shared_coin_ac_consensus, args, key="ac")
+
+    if name in ("phase-king", "phase-queen"):
+        if name == "phase-king":
+            from repro.algorithms.phase_king import run_phase_king as run_sync
+
+            ratio = 3
+        else:
+            from repro.algorithms.phase_queen import run_phase_queen as run_sync
+
+            ratio = 4
+        t = max(args.byzantine, 1)
+        if ratio * t >= args.n:
+            print(
+                f"error: need {ratio}t < n (t={t}, n={args.n})", file=sys.stderr
+            )
+            return 2
+        byzantine = {
+            pid: equivocating_strategy() for pid in range(args.byzantine)
+        }
+        inits = balanced_split(args.n)
+        result = run_sync(
+            inits, t=t, byzantine=byzantine, mode="fixed", seed=args.seed
+        )
+        if not args.quiet:
+            print(f"inputs: {inits}  byzantine: {sorted(byzantine)}")
+            print(round_table(result.trace, "ac"))
+            print()
+        correct = [p for p in range(args.n) if p not in byzantine]
+        decisions = {p: result.decisions.get(p) for p in correct}
+        print(
+            f"{result.exchanges} exchanges; correct decisions: {decisions}"
+        )
+        return 0
+
+    if name in ("paxos", "chandra-toueg"):
+        if name == "paxos":
+            from repro.algorithms.paxos import run_paxos as run_it
+        else:
+            from repro.algorithms.chandra_toueg import run_chandra_toueg as run_it
+
+        inits = list(range(10, 10 * (args.n + 1), 10))[: args.n]
+        result = run_it(inits, seed=args.seed, crash_plans=args.crash)
+        if not args.quiet:
+            print(f"inputs: {inits}")
+            print(round_table(result.trace, "vac"))
+            print()
+        print(describe_run(result.trace))
+        return 0
+
+    if name == "raft":
+        from repro.algorithms.raft import run_raft_consensus
+
+        inits = list(range(10, 10 * (args.n + 1), 10))[: args.n]
+        result = run_raft_consensus(
+            inits, seed=args.seed, crash_plans=args.crash
+        )
+        if not args.quiet:
+            print(f"inputs: {inits}")
+            leaders = [
+                f"term {term}: p{leader}"
+                for _p, _t, (term, leader) in result.trace.annotations("leader")
+            ]
+            print("leaders: " + ", ".join(leaders))
+        print(describe_run(result.trace))
+        return 0
+
+    if name == "shared-memory":
+        from repro.memory import run_shared_memory_consensus
+
+        inits = balanced_split(args.n)
+        result = run_shared_memory_consensus(inits, seed=args.seed)
+        if not args.quiet:
+            print(f"inputs: {inits}")
+            print(round_table(result.trace, "ac"))
+            print()
+        print(
+            f"{result.steps} register steps; decisions: {result.decisions}"
+        )
+        return 0
+
+    raise AssertionError(f"unhandled algorithm {name}")  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Ben-Or's randomized consensus and its VAC/reconciliator decomposition.
+
+Setting (paper Section 4.2): asynchronous message passing, ``t < n/2`` crash
+failures, binary inputs.  The paper decomposes each Ben-Or round into
+
+* :class:`~repro.algorithms.ben_or.vac.BenOrVac` (Algorithm 5) — the two
+  message exchanges (report, then ratify) acting as a vacillate-adopt-commit
+  object: more than ``t`` ratifies means *commit*, at least one ratify means
+  *adopt*, none means *vacillate*; and
+* :class:`~repro.algorithms.ben_or.reconciliator.CoinFlipReconciliator`
+  (Algorithm 6) — a local fair coin, the simplest possible reconciliator.
+
+:func:`~repro.algorithms.ben_or.consensus.ben_or_template_consensus` plugs
+them into the generic template; :mod:`~repro.algorithms.ben_or.monolithic`
+is the classic inlined algorithm used as the E4 baseline.
+"""
+
+from repro.algorithms.ben_or.consensus import ben_or_template_consensus
+from repro.algorithms.ben_or.messages import Ratify, Report
+from repro.algorithms.ben_or.monolithic import MonolithicBenOr
+from repro.algorithms.ben_or.reconciliator import CoinFlipReconciliator
+from repro.algorithms.ben_or.vac import BenOrVac
+
+__all__ = [
+    "BenOrVac",
+    "CoinFlipReconciliator",
+    "MonolithicBenOr",
+    "Ratify",
+    "Report",
+    "ben_or_template_consensus",
+]

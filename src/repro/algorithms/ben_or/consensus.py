@@ -1,0 +1,47 @@
+"""Ben-Or consensus assembled from the generic template (paper Section 4.2).
+
+``ben_or_template_consensus()`` returns a
+:class:`~repro.core.template.VacTemplateConsensus` wired with
+:class:`~repro.algorithms.ben_or.vac.BenOrVac` and
+:class:`~repro.algorithms.ben_or.reconciliator.CoinFlipReconciliator` —
+the paper's Algorithm 1 instantiated with Algorithms 5 and 6.
+
+Processes keep participating after deciding (``continue_after_decide``):
+under ``n - t`` quorum waits a silently halted process is indistinguishable
+from a crash, so early halting would eat into the failure budget.  The
+asynchronous runtime's default stop condition ends the run once every live
+process has decided.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.algorithms.ben_or.reconciliator import CoinFlipReconciliator
+from repro.algorithms.ben_or.vac import BenOrVac
+from repro.core.template import VacTemplateConsensus
+
+
+def ben_or_template_consensus(
+    *,
+    domain: Sequence[Any] = (0, 1),
+    max_rounds: Optional[int] = None,
+) -> VacTemplateConsensus:
+    """Build one decomposed Ben-Or consensus process.
+
+    Args:
+        domain: the value domain of the reconciliator's coin (binary by
+            default, matching the original algorithm).
+        max_rounds: optional safety cap on template rounds, for tests that
+            drive the protocol under hostile schedules.
+
+    Returns:
+        A process to hand to :class:`~repro.sim.async_runtime.AsyncRuntime`;
+        instantiate one per simulated processor.
+    """
+    return VacTemplateConsensus(
+        BenOrVac(),
+        CoinFlipReconciliator(domain),
+        continue_after_decide=True,
+        max_rounds=max_rounds,
+    )

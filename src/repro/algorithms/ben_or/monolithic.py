@@ -1,0 +1,74 @@
+"""The classic, inlined Ben-Or algorithm (the E4 baseline).
+
+This is Ben-Or's protocol exactly as presented in Aspnes' survey [1], with
+no framework objects: report, ratify, then either decide (more than ``t``
+ratifications), adopt (at least one), or flip a coin.  It exists so
+Experiment E4 can compare the decomposed version against the original under
+identical seeds: the two send the same messages in the same pattern, so
+their executions should match round for round.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Optional, Sequence
+
+from repro.algorithms.ben_or.messages import Ratify, Report
+from repro.sim.messages import Envelope
+from repro.sim.ops import Annotate, Broadcast, Decide, Receive
+from repro.sim.process import Process, ProcessAPI, ProtocolGenerator
+
+
+class MonolithicBenOr(Process):
+    """One Ben-Or processor, inlined.
+
+    Args:
+        domain: coin domain (binary by default).
+        max_rounds: optional cap on protocol rounds.
+    """
+
+    def __init__(
+        self,
+        domain: Sequence[Any] = (0, 1),
+        max_rounds: Optional[int] = None,
+    ):
+        self.domain = tuple(domain)
+        self.max_rounds = max_rounds
+
+    def run(self, api: ProcessAPI) -> ProtocolGenerator:
+        v = api.init_value
+        decided = False
+        quorum = api.n - api.t
+        m = 0
+        while self.max_rounds is None or m < self.max_rounds:
+            m += 1
+            yield Annotate("round_input", (m, v))
+            yield Broadcast(Report(m, v))
+            reports = yield Receive(
+                count=quorum, predicate=_round_matcher(Report, m)
+            )
+            tally = Counter(e.payload.value for e in reports)
+            majority_value = next(
+                (val for val, count in tally.items() if count > api.n / 2), None
+            )
+            yield Broadcast(Ratify(m, majority_value))
+            ratify_msgs = yield Receive(
+                count=quorum, predicate=_round_matcher(Ratify, m)
+            )
+            ratified = [e.payload.value for e in ratify_msgs if e.payload.is_ratify]
+            if ratified:
+                v = ratified[0]
+                if len(ratified) > api.t and not decided:
+                    yield Decide(v)
+                    decided = True
+            else:
+                v = api.rng.choice(self.domain)
+                yield Annotate("coin", (m, v))
+
+
+def _round_matcher(message_type: type, round_no: int):
+    def predicate(envelope: Envelope) -> bool:
+        payload = envelope.payload
+        return isinstance(payload, message_type) and payload.round_no == round_no
+
+    return predicate

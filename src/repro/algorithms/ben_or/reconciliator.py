@@ -1,0 +1,64 @@
+"""Ben-Or's reconciliator: a fair coin flip (paper Algorithm 6).
+
+The paper's point (Section 6) is that once agreement detection is factored
+into the VAC, the mixing step needs *no machinery at all* — not even
+validity enforcement, since only vacillating processes (whose own value is
+still a legal preference) invoke it.  Lemma 4: any value has non-zero
+probability, so with probability 1 some round gives enough processes the
+same preference for the VAC to observe agreement.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Optional, Sequence
+
+from repro.core.confidence import Confidence
+from repro.core.objects import ReconciliatorObject, SubProtocol
+from repro.sim.ops import Annotate
+from repro.sim.process import ProcessAPI
+
+
+class CoinFlipReconciliator(ReconciliatorObject):
+    """Return a random value from ``domain`` (default: a fair binary coin).
+
+    The flip is drawn from the process's private seeded RNG, so runs are
+    reproducible.  Each flip is annotated in the trace under ``"coin"`` for
+    the round-distribution experiments (E3).
+
+    Args:
+        domain: the values the coin may land on.
+        weights: optional per-value weights (all positive).  A *biased*
+            coin is still a correct reconciliator — every value keeps
+            non-zero probability — and a globally agreed lean converges in
+            O(1/max_weight) expected rounds instead of exponentially many;
+            the E11 ablation quantifies this.
+    """
+
+    def __init__(
+        self,
+        domain: Sequence[Any] = (0, 1),
+        weights: Optional[Sequence[float]] = None,
+    ):
+        if not domain:
+            raise ValueError("domain must be non-empty")
+        if weights is not None:
+            if len(weights) != len(domain):
+                raise ValueError("weights length must match domain")
+            if any(w <= 0 for w in weights):
+                raise ValueError("all weights must be positive")
+        self.domain = tuple(domain)
+        self.weights = tuple(weights) if weights is not None else None
+
+    def invoke(
+        self,
+        api: ProcessAPI,
+        confidence: Confidence,
+        value: Any,
+        round_no: Hashable,
+    ) -> SubProtocol:
+        if self.weights is None:
+            flipped = api.rng.choice(self.domain)
+        else:
+            flipped = api.rng.choices(self.domain, weights=self.weights, k=1)[0]
+        yield Annotate("coin", (round_no, flipped))
+        return flipped

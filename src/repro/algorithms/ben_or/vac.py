@@ -1,0 +1,84 @@
+"""Ben-Or's vacillate-adopt-commit implementation (paper Algorithm 5).
+
+One invocation is one Ben-Or round: broadcast a :class:`Report` with the
+current preference, wait for ``n - t`` reports, ratify a value seen in more
+than ``n/2`` of them (or send the ``?`` placeholder), wait for ``n - t``
+ratify-exchange messages, and classify:
+
+* more than ``t`` real ratifications  -> ``(commit, v)``
+* at least one real ratification      -> ``(adopt, v)``
+* none                                -> ``(vacillate, own v)``
+
+Lemma 5's coherence argument hinges on two facts this implementation
+preserves: a value needs a strict majority of reports to be ratified, so all
+ratifications in a round carry the same value; and more than ``t``
+ratifications means at least one came from a process that crashes in no
+extension, so every process waiting for ``n - t`` second-exchange messages
+sees at least one of them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Hashable
+
+from repro.algorithms.ben_or.messages import Ratify, Report
+from repro.core.confidence import ADOPT, COMMIT, VACILLATE
+from repro.core.objects import SubProtocol, VacillateAdoptCommitObject
+from repro.sim.messages import Envelope
+from repro.sim.ops import Broadcast, Receive
+from repro.sim.process import ProcessAPI
+
+
+class BenOrVac(VacillateAdoptCommitObject):
+    """The two-exchange Ben-Or round as a VAC object.
+
+    The object is stateless across invocations: all per-round isolation
+    comes from tagging messages with ``round_no``.
+    """
+
+    def invoke(self, api: ProcessAPI, value: Any, round_no: Hashable) -> SubProtocol:
+        quorum = api.n - api.t
+
+        # Exchange 1: report preferences, gather a quorum.
+        yield Broadcast(Report(round_no, value))
+        reports = yield Receive(
+            count=quorum,
+            predicate=_matcher(Report, round_no),
+        )
+        tally = Counter(envelope.payload.value for envelope in reports)
+        majority_value = next(
+            (v for v, count in tally.items() if count > api.n / 2), None
+        )
+
+        # Exchange 2: ratify the majority value if one was seen.
+        yield Broadcast(Ratify(round_no, majority_value))
+        ratifies = yield Receive(
+            count=quorum,
+            predicate=_matcher(Ratify, round_no),
+        )
+        ratified = [e.payload.value for e in ratifies if e.payload.is_ratify]
+
+        if ratified:
+            values = set(ratified)
+            if len(values) != 1:
+                # Cannot happen with crash-only faults: two distinct values
+                # would each need a strict majority of first-exchange reports.
+                raise AssertionError(
+                    f"distinct ratified values {values} in round {round_no}"
+                )
+            u = ratified[0]
+            if len(ratified) > api.t:
+                return COMMIT, u
+            return ADOPT, u
+        return VACILLATE, value
+
+
+def _matcher(message_type: type, round_no: Hashable):
+    """Predicate matching envelopes of ``message_type`` tagged ``round_no``."""
+
+    def predicate(envelope: Envelope) -> bool:
+        payload = envelope.payload
+        return isinstance(payload, message_type) and payload.round_no == round_no
+
+    return predicate

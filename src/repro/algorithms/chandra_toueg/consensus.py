@@ -1,0 +1,43 @@
+"""Harness for running a full Chandra-Toueg system."""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.algorithms.chandra_toueg.failure_detector import AdaptiveTimeoutDetector
+from repro.algorithms.chandra_toueg.node import ChandraTouegNode
+from repro.sim.async_runtime import AsyncRuntime, RunResult
+from repro.sim.failures import CrashPlan
+from repro.sim.network import NetworkConfig, UniformDelay
+
+
+def run_chandra_toueg(
+    init_values: Sequence[Any],
+    *,
+    seed: int = 0,
+    crash_plans: Sequence[CrashPlan] = (),
+    network: Optional[NetworkConfig] = None,
+    initial_timeout: float = 8.0,
+    max_time: float = 5_000.0,
+    max_events: int = 2_000_000,
+) -> RunResult:
+    """Run one Chandra-Toueg consensus to completion (all live decided)."""
+    n = len(init_values)
+    nodes = [
+        ChandraTouegNode(
+            detector=AdaptiveTimeoutDetector(initial_timeout=initial_timeout)
+        )
+        for _ in range(n)
+    ]
+    runtime = AsyncRuntime(
+        nodes,
+        init_values=list(init_values),
+        t=(n - 1) // 2,
+        network=network or NetworkConfig(delay_model=UniformDelay(0.5, 1.5)),
+        seed=seed,
+        crash_plans=crash_plans,
+        max_time=max_time,
+        max_events=max_events,
+        stop_when="all_alive_decided",
+    )
+    return runtime.run()

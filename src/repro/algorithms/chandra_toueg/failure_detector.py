@@ -1,0 +1,64 @@
+"""An adaptive-timeout failure detector (simulating class ◇S).
+
+The detector tracks, per monitored target, how long to wait before
+suspecting it.  Every *false* suspicion — discovered when a message from a
+suspected process arrives after all — doubles that target's timeout, so
+over any network with (unknown but) bounded delays each correct process is
+suspected only finitely often: eventual strong accuracy.  Completeness is
+immediate: a crashed process never sends, so every waiter's timeout
+eventually fires.
+
+The protocol integrates it without extra machinery: "wait for the
+coordinator or suspect it" is a ``Receive`` racing a timer armed with
+``timeout(coordinator)``, and the outcome is reported back through
+:meth:`suspected` / :meth:`heard_from`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.sim.messages import Pid
+
+
+class AdaptiveTimeoutDetector:
+    """Per-target adaptive timeouts with doubling on false suspicion.
+
+    Args:
+        initial_timeout: first waiting period for every target.
+        max_timeout: growth cap (keeps pathological runs bounded).
+    """
+
+    def __init__(self, initial_timeout: float = 8.0, max_timeout: float = 500.0):
+        if initial_timeout <= 0 or max_timeout < initial_timeout:
+            raise ValueError("require 0 < initial_timeout <= max_timeout")
+        self.initial_timeout = initial_timeout
+        self.max_timeout = max_timeout
+        self._timeouts: Dict[Pid, float] = {}
+        self._suspects: Dict[Pid, bool] = {}
+        self.false_suspicions = 0
+
+    def timeout(self, target: Pid) -> float:
+        """How long to wait for ``target`` before suspecting it."""
+        return self._timeouts.get(target, self.initial_timeout)
+
+    def suspected(self, target: Pid) -> None:
+        """Record that we timed out on ``target`` (it is now suspected)."""
+        self._suspects[target] = True
+
+    def heard_from(self, target: Pid) -> None:
+        """Record a message from ``target``.
+
+        If ``target`` was under suspicion this is a *false* suspicion: the
+        suspicion is lifted and the target's timeout doubles (capped).
+        """
+        if self._suspects.get(target, False):
+            self._suspects[target] = False
+            self.false_suspicions += 1
+            self._timeouts[target] = min(
+                self.max_timeout, 2 * self.timeout(target)
+            )
+
+    def is_suspected(self, target: Pid) -> bool:
+        """Whether ``target`` is currently suspected."""
+        return self._suspects.get(target, False)

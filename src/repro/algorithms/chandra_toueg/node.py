@@ -1,0 +1,151 @@
+"""The Chandra-Toueg rotating-coordinator consensus process.
+
+See the package docstring for the round structure and the template mapping.
+Every wait in the protocol also matches :class:`CtDecide`, implementing the
+reliable-broadcast escape hatch: whatever phase a process is in, a decide
+message ends its run (after re-broadcasting, so laggards hear it too).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from repro.algorithms.chandra_toueg.failure_detector import AdaptiveTimeoutDetector
+from repro.algorithms.chandra_toueg.messages import (
+    Ack,
+    CoordinatorProposal,
+    CtDecide,
+    Estimate,
+    Nack,
+)
+from repro.core.confidence import ADOPT, COMMIT, VACILLATE
+from repro.sim.messages import Envelope, Pid
+from repro.sim.ops import Annotate, Broadcast, Decide, Receive, Send, SetTimer, TimerFired
+from repro.sim.process import Process, ProcessAPI, ProtocolGenerator
+
+
+def coordinator_of(round_no: int, n: int) -> Pid:
+    """The rotating coordinator of round ``r`` (1-based rounds)."""
+    return (round_no - 1) % n
+
+
+class ChandraTouegNode(Process):
+    """One Chandra-Toueg participant (``t < n/2`` crash faults).
+
+    Args:
+        detector: the failure detector; defaults to a fresh
+            :class:`AdaptiveTimeoutDetector` per node.
+        max_rounds: optional safety cap for adversarial tests.
+    """
+
+    def __init__(
+        self,
+        *,
+        detector: Optional[AdaptiveTimeoutDetector] = None,
+        max_rounds: Optional[int] = None,
+    ):
+        self.detector = detector or AdaptiveTimeoutDetector()
+        self.max_rounds = max_rounds
+
+    # ------------------------------------------------------------------
+
+    def run(self, api: ProcessAPI) -> ProtocolGenerator:
+        estimate: Any = api.init_value
+        timestamp = 0
+        round_no = 0
+        majority = api.majority()
+        while self.max_rounds is None or round_no < self.max_rounds:
+            round_no += 1
+            coordinator = coordinator_of(round_no, api.n)
+            yield Annotate("round_input", (round_no, estimate))
+
+            # Phase 1: send the timestamped estimate to the coordinator.
+            yield Send(
+                coordinator, Estimate(round_no, estimate, timestamp, api.pid)
+            )
+
+            # Phase 2 (coordinator only): pick the freshest estimate.
+            if api.pid == coordinator:
+                outcome = yield from self._collect(
+                    api,
+                    count=majority,
+                    matcher=lambda p, r=round_no: isinstance(p, Estimate)
+                    and p.round_no == r,
+                )
+                if isinstance(outcome, CtDecide):
+                    yield from self._finish(api, outcome.value, round_no)
+                    return
+                best = max(outcome, key=lambda e: e.timestamp)
+                yield Broadcast(CoordinatorProposal(round_no, best.value))
+
+            # Phase 3: adopt the proposal, or suspect the coordinator.
+            timer_name = f"fd:{round_no}"
+            yield SetTimer(self.detector.timeout(coordinator), timer_name)
+
+            def phase3(envelope: Envelope, r=round_no, t=timer_name) -> bool:
+                payload = envelope.payload
+                if isinstance(payload, TimerFired):
+                    return payload.name == t
+                if isinstance(payload, CoordinatorProposal):
+                    return payload.round_no == r
+                return isinstance(payload, CtDecide)
+
+            received = yield Receive(count=1, predicate=phase3)
+            payload = received[0].payload
+            if isinstance(payload, CtDecide):
+                yield from self._finish(api, payload.value, round_no)
+                return
+            if isinstance(payload, CoordinatorProposal):
+                self.detector.heard_from(coordinator)
+                estimate = payload.value
+                timestamp = round_no
+                yield Annotate("vac", (round_no, ADOPT, estimate))
+                yield Send(coordinator, Ack(round_no, api.pid))
+            else:  # the failure detector fired: suspect and nack
+                self.detector.suspected(coordinator)
+                yield Annotate("vac", (round_no, VACILLATE, estimate))
+                yield Annotate("reconciled", (round_no, estimate))
+                yield Send(coordinator, Nack(round_no, api.pid))
+
+            # Phase 4 (coordinator only): a majority of acks locks the value.
+            if api.pid == coordinator:
+                outcome = yield from self._collect(
+                    api,
+                    count=majority,
+                    matcher=lambda p, r=round_no: isinstance(p, (Ack, Nack))
+                    and p.round_no == r,
+                )
+                if isinstance(outcome, CtDecide):
+                    yield from self._finish(api, outcome.value, round_no)
+                    return
+                if all(isinstance(reply, Ack) for reply in outcome):
+                    yield from self._finish(api, estimate, round_no)
+                    return
+
+    # ------------------------------------------------------------------
+
+    def _collect(self, api: ProcessAPI, count: int, matcher):
+        """Receive ``count`` payloads matching ``matcher`` — or one CtDecide.
+
+        Returns the list of matched payloads, or the CtDecide that
+        interrupted the collection.
+        """
+        collected = []
+        while len(collected) < count:
+            def predicate(envelope: Envelope) -> bool:
+                payload = envelope.payload
+                return matcher(payload) or isinstance(payload, CtDecide)
+
+            received = yield Receive(count=1, predicate=predicate)
+            payload = received[0].payload
+            if isinstance(payload, CtDecide):
+                return payload
+            self.detector.heard_from(received[0].src)
+            collected.append(payload)
+        return collected
+
+    def _finish(self, api: ProcessAPI, value: Any, round_no: int) -> ProtocolGenerator:
+        """Decide, annotate the commit, and reliably re-broadcast."""
+        yield Annotate("vac", (round_no, COMMIT, value))
+        yield Decide(value)
+        yield Broadcast(CtDecide(value), include_self=False)

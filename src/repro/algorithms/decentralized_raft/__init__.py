@@ -1,0 +1,28 @@
+"""The leaderless Raft variant sketched at the end of Section 4.3.
+
+The paper observes that decentralizing Raft — *"instead of electing a
+leader ... everyone broadcasts the command they want logged and once
+someone sees a majority it sends out a commit-to-that-command message"* —
+restores the convergence property that leader-based Raft lacks, and yields
+*"an algorithm that highly resembles Ben-Or's.  The only difference is in
+the way it handles stalemates, or in other words, the reconciliators
+implemented are different."*
+
+This package is that concretization: Ben-Or's VAC (report/ratify, exactly
+:class:`repro.algorithms.ben_or.vac.BenOrVac`) paired with
+:class:`~repro.algorithms.decentralized_raft.reconciliator
+.TimerReconciliator` — Raft's randomized-timer stalemate breaker in place
+of Ben-Or's coin.  A vacillating process arms a random timer and waits: if
+a *faster* process's next-round report arrives first, it adopts that value
+(the timing analogue of following a freshly elected leader); if its own
+timer fires first, it keeps its value and effectively plays the leader.
+Symmetry is broken by timing randomness rather than by coin flips, which is
+exactly Raft's liveness mechanism under the paper's timing property.
+"""
+
+from repro.algorithms.decentralized_raft.consensus import (
+    decentralized_raft_consensus,
+)
+from repro.algorithms.decentralized_raft.reconciliator import TimerReconciliator
+
+__all__ = ["TimerReconciliator", "decentralized_raft_consensus"]

@@ -1,0 +1,32 @@
+"""Decentralized-Raft consensus assembled from the generic template.
+
+Identical to the decomposed Ben-Or except for the reconciliator — which is
+the paper's whole point about the two algorithms' relationship.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.algorithms.ben_or.vac import BenOrVac
+from repro.algorithms.decentralized_raft.reconciliator import TimerReconciliator
+from repro.core.template import VacTemplateConsensus
+
+
+def decentralized_raft_consensus(
+    *,
+    timeout_range: Tuple[float, float] = (5.0, 15.0),
+    max_rounds: Optional[int] = None,
+) -> VacTemplateConsensus:
+    """Build one decentralized-Raft process (Ben-Or VAC + timer reconciliator).
+
+    Args:
+        timeout_range: the reconciliator's randomized timeout range.
+        max_rounds: optional safety cap on template rounds.
+    """
+    return VacTemplateConsensus(
+        BenOrVac(),
+        TimerReconciliator(timeout_range),
+        continue_after_decide=True,
+        max_rounds=max_rounds,
+    )

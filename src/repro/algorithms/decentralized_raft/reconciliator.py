@@ -1,0 +1,86 @@
+"""Raft's randomized timer as a reconciliator object.
+
+A vacillating process arms a timer drawn uniformly from ``timeout_range``
+and blocks until either
+
+* its own timer fires — it keeps its current preference (it is the round's
+  "first riser", the analogue of a node whose election timeout expires
+  first and who pushes its own value as leader); or
+* the *next* round's report from some other process is observed first — it
+  adopts that process's preference (the analogue of hearing from a freshly
+  elected leader before one's own timeout).
+
+The observation uses a non-consuming receive so the eavesdropped report
+remains available to this process's own next-round VAC.
+
+Weak agreement: in every round there is positive probability that the
+process with the globally smallest timeout broadcasts its next-round report
+before any other vacillator's timer fires (the paper's timing property —
+broadcast time well below the timeout spread — makes this likely), in which
+case every vacillator adopts that one value; repeated rounds give
+probability 1 eventually, which is the reconciliator's guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Tuple
+
+from repro.algorithms.ben_or.messages import Report
+from repro.core.confidence import Confidence
+from repro.core.objects import ReconciliatorObject, SubProtocol
+from repro.sim.messages import Envelope
+from repro.sim.ops import Annotate, Receive, SetTimer, TimerFired
+from repro.sim.process import ProcessAPI
+
+
+class TimerReconciliator(ReconciliatorObject):
+    """Break stalemates by randomized timing instead of coin flips.
+
+    Args:
+        timeout_range: ``(low, high)`` of the uniform random timeout.  Per
+            the paper's timing property this should comfortably exceed the
+            network's typical message latency.
+    """
+
+    def __init__(self, timeout_range: Tuple[float, float] = (5.0, 15.0)):
+        low, high = timeout_range
+        if not 0 < low <= high:
+            raise ValueError("timeout_range must satisfy 0 < low <= high")
+        self.timeout_range = timeout_range
+
+    def invoke(
+        self,
+        api: ProcessAPI,
+        confidence: Confidence,
+        value: Any,
+        round_no: Hashable,
+    ) -> SubProtocol:
+        timer_name = f"reconcile:{round_no}"
+        next_round = round_no + 1 if isinstance(round_no, int) else round_no
+
+        def wakeup(envelope: Envelope) -> bool:
+            payload = envelope.payload
+            if isinstance(payload, TimerFired) and payload.name == timer_name:
+                return True
+            return (
+                isinstance(payload, Report)
+                and payload.round_no == next_round
+                and envelope.src != api.pid
+            )
+
+        yield SetTimer(api.rng.uniform(*self.timeout_range), timer_name)
+        observed = yield Receive(count=1, predicate=wakeup, consume=False)
+        payload = observed[0].payload
+        if isinstance(payload, TimerFired):
+            # Our timer expired first: keep the preference and lead.
+            yield Receive(
+                count=1,
+                predicate=lambda e: isinstance(e.payload, TimerFired)
+                and e.payload.name == timer_name,
+            )
+            yield Annotate("timer_lead", (round_no, value))
+            return value
+        # A faster process already moved to the next round: follow it.  Its
+        # report stays in the mailbox for our own next-round VAC.
+        yield Annotate("timer_follow", (round_no, payload.value))
+        return payload.value

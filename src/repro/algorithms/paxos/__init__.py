@@ -1,0 +1,52 @@
+"""Single-decree Paxos and its VAC/reconciliator reading.
+
+The paper's thesis — *"many known consensus algorithms fall into a similar
+pattern of a repetitive two-fold process"* — is tested here on the
+algorithm it never mentions: Lamport's Paxos (Synod), asynchronous with
+``t < n/2`` crash faults.  The mapping mirrors the Raft treatment of
+Section 4.3, with *ballots* playing the role of terms:
+
+* **vacillate** — a proposer opens a ballot after a timeout: it has no
+  evidence about the system's state (and learns of failure via Nacks);
+* **adopt** — an acceptor accepts the ballot's value, or the proposer
+  gathers a majority of promises and fixes the ballot's value: a majority
+  acknowledged this proposer, and within one ballot there is exactly one
+  value (the ballot embeds the proposer's pid);
+* **commit** — a learner observes a majority of Accepted messages for one
+  ballot: the value is *chosen* and, by Paxos' core invariant (any later
+  ballot's proposer sees the chosen value in its promise quorum and must
+  re-propose it), every higher ballot carries the same value — the exact
+  analogue of Raft's leader completeness.
+
+The **reconciliator** is again the randomized retry timer: it breaks
+dueling-proposer livelock through timing rather than through its return
+value, precisely the behaviour the paper highlights for Raft.
+
+Per-ballot coherence (Lemma 7's analogue) is machine-checked by reusing
+:func:`repro.algorithms.raft.vac.check_raft_vac` with ballots as round
+keys.
+"""
+
+from repro.algorithms.paxos.consensus import run_paxos
+from repro.algorithms.paxos.messages import (
+    Accept,
+    Accepted,
+    Ballot,
+    Decided,
+    Nack,
+    Prepare,
+    Promise,
+)
+from repro.algorithms.paxos.node import PaxosNode
+
+__all__ = [
+    "Accept",
+    "Accepted",
+    "Ballot",
+    "Decided",
+    "Nack",
+    "PaxosNode",
+    "Prepare",
+    "Promise",
+    "run_paxos",
+]

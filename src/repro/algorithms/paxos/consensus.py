@@ -1,0 +1,39 @@
+"""Harness for running a full Paxos system."""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Tuple
+
+from repro.algorithms.paxos.node import PaxosNode
+from repro.sim.async_runtime import AsyncRuntime, RunResult
+from repro.sim.failures import CrashPlan
+from repro.sim.network import NetworkConfig, UniformDelay
+
+
+def run_paxos(
+    init_values: Sequence[Any],
+    *,
+    seed: int = 0,
+    crash_plans: Sequence[CrashPlan] = (),
+    network: Optional[NetworkConfig] = None,
+    retry_timeout: Tuple[float, float] = (8.0, 16.0),
+    max_time: float = 3_000.0,
+    max_events: int = 2_000_000,
+) -> RunResult:
+    """Run one single-decree Paxos to completion (all live nodes decided)."""
+    n = len(init_values)
+    nodes = [
+        PaxosNode(retry_timeout=retry_timeout, cluster_size=n) for _ in range(n)
+    ]
+    runtime = AsyncRuntime(
+        nodes,
+        init_values=list(init_values),
+        t=(n - 1) // 2,
+        network=network or NetworkConfig(delay_model=UniformDelay(0.5, 1.5)),
+        seed=seed,
+        crash_plans=crash_plans,
+        max_time=max_time,
+        max_events=max_events,
+        stop_when="all_alive_decided",
+    )
+    return runtime.run()

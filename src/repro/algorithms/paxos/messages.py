@@ -1,0 +1,65 @@
+"""Paxos message types (single decree).
+
+Ballots are ``(counter, pid)`` pairs compared lexicographically, so ballots
+are totally ordered and no two proposers ever share one — which is what
+makes the per-ballot VAC coherence trivial-by-construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from repro.sim.messages import Pid
+
+#: A ballot: (round counter, proposer pid), lexicographically ordered.
+Ballot = Tuple[int, Pid]
+
+
+@dataclass(frozen=True)
+class Prepare:
+    """Phase 1a: a proposer asks acceptors to promise ballot ``ballot``."""
+
+    ballot: Ballot
+
+
+@dataclass(frozen=True)
+class Promise:
+    """Phase 1b: an acceptor promises, reporting its last accepted pair."""
+
+    ballot: Ballot
+    accepted_ballot: Optional[Ballot]
+    accepted_value: Any
+    voter: Pid
+
+
+@dataclass(frozen=True)
+class Accept:
+    """Phase 2a: the proposer asks acceptors to accept ``value``."""
+
+    ballot: Ballot
+    value: Any
+
+
+@dataclass(frozen=True)
+class Accepted:
+    """Phase 2b: an acceptor accepted; broadcast so every learner tallies."""
+
+    ballot: Ballot
+    value: Any
+    voter: Pid
+
+
+@dataclass(frozen=True)
+class Nack:
+    """An acceptor refuses a stale ballot, reporting what it promised."""
+
+    ballot: Ballot
+    promised: Ballot
+
+
+@dataclass(frozen=True)
+class Decided:
+    """A learner announces the chosen value (one-shot gossip)."""
+
+    value: Any

@@ -1,0 +1,48 @@
+"""Phase-King and its adopt-commit + conciliator decomposition (Section 4.1).
+
+Setting: synchronous message passing, ``t`` Byzantine processes with
+``3t < n``, binary inputs.  The paper shows Phase-King (Berman, Garay,
+Perry) decomposes into *Aspnes'* framework — plain adopt-commit plus a
+conciliator — with no need for the new VAC object:
+
+* :class:`~repro.algorithms.phase_king.adopt_commit.PhaseKingAdoptCommit`
+  (Algorithm 3) — the two universal exchanges with the ``C(k) >= n - t`` /
+  ``D(k) > t`` tallies.
+* :class:`~repro.algorithms.phase_king.conciliator.PhaseKingConciliator`
+  (Algorithm 4) — round ``m``'s king broadcasts ``min(1, v)``; everyone
+  adopts the king's value.
+
+Two decision modes are provided (``repro.algorithms.phase_king.consensus``):
+
+* ``"early"`` — the paper-literal template: decide as soon as the AC
+  returns commit.  **Caveat** (documented in DESIGN.md and exercised by the
+  adversarial tests): the paper's conciliator lets a *Byzantine* king hand
+  adopters an arbitrary value, so its validity only references the king's
+  own input.  A coordinated adversary can therefore arrange an early commit
+  at one correct process and later steer the rest to the opposite value.
+  Under the implemented non-coordinated Byzantine strategies the early mode
+  behaves correctly, and the attack itself is reproduced as a test
+  (``tests/algorithms/test_phase_king_adversarial.py``).
+* ``"fixed"`` — the classic BGP rule: run exactly ``t + 1`` king rounds and
+  decide the value held at the end.  Safe against every Byzantine strategy.
+
+:class:`~repro.algorithms.phase_king.monolithic.MonolithicPhaseKing` is the
+original inlined algorithm, used as the E4 baseline.
+"""
+
+from repro.algorithms.phase_king.adopt_commit import PhaseKingAdoptCommit
+from repro.algorithms.phase_king.conciliator import PhaseKingConciliator, king_of_round
+from repro.algorithms.phase_king.consensus import (
+    phase_king_consensus,
+    run_phase_king,
+)
+from repro.algorithms.phase_king.monolithic import MonolithicPhaseKing
+
+__all__ = [
+    "MonolithicPhaseKing",
+    "PhaseKingAdoptCommit",
+    "PhaseKingConciliator",
+    "king_of_round",
+    "phase_king_consensus",
+    "run_phase_king",
+]

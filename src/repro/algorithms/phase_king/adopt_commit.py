@@ -1,0 +1,64 @@
+"""Phase-King's adopt-commit object (paper Algorithm 3).
+
+One invocation is two universal exchanges in the synchronous model:
+
+1. Broadcast the preference ``v``; tally ``C(k)`` over received values.
+   Set ``v <- k`` for any ``k`` in ``{0, 1}`` with ``C(k) >= n - t``
+   (default ``2``, the "no preference" sentinel).
+2. Broadcast the updated ``v``; tally ``D(k)``.  For ``k = 2`` down to
+   ``0``, set ``v <- k`` whenever ``D(k) > t`` (so the *smallest* such
+   ``k`` wins, exactly as the paper's loop is written).
+
+Return ``(commit, v)`` if ``v != 2`` and ``D(v) >= n - t``; else
+``(adopt, v)``.
+
+Note on validity: with mixed binary inputs the sentinel ``2`` can escape as
+``(adopt, 2)`` — Lemma 2 only proves validity for unanimous inputs, and the
+conciliator's ``min(1, v)`` clamp repairs the domain in the next step.  The
+property tests therefore check object validity per-round only where the
+paper claims it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Hashable
+
+from repro.core.confidence import ADOPT, COMMIT
+from repro.core.objects import AdoptCommitObject, SubProtocol
+from repro.sim.ops import Exchange
+from repro.sim.process import ProcessAPI
+
+#: The "no preference" sentinel of Phase-King.
+NO_PREFERENCE = 2
+
+
+class PhaseKingAdoptCommit(AdoptCommitObject):
+    """The two-exchange Phase-King tally as an adopt-commit object.
+
+    Runs under :class:`~repro.sim.sync_runtime.SyncRuntime`; each invocation
+    consumes exactly two exchange barriers, so all correct processes stay
+    aligned.
+    """
+
+    def invoke(self, api: ProcessAPI, value: Any, round_no: Hashable) -> SubProtocol:
+        threshold = api.n - api.t
+
+        # Exchange 1: broadcast preference, count supports.
+        inbox = yield Exchange(value)
+        c = Counter(inbox.values())
+        v = NO_PREFERENCE
+        for k in (0, 1):
+            if c[k] >= threshold:
+                v = k
+
+        # Exchange 2: broadcast the (possibly reset) preference.
+        inbox2 = yield Exchange(v)
+        d = Counter(inbox2.values())
+        for k in (2, 1, 0):
+            if d[k] > api.t:
+                v = k
+
+        if v != NO_PREFERENCE and d[v] >= threshold:
+            return COMMIT, v
+        return ADOPT, v

@@ -1,0 +1,59 @@
+"""Phase-King's conciliator (paper Algorithm 4).
+
+Round ``m``'s king — process ``(m - 1) mod n``, the 0-based reading of the
+paper's ``id = m`` — broadcasts ``min(1, v)`` (clamping the sentinel ``2``
+into the binary domain) and every process adopts the value it received from
+the king.
+
+The paper's pseudocode leaves two Byzantine corner cases open, which this
+implementation resolves conservatively and documents:
+
+* **Silent king** — no message from the king arrives.  The process keeps
+  its own value (clamped by ``min(1, v)`` so the sentinel never leaks into
+  the next round).
+* **Out-of-domain king value** — treated like a silent king.
+
+Lemma 3's "eventual agreement" only engages when the king is correct, and
+both fallbacks preserve that argument: a correct king's broadcast reaches
+everyone, in-domain.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from repro.core.confidence import Confidence
+from repro.core.objects import ConciliatorObject, SubProtocol
+from repro.sim.ops import Exchange
+from repro.sim.process import ProcessAPI
+
+
+def king_of_round(round_no: int, n: int) -> int:
+    """The king of template round ``m`` (1-based), as a 0-based pid."""
+    return (round_no - 1) % n
+
+
+class PhaseKingConciliator(ConciliatorObject):
+    """The one-exchange king broadcast as a conciliator object.
+
+    Consumes exactly one exchange barrier; non-king processes participate
+    in the barrier without sending (``Exchange(None)``).
+    """
+
+    def invoke(
+        self,
+        api: ProcessAPI,
+        confidence: Confidence,
+        value: Any,
+        round_no: Hashable,
+    ) -> SubProtocol:
+        king = king_of_round(int(round_no), api.n)
+        own_clamped = min(1, value) if isinstance(value, int) else value
+        if api.pid == king:
+            inbox = yield Exchange(own_clamped)
+        else:
+            inbox = yield Exchange(None)
+        king_value = inbox.get(king)
+        if king_value in (0, 1):
+            return king_value
+        return own_clamped

@@ -1,0 +1,115 @@
+"""Phase-King consensus assembled from the generic template.
+
+:func:`phase_king_consensus` wires Algorithm 3's adopt-commit and
+Algorithm 4's conciliator into :class:`~repro.core.template
+.AcTemplateConsensus` (the paper's Algorithm 2).  :func:`run_phase_king` is
+a convenience harness that builds the full synchronous system — correct
+processes plus Byzantine ones — runs it, and returns the
+:class:`~repro.sim.sync_runtime.SyncResult`.
+
+Round budget
+------------
+The kings of template rounds ``1 .. t + 1`` are pids ``0 .. t``; with at
+most ``t`` Byzantine processes at least one of them is correct.  After the
+first correct king's round all correct processes hold one value, and the
+adopt-commit's convergence forces a commit in the following round — so
+
+* ``mode="early"`` uses ``t + 2`` template rounds and decides on commit;
+* ``mode="fixed"`` uses the classic ``t + 1`` rounds and decides the value
+  held at the end (safe against arbitrary Byzantine kings — see the package
+  docstring for why early deciding is not).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+from repro.algorithms.phase_king.adopt_commit import PhaseKingAdoptCommit
+from repro.algorithms.phase_king.conciliator import PhaseKingConciliator
+from repro.core.template import AcTemplateConsensus
+from repro.sim.failures import ByzantineProcess, ByzantineStrategy
+from repro.sim.messages import Pid
+from repro.sim.process import Process
+from repro.sim.sync_runtime import SyncResult, SyncRuntime
+
+#: Exchange barriers consumed per template round: two AC exchanges + king.
+EXCHANGES_PER_ROUND = 3
+
+
+def phase_king_consensus(t: int, mode: str = "fixed") -> AcTemplateConsensus:
+    """Build one decomposed Phase-King process.
+
+    Args:
+        t: the Byzantine resilience bound the protocol is run with
+            (``3t < n`` must hold for correctness).
+        mode: ``"fixed"`` (classic, decide after ``t + 1`` rounds) or
+            ``"early"`` (paper-literal, decide on commit).
+    """
+    if mode == "early":
+        return AcTemplateConsensus(
+            PhaseKingAdoptCommit(),
+            PhaseKingConciliator(),
+            continue_after_decide=True,
+            decide_on_commit=True,
+            always_run_mixer=True,
+            max_rounds=t + 2,
+        )
+    if mode == "fixed":
+        return AcTemplateConsensus(
+            PhaseKingAdoptCommit(),
+            PhaseKingConciliator(),
+            continue_after_decide=True,
+            decide_on_commit=False,
+            always_run_mixer=True,
+            max_rounds=t + 1,
+        )
+    raise ValueError(f"unknown mode {mode!r}; use 'early' or 'fixed'")
+
+
+def run_phase_king(
+    init_values: Sequence[Any],
+    *,
+    t: Optional[int] = None,
+    byzantine: Optional[Dict[Pid, ByzantineStrategy]] = None,
+    mode: str = "fixed",
+    seed: int = 0,
+    processes: Optional[Dict[Pid, Process]] = None,
+) -> SyncResult:
+    """Run a full Phase-King system and return the synchronous result.
+
+    Args:
+        init_values: one binary input per process; ``n = len(init_values)``.
+        t: resilience parameter; defaults to the number of Byzantine
+            processes (and must satisfy ``3t < n``).
+        byzantine: pid -> Byzantine strategy for faulty processes.
+        mode: decision mode, as in :func:`phase_king_consensus`.
+        seed: run seed.
+        processes: optional overrides mapping pid -> custom process (used
+            by tests to inject hand-crafted behaviours).
+    """
+    n = len(init_values)
+    byzantine = byzantine or {}
+    if t is None:
+        t = len(byzantine)
+    if not 3 * t < n and t > 0:
+        raise ValueError(f"need 3t < n, got n={n}, t={t}")
+    procs: list[Process] = []
+    for pid in range(n):
+        if processes and pid in processes:
+            procs.append(processes[pid])
+        elif pid in byzantine:
+            procs.append(ByzantineProcess(byzantine[pid]))
+        else:
+            procs.append(phase_king_consensus(t, mode))
+    correct = [pid for pid in range(n) if pid not in byzantine]
+    rounds = t + 2 if mode == "early" else t + 1
+    runtime = SyncRuntime(
+        procs,
+        init_values=list(init_values),
+        t=t,
+        seed=seed,
+        max_exchanges=EXCHANGES_PER_ROUND * rounds + EXCHANGES_PER_ROUND,
+        stop_pids=correct,
+        stop_when="all_decided",
+    )
+    return runtime.run()

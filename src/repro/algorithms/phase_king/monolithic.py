@@ -1,0 +1,65 @@
+"""The original, inlined Phase-King algorithm (Berman-Garay-Perry).
+
+This is the classic monolithic protocol: ``t + 1`` phases, each with two
+universal exchanges plus a king broadcast, adopting the king's value exactly
+when the processor is *unsure* (``v = 2`` or ``D(v) < n - t``), and deciding
+the held value after the last phase.
+
+It sends the same messages in the same exchanges as the decomposed
+``fixed``-mode template, so Experiment E4 can diff the two executions
+message-for-message under a shared seed.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.algorithms.phase_king.conciliator import king_of_round
+from repro.sim.ops import Annotate, Decide, Exchange
+from repro.sim.process import Process, ProcessAPI, ProtocolGenerator
+
+NO_PREFERENCE = 2
+
+
+class MonolithicPhaseKing(Process):
+    """One Phase-King processor, inlined.
+
+    Args:
+        t: Byzantine resilience bound (runs ``t + 1`` phases).
+    """
+
+    def __init__(self, t: int):
+        if t < 0:
+            raise ValueError("t must be >= 0")
+        self.t = t
+
+    def run(self, api: ProcessAPI) -> ProtocolGenerator:
+        v = api.init_value
+        threshold = api.n - api.t
+        for m in range(1, self.t + 2):
+            yield Annotate("round_input", (m, v))
+
+            inbox = yield Exchange(v)
+            c = Counter(inbox.values())
+            v = NO_PREFERENCE
+            for k in (0, 1):
+                if c[k] >= threshold:
+                    v = k
+
+            inbox2 = yield Exchange(v)
+            d = Counter(inbox2.values())
+            for k in (2, 1, 0):
+                if d[k] > api.t:
+                    v = k
+
+            sure = v != NO_PREFERENCE and d[v] >= threshold
+            king = king_of_round(m, api.n)
+            own_clamped = min(1, v) if isinstance(v, int) else v
+            if api.pid == king:
+                king_inbox = yield Exchange(own_clamped)
+            else:
+                king_inbox = yield Exchange(None)
+            if not sure:
+                king_value = king_inbox.get(king)
+                v = king_value if king_value in (0, 1) else own_clamped
+        yield Decide(v)

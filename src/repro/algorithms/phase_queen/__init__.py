@@ -1,0 +1,39 @@
+"""Phase-Queen: the one-exchange relative of Phase-King (Berman-Garay).
+
+The paper decomposes Phase-King; Phase-Queen — the same authors' simpler
+protocol trading resilience (``4t < n`` instead of ``3t < n``) for one
+fewer exchange per phase — decomposes into the *same* framework shape,
+which is exactly the generality Section 3 claims.  This package is that
+demonstration:
+
+* :class:`~repro.algorithms.phase_queen.adopt_commit.PhaseQueenAdoptCommit`
+  — a **single** universal exchange: tally the received values, hold the
+  majority value, commit iff its count exceeds ``n/2 + t``.
+* The conciliator is literally Phase-King's
+  (:class:`~repro.algorithms.phase_king.conciliator.PhaseKingConciliator`):
+  the round's coordinator broadcasts its value and adopters take it.  With
+  binary values the ``min(1, v)`` clamp is the identity, so the object is
+  reused unchanged — building blocks composing across algorithms is the
+  paper's thesis in action.
+
+Coherence argument for the AC: if ``p`` commits ``v``, more than
+``n/2 + t`` of ``p``'s received values were ``v``, so more than ``n/2``
+*correct* processes broadcast ``v``; every correct ``q`` therefore counts
+``v`` more than ``n/2`` times — a strict majority — making ``v`` the
+majority value everywhere.  Convergence needs ``n - t > n/2 + t``, i.e.
+``4t < n``.
+"""
+
+from repro.algorithms.phase_queen.adopt_commit import PhaseQueenAdoptCommit
+from repro.algorithms.phase_queen.consensus import (
+    phase_queen_consensus,
+    run_phase_queen,
+)
+from repro.algorithms.phase_queen.monolithic import MonolithicPhaseQueen
+
+__all__ = [
+    "MonolithicPhaseQueen",
+    "PhaseQueenAdoptCommit",
+    "phase_queen_consensus",
+    "run_phase_queen",
+]

@@ -1,0 +1,31 @@
+"""Phase-Queen's one-exchange adopt-commit object (``4t < n`` Byzantine)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Hashable
+
+from repro.core.confidence import ADOPT, COMMIT
+from repro.core.objects import AdoptCommitObject, SubProtocol
+from repro.sim.ops import Exchange
+from repro.sim.process import ProcessAPI
+
+
+class PhaseQueenAdoptCommit(AdoptCommitObject):
+    """One universal exchange; majority value with a ``> n/2 + t`` commit bar.
+
+    Ties between the binary values resolve to 0 (any deterministic rule
+    works: a tie means neither value had a correct strict majority, so no
+    correct process can be committing either value this round).
+    """
+
+    def invoke(self, api: ProcessAPI, value: Any, round_no: Hashable) -> SubProtocol:
+        inbox = yield Exchange(value)
+        tally = Counter(v for v in inbox.values() if v in (0, 1))
+        count_one = tally[1]
+        count_zero = tally[0]
+        majority_value = 1 if count_one > count_zero else 0
+        majority_count = tally[majority_value]
+        if majority_count > api.n / 2 + api.t:
+            return COMMIT, majority_value
+        return ADOPT, majority_value

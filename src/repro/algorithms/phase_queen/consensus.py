@@ -1,0 +1,88 @@
+"""Phase-Queen consensus assembled from the generic template.
+
+Identical in shape to :mod:`repro.algorithms.phase_king.consensus` — only
+the adopt-commit object and the resilience precondition differ.  Each
+template round costs **two** exchanges (tally + queen) instead of
+Phase-King's three, at the price of tolerating only ``t < n/4`` Byzantine
+processes; the E12 benchmark quantifies the trade.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+from repro.algorithms.phase_king.conciliator import PhaseKingConciliator
+from repro.algorithms.phase_queen.adopt_commit import PhaseQueenAdoptCommit
+from repro.core.template import AcTemplateConsensus
+from repro.sim.failures import ByzantineProcess, ByzantineStrategy
+from repro.sim.messages import Pid
+from repro.sim.process import Process
+from repro.sim.sync_runtime import SyncResult, SyncRuntime
+
+#: Exchange barriers per template round: one tally + the queen broadcast.
+EXCHANGES_PER_ROUND = 2
+
+
+def phase_queen_consensus(t: int, mode: str = "fixed") -> AcTemplateConsensus:
+    """Build one decomposed Phase-Queen process (``4t < n`` required).
+
+    Args:
+        t: Byzantine resilience bound.
+        mode: ``"fixed"`` (classic, decide after ``t + 1`` rounds) or
+            ``"early"`` (decide on commit — carries the same caveat as
+            Phase-King's early mode; see ``repro.algorithms.phase_king``).
+    """
+    if mode == "early":
+        return AcTemplateConsensus(
+            PhaseQueenAdoptCommit(),
+            PhaseKingConciliator(),
+            continue_after_decide=True,
+            decide_on_commit=True,
+            always_run_mixer=True,
+            max_rounds=t + 2,
+        )
+    if mode == "fixed":
+        return AcTemplateConsensus(
+            PhaseQueenAdoptCommit(),
+            PhaseKingConciliator(),
+            continue_after_decide=True,
+            decide_on_commit=False,
+            always_run_mixer=True,
+            max_rounds=t + 1,
+        )
+    raise ValueError(f"unknown mode {mode!r}; use 'early' or 'fixed'")
+
+
+def run_phase_queen(
+    init_values: Sequence[Any],
+    *,
+    t: Optional[int] = None,
+    byzantine: Optional[Dict[Pid, ByzantineStrategy]] = None,
+    mode: str = "fixed",
+    seed: int = 0,
+) -> SyncResult:
+    """Run a full Phase-Queen system and return the synchronous result."""
+    n = len(init_values)
+    byzantine = byzantine or {}
+    if t is None:
+        t = len(byzantine)
+    if t > 0 and not 4 * t < n:
+        raise ValueError(f"need 4t < n, got n={n}, t={t}")
+    processes: list[Process] = []
+    for pid in range(n):
+        if pid in byzantine:
+            processes.append(ByzantineProcess(byzantine[pid]))
+        else:
+            processes.append(phase_queen_consensus(t, mode))
+    correct = [pid for pid in range(n) if pid not in byzantine]
+    rounds = t + 2 if mode == "early" else t + 1
+    runtime = SyncRuntime(
+        processes,
+        init_values=list(init_values),
+        t=t,
+        seed=seed,
+        max_exchanges=EXCHANGES_PER_ROUND * rounds + EXCHANGES_PER_ROUND,
+        stop_pids=correct,
+        stop_when="all_decided",
+    )
+    return runtime.run()

@@ -1,0 +1,43 @@
+"""The original, inlined Phase-Queen algorithm (the E4-style baseline)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.algorithms.phase_king.conciliator import king_of_round
+from repro.sim.ops import Annotate, Decide, Exchange
+from repro.sim.process import Process, ProcessAPI, ProtocolGenerator
+
+
+class MonolithicPhaseQueen(Process):
+    """One Phase-Queen processor, inlined: ``t + 1`` phases of tally + queen.
+
+    Args:
+        t: Byzantine resilience bound (``4t < n``).
+    """
+
+    def __init__(self, t: int):
+        if t < 0:
+            raise ValueError("t must be >= 0")
+        self.t = t
+
+    def run(self, api: ProcessAPI) -> ProtocolGenerator:
+        v = api.init_value
+        for m in range(1, self.t + 2):
+            yield Annotate("round_input", (m, v))
+
+            inbox = yield Exchange(v)
+            tally = Counter(x for x in inbox.values() if x in (0, 1))
+            majority_value = 1 if tally[1] > tally[0] else 0
+            sure = tally[majority_value] > api.n / 2 + api.t
+            v = majority_value
+
+            queen = king_of_round(m, api.n)
+            if api.pid == queen:
+                queen_inbox = yield Exchange(v)
+            else:
+                queen_inbox = yield Exchange(None)
+            if not sure:
+                queen_value = queen_inbox.get(queen)
+                v = queen_value if queen_value in (0, 1) else v
+        yield Decide(v)

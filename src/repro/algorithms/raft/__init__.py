@@ -1,0 +1,71 @@
+"""A full Raft implementation and its VAC/reconciliator reading (Section 4.3).
+
+This package implements Raft (Ongaro & Ousterhout) in its entirety — not
+just the single-command consensus specialization the paper uses:
+
+* :mod:`~repro.algorithms.raft.log` — 1-indexed term-tagged logs with the
+  AppendEntries consistency check and conflict-suffix deletion (the Log
+  Matching property's mechanism).
+* :mod:`~repro.algorithms.raft.messages` — the four message types of the
+  paper's Figure 1, plus client proposal messages for the replicated-log
+  examples.
+* :mod:`~repro.algorithms.raft.state_machine` — pluggable state machines:
+  the paper's ``D&S(v)`` decide-and-stop machine, and a key-value store for
+  general log replication.
+* :mod:`~repro.algorithms.raft.node` — the complete node: follower /
+  candidate / leader states, randomized election timers, RequestVote with
+  the up-to-date check, AppendEntries with NextIndex/MatchIndex repair, the
+  ``log[N].term == currentTerm`` commit rule, heartbeats, crash/restart
+  with durable state (Figure 2, Algorithms 7-9).
+* :mod:`~repro.algorithms.raft.cluster` — harness helpers that assemble a
+  cluster under the paper's timing property (broadcast time << election
+  timeout << MTBF).
+* :mod:`~repro.algorithms.raft.vac` — the paper's Algorithms 10-11: the
+  VAC view of Raft (term = template round; vacillate = no leader contact,
+  adopt = entry appended, commit = commit index advanced; reconciliator =
+  the randomized election timer), with Lemma 7's coherence checker.
+"""
+
+from repro.algorithms.raft.cluster import build_raft_cluster, run_raft_consensus
+from repro.algorithms.raft.log import Entry, RaftLog
+from repro.algorithms.raft.messages import (
+    AppendEntries,
+    AppendEntriesReply,
+    ClientPropose,
+    InstallSnapshot,
+    InstallSnapshotReply,
+    RequestVote,
+    RequestVoteReply,
+)
+from repro.algorithms.raft.node import CANDIDATE, FOLLOWER, LEADER, RaftNode
+from repro.algorithms.raft.state_machine import (
+    DecideAndStop,
+    DecideStateMachine,
+    KeyValueStateMachine,
+    Put,
+)
+from repro.algorithms.raft.vac import check_raft_vac, raft_vac_outcomes
+
+__all__ = [
+    "AppendEntries",
+    "AppendEntriesReply",
+    "CANDIDATE",
+    "ClientPropose",
+    "DecideAndStop",
+    "DecideStateMachine",
+    "Entry",
+    "FOLLOWER",
+    "InstallSnapshot",
+    "InstallSnapshotReply",
+    "KeyValueStateMachine",
+    "LEADER",
+    "Put",
+    "RaftLog",
+    "RaftNode",
+    "RequestVote",
+    "RequestVoteReply",
+    "build_raft_cluster",
+    "check_raft_vac",
+    "raft_vac_outcomes",
+    "run_raft_consensus",
+]

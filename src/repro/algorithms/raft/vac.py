@@ -1,0 +1,88 @@
+"""The VAC view of Raft (paper Algorithms 10-11, Lemma 7).
+
+The paper maps Raft onto the consensus template by reading each *term* as a
+template round and classifying every processor per term:
+
+* **vacillate** — no evidence of a leader (the node started or joined the
+  term via a timer expiry);
+* **adopt** — accepted a first-kind AppendEntries (new entries, no commit
+  advance) or won the election: a majority acknowledged this value's
+  proposer, so all adopters of the term share one value;
+* **commit** — observed the commit index advance over the decision entry:
+  agreement is reached even if not everyone knows yet.
+
+:class:`~repro.algorithms.raft.node.RaftNode` annotates these transitions
+under the ``"vac"`` key; this module extracts them per term and checks
+Lemma 7's two coherence conditions.  Convergence does **not** hold for
+leader-based Raft — the paper says so explicitly ("under the raft algorithm
+infrastructure ... convergence does not hold as is") — which is exactly
+what motivates the decentralized variant in
+:mod:`repro.algorithms.decentralized_raft`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.core.confidence import ADOPT, COMMIT, VACILLATE, Confidence
+from repro.core.properties import PropertyViolation
+from repro.sim.messages import Pid
+from repro.sim.trace import Trace
+
+#: term -> pid -> (strongest confidence reached, associated value).
+TermOutcomes = Dict[int, Dict[Pid, Tuple[Confidence, object]]]
+
+
+def raft_vac_outcomes(
+    trace: Trace, correct: Optional[Iterable[Pid]] = None
+) -> TermOutcomes:
+    """Collect each node's strongest per-term VAC outcome from a trace.
+
+    A node may pass through vacillate -> adopt -> commit within one term;
+    Lemma 7's guarantees concern the strongest level it reached.
+    """
+    allowed = None if correct is None else set(correct)
+    terms: TermOutcomes = {}
+    for pid, _time, (term, confidence, value) in trace.annotations("vac"):
+        if allowed is not None and pid not in allowed:
+            continue
+        per_term = terms.setdefault(term, {})
+        previous = per_term.get(pid)
+        if previous is None or confidence > previous[0]:
+            per_term[pid] = (confidence, value)
+    return terms
+
+
+def check_raft_vac(trace: Trace, correct: Optional[Iterable[Pid]] = None) -> int:
+    """Verify Lemma 7's coherence conditions for every term in a trace.
+
+    * Coherence over adopt & commit: if any node committed ``u`` in term
+      ``m``, every node that reached adopt-or-better in ``m`` carries ``u``.
+    * Coherence over vacillate & adopt: if nobody committed in ``m`` and
+      some node adopted ``u``, all adopters of ``m`` carry ``u``.
+
+    Returns the number of terms checked; raises
+    :class:`~repro.core.properties.PropertyViolation` on failure.
+    """
+    terms = raft_vac_outcomes(trace, correct)
+    for term, outcomes in sorted(terms.items()):
+        committed = {v for c, v in outcomes.values() if c is COMMIT}
+        adopted = {v for c, v in outcomes.values() if c is ADOPT}
+        if len(committed) > 1:
+            raise PropertyViolation(
+                f"term {term}: two committed values {committed}: {outcomes}"
+            )
+        if committed:
+            u = next(iter(committed))
+            for pid, (confidence, value) in outcomes.items():
+                if confidence in (ADOPT, COMMIT) and value != u:
+                    raise PropertyViolation(
+                        f"term {term}: pid {pid} holds {value!r} != committed "
+                        f"{u!r}: {outcomes}"
+                    )
+        elif len(adopted) > 1:
+            raise PropertyViolation(
+                f"term {term}: distinct adopted values {adopted} without a "
+                f"commit: {outcomes}"
+            )
+    return len(terms)

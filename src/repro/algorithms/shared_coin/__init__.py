@@ -1,0 +1,28 @@
+"""An asynchronous AC + conciliator consensus built from framework parts.
+
+Section 5 argues that Aspnes' adopt-commit/conciliator decomposition cannot
+*describe* Ben-Or — the three knowledge states don't fit two confidence
+levels.  It does not say AC-based asynchronous consensus is impossible
+(Aspnes' framework [2] builds exactly that); this package constructs one
+from the library's spare parts, for contrast with the VAC formulation:
+
+* the **adopt-commit** is Ben-Or's VAC weakened through
+  :class:`repro.core.composition.AdoptCommitFromVac` (vacillate coarsened
+  to adopt — discarding the "nobody committed" knowledge);
+* the **conciliator** is :class:`GuardedCoinConciliator` — broadcast your
+  value, collect ``n - t``, keep the value if everyone you heard agrees,
+  otherwise flip a local coin.  The guard is what makes it a *valid*
+  conciliator (a bare coin could output a value nobody proposed when the
+  inputs were unanimous), and validity is precisely what the Algorithm 2
+  template leans on to preserve an early commit.
+
+The result is a correct consensus (tests + property checks), structurally
+an AC-template cousin of Ben-Or — and measurably more talkative: the
+conciliator's extra exchange makes every stalemate round three exchanges
+instead of two (compared in the E6 benchmark).
+"""
+
+from repro.algorithms.shared_coin.conciliator import GuardedCoinConciliator
+from repro.algorithms.shared_coin.consensus import shared_coin_ac_consensus
+
+__all__ = ["GuardedCoinConciliator", "shared_coin_ac_consensus"]

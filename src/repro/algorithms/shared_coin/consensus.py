@@ -1,0 +1,35 @@
+"""The composed AC-template consensus (Algorithm 2, asynchronous model)."""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.algorithms.ben_or.vac import BenOrVac
+from repro.algorithms.shared_coin.conciliator import GuardedCoinConciliator
+from repro.core.composition import AdoptCommitFromVac
+from repro.core.template import AcTemplateConsensus
+
+
+def shared_coin_ac_consensus(
+    *,
+    domain: Sequence[Any] = (0, 1),
+    max_rounds: Optional[int] = None,
+) -> AcTemplateConsensus:
+    """Build one asynchronous AC + conciliator consensus process.
+
+    The adopt-commit is Ben-Or's VAC with vacillate coarsened to adopt;
+    the conciliator is the guarded shared coin.  ``always_run_mixer`` keeps
+    committers broadcasting their value through the conciliator so that
+    adopters' ``n - t`` collects never starve.
+
+    Args:
+        domain: the (binary, by default) value domain.
+        max_rounds: optional safety cap on template rounds.
+    """
+    return AcTemplateConsensus(
+        AdoptCommitFromVac(BenOrVac()),
+        GuardedCoinConciliator(domain),
+        continue_after_decide=True,
+        always_run_mixer=True,
+        max_rounds=max_rounds,
+    )

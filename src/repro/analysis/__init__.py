@@ -1,0 +1,30 @@
+"""Metrics extraction and experiment harness utilities.
+
+:mod:`repro.analysis.metrics` turns recorded traces into the quantities the
+experiment suite reports (rounds to decide, message counts, decision
+latency, confidence-outcome histograms); :mod:`repro.analysis.experiments`
+runs seeded trial batteries and summarizes their distributions.
+"""
+
+from repro.analysis.experiments import SummaryStats, format_table, run_trials, summarize
+from repro.analysis.metrics import (
+    decision_latencies,
+    decision_rounds,
+    outcome_histogram,
+    rounds_used,
+)
+from repro.analysis.report import describe_run, event_lanes, round_table
+
+__all__ = [
+    "SummaryStats",
+    "decision_latencies",
+    "decision_rounds",
+    "describe_run",
+    "event_lanes",
+    "format_table",
+    "outcome_histogram",
+    "round_table",
+    "rounds_used",
+    "run_trials",
+    "summarize",
+]

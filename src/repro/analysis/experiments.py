@@ -1,0 +1,77 @@
+"""Seeded trial batteries and summary statistics for the experiment suite.
+
+The benchmark modules under ``benchmarks/`` use these helpers to print the
+rows recorded in ``EXPERIMENTS.md``: each experiment runs a battery of
+seeded trials through :func:`run_trials`, reduces each trial to one or more
+scalars, and reports their :func:`summarize` statistics via
+:func:`format_table`.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, List, Sequence
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Distribution summary of one measured quantity across trials."""
+
+    count: int
+    mean: float
+    median: float
+    stdev: float
+    minimum: float
+    maximum: float
+    p90: float
+    ci95: float  #: normal-approximation half-width of the 95% CI of the mean
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.2f}±{self.ci95:.2f} "
+            f"med={self.median:.2f} sd={self.stdev:.2f} min={self.minimum:.2f} "
+            f"p90={self.p90:.2f} max={self.maximum:.2f}"
+        )
+
+
+def summarize(values: Iterable[float]) -> SummaryStats:
+    """Compute a :class:`SummaryStats` over the given sample."""
+    data = sorted(float(v) for v in values)
+    if not data:
+        raise ValueError("cannot summarize an empty sample")
+    p90_index = min(len(data) - 1, math.ceil(0.9 * len(data)) - 1)
+    stdev = statistics.stdev(data) if len(data) > 1 else 0.0
+    return SummaryStats(
+        count=len(data),
+        mean=statistics.fmean(data),
+        median=statistics.median(data),
+        stdev=stdev,
+        minimum=data[0],
+        maximum=data[-1],
+        p90=data[p90_index],
+        ci95=1.96 * stdev / math.sqrt(len(data)),
+    )
+
+
+def run_trials(
+    trial: Callable[[int], Any], seeds: Sequence[int]
+) -> List[Any]:
+    """Run ``trial(seed)`` for every seed and collect the results."""
+    return [trial(seed) for seed in seeds]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
+    """Render a plain-text table (the benches print these as their output)."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    separator = "  ".join("-" * w for w in widths)
+    out = [line(headers), separator]
+    out.extend(line(row) for row in materialized)
+    return "\n".join(out)

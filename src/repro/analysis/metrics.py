@@ -1,0 +1,67 @@
+"""Metrics extracted from execution traces.
+
+All functions consume the annotation conventions of
+:mod:`repro.core.template` (keys ``round_input``, ``vac``/``ac``) plus the
+runtime-recorded decide events, so they work uniformly across every
+algorithm in the library.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Optional
+
+from repro.core.confidence import COMMIT
+from repro.core.properties import outcomes_by_round
+from repro.sim.messages import Pid
+from repro.sim.trace import Trace
+
+
+def decision_rounds(
+    trace: Trace, key: str = "vac", correct: Optional[Iterable[Pid]] = None
+) -> Dict[Pid, int]:
+    """Template round in which each process first saw a commit outcome."""
+    rounds = outcomes_by_round(trace, key, correct)
+    first_commit: Dict[Pid, int] = {}
+    for m in sorted(rounds):
+        for pid, (confidence, _value) in rounds[m].items():
+            if confidence is COMMIT and pid not in first_commit:
+                first_commit[pid] = m
+    return first_commit
+
+
+def rounds_used(trace: Trace, key: str = "round_input") -> int:
+    """Highest template round any process entered.
+
+    Based on the ``round_input`` annotation by default, which both the
+    template-decomposed and the monolithic algorithms record; pass
+    ``"vac"``/``"ac"`` to count completed detector invocations instead.
+    """
+    if key == "round_input":
+        from repro.core.properties import inputs_by_round
+
+        rounds = inputs_by_round(trace)
+    else:
+        rounds = outcomes_by_round(trace, key)
+    return max(rounds) if rounds else 0
+
+
+def decision_latencies(trace: Trace) -> Dict[Pid, float]:
+    """Virtual time (or synchronous round) of each process's decision."""
+    return trace.decision_times()
+
+
+def outcome_histogram(
+    trace: Trace, key: str = "vac", correct: Optional[Iterable[Pid]] = None
+) -> Dict[int, Counter]:
+    """Per-round histogram of confidence letters (V/A/C) — Experiment E8.
+
+    Returns round -> ``Counter({"V": ..., "A": ..., "C": ...})``.
+    """
+    rounds = outcomes_by_round(trace, key, correct)
+    histogram: Dict[int, Counter] = {}
+    for m, per_pid in rounds.items():
+        histogram[m] = Counter(
+            confidence.letter for confidence, _value in per_pid.values()
+        )
+    return histogram

@@ -1,0 +1,120 @@
+"""Human-readable renderings of execution traces.
+
+Benchmarks report aggregates; these helpers render *one* run for debugging
+and for the examples:
+
+* :func:`round_table` — one line per template round showing every process's
+  detector outcome (``V:0``, ``A:1``, ``C:1`` …).
+* :func:`event_lanes` — an ASCII per-process lane chart of lifecycle events
+  (decide, crash, restart, timers) over virtual time.
+* :func:`describe_run` — a one-paragraph summary of an asynchronous run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.core.properties import outcomes_by_round
+from repro.sim import trace as tr
+from repro.sim.messages import Pid
+from repro.sim.trace import Trace
+
+#: Lane markers for :func:`event_lanes`.
+_MARKERS = {
+    tr.DECIDE: "D",
+    tr.CRASH: "X",
+    tr.RESTART: "R",
+    tr.HALT: "H",
+}
+
+
+def round_table(
+    trace: Trace, key: str = "vac", correct: Optional[Iterable[Pid]] = None
+) -> str:
+    """Render per-round detector outcomes as an aligned text table.
+
+    Each cell is ``<letter>:<value>`` (e.g. ``C:1`` for ``(commit, 1)``);
+    a ``-`` marks a process that produced no outcome that round.
+    """
+    rounds = outcomes_by_round(trace, key, correct)
+    if not rounds:
+        return "(no detector outcomes recorded)"
+    pids = sorted({pid for per_round in rounds.values() for pid in per_round})
+    header = ["round"] + [f"p{pid}" for pid in pids]
+    lines: List[List[str]] = []
+    for round_no in sorted(rounds):
+        row = [str(round_no)]
+        for pid in pids:
+            outcome = rounds[round_no].get(pid)
+            if outcome is None:
+                row.append("-")
+            else:
+                confidence, value = outcome
+                row.append(f"{confidence.letter}:{value}")
+        lines.append(row)
+    widths = [
+        max(len(header[i]), max(len(row[i]) for row in lines))
+        for i in range(len(header))
+    ]
+
+    def fmt(cells: List[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    return "\n".join([fmt(header)] + [fmt(row) for row in lines])
+
+
+def event_lanes(trace: Trace, width: int = 72) -> str:
+    """Render lifecycle events as one ASCII lane per process.
+
+    Time is bucketed into ``width`` columns spanning the trace; each lane
+    shows ``D`` (decide), ``X`` (crash), ``R`` (restart), ``H`` (halt).
+    When several events share a bucket the most significant one (in the
+    order X, R, D, H) is shown.
+    """
+    interesting = [e for e in trace.events if e.kind in _MARKERS]
+    if not interesting:
+        return "(no lifecycle events recorded)"
+    t_max = max(e.time for e in interesting) or 1.0
+    pids = sorted({e.pid for e in interesting})
+    priority = {tr.CRASH: 3, tr.RESTART: 2, tr.DECIDE: 1, tr.HALT: 0}
+    lanes = {pid: [" "] * width for pid in pids}
+    best = {}
+    for event in interesting:
+        col = min(width - 1, int(event.time / t_max * (width - 1)))
+        key = (event.pid, col)
+        if key not in best or priority[event.kind] > priority[best[key]]:
+            best[key] = event.kind
+            lanes[event.pid][col] = _MARKERS[event.kind]
+    label_width = max(len(f"p{pid}") for pid in pids)
+    out = []
+    for pid in pids:
+        out.append(f"p{pid}".ljust(label_width) + " |" + "".join(lanes[pid]) + "|")
+    out.append(
+        " " * label_width + "  0" + " " * (width - len(f"{t_max:.1f}") - 1)
+        + f"{t_max:.1f}"
+    )
+    out.append("legend: D decide, X crash, R restart, H halt")
+    return "\n".join(out)
+
+
+def describe_run(trace: Trace) -> str:
+    """One-paragraph natural-language summary of a recorded run."""
+    decisions = trace.decisions()
+    parts = [
+        f"{trace.message_count()} messages sent",
+        f"{trace.delivered_count()} delivered",
+    ]
+    crashed = trace.crashed_pids()
+    if crashed:
+        parts.append(f"crashes at pids {crashed}")
+    if decisions:
+        values = set(decisions.values())
+        if len(values) == 1:
+            parts.append(
+                f"{len(decisions)} processes decided {next(iter(values))!r}"
+            )
+        else:
+            parts.append(f"DISAGREEMENT: {decisions}")
+    else:
+        parts.append("no process decided")
+    return "; ".join(parts) + "."

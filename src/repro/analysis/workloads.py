@@ -1,0 +1,88 @@
+"""Workload generators for experiments and tests.
+
+Consensus inputs and fault placements, named and reusable, so every
+experiment in ``benchmarks/`` and every test battery draws from the same
+vocabulary:
+
+* **Input profiles** — unanimous, balanced split, skewed, random.
+* **Fault placements** — Byzantine pids on the first kings (the hardest
+  placement for Phase-King), spread placements, crash schedules staggered
+  through a run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Sequence
+
+from repro.sim.failures import ByzantineStrategy, CrashPlan
+from repro.sim.messages import Pid
+
+
+def unanimous(n: int, value: Any = 1) -> List[Any]:
+    """Everyone starts with ``value`` — the convergence fast path."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return [value] * n
+
+
+def balanced_split(n: int, values: Sequence[Any] = (0, 1)) -> List[Any]:
+    """Inputs alternate over ``values`` — the adversarial stalemate profile."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return [values[i % len(values)] for i in range(n)]
+
+
+def skewed(n: int, majority_fraction: float, values: Sequence[Any] = (1, 0)) -> List[Any]:
+    """A ``majority_fraction`` share prefers ``values[0]``, the rest ``values[1]``.
+
+    ``majority_fraction=0.75`` on ``n=8`` gives six 1s and two 0s — enough
+    for Ben-Or's first exchange to see a strict majority at most quorums.
+    """
+    if not 0.0 <= majority_fraction <= 1.0:
+        raise ValueError("majority_fraction must be in [0, 1]")
+    majority_count = round(n * majority_fraction)
+    return [values[0]] * majority_count + [values[1]] * (n - majority_count)
+
+
+def random_inputs(n: int, seed: int, values: Sequence[Any] = (0, 1)) -> List[Any]:
+    """Independently uniform inputs, deterministic in ``seed``."""
+    rng = random.Random(seed)
+    return [rng.choice(values) for _ in range(n)]
+
+
+def byzantine_on_first_kings(
+    t: int, strategy_factory
+) -> Dict[Pid, ByzantineStrategy]:
+    """Place ``t`` Byzantine processes on pids ``0 .. t-1`` — the kings of
+    the first ``t`` Phase-King rounds, maximizing wasted king rounds."""
+    return {pid: strategy_factory() for pid in range(t)}
+
+
+def byzantine_spread(
+    n: int, t: int, strategy_factory
+) -> Dict[Pid, ByzantineStrategy]:
+    """Place ``t`` Byzantine processes evenly across the pid space."""
+    if t == 0:
+        return {}
+    step = max(1, n // t)
+    pids = [min(n - 1, i * step) for i in range(t)]
+    return {pid: strategy_factory() for pid in dict.fromkeys(pids)}
+
+
+def staggered_crashes(
+    victims: Sequence[Pid], first_at: float = 1.0, gap: float = 2.0
+) -> List[CrashPlan]:
+    """Crash each victim in turn, ``gap`` time units apart."""
+    return [
+        CrashPlan(pid, at_time=first_at + i * gap)
+        for i, pid in enumerate(victims)
+    ]
+
+
+def mid_broadcast_crashes(
+    victims: Sequence[Pid], after_sends: int = 2
+) -> List[CrashPlan]:
+    """Crash each victim mid-broadcast after its N-th point-to-point send —
+    the partial-delivery profile that stresses coherence hardest."""
+    return [CrashPlan(pid, after_sends=after_sends) for pid in victims]

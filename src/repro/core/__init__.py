@@ -1,0 +1,62 @@
+"""The paper's contribution: a modular, object-oriented consensus framework.
+
+This package implements Sections 2, 3 and 5 of *Object Oriented Consensus*:
+
+* :mod:`repro.core.confidence` — the three-level confidence lattice
+  ``vacillate < adopt < commit``.
+* :mod:`repro.core.objects` — abstract interfaces for the four building
+  blocks: **adopt-commit** (Gafni), **conciliator** (Aspnes),
+  **vacillate-adopt-commit** and **reconciliator** (this paper), with each
+  object's required properties spelled out in its docstring.
+* :mod:`repro.core.template` — the two generic consensus templates
+  (Algorithm 1: VAC + reconciliator; Algorithm 2: AC + conciliator) as
+  runnable processes.
+* :mod:`repro.core.composition` — Section 5's constructions: a VAC built
+  from two AC objects, and the trivial AC obtained by weakening a VAC.
+* :mod:`repro.core.properties` — executable checkers for every property in
+  Section 2 (validity, agreement, termination, convergence, both coherence
+  conditions), evaluated over recorded execution traces.
+"""
+
+from repro.core.confidence import ADOPT, COMMIT, VACILLATE, Confidence
+from repro.core.composition import AdoptCommitFromVac, VacFromTwoAdoptCommits
+from repro.core.objects import (
+    AdoptCommitObject,
+    ConciliatorObject,
+    ReconciliatorObject,
+    VacillateAdoptCommitObject,
+)
+from repro.core.properties import (
+    PropertyViolation,
+    check_ac_round,
+    check_agreement,
+    check_convergence,
+    check_no_decision_without_commit,
+    check_vac_round,
+    check_validity,
+    outcomes_by_round,
+)
+from repro.core.template import AcTemplateConsensus, VacTemplateConsensus
+
+__all__ = [
+    "ADOPT",
+    "AcTemplateConsensus",
+    "AdoptCommitFromVac",
+    "AdoptCommitObject",
+    "COMMIT",
+    "ConciliatorObject",
+    "Confidence",
+    "PropertyViolation",
+    "ReconciliatorObject",
+    "VACILLATE",
+    "VacFromTwoAdoptCommits",
+    "VacTemplateConsensus",
+    "VacillateAdoptCommitObject",
+    "check_ac_round",
+    "check_agreement",
+    "check_convergence",
+    "check_no_decision_without_commit",
+    "check_vac_round",
+    "check_validity",
+    "outcomes_by_round",
+]

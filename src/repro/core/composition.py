@@ -1,0 +1,89 @@
+"""Section 5 constructions relating adopt-commit and vacillate-adopt-commit.
+
+The paper remarks that *"VAC may be implemented using two AC objects"* and
+that the reverse direction is a strict weakening.  Both constructions are
+implemented here and machine-verified by the Experiment E7 tests/benchmarks.
+
+VAC from two ACs
+----------------
+``VacFromTwoAdoptCommits`` chains two independent adopt-commit objects:
+
+1. ``(c1, u1) <- AC_a(v)``
+2. ``(c2, u2) <- AC_b(u1)``
+3. output ``(commit, u2)``    if ``c1 = c2 = commit``,
+   output ``(adopt, u2)``     if ``c2 = commit`` but ``c1 = adopt``,
+   output ``(vacillate, u2)`` otherwise (``c2 = adopt``).
+
+Why this satisfies the VAC properties:
+
+* *Convergence*: equal inputs commit through ``AC_a`` (its convergence),
+  hence equal inputs to ``AC_b``, hence ``(commit, v)`` everywhere.
+* *Coherence over adopt & commit*: if someone outputs commit, it had
+  ``c1 = commit``, so by ``AC_a``'s coherence every process left ``AC_a``
+  with the same ``u1``; by ``AC_b``'s convergence everyone then has
+  ``c2 = commit`` with that value — nobody vacillates, and all values agree.
+* *Coherence over vacillate & adopt*: if someone outputs ``(adopt, u)`` it
+  had ``c2 = commit``, so by ``AC_b``'s coherence every process left
+  ``AC_b`` with value ``u`` — vacillators carry ``u`` too, satisfying the
+  (value-unconstrained) condition with room to spare.
+* *Validity / termination*: inherited.
+
+AC from VAC
+-----------
+``AdoptCommitFromVac`` invokes a VAC and coarsens ``vacillate`` to
+``adopt``.  Coherence holds because VAC's coherence over adopt & commit is
+exactly AC coherence; the vacillate->adopt mapping is safe since AC's
+coherence only constrains rounds where someone committed, and VAC guarantees
+no vacillates exist in those rounds.  The information *lost* by this mapping
+(the "no one has committed" signal carried by vacillate) is what Section 5
+argues makes plain adopt-commit insufficient for Ben-Or-style protocols.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from repro.core.confidence import ADOPT, COMMIT, VACILLATE
+from repro.core.objects import (
+    AdoptCommitObject,
+    SubProtocol,
+    VacillateAdoptCommitObject,
+)
+from repro.sim.process import ProcessAPI
+
+
+class VacFromTwoAdoptCommits(VacillateAdoptCommitObject):
+    """A vacillate-adopt-commit object built from two adopt-commit objects.
+
+    Args:
+        ac_a: the first-stage adopt-commit object.
+        ac_b: the second-stage adopt-commit object.  The two stages run
+            with distinct round tags ``(round_no, "a")`` / ``(round_no,
+            "b")`` so one physical AC implementation may serve both.
+    """
+
+    def __init__(self, ac_a: AdoptCommitObject, ac_b: AdoptCommitObject):
+        self.ac_a = ac_a
+        self.ac_b = ac_b
+
+    def invoke(self, api: ProcessAPI, value: Any, round_no: Hashable) -> SubProtocol:
+        c1, u1 = yield from self.ac_a.invoke(api, value, (round_no, "a"))
+        c2, u2 = yield from self.ac_b.invoke(api, u1, (round_no, "b"))
+        if c2 is COMMIT:
+            confidence = COMMIT if c1 is COMMIT else ADOPT
+        else:
+            confidence = VACILLATE
+        return confidence, u2
+
+
+class AdoptCommitFromVac(AdoptCommitObject):
+    """The weakening direction: run a VAC and report vacillate as adopt."""
+
+    def __init__(self, vac: VacillateAdoptCommitObject):
+        self.vac = vac
+
+    def invoke(self, api: ProcessAPI, value: Any, round_no: Hashable) -> SubProtocol:
+        confidence, u = yield from self.vac.invoke(api, value, round_no)
+        if confidence is VACILLATE:
+            confidence = ADOPT
+        return confidence, u

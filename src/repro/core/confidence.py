@@ -1,0 +1,50 @@
+"""The confidence lattice returned by agreement-detector objects.
+
+An adopt-commit object returns one of two confidence levels
+(``adopt < commit``); the paper's vacillate-adopt-commit object adds a third,
+weaker level below both (``vacillate < adopt < commit``).  Confidence levels
+are totally ordered: higher confidence means stronger guarantees about what
+other processes may have received in the same round (see
+:mod:`repro.core.objects` for the exact coherence conditions).
+"""
+
+from __future__ import annotations
+
+import enum
+from functools import total_ordering
+
+
+@total_ordering
+class Confidence(enum.Enum):
+    """A confidence level attached to an agreement-detector's output.
+
+    * ``VACILLATE`` — the system is in an indecisive state; the only
+      guarantee is that no process received ``COMMIT`` this round.
+    * ``ADOPT`` — some processes may have agreed on this value; every other
+      process either vacillates or carries the same value.
+    * ``COMMIT`` — agreement has been reached on this value; every other
+      process received the same value with confidence adopt or commit.
+    """
+
+    VACILLATE = 0
+    ADOPT = 1
+    COMMIT = 2
+
+    def __lt__(self, other: "Confidence") -> bool:
+        if not isinstance(other, Confidence):
+            return NotImplemented
+        return self.value < other.value
+
+    @property
+    def letter(self) -> str:
+        """The single-letter abbreviation used by the paper (V, A, C)."""
+        return self.name[0]
+
+    def __repr__(self) -> str:
+        return f"Confidence.{self.name}"
+
+
+#: Module-level aliases matching the paper's notation.
+VACILLATE = Confidence.VACILLATE
+ADOPT = Confidence.ADOPT
+COMMIT = Confidence.COMMIT

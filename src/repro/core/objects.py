@@ -1,0 +1,129 @@
+"""Abstract interfaces for the paper's four building blocks.
+
+Each object is a *sub-protocol*: its ``invoke`` method is a generator that
+yields simulator operations (:mod:`repro.sim.ops`) and finally ``return``-s
+its result, so a consensus template calls it with ``yield from``.  The
+``round_no`` argument is an opaque hashable tag the implementation must embed
+in its messages so that concurrent invocations from different template rounds
+(or from the two halves of a Section-5 composition) do not interfere.
+
+The required properties (Section 2 of the paper)
+------------------------------------------------
+
+Common:
+    * **Validity** — every returned value is the input of some process.
+    * **Termination** — every invocation returns after finitely many steps.
+
+Adopt-commit (Gafni [5]):
+    * **Coherence** — if some process receives ``(commit, u)``, every process
+      receives value ``u`` (with confidence adopt or commit).
+    * **Convergence** — if all processes invoke with the same value ``v``,
+      all receive ``(commit, v)``.
+
+Vacillate-adopt-commit (this paper):
+    * **Convergence** — as above.
+    * **Coherence over adopt & commit** — if any process received
+      ``(commit, u)``, every other receives ``(commit, u)`` or
+      ``(adopt, u)``.
+    * **Coherence over vacillate & adopt** — if no process received commit
+      and some process received ``(adopt, u)``, every other receives
+      ``(adopt, u)`` or ``(vacillate, *)``.
+
+Conciliator (Aspnes [2]):
+    * **Probabilistic agreement** — with probability > 0 all processes
+      return the same value.
+
+Reconciliator (this paper):
+    * **Weak agreement** — with probability 1, at some round all invoking
+      processes receive the same value, matching that round's adopt values
+      (or some input value if there were none).  Unlike a conciliator it may
+      be invoked by only a *subset* of the processes (those that vacillated).
+
+These properties are machine-checked by :mod:`repro.core.properties`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Generator, Hashable, Tuple
+
+from repro.core.confidence import Confidence
+from repro.sim.ops import Op
+from repro.sim.process import ProcessAPI
+
+#: A sub-protocol generator: yields simulator ops, returns a result.
+SubProtocol = Generator[Op, Any, Any]
+
+#: The result type of agreement detectors.
+Outcome = Tuple[Confidence, Any]
+
+
+class AdoptCommitObject(ABC):
+    """Gafni's adopt-commit: a weak, agreement-detecting consensus object."""
+
+    @abstractmethod
+    def invoke(self, api: ProcessAPI, value: Any, round_no: Hashable) -> SubProtocol:
+        """Run one adopt-commit invocation.
+
+        Args:
+            api: the calling process's runtime API.
+            value: this process's current preference ``v``.
+            round_no: opaque tag isolating this invocation's messages.
+
+        Returns (via ``return`` inside the generator):
+            ``(confidence, value)`` with confidence ``ADOPT`` or ``COMMIT``.
+        """
+        raise NotImplementedError
+
+
+class VacillateAdoptCommitObject(ABC):
+    """The paper's vacillate-adopt-commit (VAC) agreement detector."""
+
+    @abstractmethod
+    def invoke(self, api: ProcessAPI, value: Any, round_no: Hashable) -> SubProtocol:
+        """Run one VAC invocation.
+
+        Returns ``(confidence, value)`` with confidence ``VACILLATE``,
+        ``ADOPT`` or ``COMMIT``; see the module docstring for the guarantees
+        each level carries.
+        """
+        raise NotImplementedError
+
+
+class ConciliatorObject(ABC):
+    """Aspnes' conciliator: probabilistically pushes processes to agreement.
+
+    Invoked by every process whose adopt-commit returned ``adopt``; with
+    probability bounded away from zero all invokers leave with one value.
+    """
+
+    @abstractmethod
+    def invoke(
+        self,
+        api: ProcessAPI,
+        confidence: Confidence,
+        value: Any,
+        round_no: Hashable,
+    ) -> SubProtocol:
+        """Run one conciliator invocation; returns the new preference."""
+        raise NotImplementedError
+
+
+class ReconciliatorObject(ABC):
+    """The paper's reconciliator: shakes vacillating processes out of a stalemate.
+
+    Invoked only by processes whose VAC returned ``vacillate``; guarantees
+    that with probability 1 some round eventually sees all invokers receive
+    one common value consistent with that round's adopt values.
+    """
+
+    @abstractmethod
+    def invoke(
+        self,
+        api: ProcessAPI,
+        confidence: Confidence,
+        value: Any,
+        round_no: Hashable,
+    ) -> SubProtocol:
+        """Run one reconciliator invocation; returns the new preference."""
+        raise NotImplementedError

@@ -1,0 +1,259 @@
+"""Executable checkers for the paper's Section 2 properties.
+
+Each checker takes data extracted from a recorded
+:class:`~repro.sim.trace.Trace` (decisions, per-round object outcomes,
+per-round inputs) and raises :class:`PropertyViolation` with a precise
+explanation when a property fails.  The same checkers back the unit tests,
+the hypothesis property tests and the benchmark harness, so "the lemma
+holds" means the same thing everywhere in this repository.
+
+Conventions: the consensus templates annotate, per template round ``m``,
+
+* ``("round_input", (m, v))`` — the value the process fed the detector, and
+* ``("vac", (m, confidence, value))`` / ``("ac", (m, confidence, value))``
+  — what the detector returned.
+
+``outcomes_by_round`` turns those annotations into the per-round maps the
+checkers consume.  Checkers accept a ``correct`` pid collection so Byzantine
+processes can be excluded: the paper's guarantees only speak about values
+*received by correct processors*.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from repro.core.confidence import ADOPT, COMMIT, VACILLATE, Confidence
+from repro.sim.messages import Pid
+from repro.sim.trace import Trace
+
+#: Per-round detector outcomes: round -> pid -> (confidence, value).
+RoundOutcomes = Dict[int, Dict[Pid, Tuple[Confidence, Any]]]
+
+#: Per-round detector inputs: round -> pid -> value.
+RoundInputs = Dict[int, Dict[Pid, Any]]
+
+
+class PropertyViolation(AssertionError):
+    """A Section 2 property failed on a concrete execution."""
+
+
+def outcomes_by_round(
+    trace: Trace,
+    key: str = "vac",
+    correct: Optional[Iterable[Pid]] = None,
+) -> RoundOutcomes:
+    """Group ``(round, confidence, value)`` annotations by round and pid.
+
+    Args:
+        trace: the recorded execution.
+        key: annotation key (``"vac"`` or ``"ac"``).
+        correct: restrict to these pids (default: all annotating pids).
+    """
+    allowed = None if correct is None else set(correct)
+    rounds: RoundOutcomes = {}
+    for pid, _time, (m, confidence, value) in trace.annotations(key):
+        if allowed is not None and pid not in allowed:
+            continue
+        rounds.setdefault(m, {})[pid] = (confidence, value)
+    return rounds
+
+
+def inputs_by_round(
+    trace: Trace, correct: Optional[Iterable[Pid]] = None
+) -> RoundInputs:
+    """Group ``("round_input", (m, v))`` annotations by round and pid."""
+    allowed = None if correct is None else set(correct)
+    rounds: RoundInputs = {}
+    for pid, _time, (m, value) in trace.annotations("round_input"):
+        if allowed is not None and pid not in allowed:
+            continue
+        rounds.setdefault(m, {})[pid] = value
+    return rounds
+
+
+# ----------------------------------------------------------------------
+# Consensus-level properties
+# ----------------------------------------------------------------------
+
+
+def check_agreement(decisions: Dict[Pid, Any]) -> None:
+    """Agreement: all decided values are equal."""
+    values = set(decisions.values())
+    if len(values) > 1:
+        raise PropertyViolation(f"agreement violated: decisions {decisions}")
+
+
+def check_validity(decisions: Dict[Pid, Any], init_values: Iterable[Any]) -> None:
+    """Validity: every decided value was some process's input."""
+    inputs = set(init_values)
+    for pid, value in decisions.items():
+        if value not in inputs:
+            raise PropertyViolation(
+                f"validity violated: pid {pid} decided {value!r}, inputs {inputs}"
+            )
+
+
+def check_termination(
+    decisions: Dict[Pid, Any], expected_pids: Iterable[Pid]
+) -> None:
+    """Termination: every expected (correct, live) process decided."""
+    missing = [pid for pid in expected_pids if pid not in decisions]
+    if missing:
+        raise PropertyViolation(f"termination violated: pids {missing} undecided")
+
+
+# ----------------------------------------------------------------------
+# Per-round object properties
+# ----------------------------------------------------------------------
+
+
+def check_vac_round(outcomes: Dict[Pid, Tuple[Confidence, Any]]) -> None:
+    """Check one round's VAC outcomes for both coherence conditions.
+
+    * Coherence over adopt & commit: if anyone committed ``u``, everyone
+      received ``(commit, u)`` or ``(adopt, u)`` — in particular nobody
+      vacillated.
+    * Coherence over vacillate & adopt: if nobody committed and someone
+      adopted ``u``, everyone received ``(adopt, u)`` or ``(vacillate, *)``.
+    """
+    committed = {v for c, v in outcomes.values() if c is COMMIT}
+    adopted = {v for c, v in outcomes.values() if c is ADOPT}
+    if len(committed) > 1:
+        raise PropertyViolation(f"two distinct commits in one round: {outcomes}")
+    if committed:
+        u = next(iter(committed))
+        for pid, (confidence, value) in outcomes.items():
+            if confidence is VACILLATE:
+                raise PropertyViolation(
+                    f"pid {pid} vacillated in a round with a commit: {outcomes}"
+                )
+            if value != u:
+                raise PropertyViolation(
+                    f"pid {pid} holds {value!r} != committed {u!r}: {outcomes}"
+                )
+    elif adopted:
+        if len(adopted) > 1:
+            raise PropertyViolation(
+                f"two distinct adopt values with no commit: {outcomes}"
+            )
+        u = next(iter(adopted))
+        for pid, (confidence, value) in outcomes.items():
+            if confidence is ADOPT and value != u:
+                raise PropertyViolation(
+                    f"pid {pid} adopted {value!r} != {u!r}: {outcomes}"
+                )
+
+
+def check_ac_round(outcomes: Dict[Pid, Tuple[Confidence, Any]]) -> None:
+    """Check one round's adopt-commit outcomes for AC coherence.
+
+    If anyone committed ``u``, every process received value ``u`` (with
+    either confidence); and ``vacillate`` must never appear at all.
+    """
+    for pid, (confidence, _value) in outcomes.items():
+        if confidence is VACILLATE:
+            raise PropertyViolation(
+                f"adopt-commit returned vacillate at pid {pid}: {outcomes}"
+            )
+    committed = {v for c, v in outcomes.values() if c is COMMIT}
+    if len(committed) > 1:
+        raise PropertyViolation(f"two distinct commits in one round: {outcomes}")
+    if committed:
+        u = next(iter(committed))
+        for pid, (confidence, value) in outcomes.items():
+            if value != u:
+                raise PropertyViolation(
+                    f"AC coherence violated: pid {pid} got {value!r} != {u!r}"
+                )
+
+
+def check_convergence(
+    inputs: Dict[Pid, Any], outcomes: Dict[Pid, Tuple[Confidence, Any]]
+) -> None:
+    """Convergence: unanimous inputs ``v`` force ``(commit, v)`` everywhere.
+
+    Vacuously true when inputs are not unanimous.
+    """
+    values = set(inputs.values())
+    if len(values) != 1:
+        return
+    v = next(iter(values))
+    for pid, (confidence, value) in outcomes.items():
+        if confidence is not COMMIT or value != v:
+            raise PropertyViolation(
+                f"convergence violated at pid {pid}: inputs all {v!r} but "
+                f"outcome ({confidence}, {value!r})"
+            )
+
+
+def check_round_validity(
+    inputs: Dict[Pid, Any], outcomes: Dict[Pid, Tuple[Confidence, Any]]
+) -> None:
+    """Object-level validity: every output value was some process's input."""
+    allowed = set(inputs.values())
+    for pid, (_confidence, value) in outcomes.items():
+        if value not in allowed:
+            raise PropertyViolation(
+                f"object validity violated at pid {pid}: output {value!r} "
+                f"not among inputs {allowed}"
+            )
+
+
+def check_no_decision_without_commit(
+    trace: Trace, key: str = "vac", correct: Optional[Iterable[Pid]] = None
+) -> None:
+    """Template sanity: a decision implies a commit outcome for that pid."""
+    decided = trace.decisions()
+    rounds = outcomes_by_round(trace, key, correct)
+    for pid, value in decided.items():
+        if correct is not None and pid not in set(correct):
+            continue
+        committed = any(
+            pid in per_round and per_round[pid][0] is COMMIT
+            and per_round[pid][1] == value
+            for per_round in rounds.values()
+        )
+        if not committed:
+            raise PropertyViolation(
+                f"pid {pid} decided {value!r} without a matching commit outcome"
+            )
+
+
+def check_all_rounds(
+    trace: Trace,
+    key: str = "vac",
+    correct: Optional[Iterable[Pid]] = None,
+    *,
+    validity: bool = True,
+    convergence: bool = True,
+) -> int:
+    """Run every per-round checker over a whole trace; return rounds checked.
+
+    This is the one-call verifier used by tests and benchmarks: for each
+    template round it checks coherence (VAC or AC according to ``key``),
+    object validity and convergence.
+
+    Coherence is checked over the ``correct`` pids' outcomes only, but
+    convergence and validity consider the inputs of *every* process that
+    entered the round: a process that crashed mid-round still invoked the
+    object with its value, so its input legitimately breaks unanimity and
+    legitimately appears in others' outputs.
+    """
+    round_checker = check_vac_round if key == "vac" else check_ac_round
+    outcome_rounds = outcomes_by_round(trace, key, correct)
+    input_rounds = inputs_by_round(trace)  # all invokers, incl. later-crashed
+    for m, outcomes in sorted(outcome_rounds.items()):
+        round_checker(outcomes)
+        inputs = input_rounds.get(m, {})
+        if inputs:
+            if validity:
+                check_round_validity(inputs, outcomes)
+            # Only claim convergence when every process that entered the
+            # round also produced an outcome: under asynchrony (or after a
+            # crash) a round may end half-finished.
+            if convergence and all(pid in inputs for pid in outcomes) and all(
+                pid in outcomes for pid in inputs
+            ):
+                check_convergence(inputs, outcomes)
+    return len(outcome_rounds)

@@ -1,0 +1,176 @@
+"""The generic consensus templates (Algorithms 1 and 2 of the paper).
+
+Both templates are :class:`~repro.sim.process.Process` implementations
+parameterised by the agreement-detector and mixer objects, so any compliant
+object pair yields a consensus algorithm:
+
+* :class:`VacTemplateConsensus` — Algorithm 1.  Rounds of
+  ``(X, sigma) <- VAC(v, m)``; on *commit* decide ``sigma``; on *adopt* set
+  ``v <- sigma``; on *vacillate* ask the reconciliator for a new preference.
+* :class:`AcTemplateConsensus` — Algorithm 2 (Aspnes' framework).  Rounds of
+  ``(X, sigma) <- AC(v, m)``; on *commit* decide; on *adopt* ask the
+  conciliator.
+
+Every round is annotated in the trace (keys ``round_input``, ``vac``/``ac``,
+``reconciled``/``conciliated``) so :mod:`repro.core.properties` can verify
+the per-round coherence and convergence conditions after the run.
+
+Deciding and participation
+--------------------------
+The paper notes (Section 4.1) that some algorithms require processes to keep
+participating after deciding — under quorum-based waits, a process that
+halts is indistinguishable from a crashed one and eats into the failure
+budget ``t``.  Both templates therefore take ``continue_after_decide``; when
+``True`` the process keeps executing rounds with its decided value (and a
+run is typically stopped by the runtime's ``all_alive_decided`` condition).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.confidence import ADOPT, COMMIT, VACILLATE
+from repro.core.objects import (
+    AdoptCommitObject,
+    ConciliatorObject,
+    ReconciliatorObject,
+    VacillateAdoptCommitObject,
+)
+from repro.sim.ops import Annotate, Decide
+from repro.sim.process import Process, ProcessAPI, ProtocolGenerator
+
+
+class VacTemplateConsensus(Process):
+    """Algorithm 1: consensus from a VAC object and a reconciliator.
+
+    Args:
+        vac: the vacillate-adopt-commit object (shared instance; all state
+            that distinguishes invocations must key off ``round_no``).
+        reconciliator: the reconciliator object.
+        continue_after_decide: keep running rounds after deciding (see
+            module docstring).
+        max_rounds: optional safety cap on template rounds; ``None`` means
+            run until decided (plus forever after, if participating).
+        init: optional ``INIT()`` hook — a generator function ``f(api)``
+            run once before the first round (the paper's ``INIT`` is a void
+            function unless stated otherwise).
+    """
+
+    def __init__(
+        self,
+        vac: VacillateAdoptCommitObject,
+        reconciliator: ReconciliatorObject,
+        *,
+        continue_after_decide: bool = True,
+        max_rounds: Optional[int] = None,
+        init: Optional[Callable[[ProcessAPI], ProtocolGenerator]] = None,
+    ):
+        self.vac = vac
+        self.reconciliator = reconciliator
+        self.continue_after_decide = continue_after_decide
+        self.max_rounds = max_rounds
+        self.init = init
+
+    def run(self, api: ProcessAPI) -> ProtocolGenerator:
+        v = api.init_value
+        decided = False
+        if self.init is not None:
+            yield from self.init(api)
+        m = 0
+        while self.max_rounds is None or m < self.max_rounds:
+            m += 1
+            yield Annotate("round_input", (m, v))
+            confidence, sigma = yield from self.vac.invoke(api, v, m)
+            yield Annotate("vac", (m, confidence, sigma))
+            if confidence is COMMIT:
+                v = sigma
+                if not decided:
+                    yield Decide(sigma)
+                    decided = True
+                if not self.continue_after_decide:
+                    return
+            elif confidence is ADOPT:
+                v = sigma
+            elif confidence is VACILLATE:
+                v = yield from self.reconciliator.invoke(api, confidence, sigma, m)
+                yield Annotate("reconciled", (m, v))
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"VAC returned invalid confidence {confidence!r}")
+
+
+class AcTemplateConsensus(Process):
+    """Algorithm 2: consensus from an adopt-commit object and a conciliator.
+
+    Args:
+        adopt_commit: the adopt-commit object.
+        conciliator: the conciliator object, invoked whenever the AC
+            returns ``adopt``.
+        continue_after_decide: keep running rounds after deciding.  The
+            paper's Phase-King instantiation requires this (Section 4.1).
+        decide_on_commit: when ``False`` the process records commits but
+            only decides its current value after ``max_rounds`` rounds —
+            the classic fixed-round (BGP-style) decision rule.  This mode
+            exists because an adversarial Byzantine king can break the
+            *early* decision rule; see
+            ``repro.algorithms.phase_king`` for the full discussion.
+        always_run_mixer: invoke the conciliator every round, even after a
+            commit (the committed process ignores the result and keeps its
+            value).  Required under the synchronous runtime, where the
+            conciliator contains an exchange barrier that every live
+            process must reach for the round to stay aligned — and where a
+            committed king must still broadcast to the adopters.
+        max_rounds: optional cap on template rounds (required when
+            ``decide_on_commit`` is ``False``).
+        init: optional ``INIT()`` generator hook.
+    """
+
+    def __init__(
+        self,
+        adopt_commit: AdoptCommitObject,
+        conciliator: ConciliatorObject,
+        *,
+        continue_after_decide: bool = True,
+        decide_on_commit: bool = True,
+        always_run_mixer: bool = False,
+        max_rounds: Optional[int] = None,
+        init: Optional[Callable[[ProcessAPI], ProtocolGenerator]] = None,
+    ):
+        if not decide_on_commit and max_rounds is None:
+            raise ValueError("fixed-round decision requires max_rounds")
+        self.adopt_commit = adopt_commit
+        self.conciliator = conciliator
+        self.continue_after_decide = continue_after_decide
+        self.decide_on_commit = decide_on_commit
+        self.always_run_mixer = always_run_mixer
+        self.max_rounds = max_rounds
+        self.init = init
+
+    def run(self, api: ProcessAPI) -> ProtocolGenerator:
+        v = api.init_value
+        decided = False
+        if self.init is not None:
+            yield from self.init(api)
+        m = 0
+        while self.max_rounds is None or m < self.max_rounds:
+            m += 1
+            yield Annotate("round_input", (m, v))
+            confidence, sigma = yield from self.adopt_commit.invoke(api, v, m)
+            yield Annotate("ac", (m, confidence, sigma))
+            if confidence is COMMIT:
+                v = sigma
+                if self.decide_on_commit and not decided:
+                    yield Decide(sigma)
+                    decided = True
+                if self.always_run_mixer:
+                    # Participate in the mixer's exchanges (barrier
+                    # alignment / king duty) but keep the committed value.
+                    yield from self.conciliator.invoke(api, confidence, sigma, m)
+                if decided and not self.continue_after_decide:
+                    return
+            elif confidence is ADOPT:
+                v = yield from self.conciliator.invoke(api, confidence, sigma, m)
+                yield Annotate("conciliated", (m, v))
+            else:
+                raise ValueError(f"AC returned invalid confidence {confidence!r}")
+        if not self.decide_on_commit and not decided:
+            yield Decide(v)

@@ -1,0 +1,42 @@
+"""Shared-memory substrate: the setting of Aspnes' original framework [2].
+
+The paper extends Aspnes' shared-memory decomposition (adopt-commit +
+conciliator) to message passing; to reproduce the framework being extended,
+this package provides:
+
+* :mod:`repro.memory.scheduler` — a wait-free shared-memory execution
+  model: processes are generators yielding atomic register reads/writes,
+  interleaved by a (seeded or adversarial) step scheduler.
+* :mod:`repro.memory.adopt_commit` — a Gafni-style wait-free adopt-commit
+  object built from atomic register arrays (propose / check phases with
+  conflict detection).
+* :mod:`repro.memory.conciliator` — Aspnes' probabilistic-write
+  conciliator: read a shared register, write your value with probability
+  ``1/(2n)`` until someone's value lands.
+* :mod:`repro.memory.consensus` — Algorithm 2 (the AC + conciliator
+  template) over shared memory: randomized wait-free consensus against an
+  oblivious adversary.
+"""
+
+from repro.memory.adopt_commit import RegisterAdoptCommit
+from repro.memory.conciliator import ProbabilisticWriteConciliator
+from repro.memory.consensus import SharedMemoryConsensus, run_shared_memory_consensus
+from repro.memory.scheduler import (
+    MemoryResult,
+    MemoryScheduler,
+    ReadReg,
+    SharedMemoryProcess,
+    WriteReg,
+)
+
+__all__ = [
+    "MemoryResult",
+    "MemoryScheduler",
+    "ProbabilisticWriteConciliator",
+    "ReadReg",
+    "RegisterAdoptCommit",
+    "SharedMemoryConsensus",
+    "SharedMemoryProcess",
+    "WriteReg",
+    "run_shared_memory_consensus",
+]

@@ -1,0 +1,41 @@
+"""Section 5's VAC-from-two-ACs construction over the shared-memory substrate.
+
+The message-passing composition lives in :mod:`repro.core.composition`; this
+is the same three-line mapping instantiated with two register-based
+adopt-commit objects, demonstrating that the construction is substrate
+agnostic (Experiment E7 runs it on both).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Hashable, Tuple
+
+from repro.core.confidence import ADOPT, COMMIT, VACILLATE, Confidence
+from repro.memory.adopt_commit import RegisterAdoptCommit
+from repro.sim.process import ProcessAPI
+
+
+class RegisterVacFromTwoAcs:
+    """A shared-memory VAC assembled from two register adopt-commit objects.
+
+    Args:
+        n: number of processes.
+        tag: register namespace for this instance (the two stages use
+            ``(tag, "a")`` and ``(tag, "b")``).
+    """
+
+    def __init__(self, n: int, tag: Hashable = "vac"):
+        self.ac_a = RegisterAdoptCommit(n, tag=(tag, "a"))
+        self.ac_b = RegisterAdoptCommit(n, tag=(tag, "b"))
+
+    def invoke(
+        self, api: ProcessAPI, value: Any
+    ) -> Generator[Any, Any, Tuple[Confidence, Any]]:
+        """Run one VAC invocation; returns ``(confidence, value)``."""
+        c1, u1 = yield from self.ac_a.invoke(api, value)
+        c2, u2 = yield from self.ac_b.invoke(api, u1)
+        if c2 is COMMIT:
+            confidence = COMMIT if c1 is COMMIT else ADOPT
+        else:
+            confidence = VACILLATE
+        return confidence, u2

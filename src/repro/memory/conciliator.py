@@ -1,0 +1,47 @@
+"""Aspnes' probabilistic-write conciliator over a single shared register.
+
+Each invoker loops: read the register — if somebody's value is there,
+return it; otherwise write one's own value with probability ``1/(2n)`` and
+return it.  Termination holds with probability 1 (every loop iteration
+writes with fixed positive probability), and against an *oblivious*
+adversary the probability that exactly one write happens before anyone
+reads a non-empty register is at least ``(1 - 1/(2n))^(n-1) >= e^{-1/2}``
+— bounded away from zero, which is all the conciliator property asks.
+
+The register name is namespaced by ``tag`` so each template round gets a
+fresh conciliator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Hashable
+
+from repro.memory.scheduler import ReadReg, WriteReg
+from repro.sim.process import ProcessAPI
+
+
+class ProbabilisticWriteConciliator:
+    """One single-use conciliator over the register ``(tag, "r")``.
+
+    Args:
+        n: number of potential invokers (sets the write probability).
+        tag: namespace distinguishing this instance's register.
+    """
+
+    def __init__(self, n: int, tag: Hashable = "conc"):
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        self.n = n
+        self.tag = tag
+
+    def invoke(self, api: ProcessAPI, value: Any) -> Generator[Any, Any, Any]:
+        """Run one invocation; returns the (probabilistically common) value."""
+        register = (self.tag, "r")
+        write_probability = 1.0 / (2 * self.n)
+        while True:
+            current = yield ReadReg(register)
+            if current is not None:
+                return current
+            if api.rng.random() < write_probability:
+                yield WriteReg(register, value)
+                return value

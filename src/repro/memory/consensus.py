@@ -1,0 +1,76 @@
+"""Algorithm 2 over shared memory: wait-free randomized consensus.
+
+This is precisely Aspnes' framework [2] that the paper extends: alternate a
+fresh adopt-commit with a fresh conciliator per round until the AC commits.
+Against an oblivious adversary the per-round agreement probability is
+bounded below, so the expected number of rounds is O(1) and termination has
+probability 1.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.core.confidence import COMMIT
+from repro.memory.adopt_commit import RegisterAdoptCommit
+from repro.memory.conciliator import ProbabilisticWriteConciliator
+from repro.memory.scheduler import (
+    MemoryResult,
+    MemoryScheduler,
+    SchedulePolicy,
+    SharedMemoryProcess,
+)
+from repro.sim.ops import Annotate, Decide
+from repro.sim.process import ProcessAPI
+
+
+class SharedMemoryConsensus(SharedMemoryProcess):
+    """One consensus process running the AC + conciliator template.
+
+    Rounds are numbered from 1; round ``m`` uses registers namespaced
+    ``("ac", m)`` and ``("conc", m)``, so all processes share each round's
+    objects while no two rounds collide.
+
+    Args:
+        n: system size (register array width).
+        max_rounds: optional safety cap for adversarial tests.
+    """
+
+    def __init__(self, n: int, max_rounds: Optional[int] = None):
+        self.n = n
+        self.max_rounds = max_rounds
+
+    def run(self, api: ProcessAPI):
+        v = api.init_value
+        m = 0
+        while self.max_rounds is None or m < self.max_rounds:
+            m += 1
+            yield Annotate("round_input", (m, v))
+            ac = RegisterAdoptCommit(self.n, tag=("ac", m))
+            confidence, u = yield from ac.invoke(api, v)
+            yield Annotate("ac", (m, confidence, u))
+            if confidence is COMMIT:
+                yield Decide(u)
+                return
+            conciliator = ProbabilisticWriteConciliator(self.n, tag=("conc", m))
+            v = yield from conciliator.invoke(api, u)
+            yield Annotate("conciliated", (m, v))
+
+
+def run_shared_memory_consensus(
+    init_values: Sequence[Any],
+    *,
+    seed: int = 0,
+    policy: SchedulePolicy = "random",
+    max_steps: int = 1_000_000,
+) -> MemoryResult:
+    """Run one wait-free shared-memory consensus to completion."""
+    n = len(init_values)
+    scheduler = MemoryScheduler(
+        [SharedMemoryConsensus(n) for _ in range(n)],
+        init_values=list(init_values),
+        policy=policy,
+        seed=seed,
+        max_steps=max_steps,
+    )
+    return scheduler.run()

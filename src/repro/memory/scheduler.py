@@ -1,0 +1,191 @@
+"""Wait-free shared-memory execution model.
+
+Processes are generator coroutines yielding :class:`ReadReg` /
+:class:`WriteReg` operations on named atomic registers (any hashable name;
+unwritten registers read as ``None``), plus the common
+:class:`~repro.sim.ops.Decide` / :class:`~repro.sim.ops.Annotate` /
+:class:`~repro.sim.ops.Halt` operations.  Every yielded operation is one
+atomic step; the :class:`MemoryScheduler` picks which process steps next:
+
+* ``"random"`` — uniformly random among unfinished processes (a seeded
+  *oblivious* adversary: the schedule does not depend on coin flips, the
+  model Aspnes' conciliator is designed for);
+* ``"round_robin"`` — cyclic;
+* a callable ``(step, runnable_pids, rng) -> pid`` — custom adversaries
+  (the tests use these to build worst-case interleavings for the
+  adopt-commit coherence proofs).
+
+Since each step is atomic, registers are trivially linearizable; all the
+interesting adversarial behaviour lives in the interleaving.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Union
+
+from repro.sim import trace as tr
+from repro.sim.messages import Pid
+from repro.sim.ops import Annotate, Decide, Halt
+from repro.sim.process import ProcessAPI
+
+_UNDECIDED = object()
+
+
+@dataclass(frozen=True)
+class ReadReg:
+    """Atomically read register ``name``; result: its value (``None`` if unwritten)."""
+
+    name: Hashable
+
+
+@dataclass(frozen=True)
+class WriteReg:
+    """Atomically write ``value`` to register ``name``; result: ``None``."""
+
+    name: Hashable
+    value: Any
+
+
+class SharedMemoryProcess:
+    """Base class for shared-memory processes; subclass and override run()."""
+
+    def run(self, api: ProcessAPI):
+        """The protocol body: a generator yielding shared-memory operations."""
+        raise NotImplementedError
+
+
+@dataclass
+class MemoryResult:
+    """Outcome of a shared-memory execution.
+
+    Attributes:
+        trace: the recorded execution (event times are step numbers).
+        decisions: pid -> decided value.
+        steps: total atomic steps executed.
+        registers: final register contents.
+    """
+
+    trace: tr.Trace
+    decisions: Dict[Pid, Any]
+    steps: int
+    registers: Dict[Hashable, Any]
+
+    def decided_value(self) -> Any:
+        """The unique decided value; raises if processes disagree or none decided."""
+        values = set(self.decisions.values())
+        if len(values) != 1:
+            raise RuntimeError(f"no unique decision: {self.decisions}")
+        return next(iter(values))
+
+
+SchedulePolicy = Union[str, Callable[[int, List[Pid], random.Random], Pid]]
+
+
+class MemoryScheduler:
+    """Interleave shared-memory processes one atomic step at a time.
+
+    Args:
+        processes: the processes (pid = position).
+        init_values: per-process consensus inputs.
+        policy: scheduling policy (see module docstring).
+        seed: master seed for the scheduler and the per-process RNGs.
+        max_steps: hard cap on total steps (guards livelock).
+    """
+
+    def __init__(
+        self,
+        processes: Sequence[SharedMemoryProcess],
+        *,
+        init_values: Optional[Sequence[Any]] = None,
+        policy: SchedulePolicy = "random",
+        seed: int = 0,
+        max_steps: int = 1_000_000,
+    ):
+        n = len(processes)
+        if n == 0:
+            raise ValueError("need at least one process")
+        if init_values is None:
+            init_values = [None] * n
+        if len(init_values) != n:
+            raise ValueError("init_values length must match processes")
+        self.n = n
+        self.policy = policy
+        self.max_steps = max_steps
+        self.trace = tr.Trace()
+        self.registers: Dict[Hashable, Any] = {}
+        master = random.Random(seed)
+        self._sched_rng = random.Random(master.randrange(2**63))
+        self._apis = [
+            ProcessAPI(pid, n, 0, init_values[pid], random.Random(master.randrange(2**63)))
+            for pid in range(n)
+        ]
+        self._gens = [proc.run(api) for proc, api in zip(processes, self._apis)]
+        self._done = [False] * n
+        self._decided: List[Any] = [_UNDECIDED] * n
+        self._pending_result: List[Any] = [None] * n
+        self._steps = 0
+
+    def run(self) -> MemoryResult:
+        """Execute until every process finishes (or the step cap)."""
+        while self._steps < self.max_steps:
+            runnable = [pid for pid in range(self.n) if not self._done[pid]]
+            if not runnable:
+                break
+            pid = self._pick(runnable)
+            self._step(pid)
+        return MemoryResult(
+            trace=self.trace,
+            decisions={
+                pid: value
+                for pid, value in enumerate(self._decided)
+                if value is not _UNDECIDED
+            },
+            steps=self._steps,
+            registers=dict(self.registers),
+        )
+
+    def _pick(self, runnable: List[Pid]) -> Pid:
+        if callable(self.policy):
+            pid = self.policy(self._steps, runnable, self._sched_rng)
+            if pid not in runnable:
+                raise ValueError(f"policy chose non-runnable pid {pid}")
+            return pid
+        if self.policy == "random":
+            return self._sched_rng.choice(runnable)
+        if self.policy == "round_robin":
+            return runnable[self._steps % len(runnable)]
+        raise ValueError(f"unknown policy {self.policy!r}")
+
+    def _step(self, pid: Pid) -> None:
+        gen = self._gens[pid]
+        self._steps += 1
+        try:
+            op = gen.send(self._pending_result[pid])
+        except StopIteration:
+            self._done[pid] = True
+            self.trace.record(self._steps, tr.HALT, pid)
+            return
+        self._pending_result[pid] = None
+        if isinstance(op, ReadReg):
+            self._pending_result[pid] = self.registers.get(op.name)
+        elif isinstance(op, WriteReg):
+            self.registers[op.name] = op.value
+            self.trace.record(self._steps, tr.SEND, pid, (op.name, op.value))
+        elif isinstance(op, Decide):
+            if (
+                self._decided[pid] is not _UNDECIDED
+                and self._decided[pid] != op.value
+            ):
+                raise RuntimeError(f"pid {pid} decided twice with different values")
+            if self._decided[pid] is _UNDECIDED:
+                self._decided[pid] = op.value
+                self.trace.record(self._steps, tr.DECIDE, pid, op.value)
+        elif isinstance(op, Annotate):
+            self.trace.record(self._steps, tr.ANNOTATE, pid, (op.key, op.value))
+        elif isinstance(op, Halt):
+            self._done[pid] = True
+            self.trace.record(self._steps, tr.HALT, pid)
+        else:
+            raise RuntimeError(f"operation {op!r} is not a shared-memory op")

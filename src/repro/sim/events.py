@@ -1,0 +1,90 @@
+"""Discrete-event queue for the asynchronous runtime.
+
+Events are ordered by ``(time, seq)`` where ``seq`` is a global insertion
+counter, making the simulation fully deterministic: two events scheduled for
+the same virtual time fire in insertion order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+from repro.sim.messages import Envelope, Pid
+
+
+@dataclass(frozen=True)
+class DeliverMessage:
+    """Deliver ``envelope`` to its destination's mailbox."""
+
+    envelope: Envelope
+
+
+@dataclass(frozen=True)
+class FireTimer:
+    """Fire timer ``name`` (generation ``gen``) at process ``pid``.
+
+    ``gen`` is the arming generation: re-arming or cancelling a timer bumps
+    the process's generation counter for that name, so stale fire events are
+    recognized and dropped.
+    """
+
+    pid: Pid
+    name: str
+    gen: int
+
+
+@dataclass(frozen=True)
+class CrashProcess:
+    """Crash process ``pid``: discard its generator, drop future deliveries."""
+
+    pid: Pid
+
+
+@dataclass(frozen=True)
+class RestartProcess:
+    """Restart a previously crashed process ``pid`` with a fresh generator."""
+
+    pid: Pid
+
+
+@dataclass(order=True)
+class _QueueItem:
+    time: float
+    seq: int
+    event: Any = field(compare=False)
+
+
+class EventQueue:
+    """A deterministic time-ordered event queue."""
+
+    def __init__(self) -> None:
+        self._heap: list[_QueueItem] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, event: Any) -> None:
+        """Schedule ``event`` at virtual time ``time``."""
+        if time < 0:
+            raise ValueError(f"cannot schedule event at negative time {time}")
+        heapq.heappush(self._heap, _QueueItem(time, next(self._counter), event))
+
+    def pop(self) -> "tuple[float, Any]":
+        """Remove and return the earliest ``(time, event)`` pair."""
+        item = heapq.heappop(self._heap)
+        return item.time, item.event
+
+    def peek_time(self) -> Optional[float]:
+        """Virtual time of the earliest pending event, or ``None`` if empty."""
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __iter__(self) -> Iterator[Any]:
+        """Iterate over pending events in an unspecified order (debugging)."""
+        return (item.event for item in self._heap)

@@ -1,0 +1,144 @@
+"""Failure injection: crash schedules and Byzantine processes.
+
+Crash failures (asynchronous runtime)
+-------------------------------------
+A :class:`CrashPlan` tells :class:`repro.sim.async_runtime.AsyncRuntime` when
+to kill a process — at a virtual time, or immediately after the process's
+``k``-th point-to-point send (which models crashing *in the middle of a
+broadcast*: some recipients got the message, others never will).  Plans may
+also schedule a restart; on restart the runtime calls the process's
+:meth:`~repro.sim.process.Process.run` again, so state kept on ``self``
+(Raft's durable log) survives while the generator's local state is lost.
+
+Byzantine failures (synchronous runtime)
+----------------------------------------
+Byzantine processes are ordinary :class:`~repro.sim.process.Process`
+implementations that yield :class:`~repro.sim.ops.ExchangeTo`, letting them
+equivocate (send different values to different recipients).  The strategies
+here cover the behaviours the Phase-King analysis cares about: silence,
+random noise, equivocation and an adaptive strategy that tries to keep
+correct processes split for as long as possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Sequence
+
+from repro.sim.messages import Pid
+from repro.sim.ops import ExchangeTo
+from repro.sim.process import Process, ProcessAPI, ProtocolGenerator
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """When (and whether) to crash and restart one process.
+
+    Exactly one of ``at_time`` / ``after_sends`` must be set.
+
+    Attributes:
+        pid: the victim process.
+        at_time: crash at this virtual time.
+        after_sends: crash immediately after the victim's N-th
+            point-to-point send (1-based) — ``Broadcast`` counts as ``n``
+            individual sends, so ``after_sends`` mid-broadcast yields the
+            classic partial-broadcast crash.
+        restart_at: optional virtual time at which to restart the process.
+    """
+
+    pid: Pid
+    at_time: Optional[float] = None
+    after_sends: Optional[int] = None
+    restart_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if (self.at_time is None) == (self.after_sends is None):
+            raise ValueError("set exactly one of at_time / after_sends")
+        if self.after_sends is not None and self.after_sends < 0:
+            raise ValueError("after_sends must be >= 0")
+        if self.restart_at is not None and self.at_time is not None:
+            if self.restart_at <= self.at_time:
+                raise ValueError("restart_at must be after at_time")
+
+
+#: A Byzantine strategy maps (api, barrier_index, last_inbox) to the
+#: per-recipient payloads to send at this barrier.
+ByzantineStrategy = Callable[[ProcessAPI, int, Dict[Pid, Any]], Dict[Pid, Any]]
+
+
+class ByzantineProcess(Process):
+    """A synchronous-model process fully controlled by a strategy.
+
+    It participates in every exchange barrier forever, sending whatever the
+    strategy dictates and never deciding.
+    """
+
+    def __init__(self, strategy: ByzantineStrategy):
+        self.strategy = strategy
+
+    def run(self, api: ProcessAPI) -> ProtocolGenerator:
+        barrier = 0
+        inbox: Dict[Pid, Any] = {}
+        while True:
+            payloads = self.strategy(api, barrier, inbox)
+            inbox = yield ExchangeTo(payloads)
+            barrier += 1
+
+
+def silent_strategy(api: ProcessAPI, barrier: int, inbox: Dict[Pid, Any]) -> Dict[Pid, Any]:
+    """Send nothing, ever — the Byzantine equivalent of a crashed process."""
+    return {}
+
+
+def random_noise_strategy(domain: Sequence[Any] = (0, 1, 2)) -> ByzantineStrategy:
+    """Send an independently random value from ``domain`` to each recipient."""
+
+    def strategy(api: ProcessAPI, barrier: int, inbox: Dict[Pid, Any]) -> Dict[Pid, Any]:
+        return {dst: api.rng.choice(domain) for dst in range(api.n)}
+
+    return strategy
+
+
+def equivocating_strategy(value_a: Any = 0, value_b: Any = 1) -> ByzantineStrategy:
+    """Send ``value_a`` to the lower half of the pids and ``value_b`` to the rest.
+
+    This is the canonical Byzantine attack on broadcast-and-count protocols:
+    it maximises the chance that two correct processes tally different
+    majorities in the same exchange.
+    """
+
+    def strategy(api: ProcessAPI, barrier: int, inbox: Dict[Pid, Any]) -> Dict[Pid, Any]:
+        half = api.n // 2
+        return {
+            dst: value_a if dst < half else value_b for dst in range(api.n)
+        }
+
+    return strategy
+
+
+def anti_phase_king_strategy() -> ByzantineStrategy:
+    """Adaptive attack specialised against Phase-King's tallies.
+
+    Against each recipient it echoes back the most recent value that
+    recipient broadcast (observed via the Byzantine process's own inbox),
+    reinforcing whatever split already exists among the correct processes,
+    and equivocates when it has no observation yet.  Phase-King must still
+    decide within ``t + 1`` king rounds despite this (Experiment E2).
+    """
+
+    last_seen: Dict[Pid, Any] = {}
+
+    def strategy(api: ProcessAPI, barrier: int, inbox: Dict[Pid, Any]) -> Dict[Pid, Any]:
+        for src, payload in inbox.items():
+            if payload in (0, 1):
+                last_seen[src] = payload
+        half = api.n // 2
+        out: Dict[Pid, Any] = {}
+        for dst in range(api.n):
+            if dst in last_seen:
+                out[dst] = last_seen[dst]
+            else:
+                out[dst] = 0 if dst < half else 1
+        return out
+
+    return strategy

@@ -1,0 +1,69 @@
+"""Message and envelope types shared by both simulators.
+
+A :class:`Message` is what an algorithm sends: an opaque ``payload`` plus the
+sender/recipient process ids.  The runtime wraps each message in an
+:class:`Envelope` carrying delivery metadata (send time, delivery time and a
+global sequence number) which the trace machinery and property checkers use.
+
+Payloads are deliberately unconstrained — algorithms use small frozen
+dataclasses or tuples.  The simulators never inspect payloads except to hand
+them to :class:`repro.sim.ops.Receive` predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Process id type alias.  Processes are numbered ``0 .. n-1``.
+Pid = int
+
+
+@dataclass(frozen=True)
+class Message:
+    """A message as seen by the algorithm: sender, recipient and payload."""
+
+    src: Pid
+    dst: Pid
+    payload: Any
+
+    def __repr__(self) -> str:
+        return f"Message({self.src}->{self.dst}: {self.payload!r})"
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A message in flight, with runtime delivery metadata.
+
+    Attributes:
+        message: the wrapped :class:`Message`.
+        send_time: virtual time at which the sender issued the send.
+        deliver_time: virtual time at which the runtime delivered it.
+        seq: global monotone sequence number (total order on sends).
+    """
+
+    message: Message
+    send_time: float
+    deliver_time: float
+    seq: int = field(default=0)
+
+    @property
+    def src(self) -> Pid:
+        """Sender process id."""
+        return self.message.src
+
+    @property
+    def dst(self) -> Pid:
+        """Recipient process id."""
+        return self.message.dst
+
+    @property
+    def payload(self) -> Any:
+        """The message payload."""
+        return self.message.payload
+
+    def __repr__(self) -> str:
+        return (
+            f"Envelope(#{self.seq} {self.src}->{self.dst} "
+            f"@{self.deliver_time:.3f}: {self.payload!r})"
+        )

@@ -1,0 +1,208 @@
+"""Network models for the asynchronous runtime.
+
+The network decides, per message, (a) whether the message is dropped and
+(b) when it is delivered.  Both decisions are driven by the run's seeded RNG
+so identical seeds give identical executions.
+
+Delay models implement :class:`DelayModel`; drop behaviour combines a uniform
+``drop_rate`` with time-windowed :class:`Partition` objects that sever
+connectivity between process groups (used by the Raft experiments to force
+leader isolation and re-elections).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence
+
+from repro.sim.messages import Pid
+
+
+class DelayModel(ABC):
+    """Strategy deciding each message's in-flight latency."""
+
+    @abstractmethod
+    def delay(self, rng: random.Random, src: Pid, dst: Pid, now: float) -> float:
+        """Return the latency (> 0) for a message sent ``src -> dst`` at ``now``."""
+        raise NotImplementedError
+
+
+class ConstantDelay(DelayModel):
+    """Every message takes exactly ``latency`` time units."""
+
+    def __init__(self, latency: float = 1.0):
+        if latency <= 0:
+            raise ValueError("latency must be positive")
+        self.latency = latency
+
+    def delay(self, rng: random.Random, src: Pid, dst: Pid, now: float) -> float:
+        return self.latency
+
+
+class UniformDelay(DelayModel):
+    """Latency drawn uniformly from ``[low, high]``.
+
+    This is the default model: it is fair (every message is delivered within
+    bounded time) yet asynchronous enough to interleave protocol rounds,
+    which is what Ben-Or's adversary needs to be non-trivial.
+    """
+
+    def __init__(self, low: float = 0.5, high: float = 1.5):
+        if not 0 < low <= high:
+            raise ValueError("require 0 < low <= high")
+        self.low = low
+        self.high = high
+
+    def delay(self, rng: random.Random, src: Pid, dst: Pid, now: float) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+class ExponentialDelay(DelayModel):
+    """Heavy-ish tailed latency: ``min_latency + Exp(mean)``, capped.
+
+    The cap keeps the model fair (no message is delayed forever), preserving
+    the liveness assumptions of every algorithm in the library.
+    """
+
+    def __init__(self, mean: float = 1.0, min_latency: float = 0.1, cap: float = 20.0):
+        if mean <= 0 or min_latency <= 0 or cap < min_latency:
+            raise ValueError("invalid exponential delay parameters")
+        self.mean = mean
+        self.min_latency = min_latency
+        self.cap = cap
+
+    def delay(self, rng: random.Random, src: Pid, dst: Pid, now: float) -> float:
+        return min(self.min_latency + rng.expovariate(1.0 / self.mean), self.cap)
+
+
+class SkewedDelay(DelayModel):
+    """Adversarial-ish model: messages touching ``slow_pids`` are slower.
+
+    Used by the Ben-Or benchmarks to simulate a scheduler that keeps a
+    minority of processes persistently behind, maximising disagreement
+    between rounds.
+    """
+
+    def __init__(
+        self,
+        base: DelayModel,
+        slow_pids: Sequence[Pid],
+        factor: float = 5.0,
+    ):
+        if factor < 1.0:
+            raise ValueError("factor must be >= 1")
+        self.base = base
+        self.slow_pids = frozenset(slow_pids)
+        self.factor = factor
+
+    def delay(self, rng: random.Random, src: Pid, dst: Pid, now: float) -> float:
+        latency = self.base.delay(rng, src, dst, now)
+        if src in self.slow_pids or dst in self.slow_pids:
+            latency *= self.factor
+        return latency
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A temporary network partition.
+
+    During virtual time ``[start, end)`` every message crossing between two
+    different groups is dropped.  Processes not listed in any group remain
+    connected to everyone.
+    """
+
+    start: float
+    end: float
+    groups: Sequence[Sequence[Pid]]
+
+    def severed(self, src: Pid, dst: Pid, now: float) -> bool:
+        """Whether a ``src -> dst`` message at time ``now`` is cut."""
+        if not self.start <= now < self.end:
+            return False
+        src_group = dst_group = None
+        for i, group in enumerate(self.groups):
+            if src in group:
+                src_group = i
+            if dst in group:
+                dst_group = i
+        if src_group is None or dst_group is None:
+            return False
+        return src_group != dst_group
+
+
+#: Content-aware routing hook: ``(payload, src, dst, now) -> latency``.
+#: Return a float to override the delay model, ``None`` to drop the
+#: message, or :data:`DEFER` to fall through to the normal pipeline.
+Interceptor = "Callable[[Any, Pid, Pid, float], Any]"
+
+#: Sentinel an interceptor returns to decline a routing decision.
+DEFER = object()
+
+
+@dataclass
+class NetworkConfig:
+    """Complete network behaviour for one asynchronous run.
+
+    Attributes:
+        delay_model: latency strategy (default :class:`UniformDelay`).
+        drop_rate: probability each message is silently lost.  Must be kept
+            at 0 for algorithms whose quorum waits assume reliable links
+            (Ben-Or); Raft tolerates drops thanks to retries.
+        partitions: time-windowed connectivity cuts.
+        self_delay: latency for messages a process sends to itself (these
+            are never dropped, partitioned, or intercepted).
+        fifo: enforce per-link FIFO delivery — a message never overtakes an
+            earlier message on the same ``(src, dst)`` link.  Off by
+            default: the paper's algorithms are correct on non-FIFO links,
+            and non-FIFO exercises more interleavings.
+        interceptor: optional content-aware adversary hook
+            ``(payload, src, dst, now) -> latency | None | DEFER``.  Runs
+            before partitions/drops; used by tests to build adversaries
+            that, e.g., delay every ratify message toward a victim.  Keep
+            it deterministic to preserve seeded reproducibility.
+    """
+
+    delay_model: DelayModel = field(default_factory=UniformDelay)
+    drop_rate: float = 0.0
+    partitions: List[Partition] = field(default_factory=list)
+    self_delay: float = 0.01
+    fifo: bool = False
+    interceptor: Optional[Any] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_rate < 1.0:
+            raise ValueError("drop_rate must be in [0, 1)")
+        if self.self_delay <= 0:
+            raise ValueError("self_delay must be positive")
+        self._link_clock: dict = {}
+
+    def route(
+        self,
+        rng: random.Random,
+        src: Pid,
+        dst: Pid,
+        now: float,
+        payload: Any = None,
+    ) -> Optional[float]:
+        """Decide one message's fate: latency, or ``None`` if dropped."""
+        if src == dst:
+            return self.self_delay
+        latency: Any = DEFER
+        if self.interceptor is not None:
+            latency = self.interceptor(payload, src, dst, now)
+        if latency is DEFER:
+            for partition in self.partitions:
+                if partition.severed(src, dst, now):
+                    return None
+            if self.drop_rate and rng.random() < self.drop_rate:
+                return None
+            latency = self.delay_model.delay(rng, src, dst, now)
+        if latency is None:
+            return None
+        if self.fifo:
+            earliest = self._link_clock.get((src, dst), 0.0)
+            latency = max(latency, earliest - now)
+            self._link_clock[(src, dst)] = now + latency
+        return latency

@@ -1,0 +1,97 @@
+"""Process abstraction shared by both simulators.
+
+A :class:`Process` is the unit of computation: its :meth:`Process.run` method
+is a generator that yields operations (:mod:`repro.sim.ops`) and receives
+their results.  The runtime constructs one :class:`ProcessAPI` per process
+and passes it to ``run``; the API exposes the process id, the system
+parameters ``n`` and ``t``, the process's initial value, a private seeded RNG
+and the current virtual time.
+
+Algorithms may either subclass :class:`Process` or wrap a plain generator
+function with :class:`FunctionProcess`.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Generator
+
+from repro.sim.messages import Pid
+from repro.sim.ops import Op
+
+#: The type of a process body: a generator yielding ops, resumed with results.
+ProtocolGenerator = Generator[Op, Any, None]
+
+
+class ProcessAPI:
+    """Per-process view of the system handed to :meth:`Process.run`.
+
+    Attributes:
+        pid: this process's id, in ``0 .. n-1``.
+        n: total number of processes.
+        t: the failure-resilience parameter of the run (max tolerated
+            faults); algorithms use it for quorum sizes such as ``n - t``.
+        init_value: the process's consensus input ``p.init``.
+        rng: a :class:`random.Random` private to this process, seeded
+            deterministically from the run seed — all algorithm randomness
+            (Ben-Or coins, Raft election timeouts) must come from here so
+            that runs are reproducible.
+        now: current virtual time (updated by the runtime before every
+            resume; always ``0.0`` under the synchronous runtime, which
+            exposes ``round_no`` instead).
+        round_no: current synchronous round number (synchronous runtime
+            only; ``0`` under the asynchronous runtime).
+    """
+
+    def __init__(self, pid: Pid, n: int, t: int, init_value: Any, rng: random.Random):
+        self.pid = pid
+        self.n = n
+        self.t = t
+        self.init_value = init_value
+        self.rng = rng
+        self.now: float = 0.0
+        self.round_no: int = 0
+
+    def majority(self) -> int:
+        """Smallest integer strictly greater than ``n / 2``."""
+        return self.n // 2 + 1
+
+    def quorum(self) -> int:
+        """The ``n - t`` wait threshold used throughout the paper."""
+        return self.n - self.t
+
+    def __repr__(self) -> str:
+        return f"ProcessAPI(pid={self.pid}, n={self.n}, t={self.t})"
+
+
+class Process(ABC):
+    """Base class for all simulated processes.
+
+    Subclasses implement :meth:`run` as a generator.  The same ``Process``
+    instance may be restarted after a crash (the runtime calls ``run`` again
+    with a fresh API), so any state that should survive a crash must live on
+    ``self`` — see :class:`repro.algorithms.raft.node.RaftNode` for the
+    durable/volatile split.
+    """
+
+    @abstractmethod
+    def run(self, api: ProcessAPI) -> ProtocolGenerator:
+        """The protocol body.  Must be a generator (contain ``yield``)."""
+        raise NotImplementedError
+
+    def on_restart(self, api: ProcessAPI) -> None:
+        """Hook invoked by the runtime just before a post-crash restart."""
+
+
+class FunctionProcess(Process):
+    """Adapter turning a generator function ``fn(api)`` into a Process."""
+
+    def __init__(self, fn: Callable[[ProcessAPI], ProtocolGenerator]):
+        self._fn = fn
+
+    def run(self, api: ProcessAPI) -> ProtocolGenerator:
+        return self._fn(api)
+
+    def __repr__(self) -> str:
+        return f"FunctionProcess({getattr(self._fn, '__name__', self._fn)!r})"

@@ -1,0 +1,79 @@
+"""Trace serialization for offline analysis.
+
+Traces hold arbitrary Python payloads; serialization flattens each event to
+a JSON-friendly record — structured fields where the kind defines them
+(decide values, annotations, message routes) and ``repr`` strings for
+payload bodies.  The format is append-only JSON Lines, convenient for
+jq/pandas-style post-processing of big seed batteries.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, List
+
+from repro.sim import trace as tr
+from repro.sim.messages import Envelope
+from repro.sim.trace import Trace, TraceEvent
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce a detail value into something JSON can carry."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+def event_to_record(event: TraceEvent) -> Dict[str, Any]:
+    """Flatten one trace event into a JSON-ready dict."""
+    record: Dict[str, Any] = {
+        "time": event.time,
+        "kind": event.kind,
+        "pid": event.pid,
+    }
+    detail = event.detail
+    if event.kind in (tr.SEND, tr.DELIVER, tr.DROP) and isinstance(detail, Envelope):
+        record.update(
+            src=detail.src,
+            dst=detail.dst,
+            seq=detail.seq,
+            send_time=detail.send_time,
+            deliver_time=detail.deliver_time,
+            payload=_jsonable(detail.payload),
+        )
+    elif event.kind == tr.ANNOTATE:
+        key, value = detail
+        record.update(key=key, value=_jsonable(value))
+    elif detail is not None:
+        record["detail"] = _jsonable(detail)
+    return record
+
+
+def trace_records(trace: Trace) -> Iterator[Dict[str, Any]]:
+    """Yield one JSON-ready record per trace event, in execution order."""
+    return (event_to_record(event) for event in trace.events)
+
+
+def dump_jsonl(trace: Trace, path: str) -> int:
+    """Write the trace as JSON Lines; returns the number of records."""
+    count = 0
+    with open(path, "w") as handle:
+        for record in trace_records(trace):
+            handle.write(json.dumps(record))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def load_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Read a JSON Lines trace dump back as a list of record dicts.
+
+    Payload bodies come back as the strings/structures they were flattened
+    to — this is an analysis format, not a resumable checkpoint.
+    """
+    with open(path) as handle:
+        return [json.loads(line) for line in handle if line.strip()]

@@ -1,0 +1,255 @@
+"""Synchronous, lock-step, round-based simulator.
+
+:class:`SyncRuntime` models the classic synchronous message-passing network
+assumed by Phase-King: computation proceeds in *exchanges* (communication
+rounds).  In each exchange every live process yields either
+:class:`~repro.sim.ops.Exchange` (broadcast one payload) or
+:class:`~repro.sim.ops.ExchangeTo` (Byzantine equivocation: a distinct
+payload per recipient); the runtime then delivers, and every process receives
+a ``dict`` mapping sender pid to the payload *it* was sent.
+
+Faulty behaviour:
+
+* **Byzantine** processes are ordinary processes built from
+  :class:`~repro.sim.failures.ByzantineProcess` strategies — the runtime does
+  not treat them specially, exactly as a real network cannot.
+* **Crash** faults are modelled by ``crash_rounds``: from its crash exchange
+  onward a process sends nothing and is never resumed.
+
+Execution is deterministic: processes are resumed in pid order and all
+randomness comes from per-process RNGs seeded from the run seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.sim import trace as tr
+from repro.sim.async_runtime import SimulationError
+from repro.sim.messages import Pid
+from repro.sim.ops import Annotate, Decide, Exchange, ExchangeTo, Halt, Op
+from repro.sim.process import Process, ProcessAPI
+import random
+
+_UNDECIDED = object()
+
+MAX_ROUNDS = "max_rounds"
+ALL_DONE = "all_done"
+ALL_DECIDED = "all_decided"
+
+
+@dataclass
+class SyncResult:
+    """Outcome of one synchronous run.
+
+    Attributes:
+        trace: full execution trace (event times are exchange indices).
+        decisions: pid -> decided value.
+        exchanges: number of communication rounds executed.
+        stop_reason: ``all_decided``, ``all_done`` or ``max_rounds``.
+    """
+
+    trace: tr.Trace
+    decisions: Dict[Pid, Any]
+    exchanges: int
+    stop_reason: str
+
+    def decided_value(self) -> Any:
+        """The unique decided value; raises if processes disagree or none decided."""
+        values = set(self.decisions.values())
+        if len(values) != 1:
+            raise SimulationError(f"no unique decision: {self.decisions}")
+        return next(iter(values))
+
+
+class _SyncState:
+    __slots__ = ("process", "api", "gen", "parked", "done", "decided", "crash_round")
+
+    def __init__(self, process: Process, api: ProcessAPI):
+        self.process = process
+        self.api = api
+        self.gen = None
+        self.parked: Optional[Union[Exchange, ExchangeTo]] = None
+        self.done = False
+        self.decided: Any = _UNDECIDED
+        self.crash_round: Optional[int] = None
+
+    def live(self, exchange_no: int) -> bool:
+        if self.done:
+            return False
+        if self.crash_round is not None and exchange_no >= self.crash_round:
+            return False
+        return True
+
+
+class SyncRuntime:
+    """Run processes in lock-step exchanges.
+
+    Args:
+        processes: one process per pid (correct or Byzantine alike).
+        init_values: per-process consensus inputs.
+        t: resilience parameter exposed to the processes (``n - t`` waits).
+        seed: master seed for all per-process RNGs.
+        max_exchanges: stop after this many communication rounds.
+        crash_rounds: pid -> exchange index at which the process crash-stops.
+        stop_pids: pids whose termination/decision the stop condition tracks;
+            defaults to all pids.  Byzantine pids should be excluded here so
+            the run ends when all *correct* processes have decided.
+        stop_when: ``"all_decided"`` (default) stops once every tracked pid
+            has decided; ``"all_done"`` waits for their generators to finish.
+    """
+
+    def __init__(
+        self,
+        processes: Sequence[Process],
+        *,
+        init_values: Optional[Sequence[Any]] = None,
+        t: int = 0,
+        seed: int = 0,
+        max_exchanges: int = 10_000,
+        crash_rounds: Optional[Dict[Pid, int]] = None,
+        stop_pids: Optional[Sequence[Pid]] = None,
+        stop_when: str = "all_decided",
+    ):
+        n = len(processes)
+        if n == 0:
+            raise ValueError("need at least one process")
+        if init_values is None:
+            init_values = [None] * n
+        if len(init_values) != n:
+            raise ValueError("init_values length must match processes")
+        if stop_when not in ("all_decided", "all_done"):
+            raise ValueError(f"unknown stop_when {stop_when!r}")
+        self.n = n
+        self.t = t
+        self.max_exchanges = max_exchanges
+        self.stop_when = stop_when
+        self.stop_pids = list(stop_pids) if stop_pids is not None else list(range(n))
+        self.trace = tr.Trace()
+        master = random.Random(seed)
+        proc_seeds = [master.randrange(2**63) for _ in range(n)]
+        self._states = [
+            _SyncState(
+                proc,
+                ProcessAPI(pid, n, t, init_values[pid], random.Random(proc_seeds[pid])),
+            )
+            for pid, proc in enumerate(processes)
+        ]
+        for pid, rnd in (crash_rounds or {}).items():
+            self._states[pid].crash_round = rnd
+        self._exchange_no = 0
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> SyncResult:
+        """Execute rounds until the stop condition or the round cap."""
+        for state in self._states:
+            state.gen = state.process.run(state.api)
+        reason = MAX_ROUNDS
+        while self._exchange_no < self.max_exchanges:
+            # Drive every live process to its next exchange barrier.
+            for state in self._states:
+                if state.live(self._exchange_no) and state.parked is None:
+                    self._advance(state, None)
+            if self._stopped():
+                reason = (
+                    ALL_DECIDED if self.stop_when == "all_decided" else ALL_DONE
+                )
+                break
+            if not any(
+                s.parked is not None and s.live(self._exchange_no)
+                for s in self._states
+            ):
+                reason = ALL_DONE
+                break
+            inboxes = self._deliver()
+            self._exchange_no += 1
+            for state in self._states:
+                if state.parked is not None and state.live(self._exchange_no):
+                    state.parked = None
+                    self._advance(state, inboxes[state.api.pid])
+            if self._stopped():
+                reason = (
+                    ALL_DECIDED if self.stop_when == "all_decided" else ALL_DONE
+                )
+                break
+        return SyncResult(
+            trace=self.trace,
+            decisions={
+                s.api.pid: s.decided
+                for s in self._states
+                if s.decided is not _UNDECIDED
+            },
+            exchanges=self._exchange_no,
+            stop_reason=reason,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _advance(self, state: _SyncState, value: Any) -> None:
+        """Resume one process until it parks at an exchange or finishes."""
+        while True:
+            state.api.round_no = self._exchange_no
+            assert state.gen is not None
+            try:
+                op = state.gen.send(value)
+            except StopIteration:
+                state.done = True
+                self.trace.record(self._exchange_no, tr.HALT, state.api.pid)
+                return
+            value = None
+            if isinstance(op, (Exchange, ExchangeTo)):
+                state.parked = op
+                return
+            self._perform(state, op)
+            if state.done:
+                return
+
+    def _perform(self, state: _SyncState, op: Op) -> None:
+        pid = state.api.pid
+        if isinstance(op, Decide):
+            if state.decided is not _UNDECIDED and state.decided != op.value:
+                raise SimulationError(
+                    f"process {pid} decided {op.value!r} after {state.decided!r}"
+                )
+            if state.decided is _UNDECIDED:
+                state.decided = op.value
+                self.trace.record(self._exchange_no, tr.DECIDE, pid, op.value)
+        elif isinstance(op, Annotate):
+            self.trace.record(self._exchange_no, tr.ANNOTATE, pid, (op.key, op.value))
+        elif isinstance(op, Halt):
+            state.done = True
+            self.trace.record(self._exchange_no, tr.HALT, pid)
+        else:
+            raise SimulationError(
+                f"operation {op!r} is not valid under the synchronous runtime"
+            )
+
+    def _deliver(self) -> List[Dict[Pid, Any]]:
+        """Collect every parked exchange and build per-process inboxes."""
+        inboxes: List[Dict[Pid, Any]] = [{} for _ in range(self.n)]
+        for state in self._states:
+            if state.parked is None or not state.live(self._exchange_no):
+                continue
+            src = state.api.pid
+            parked = state.parked
+            if isinstance(parked, Exchange):
+                if parked.payload is None:
+                    continue  # participates in the barrier, sends nothing
+                for dst in range(self.n):
+                    inboxes[dst][src] = parked.payload
+                    self.trace.record(self._exchange_no, tr.SEND, src, (dst, parked.payload))
+            else:
+                for dst, payload in parked.payloads.items():
+                    if not 0 <= dst < self.n:
+                        raise SimulationError(f"ExchangeTo to unknown pid {dst}")
+                    inboxes[dst][src] = payload
+                    self.trace.record(self._exchange_no, tr.SEND, src, (dst, payload))
+        return inboxes
+
+    def _stopped(self) -> bool:
+        tracked = [self._states[pid] for pid in self.stop_pids]
+        if self.stop_when == "all_decided":
+            return all(s.decided is not _UNDECIDED for s in tracked)
+        return all(s.done or not s.live(self._exchange_no) for s in tracked)

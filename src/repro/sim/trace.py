@@ -1,0 +1,108 @@
+"""Execution traces.
+
+Both runtimes record everything observable about a run into a
+:class:`Trace`: sends, deliveries, decisions, crashes, restarts, timer fires
+and algorithm-supplied annotations.  Traces are the single source of truth
+for the property checkers in :mod:`repro.core.properties` and the metric
+extraction in :mod:`repro.analysis.metrics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.sim.messages import Pid
+
+#: Trace event kinds.
+SEND = "send"
+DELIVER = "deliver"
+DECIDE = "decide"
+ANNOTATE = "annotate"
+CRASH = "crash"
+RESTART = "restart"
+TIMER = "timer"
+HALT = "halt"
+DROP = "drop"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One observable step of an execution.
+
+    Attributes:
+        time: virtual time (asynchronous runs) — the round number for
+            synchronous runs.
+        kind: one of the module-level kind constants (``SEND``, ``DELIVER``,
+            ``DECIDE``, ``ANNOTATE``, ``CRASH``, ``RESTART``, ``TIMER``,
+            ``HALT``, ``DROP``).
+        pid: the process the event concerns (the sender for ``SEND``, the
+            recipient for ``DELIVER``).
+        detail: kind-specific payload, e.g. the decided value for
+            ``DECIDE`` or the ``(key, value)`` pair for ``ANNOTATE``.
+    """
+
+    time: float
+    kind: str
+    pid: Pid
+    detail: Any = None
+
+
+class Trace:
+    """An append-only record of a single execution, with query helpers."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def record(self, time: float, kind: str, pid: Pid, detail: Any = None) -> None:
+        """Append one event."""
+        self.events.append(TraceEvent(time, kind, pid, detail))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def of_kind(self, kind: str) -> Iterator[TraceEvent]:
+        """All events of the given kind, in execution order."""
+        return (e for e in self.events if e.kind == kind)
+
+    def decisions(self) -> Dict[Pid, Any]:
+        """Map of pid -> first decided value."""
+        out: Dict[Pid, Any] = {}
+        for event in self.of_kind(DECIDE):
+            out.setdefault(event.pid, event.detail)
+        return out
+
+    def decision_times(self) -> Dict[Pid, float]:
+        """Map of pid -> virtual time (or round) of first decision."""
+        out: Dict[Pid, float] = {}
+        for event in self.of_kind(DECIDE):
+            out.setdefault(event.pid, event.time)
+        return out
+
+    def annotations(self, key: Optional[str] = None) -> List[Tuple[Pid, float, Any]]:
+        """All ``(pid, time, value)`` annotations, optionally filtered by key."""
+        out = []
+        for event in self.of_kind(ANNOTATE):
+            ann_key, value = event.detail
+            if key is None or ann_key == key:
+                out.append((event.pid, event.time, value))
+        return out
+
+    def message_count(self) -> int:
+        """Total number of point-to-point sends in the run."""
+        return sum(1 for _ in self.of_kind(SEND))
+
+    def delivered_count(self) -> int:
+        """Total number of deliveries (sends minus drops/crash losses)."""
+        return sum(1 for _ in self.of_kind(DELIVER))
+
+    def crashed_pids(self) -> List[Pid]:
+        """Pids that crashed at least once, in crash order."""
+        return [e.pid for e in self.of_kind(CRASH)]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return f"Trace({len(self.events)} events, {len(self.decisions())} decisions)"

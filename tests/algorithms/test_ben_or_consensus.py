@@ -1,0 +1,148 @@
+"""End-to-end tests for decomposed Ben-Or consensus (Section 4.2, Lemma 1+5)."""
+
+import pytest
+
+from repro.algorithms.ben_or import MonolithicBenOr, ben_or_template_consensus
+from repro.analysis.metrics import decision_rounds, rounds_used
+from repro.core.properties import (
+    check_agreement,
+    check_all_rounds,
+    check_no_decision_without_commit,
+    check_termination,
+    check_validity,
+)
+from repro.sim.async_runtime import AsyncRuntime
+from repro.sim.failures import CrashPlan
+from repro.sim.network import ExponentialDelay, NetworkConfig, SkewedDelay, UniformDelay
+
+
+def run_ben_or(init_values, t, seed=0, crash_plans=(), network=None, max_time=2000.0):
+    n = len(init_values)
+    processes = [ben_or_template_consensus() for _ in range(n)]
+    runtime = AsyncRuntime(
+        processes,
+        init_values=init_values,
+        t=t,
+        seed=seed,
+        crash_plans=crash_plans,
+        network=network,
+        max_time=max_time,
+    )
+    return runtime.run()
+
+
+class TestBasicConsensus:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_agreement_validity_termination(self, seed):
+        inits = [0, 1, 0, 1, 1]
+        result = run_ben_or(inits, t=2, seed=seed)
+        check_agreement(result.decisions)
+        check_validity(result.decisions, inits)
+        check_termination(result.decisions, range(5))
+
+    def test_unanimous_inputs_decide_in_one_round(self):
+        result = run_ben_or([1] * 7, t=3, seed=0)
+        assert result.decided_value() == 1
+        assert all(m == 1 for m in decision_rounds(result.trace).values())
+
+    @pytest.mark.parametrize("n,t", [(3, 1), (5, 2), (9, 4), (11, 5)])
+    def test_various_system_sizes(self, n, t):
+        inits = [i % 2 for i in range(n)]
+        result = run_ben_or(inits, t=t, seed=42)
+        check_agreement(result.decisions)
+        check_termination(result.decisions, range(n))
+
+    def test_non_binary_domain(self):
+        processes = [
+            ben_or_template_consensus(domain=("a", "b", "c")) for _ in range(5)
+        ]
+        runtime = AsyncRuntime(
+            processes, init_values=["a", "b", "c", "a", "b"], t=2, seed=3,
+            max_time=5000.0,
+        )
+        result = runtime.run()
+        check_agreement(result.decisions)
+        check_validity(result.decisions, ["a", "b", "c"])
+
+
+class TestUnderFailures:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_t_crashes_tolerated(self, seed):
+        inits = [0, 1, 0, 1, 1]
+        result = run_ben_or(
+            inits,
+            t=2,
+            seed=seed,
+            crash_plans=[
+                CrashPlan(0, at_time=1.0 + seed * 0.3),
+                CrashPlan(3, after_sends=4),
+            ],
+        )
+        live = [1, 2, 4]
+        check_agreement(result.decisions)
+        check_termination(result.decisions, live)
+        check_validity(result.decisions, inits)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_skewed_scheduler_cannot_break_safety(self, seed):
+        network = NetworkConfig(
+            delay_model=SkewedDelay(UniformDelay(0.5, 1.5), slow_pids=[0, 1], factor=6.0)
+        )
+        inits = [0, 0, 1, 1, 1]
+        result = run_ben_or(inits, t=2, seed=seed, network=network)
+        check_agreement(result.decisions)
+        check_all_rounds(result.trace, "vac")
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_heavy_tailed_latency(self, seed):
+        network = NetworkConfig(delay_model=ExponentialDelay(mean=2.0))
+        result = run_ben_or([0, 1, 1, 0, 1], t=2, seed=seed, network=network)
+        check_agreement(result.decisions)
+
+
+class TestRoundProperties:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_every_round_satisfies_vac_properties(self, seed):
+        result = run_ben_or([0, 1, 0, 1, 1], t=2, seed=seed)
+        rounds = check_all_rounds(result.trace, "vac")
+        assert rounds >= 1
+        check_no_decision_without_commit(result.trace, "vac")
+
+    def test_decisions_within_one_round_of_each_other(self):
+        # Commit coherence: once anyone commits in round m, everyone else
+        # adopts the same value, so all must commit by round m + 1.
+        for seed in range(10):
+            result = run_ben_or([0, 1, 0, 1, 1], t=2, seed=seed)
+            rounds = decision_rounds(result.trace)
+            assert max(rounds.values()) - min(rounds.values()) <= 1
+
+
+class TestMonolithicEquivalence:
+    """Experiment E4: the decomposition is behaviour-preserving."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_same_seed_same_decision_and_rounds(self, seed):
+        inits = [0, 1, 1, 0, 1]
+        decomposed = run_ben_or(inits, t=2, seed=seed)
+        runtime = AsyncRuntime(
+            [MonolithicBenOr() for _ in range(5)],
+            init_values=inits,
+            t=2,
+            seed=seed,
+            max_time=2000.0,
+        )
+        monolithic = runtime.run()
+        assert decomposed.decisions == monolithic.decisions
+        assert rounds_used(decomposed.trace) == rounds_used(monolithic.trace)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_same_message_counts(self, seed):
+        inits = [1, 0, 1, 0, 0]
+        decomposed = run_ben_or(inits, t=2, seed=seed)
+        monolithic = AsyncRuntime(
+            [MonolithicBenOr() for _ in range(5)],
+            init_values=inits, t=2, seed=seed, max_time=2000.0,
+        ).run()
+        assert (
+            decomposed.trace.message_count() == monolithic.trace.message_count()
+        )

@@ -1,0 +1,80 @@
+"""Unit tests for the coin-flip reconciliator (incl. the biased variant)."""
+
+import pytest
+
+from repro.algorithms.ben_or.reconciliator import CoinFlipReconciliator
+from repro.core.confidence import VACILLATE
+from repro.sim.async_runtime import AsyncRuntime
+from repro.sim.process import Process
+
+
+class OneFlip(Process):
+    def __init__(self, reconciliator, rounds=1):
+        self.reconciliator = reconciliator
+        self.rounds = rounds
+        self.flips = []
+
+    def run(self, api):
+        for round_no in range(1, self.rounds + 1):
+            value = yield from self.reconciliator.invoke(
+                api, VACILLATE, api.init_value, round_no
+            )
+            self.flips.append(value)
+
+
+def flip_many(reconciliator, rounds=400, seed=0):
+    process = OneFlip(reconciliator, rounds)
+    AsyncRuntime([process], seed=seed, stop_when="all_halted").run()
+    return process.flips
+
+
+class TestFairCoin:
+    def test_flips_cover_the_domain(self):
+        flips = flip_many(CoinFlipReconciliator())
+        assert set(flips) == {0, 1}
+
+    def test_roughly_balanced(self):
+        flips = flip_many(CoinFlipReconciliator())
+        ones = sum(flips)
+        assert 120 < ones < 280  # 400 fair flips
+
+    def test_custom_domain(self):
+        flips = flip_many(CoinFlipReconciliator(("a", "b", "c")))
+        assert set(flips) == {"a", "b", "c"}
+
+    def test_flip_annotated_in_trace(self):
+        process = OneFlip(CoinFlipReconciliator(), rounds=3)
+        result = AsyncRuntime([process], seed=1, stop_when="all_halted").run()
+        assert len(result.trace.annotations("coin")) == 3
+
+
+class TestBiasedCoin:
+    def test_bias_shifts_the_distribution(self):
+        flips = flip_many(CoinFlipReconciliator((0, 1), weights=(1.0, 9.0)))
+        ones = sum(flips)
+        assert ones > 300  # expected 360 of 400
+
+    def test_every_value_remains_possible(self):
+        flips = flip_many(
+            CoinFlipReconciliator((0, 1), weights=(1.0, 19.0)), rounds=2000
+        )
+        assert 0 in flips  # the reconciliator guarantee needs this
+
+    def test_weights_validation(self):
+        with pytest.raises(ValueError):
+            CoinFlipReconciliator((0, 1), weights=(1.0,))
+        with pytest.raises(ValueError):
+            CoinFlipReconciliator((0, 1), weights=(1.0, 0.0))
+        with pytest.raises(ValueError):
+            CoinFlipReconciliator((0, 1), weights=(1.0, -2.0))
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError):
+            CoinFlipReconciliator(())
+
+
+class TestDeterminism:
+    def test_same_seed_same_flips(self):
+        a = flip_many(CoinFlipReconciliator(), rounds=50, seed=9)
+        b = flip_many(CoinFlipReconciliator(), rounds=50, seed=9)
+        assert a == b

@@ -1,0 +1,98 @@
+"""Unit tests for Ben-Or's VAC object in isolation (Lemma 5)."""
+
+import pytest
+
+from repro.algorithms.ben_or.messages import Ratify, Report
+from repro.algorithms.ben_or.vac import BenOrVac
+from repro.core.confidence import ADOPT, COMMIT, VACILLATE
+from repro.core.properties import check_vac_round
+from repro.sim.async_runtime import AsyncRuntime
+from repro.sim.failures import CrashPlan
+
+from tests.helpers import OneShotDetector, collect_outcomes
+
+
+def run_vac(init_values, t, seed=0, crash_plans=(), correct=None):
+    n = len(init_values)
+    processes = [OneShotDetector(BenOrVac()) for _ in range(n)]
+    runtime = AsyncRuntime(
+        processes,
+        init_values=init_values,
+        t=t,
+        seed=seed,
+        crash_plans=crash_plans,
+        stop_when="all_halted",
+        max_time=100.0,
+    )
+    result = runtime.run()
+    return collect_outcomes(result.trace, correct)
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_unanimous_inputs_commit(self, value):
+        outcomes = run_vac([value] * 5, t=2)
+        assert all(o == (COMMIT, value) for o in outcomes.values())
+
+    def test_unanimous_with_crash_still_commits(self):
+        outcomes = run_vac(
+            [1] * 5, t=2, crash_plans=[CrashPlan(0, at_time=0.2)], correct=[1, 2, 3, 4]
+        )
+        assert len(outcomes) == 4
+        assert all(o == (COMMIT, 1) for o in outcomes.values())
+
+
+class TestCoherence:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_mixed_inputs_are_always_coherent(self, seed):
+        outcomes = run_vac([0, 1, 0, 1, 1], t=2, seed=seed)
+        check_vac_round(outcomes)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_coherence_under_partial_broadcast_crash(self, seed):
+        # Crash a process mid-broadcast: some processes see its report,
+        # others do not — the classic source of disagreement.
+        outcomes = run_vac(
+            [0, 1, 0, 1, 1],
+            t=2,
+            seed=seed,
+            crash_plans=[CrashPlan(4, after_sends=2)],
+            correct=[0, 1, 2, 3],
+        )
+        check_vac_round(outcomes)
+
+
+class TestOutcomeStructure:
+    def test_majority_input_tends_to_win(self):
+        # With 4 of 5 preferring 1, value 1 must be the only possible
+        # adopt/commit value (0 can never gather a strict majority).
+        for seed in range(10):
+            outcomes = run_vac([1, 1, 1, 1, 0], t=2, seed=seed)
+            for confidence, value in outcomes.values():
+                if confidence in (ADOPT, COMMIT):
+                    assert value == 1
+
+    def test_vacillate_keeps_own_value(self):
+        # An exactly balanced 2-2 split with t=1 forces everyone to see no
+        # majority; all must vacillate with their own input.
+        for seed in range(5):
+            outcomes = run_vac([0, 0, 1, 1], t=1, seed=seed)
+            for pid, (confidence, value) in outcomes.items():
+                if confidence is VACILLATE:
+                    assert value == [0, 0, 1, 1][pid]
+
+    def test_balanced_split_never_commits(self):
+        # No value can reach a strict majority of reports in a 2-2 split,
+        # so no ratify messages exist and nobody commits or adopts.
+        for seed in range(10):
+            outcomes = run_vac([0, 0, 1, 1], t=1, seed=seed)
+            assert all(c is VACILLATE for c, _v in outcomes.values())
+
+
+class TestMessages:
+    def test_report_and_ratify_round_tagging(self):
+        report = Report(3, 1)
+        assert report.round_no == 3 and report.value == 1
+        ratify = Ratify(3, None)
+        assert not ratify.is_ratify
+        assert Ratify(3, 0).is_ratify

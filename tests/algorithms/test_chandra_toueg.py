@@ -1,0 +1,149 @@
+"""Tests for Chandra-Toueg consensus and the adaptive failure detector."""
+
+import pytest
+
+from repro.algorithms.chandra_toueg import (
+    AdaptiveTimeoutDetector,
+    run_chandra_toueg,
+)
+from repro.algorithms.chandra_toueg.node import coordinator_of
+from repro.algorithms.raft.vac import check_raft_vac
+from repro.core.confidence import ADOPT, COMMIT
+from repro.core.properties import (
+    check_agreement,
+    check_termination,
+    check_validity,
+)
+from repro.sim.failures import CrashPlan
+from repro.sim.network import NetworkConfig, SkewedDelay, UniformDelay
+
+
+class TestFailureDetector:
+    def test_initial_timeout_applies_to_everyone(self):
+        detector = AdaptiveTimeoutDetector(initial_timeout=5.0)
+        assert detector.timeout(0) == 5.0
+        assert detector.timeout(7) == 5.0
+
+    def test_false_suspicion_doubles_the_timeout(self):
+        detector = AdaptiveTimeoutDetector(initial_timeout=5.0)
+        detector.suspected(3)
+        assert detector.is_suspected(3)
+        detector.heard_from(3)
+        assert not detector.is_suspected(3)
+        assert detector.timeout(3) == 10.0
+        assert detector.false_suspicions == 1
+
+    def test_hearing_without_suspicion_changes_nothing(self):
+        detector = AdaptiveTimeoutDetector(initial_timeout=5.0)
+        detector.heard_from(3)
+        assert detector.timeout(3) == 5.0
+        assert detector.false_suspicions == 0
+
+    def test_timeout_growth_is_capped(self):
+        detector = AdaptiveTimeoutDetector(initial_timeout=5.0, max_timeout=12.0)
+        for _ in range(5):
+            detector.suspected(1)
+            detector.heard_from(1)
+        assert detector.timeout(1) == 12.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveTimeoutDetector(initial_timeout=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveTimeoutDetector(initial_timeout=10.0, max_timeout=5.0)
+
+
+class TestConsensus:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_agreement_validity_termination(self, seed):
+        inits = [1, 2, 3, 4, 5]
+        result = run_chandra_toueg(inits, seed=seed)
+        check_agreement(result.decisions)
+        check_validity(result.decisions, inits)
+        check_termination(result.decisions, range(5))
+
+    @pytest.mark.parametrize("n", [1, 3, 5, 7])
+    def test_cluster_sizes(self, n):
+        result = run_chandra_toueg(list(range(n)), seed=2)
+        check_agreement(result.decisions)
+        check_termination(result.decisions, range(n))
+
+    def test_fast_path_decides_in_round_one(self):
+        # Fault-free with comfortable timeouts: the first coordinator locks.
+        result = run_chandra_toueg([9, 8, 7], seed=0)
+        commits = [
+            (round_no, value)
+            for _pid, _t, (round_no, conf, value) in result.trace.annotations("vac")
+            if conf is COMMIT
+        ]
+        assert min(r for r, _v in commits) == 1
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_per_round_coherence(self, seed):
+        result = run_chandra_toueg([1, 2, 3, 4, 5], seed=seed)
+        assert check_raft_vac(result.trace) >= 1
+
+
+class TestUnderFailures:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_first_coordinator_crash(self, seed):
+        # Kill pid 0 — round 1's coordinator — before it can lock.
+        inits = [1, 2, 3, 4, 5]
+        result = run_chandra_toueg(
+            inits, seed=seed, crash_plans=[CrashPlan(0, at_time=0.5)]
+        )
+        check_agreement(result.decisions)
+        check_termination(result.decisions, [1, 2, 3, 4])
+        check_validity(result.decisions, inits)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_minority_crashes(self, seed):
+        result = run_chandra_toueg(
+            [1, 2, 3, 4, 5],
+            seed=seed,
+            crash_plans=[
+                CrashPlan(0, at_time=2.0),
+                CrashPlan(1, after_sends=6),
+            ],
+        )
+        check_agreement(result.decisions)
+        check_termination(result.decisions, [2, 3, 4])
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_slow_coordinator_is_falsely_suspected_then_tolerated(self, seed):
+        """A slow (not crashed) pid 0 triggers false suspicions; the adaptive
+        timeouts must absorb them and the run must still agree."""
+        network = NetworkConfig(
+            delay_model=SkewedDelay(UniformDelay(0.5, 1.5), slow_pids=[0], factor=8.0)
+        )
+        result = run_chandra_toueg(
+            [1, 2, 3, 4, 5], seed=seed, network=network, initial_timeout=4.0
+        )
+        check_agreement(result.decisions)
+        check_termination(result.decisions, range(5))
+
+    def test_locking_pins_later_rounds(self):
+        """Once any coordinator locks a value, every later adopt annotation
+        must carry that value — the leader-completeness analogue."""
+        for seed in range(8):
+            result = run_chandra_toueg(
+                [1, 2, 3, 4, 5],
+                seed=seed,
+                crash_plans=[CrashPlan(0, at_time=0.5)],
+            )
+            annotations = result.trace.annotations("vac")
+            commits = [
+                (r, v) for _p, _t, (r, c, v) in annotations if c is COMMIT
+            ]
+            if not commits:
+                continue
+            lock_round, locked = min(commits)
+            for _p, _t, (r, c, v) in annotations:
+                if c is ADOPT and r > lock_round:
+                    assert v == locked
+
+
+def test_coordinator_rotation():
+    assert coordinator_of(1, 5) == 0
+    assert coordinator_of(5, 5) == 4
+    assert coordinator_of(6, 5) == 0

@@ -1,0 +1,178 @@
+"""Tests for single-decree Paxos and its VAC view."""
+
+import pytest
+
+from repro.algorithms.paxos import PaxosNode, run_paxos
+from repro.algorithms.raft.vac import check_raft_vac
+from repro.core.properties import (
+    check_agreement,
+    check_termination,
+    check_validity,
+)
+from repro.sim.failures import CrashPlan
+from repro.sim.network import NetworkConfig, Partition, UniformDelay
+
+
+class TestBasicConsensus:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_agreement_validity_termination(self, seed):
+        inits = ["a", "b", "c", "d", "e"]
+        result = run_paxos(inits, seed=seed)
+        check_agreement(result.decisions)
+        check_validity(result.decisions, inits)
+        check_termination(result.decisions, range(5))
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 7])
+    def test_cluster_sizes(self, n):
+        inits = list(range(n))
+        result = run_paxos(inits, seed=4)
+        check_agreement(result.decisions)
+        check_termination(result.decisions, range(n))
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_per_ballot_vac_coherence(self, seed):
+        result = run_paxos([1, 2, 3, 4, 5], seed=seed)
+        assert check_raft_vac(result.trace) >= 1
+
+    def test_decision_is_some_input(self):
+        result = run_paxos(["x", "y", "z"], seed=2)
+        assert result.decided_value() in ("x", "y", "z")
+
+
+class TestUnderFailures:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_minority_crashes_tolerated(self, seed):
+        inits = [1, 2, 3, 4, 5]
+        result = run_paxos(
+            inits,
+            seed=seed,
+            crash_plans=[
+                CrashPlan(0, at_time=5.0),
+                CrashPlan(1, at_time=9.0),
+            ],
+        )
+        live = [2, 3, 4]
+        check_agreement(result.decisions)
+        check_termination(result.decisions, live)
+        check_validity(result.decisions, inits)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_crash_restart_rejoins(self, seed):
+        result = run_paxos(
+            [1, 2, 3],
+            seed=seed,
+            crash_plans=[CrashPlan(1, at_time=4.0, restart_at=40.0)],
+        )
+        check_agreement(result.decisions)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_partition_heals(self, seed):
+        network = NetworkConfig(
+            delay_model=UniformDelay(0.5, 1.5),
+            partitions=[Partition(3.0, 60.0, [[0, 1], [2, 3, 4]])],
+        )
+        result = run_paxos([1, 2, 3, 4, 5], seed=seed, network=network)
+        check_agreement(result.decisions)
+        check_termination(result.decisions, range(5))
+
+    def test_minority_side_cannot_decide_alone(self):
+        network = NetworkConfig(
+            delay_model=UniformDelay(0.5, 1.5),
+            partitions=[Partition(0.0, 10_000.0, [[0, 1], [2, 3, 4]])],
+        )
+        result = run_paxos([1, 2, 3, 4, 5], seed=0, network=network, max_time=400.0)
+        assert all(pid in (2, 3, 4) for pid in result.decisions)
+        check_agreement(result.decisions)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_lossy_network(self, seed):
+        network = NetworkConfig(delay_model=UniformDelay(0.5, 1.5), drop_rate=0.15)
+        result = run_paxos([1, 2, 3], seed=seed, network=network)
+        check_agreement(result.decisions)
+        check_termination(result.decisions, range(3))
+
+
+class TestDuelingProposers:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_contention_resolves(self, seed):
+        # Tight identical retry ranges maximize dueling; randomized draws
+        # must still separate the proposers eventually.
+        result = run_paxos(
+            [1, 2, 3, 4, 5],
+            seed=seed,
+            retry_timeout=(4.0, 6.0),
+            max_time=5_000.0,
+        )
+        check_agreement(result.decisions)
+        check_termination(result.decisions, range(5))
+
+    def test_chosen_value_survives_later_ballots(self):
+        """Paxos' core invariant, observed: once any ballot commits, every
+        later ballot's adopt annotations carry the same value."""
+        for seed in range(8):
+            result = run_paxos([1, 2, 3, 4, 5], seed=seed, retry_timeout=(4.0, 6.0))
+            annotations = result.trace.annotations("vac")
+            from repro.core.confidence import ADOPT, COMMIT
+
+            commit_events = [
+                (ballot, value)
+                for _pid, _t, (ballot, conf, value) in annotations
+                if conf is COMMIT
+            ]
+            if not commit_events:
+                continue
+            first_ballot, chosen = min(commit_events)
+            for _pid, _t, (ballot, conf, value) in annotations:
+                if conf is ADOPT and ballot > first_ballot:
+                    assert value == chosen
+
+
+class TestAcceptorRules:
+    def make_api(self, pid=0, n=3):
+        import random
+
+        from repro.sim.process import ProcessAPI
+
+        return ProcessAPI(pid, n, 1, f"v{pid}", random.Random(0))
+
+    def drain(self, gen):
+        return list(gen)
+
+    def test_promise_is_monotone(self):
+        from repro.algorithms.paxos.messages import Nack, Prepare, Promise
+
+        node = PaxosNode()
+        api = self.make_api()
+        ops = self.drain(node._on_prepare(api, Prepare((5, 1)), 1))
+        assert isinstance(ops[0].payload, Promise)
+        ops = self.drain(node._on_prepare(api, Prepare((3, 2)), 2))
+        assert isinstance(ops[0].payload, Nack)
+        assert node.promised == (5, 1)
+
+    def test_accept_below_promise_nacked(self):
+        from repro.algorithms.paxos.messages import Accept, Nack, Prepare
+
+        node = PaxosNode()
+        api = self.make_api()
+        self.drain(node._on_prepare(api, Prepare((5, 1)), 1))
+        ops = self.drain(node._on_accept(api, Accept((4, 2), "v"), 2))
+        assert isinstance(ops[0].payload, Nack)
+        assert node.accepted_ballot is None
+
+    def test_accept_at_promise_succeeds_and_broadcasts(self):
+        from repro.algorithms.paxos.messages import Accept, Accepted, Prepare
+        from repro.sim.ops import Broadcast
+
+        node = PaxosNode()
+        api = self.make_api()
+        self.drain(node._on_prepare(api, Prepare((5, 1)), 1))
+        ops = self.drain(node._on_accept(api, Accept((5, 1), "v"), 1))
+        broadcasts = [op for op in ops if isinstance(op, Broadcast)]
+        assert broadcasts and isinstance(broadcasts[0].payload, Accepted)
+        assert node.accepted_value == "v"
+
+    def test_retry_timeout_validation(self):
+        with pytest.raises(ValueError):
+            PaxosNode(retry_timeout=(0.0, 5.0))
+        with pytest.raises(ValueError):
+            PaxosNode(cluster_size=0)

@@ -1,0 +1,100 @@
+"""Unit tests for Phase-King's adopt-commit object in isolation (Lemma 2)."""
+
+import pytest
+
+from repro.algorithms.phase_king.adopt_commit import NO_PREFERENCE, PhaseKingAdoptCommit
+from repro.core.confidence import ADOPT, COMMIT
+from repro.core.properties import check_ac_round
+from repro.sim.failures import (
+    ByzantineProcess,
+    anti_phase_king_strategy,
+    equivocating_strategy,
+    random_noise_strategy,
+    silent_strategy,
+)
+from repro.sim.sync_runtime import SyncRuntime
+
+from tests.helpers import OneShotDetector, collect_outcomes
+
+
+def run_ac(init_values, t, byzantine=None, seed=0):
+    """Run one AC invocation; byzantine maps pid -> strategy."""
+    n = len(init_values)
+    byzantine = byzantine or {}
+    processes = []
+    for pid in range(n):
+        if pid in byzantine:
+            processes.append(ByzantineProcess(byzantine[pid]))
+        else:
+            processes.append(OneShotDetector(PhaseKingAdoptCommit()))
+    correct = [pid for pid in range(n) if pid not in byzantine]
+    runtime = SyncRuntime(
+        processes,
+        init_values=init_values,
+        t=t,
+        seed=seed,
+        stop_pids=correct,
+        stop_when="all_done",
+        max_exchanges=4,
+    )
+    result = runtime.run()
+    return collect_outcomes(result.trace, correct)
+
+
+class TestFaultFree:
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_unanimous_inputs_commit(self, value):
+        outcomes = run_ac([value] * 4, t=1)
+        assert all(o == (COMMIT, value) for o in outcomes.values())
+
+    def test_clear_majority_commits(self):
+        # n - t = 3 of 4 prefer 1: C(1) >= n - t everywhere.
+        outcomes = run_ac([1, 1, 1, 0], t=1)
+        assert all(o == (COMMIT, 1) for o in outcomes.values())
+
+    def test_balanced_split_adopts_sentinel(self):
+        outcomes = run_ac([0, 0, 1, 1], t=1)
+        assert all(c is ADOPT for c, _v in outcomes.values())
+        assert all(v == NO_PREFERENCE for _c, v in outcomes.values())
+
+
+class TestWithByzantine:
+    STRATEGIES = {
+        "silent": lambda: silent_strategy,
+        "noise": random_noise_strategy,
+        "equivocating": equivocating_strategy,
+        "adaptive": anti_phase_king_strategy,
+    }
+
+    @pytest.mark.parametrize("name", sorted(STRATEGIES))
+    @pytest.mark.parametrize("seed", range(5))
+    def test_coherence_holds_for_every_strategy(self, name, seed):
+        strategy = self.STRATEGIES[name]()
+        inits = [0, 1, 0, 1, 1, 0, 1]
+        outcomes = run_ac(inits, t=2, byzantine={2: strategy, 5: strategy}, seed=seed)
+        check_ac_round(outcomes)
+
+    @pytest.mark.parametrize("name", sorted(STRATEGIES))
+    def test_convergence_despite_byzantine(self, name):
+        # All correct processes start with 1: Lemma 2's validity argument
+        # forces (commit, 1) at every correct process.
+        strategy = self.STRATEGIES[name]()
+        inits = [1] * 7
+        outcomes = run_ac(inits, t=2, byzantine={0: strategy, 6: strategy})
+        assert all(o == (COMMIT, 1) for o in outcomes.values())
+
+    def test_byzantine_minority_cannot_forge_commit_value(self):
+        # 4 correct processes prefer 0; 2 Byzantine push 1.  A commit, if
+        # any, must be on 0 (1 can never reach n - t = 4 honest-backed
+        # counts... the Byzantine two alone cannot cross the > t bar with
+        # honest support all on 0 after exchange 1).
+        for seed in range(10):
+            outcomes = run_ac(
+                [0, 0, 0, 0, 1, 1],
+                t=2,
+                byzantine={4: equivocating_strategy(1, 1), 5: equivocating_strategy(1, 1)},
+                seed=seed,
+            )
+            for confidence, value in outcomes.values():
+                if confidence is COMMIT:
+                    assert value == 0

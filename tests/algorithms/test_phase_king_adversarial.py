@@ -1,0 +1,112 @@
+"""A coordinated Byzantine attack on Phase-King's *early* decision rule.
+
+The paper's conciliator (Algorithm 4) returns the king's value to every
+adopter, and its validity property only references the king's own input —
+which is vacuous when the king is Byzantine.  This file constructs the
+concrete consequence: with ``n = 7, t = 2`` and Byzantine pids {0, 1}
+(also the first two kings), the adversary
+
+1. makes exactly one correct process (pid 2) see ``D(1) >= n - t`` in round
+   1 and *commit* value 1, while the other correct processes only adopt 1;
+2. has round 1's Byzantine king hand value 0 to all adopters;
+3. lets round 2 run: now four of five correct processes hold 0, so the AC
+   *commits 0* — and pid 2, already decided on 1, is forced to decide 0.
+
+Under the paper-literal ``early`` mode this is an agreement violation
+(surfaced by the runtime as a double-decide `SimulationError`); under the
+classic ``fixed`` mode (decide only after ``t + 1`` rounds) the same attack
+is harmless.  This is the repository's executable witness for the caveat
+documented in ``repro.algorithms.phase_king`` and DESIGN.md.
+"""
+
+import pytest
+
+from repro.algorithms.phase_king import run_phase_king
+from repro.core.properties import (
+    PropertyViolation,
+    check_ac_round,
+    check_agreement,
+    outcomes_by_round,
+)
+
+#: Correct processes and their inputs: pids 2, 3, 4 prefer 1; 5, 6 prefer 0.
+INIT_VALUES = [None, None, 1, 1, 1, 0, 0]
+CORRECT = [2, 3, 4, 5, 6]
+
+
+def attack_strategy(king_pid):
+    """The coordinated attack as a Byzantine strategy for pid ``king_pid``."""
+
+    def strategy(api, barrier, inbox):
+        if barrier == 0:  # round 1, exchange 1: split the correct tallies
+            return {2: 1, 3: 1, 4: 1, 5: 0, 6: 0}
+        if barrier == 1:  # round 1, exchange 2: only pid 2 reaches n - t
+            return {2: 1, 3: 2, 4: 2, 5: 2, 6: 2}
+        if barrier == 2:  # round 1, king exchange: the Byzantine king lies
+            if api.pid == king_pid:
+                return {pid: 0 for pid in range(api.n)}
+            return {}
+        # Round 2 onward: push 0 everywhere to cement the flipped commit.
+        return {pid: 0 for pid in range(api.n)}
+
+    return strategy
+
+
+def build_byzantine():
+    return {0: attack_strategy(0), 1: attack_strategy(1)}
+
+
+def test_round_one_unfolds_as_designed():
+    """In fixed mode, verify the attack produces the intended round-1 split."""
+    result = run_phase_king(
+        INIT_VALUES, t=2, byzantine=build_byzantine(), mode="fixed", seed=0
+    )
+    outcomes = outcomes_by_round(result.trace, "ac", correct=CORRECT)
+    round1 = outcomes[1]
+    from repro.core.confidence import ADOPT, COMMIT
+
+    assert round1[2] == (COMMIT, 1)
+    for pid in (3, 4, 5, 6):
+        assert round1[pid] == (ADOPT, 1)
+    check_ac_round(round1)  # the AC object itself is perfectly coherent
+
+
+def test_early_mode_agreement_is_broken_by_the_attack():
+    """The paper-literal early rule lets the adversary force disagreement.
+
+    Pid 2 decides 1 in round 1; the flipped round 2 commits 0 at every other
+    correct process — the run completes with split decisions {2: 1, rest: 0}.
+    """
+    result = run_phase_king(
+        INIT_VALUES, t=2, byzantine=build_byzantine(), mode="early", seed=0
+    )
+    decisions = {pid: result.decisions[pid] for pid in CORRECT}
+    assert decisions[2] == 1
+    assert all(decisions[pid] == 0 for pid in (3, 4, 5, 6))
+    with pytest.raises(PropertyViolation):
+        check_agreement(decisions)
+
+
+def test_fixed_mode_survives_the_same_attack():
+    """The classic t+1-round rule is immune: everyone decides 0 together."""
+    result = run_phase_king(
+        INIT_VALUES, t=2, byzantine=build_byzantine(), mode="fixed", seed=0
+    )
+    decisions = {pid: result.decisions[pid] for pid in CORRECT}
+    check_agreement(decisions)
+    assert set(decisions.values()) == {0}
+
+
+def test_attack_requires_a_byzantine_king():
+    """With the same message pattern but correct kings, early mode is safe:
+    the commit-then-flip needs the round-1 king to lie."""
+    # Shift the Byzantine pids off the first kings: kings 0 and 1 are now
+    # correct, so the round-1 king broadcasts its real value.
+    init_values = [1, 0, None, None, 1, 1, 0]
+    byzantine = {2: attack_strategy(2), 3: attack_strategy(3)}
+    result = run_phase_king(
+        init_values, t=2, byzantine=byzantine, mode="early", seed=0
+    )
+    correct = [0, 1, 4, 5, 6]
+    decisions = {pid: result.decisions[pid] for pid in correct}
+    check_agreement(decisions)

@@ -1,0 +1,169 @@
+"""End-to-end tests for decomposed Phase-King consensus (Section 4.1)."""
+
+import pytest
+
+from repro.algorithms.phase_king import (
+    MonolithicPhaseKing,
+    king_of_round,
+    run_phase_king,
+)
+from repro.core.properties import (
+    check_agreement,
+    check_all_rounds,
+    check_termination,
+    check_validity,
+)
+from repro.sim.failures import (
+    anti_phase_king_strategy,
+    equivocating_strategy,
+    random_noise_strategy,
+    silent_strategy,
+)
+from repro.sim.sync_runtime import SyncRuntime
+
+STRATEGIES = {
+    "silent": lambda: silent_strategy,
+    "noise": random_noise_strategy,
+    "equivocating": equivocating_strategy,
+    "adaptive": anti_phase_king_strategy,
+}
+
+
+class TestFaultFree:
+    @pytest.mark.parametrize("mode", ["fixed", "early"])
+    def test_unanimous(self, mode):
+        result = run_phase_king([1, 1, 1, 1], t=1, mode=mode)
+        check_agreement(result.decisions)
+        assert result.decided_value() == 1
+        check_termination(result.decisions, range(4))
+
+    @pytest.mark.parametrize("mode", ["fixed", "early"])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_mixed_inputs(self, mode, seed):
+        inits = [0, 1, 0, 1, 1, 0, 1]
+        result = run_phase_king(inits, t=2, mode=mode, seed=seed)
+        check_agreement(result.decisions)
+        check_validity(result.decisions, inits)
+        check_termination(result.decisions, range(7))
+
+    def test_exchange_budget_fixed_mode(self):
+        # Fixed mode: exactly t + 1 template rounds of 3 exchanges.
+        result = run_phase_king([0, 1, 0, 1], t=1, mode="fixed")
+        assert result.exchanges == 6
+
+
+class TestWithByzantine:
+    @pytest.mark.parametrize("name", sorted(STRATEGIES))
+    @pytest.mark.parametrize("seed", range(4))
+    def test_fixed_mode_safe_and_live(self, name, seed):
+        strategy_factory = STRATEGIES[name]
+        inits = [0, 1, 0, 1, 1, 0, 1]
+        byzantine = {2: strategy_factory(), 5: strategy_factory()}
+        result = run_phase_king(inits, t=2, byzantine=byzantine, mode="fixed", seed=seed)
+        correct = [p for p in range(7) if p not in byzantine]
+        decisions = {p: result.decisions[p] for p in correct}
+        check_agreement(decisions)
+        check_validity(decisions, inits)
+        check_termination(decisions, correct)
+
+    @pytest.mark.parametrize("name", sorted(STRATEGIES))
+    @pytest.mark.parametrize("seed", range(4))
+    def test_early_mode_under_library_strategies(self, name, seed):
+        strategy_factory = STRATEGIES[name]
+        inits = [1, 0, 1, 0, 1, 0, 1]
+        byzantine = {1: strategy_factory(), 4: strategy_factory()}
+        result = run_phase_king(inits, t=2, byzantine=byzantine, mode="early", seed=seed)
+        correct = [p for p in range(7) if p not in byzantine]
+        decisions = {p: result.decisions[p] for p in correct}
+        check_agreement(decisions)
+        check_termination(decisions, correct)
+        check_all_rounds(result.trace, "ac", correct=correct, validity=False)
+
+    @pytest.mark.parametrize("n,t", [(4, 1), (7, 2), (10, 3), (13, 4)])
+    def test_resilience_scaling(self, n, t):
+        inits = [i % 2 for i in range(n)]
+        byzantine = {pid: equivocating_strategy() for pid in range(n - t, n)}
+        result = run_phase_king(inits, t=t, byzantine=byzantine, mode="fixed", seed=1)
+        correct = [p for p in range(n) if p not in byzantine]
+        decisions = {p: result.decisions[p] for p in correct}
+        check_agreement(decisions)
+        check_termination(decisions, correct)
+
+    def test_byzantine_kings_cannot_block_termination(self):
+        # Put Byzantine processes exactly on the first kings' pids: the
+        # protocol must still finish within t + 1 rounds because at least
+        # one of kings 0..t is correct.
+        inits = [0, 1, 0, 1, 1, 0, 1]
+        byzantine = {0: silent_strategy, 1: silent_strategy}
+        result = run_phase_king(inits, t=2, byzantine=byzantine, mode="fixed", seed=0)
+        correct = [p for p in range(7) if p not in byzantine]
+        check_termination({p: result.decisions[p] for p in correct}, correct)
+
+
+class TestValidation:
+    def test_rejects_insufficient_resilience(self):
+        with pytest.raises(ValueError):
+            run_phase_king([0, 1, 0], t=1)  # 3t < n fails for n=3, t=1
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            run_phase_king([0, 1, 0, 1], t=1, mode="bogus")
+
+    def test_king_rotation(self):
+        assert king_of_round(1, 4) == 0
+        assert king_of_round(4, 4) == 3
+        assert king_of_round(5, 4) == 0
+
+
+class TestMonolithicEquivalence:
+    """Experiment E4 for the synchronous algorithm."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_fault_free_equivalence(self, seed):
+        inits = [0, 1, 1, 0, 1, 0, 0]
+        decomposed = run_phase_king(inits, t=2, mode="fixed", seed=seed)
+        monolithic = SyncRuntime(
+            [MonolithicPhaseKing(2) for _ in range(7)],
+            init_values=inits,
+            t=2,
+            seed=seed,
+            stop_when="all_decided",
+            max_exchanges=12,
+        ).run()
+        assert decomposed.decisions == monolithic.decisions
+        assert decomposed.trace.message_count() == monolithic.trace.message_count()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_byzantine_equivalence(self, seed):
+        # Same Byzantine strategy objects, same seed: the decomposed and
+        # monolithic protocols must produce identical decisions.
+        inits = [0, 1, 1, 0, 1, 0, 0]
+        byz_pids = {3, 6}
+
+        def build_byz():
+            return {pid: equivocating_strategy() for pid in byz_pids}
+
+        decomposed = run_phase_king(
+            inits, t=2, byzantine=build_byz(), mode="fixed", seed=seed
+        )
+        from repro.sim.failures import ByzantineProcess
+
+        processes = [
+            ByzantineProcess(equivocating_strategy())
+            if pid in byz_pids
+            else MonolithicPhaseKing(2)
+            for pid in range(7)
+        ]
+        monolithic = SyncRuntime(
+            processes,
+            init_values=inits,
+            t=2,
+            seed=seed,
+            stop_pids=[p for p in range(7) if p not in byz_pids],
+            stop_when="all_decided",
+            max_exchanges=12,
+        ).run()
+        correct = [p for p in range(7) if p not in byz_pids]
+        assert {p: decomposed.decisions[p] for p in correct} == {
+            p: monolithic.decisions[p] for p in correct
+        }

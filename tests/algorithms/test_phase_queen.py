@@ -1,0 +1,140 @@
+"""Tests for Phase-Queen: the framework's second synchronous instantiation."""
+
+import pytest
+
+from repro.algorithms.phase_queen import (
+    MonolithicPhaseQueen,
+    PhaseQueenAdoptCommit,
+    run_phase_queen,
+)
+from repro.core.confidence import ADOPT, COMMIT
+from repro.core.properties import (
+    check_ac_round,
+    check_agreement,
+    check_termination,
+    check_validity,
+)
+from repro.sim.failures import (
+    ByzantineProcess,
+    anti_phase_king_strategy,
+    equivocating_strategy,
+    random_noise_strategy,
+    silent_strategy,
+)
+from repro.sim.sync_runtime import SyncRuntime
+
+from tests.helpers import OneShotDetector, collect_outcomes
+
+STRATEGIES = {
+    "silent": lambda: silent_strategy,
+    "noise": random_noise_strategy,
+    "equivocating": equivocating_strategy,
+    "adaptive": anti_phase_king_strategy,
+}
+
+
+def run_ac(init_values, t, byzantine=None, seed=0):
+    n = len(init_values)
+    byzantine = byzantine or {}
+    processes = [
+        ByzantineProcess(byzantine[pid])
+        if pid in byzantine
+        else OneShotDetector(PhaseQueenAdoptCommit())
+        for pid in range(n)
+    ]
+    correct = [pid for pid in range(n) if pid not in byzantine]
+    runtime = SyncRuntime(
+        processes,
+        init_values=init_values,
+        t=t,
+        seed=seed,
+        stop_pids=correct,
+        stop_when="all_done",
+        max_exchanges=3,
+    )
+    result = runtime.run()
+    return collect_outcomes(result.trace, correct)
+
+
+class TestAdoptCommitObject:
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_unanimous_inputs_commit(self, value):
+        outcomes = run_ac([value] * 5, t=1)
+        assert all(o == (COMMIT, value) for o in outcomes.values())
+
+    def test_balanced_split_adopts(self):
+        outcomes = run_ac([0, 0, 1, 1], t=0)
+        assert all(c is ADOPT for c, _v in outcomes.values())
+
+    @pytest.mark.parametrize("name", sorted(STRATEGIES))
+    @pytest.mark.parametrize("seed", range(5))
+    def test_coherence_under_byzantine(self, name, seed):
+        strategy = STRATEGIES[name]()
+        inits = [0, 1, 0, 1, 1, 0, 1, 1, 0]  # n = 9, t = 2: 4t < n
+        outcomes = run_ac(inits, t=2, byzantine={3: strategy, 7: strategy}, seed=seed)
+        check_ac_round(outcomes)
+
+    @pytest.mark.parametrize("name", sorted(STRATEGIES))
+    def test_convergence_despite_byzantine(self, name):
+        strategy = STRATEGIES[name]()
+        inits = [1] * 9
+        outcomes = run_ac(inits, t=2, byzantine={0: strategy, 8: strategy})
+        assert all(o == (COMMIT, 1) for o in outcomes.values())
+
+
+class TestConsensus:
+    @pytest.mark.parametrize("mode", ["fixed", "early"])
+    def test_unanimous(self, mode):
+        result = run_phase_queen([1] * 5, t=1, mode=mode)
+        check_agreement(result.decisions)
+        assert result.decided_value() == 1
+
+    @pytest.mark.parametrize("name", sorted(STRATEGIES))
+    @pytest.mark.parametrize("seed", range(4))
+    def test_fixed_mode_safe_under_byzantine(self, name, seed):
+        strategy_factory = STRATEGIES[name]
+        inits = [0, 1, 0, 1, 1, 0, 1, 1, 0]
+        byzantine = {2: strategy_factory(), 6: strategy_factory()}
+        result = run_phase_queen(
+            inits, t=2, byzantine=byzantine, mode="fixed", seed=seed
+        )
+        correct = [p for p in range(9) if p not in byzantine]
+        decisions = {p: result.decisions[p] for p in correct}
+        check_agreement(decisions)
+        check_termination(decisions, correct)
+        assert all(v in (0, 1) for v in decisions.values())
+
+    def test_exchange_budget(self):
+        # Fixed mode: exactly t + 1 rounds of 2 exchanges each.
+        result = run_phase_queen([0, 1, 0, 1, 1], t=1, mode="fixed")
+        assert result.exchanges == 4
+
+    def test_resilience_precondition(self):
+        with pytest.raises(ValueError):
+            run_phase_queen([0, 1, 0, 1], t=1)  # needs 4t < n
+
+    def test_cheaper_than_phase_king_per_round(self):
+        from repro.algorithms.phase_king import run_phase_king
+
+        inits = [0, 1, 0, 1, 1, 0, 1, 1, 0]
+        queen = run_phase_queen(inits, t=2, mode="fixed", seed=0)
+        king = run_phase_king(inits, t=2, mode="fixed", seed=0)
+        assert queen.exchanges < king.exchanges
+        assert queen.trace.message_count() < king.trace.message_count()
+
+
+class TestMonolithicEquivalence:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_decomposed_equals_monolithic(self, seed):
+        inits = [0, 1, 1, 0, 1, 0, 0, 1, 1]
+        decomposed = run_phase_queen(inits, t=2, mode="fixed", seed=seed)
+        monolithic = SyncRuntime(
+            [MonolithicPhaseQueen(2) for _ in range(9)],
+            init_values=inits,
+            t=2,
+            seed=seed,
+            stop_when="all_decided",
+            max_exchanges=8,
+        ).run()
+        assert decomposed.decisions == monolithic.decisions
+        assert decomposed.trace.message_count() == monolithic.trace.message_count()

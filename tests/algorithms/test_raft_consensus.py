@@ -1,0 +1,202 @@
+"""End-to-end tests for Raft consensus (Lemma 6) and its VAC view (Lemma 7)."""
+
+import pytest
+
+from repro.algorithms.raft import (
+    LEADER,
+    build_raft_cluster,
+    check_raft_vac,
+    run_raft_consensus,
+)
+from repro.core.properties import (
+    check_agreement,
+    check_termination,
+    check_validity,
+)
+from repro.sim.async_runtime import AsyncRuntime
+from repro.sim.failures import CrashPlan
+from repro.sim.network import NetworkConfig, Partition, UniformDelay
+
+
+class TestBasicConsensus:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_agreement_validity_termination(self, seed):
+        inits = [10, 20, 30, 40, 50]
+        result = run_raft_consensus(inits, seed=seed)
+        check_agreement(result.decisions)
+        check_validity(result.decisions, inits)
+        check_termination(result.decisions, range(5))
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 7, 9])
+    def test_cluster_sizes(self, n):
+        inits = list(range(n))
+        result = run_raft_consensus(inits, seed=3)
+        check_agreement(result.decisions)
+        check_termination(result.decisions, range(n))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_single_leader_per_term(self, seed):
+        result = run_raft_consensus([1, 2, 3, 4, 5], seed=seed)
+        leaders_by_term = {}
+        for _pid, _time, (term, leader) in result.trace.annotations("leader"):
+            leaders_by_term.setdefault(term, set()).add(leader)
+        assert all(len(leaders) == 1 for leaders in leaders_by_term.values())
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_vac_view_coherent_per_term(self, seed):
+        result = run_raft_consensus([1, 2, 3, 4, 5], seed=seed)
+        assert check_raft_vac(result.trace) >= 1
+
+    def test_decided_value_is_the_first_leaders_value(self):
+        result = run_raft_consensus([1, 2, 3], seed=0)
+        leaders = [l for _p, _t, (_term, l) in result.trace.annotations("leader")]
+        first_leader = leaders[0]
+        assert result.decided_value() == [1, 2, 3][first_leader]
+
+
+class TestUnderFailures:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_leader_crash_triggers_reelection(self, seed):
+        # Crash whoever could be the first leader early; a minority crash
+        # must never block progress.
+        result = run_raft_consensus(
+            [1, 2, 3, 4, 5],
+            seed=seed,
+            crash_plans=[CrashPlan(seed % 5, at_time=14.0)],
+        )
+        live = [p for p in range(5) if p != seed % 5]
+        check_agreement(result.decisions)
+        check_termination(result.decisions, live)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_two_crashes_of_five(self, seed):
+        result = run_raft_consensus(
+            [1, 2, 3, 4, 5],
+            seed=seed,
+            crash_plans=[
+                CrashPlan(0, at_time=12.0),
+                CrashPlan(1, at_time=18.0),
+            ],
+        )
+        check_agreement(result.decisions)
+        check_termination(result.decisions, [2, 3, 4])
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_crash_restart_rejoins_and_agrees(self, seed):
+        result = run_raft_consensus(
+            [1, 2, 3, 4, 5],
+            seed=seed,
+            crash_plans=[CrashPlan(2, at_time=8.0, restart_at=40.0)],
+            max_time=400.0,
+        )
+        check_agreement(result.decisions)
+        check_raft_vac(result.trace)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_partition_heals_and_agrees(self, seed):
+        network = NetworkConfig(
+            delay_model=UniformDelay(0.5, 1.5),
+            partitions=[Partition(5.0, 80.0, [[0, 1], [2, 3, 4]])],
+        )
+        result = run_raft_consensus([1, 2, 3, 4, 5], seed=seed, network=network)
+        check_agreement(result.decisions)
+        check_termination(result.decisions, range(5))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_lossy_network(self, seed):
+        network = NetworkConfig(delay_model=UniformDelay(0.5, 1.5), drop_rate=0.2)
+        result = run_raft_consensus([1, 2, 3], seed=seed, network=network)
+        check_agreement(result.decisions)
+        check_termination(result.decisions, range(3))
+
+    def test_minority_partition_cannot_decide_alone(self):
+        # Permanently cut {0, 1} off: only the majority side decides.
+        network = NetworkConfig(
+            delay_model=UniformDelay(0.5, 1.5),
+            partitions=[Partition(0.0, 10_000.0, [[0, 1], [2, 3, 4]])],
+        )
+        result = run_raft_consensus(
+            [1, 2, 3, 4, 5],
+            seed=0,
+            network=network,
+            max_time=300.0,
+        )
+        majority_decisions = {p: v for p, v in result.decisions.items() if p in (2, 3, 4)}
+        minority_decisions = {p: v for p, v in result.decisions.items() if p in (0, 1)}
+        assert len(majority_decisions) >= 1
+        assert minority_decisions == {}
+        check_agreement(result.decisions)
+
+
+class TestLogSafetyProperties:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_leader_completeness_and_log_matching(self, seed):
+        """After a chaotic run, all node logs must agree on every index two
+        nodes share — the Log Matching property — and the decided entry must
+        appear in every live node's log prefix."""
+        nodes = build_raft_cluster(5)
+        runtime = AsyncRuntime(
+            nodes,
+            init_values=[1, 2, 3, 4, 5],
+            t=2,
+            network=NetworkConfig(delay_model=UniformDelay(0.5, 1.5)),
+            seed=seed,
+            crash_plans=[CrashPlan(0, at_time=13.0, restart_at=35.0)],
+            max_time=400.0,
+        )
+        result = runtime.run()
+        check_agreement(result.decisions)
+        logs = [node.log for node in nodes]
+        for a in range(5):
+            for b in range(a + 1, 5):
+                shared = min(logs[a].last_index, logs[b].last_index)
+                for index in range(1, shared + 1):
+                    if logs[a].term_at(index) == logs[b].term_at(index):
+                        assert (
+                            logs[a].entry_at(index) == logs[b].entry_at(index)
+                        ), f"log matching violated at {index} between {a},{b}"
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_state_machine_safety(self, seed):
+        """No two nodes apply different commands at the same index."""
+        nodes = build_raft_cluster(5)
+        runtime = AsyncRuntime(
+            nodes,
+            init_values=[1, 2, 3, 4, 5],
+            t=2,
+            network=NetworkConfig(delay_model=UniformDelay(0.5, 1.5)),
+            seed=seed,
+            max_time=400.0,
+        )
+        result = runtime.run()
+        applied = {}
+        for pid, _time, (index, term, command) in result.trace.annotations("applied"):
+            key = index
+            if key in applied:
+                assert applied[key] == (term, command), (
+                    f"state machine safety violated at index {index}"
+                )
+            else:
+                applied[key] = (term, command)
+
+
+class TestTimingProperty:
+    def test_slow_network_vs_timeouts_still_terminates(self):
+        # Violate the comfortable margin a bit: latencies near the election
+        # timeout cause churn but must not break safety.
+        network = NetworkConfig(delay_model=UniformDelay(2.0, 6.0))
+        result = run_raft_consensus(
+            [1, 2, 3], seed=1, network=network, election_timeout=(10.0, 20.0),
+            max_time=3000.0,
+        )
+        check_agreement(result.decisions)
+
+    def test_node_parameter_validation(self):
+        from repro.algorithms.raft import RaftNode
+
+        with pytest.raises(ValueError):
+            RaftNode(election_timeout=(0.0, 1.0))
+        with pytest.raises(ValueError):
+            RaftNode(election_timeout=(5.0, 1.0))
+        with pytest.raises(ValueError):
+            RaftNode(heartbeat_interval=0.0)

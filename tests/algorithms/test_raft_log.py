@@ -1,0 +1,128 @@
+"""Unit tests for the Raft log (consistency check, conflict deletion)."""
+
+import pytest
+
+from repro.algorithms.raft.log import Entry, RaftLog
+
+
+def log_of(*terms):
+    return RaftLog([Entry(term, f"cmd{i}") for i, term in enumerate(terms, 1)])
+
+
+class TestInspection:
+    def test_empty_log(self):
+        log = RaftLog()
+        assert log.last_index == 0
+        assert log.last_term == 0
+        assert log.term_at(0) == 0
+        assert len(log) == 0
+        assert log.as_list() == []
+
+    def test_indexing_is_one_based(self):
+        log = log_of(1, 1, 2)
+        assert log.last_index == 3
+        assert log.last_term == 2
+        assert log.term_at(1) == 1
+        assert log.term_at(3) == 2
+        assert log.entry_at(2).command == "cmd2"
+
+    def test_entry_at_out_of_range(self):
+        log = log_of(1)
+        with pytest.raises(IndexError):
+            log.entry_at(0)
+        with pytest.raises(IndexError):
+            log.entry_at(2)
+
+    def test_entries_from(self):
+        log = log_of(1, 2, 3)
+        assert [e.term for e in log.entries_from(2)] == [2, 3]
+        assert log.entries_from(4) == ()
+        with pytest.raises(IndexError):
+            log.entries_from(0)
+
+    def test_as_list_is_a_copy(self):
+        log = log_of(1)
+        copy = log.as_list()
+        copy.append(Entry(9, "x"))
+        assert log.last_index == 1
+
+
+class TestAppendNew:
+    def test_append_returns_new_index(self):
+        log = RaftLog()
+        assert log.append_new(Entry(1, "a")) == 1
+        assert log.append_new(Entry(1, "b")) == 2
+
+
+class TestTryAppend:
+    def test_append_to_empty_log(self):
+        log = RaftLog()
+        assert log.try_append(0, 0, [Entry(1, "a")])
+        assert log.last_index == 1
+
+    def test_gap_rejected(self):
+        log = RaftLog()
+        assert not log.try_append(1, 1, [Entry(1, "b")])
+
+    def test_term_mismatch_rejected(self):
+        log = log_of(1, 1)
+        assert not log.try_append(2, 2, [Entry(3, "c")])
+        assert log.last_index == 2  # unchanged
+
+    def test_matching_prev_appends(self):
+        log = log_of(1, 1)
+        assert log.try_append(2, 1, [Entry(2, "c")])
+        assert log.last_index == 3
+        assert log.term_at(3) == 2
+
+    def test_conflicting_suffix_deleted(self):
+        log = log_of(1, 1, 2, 2)
+        # New leader (term 3) overwrites from index 3.
+        assert log.try_append(2, 1, [Entry(3, "x")])
+        assert log.last_index == 3
+        assert log.term_at(3) == 3
+        assert log.entry_at(3).command == "x"
+
+    def test_identical_entries_left_untouched(self):
+        log = log_of(1, 2)
+        original = log.entry_at(2)
+        # Retransmission of entry 2 with the same term: no-op.
+        assert log.try_append(1, 1, [Entry(2, original.command)])
+        assert log.last_index == 2
+        assert log.entry_at(2) == original
+
+    def test_stale_retransmission_does_not_truncate(self):
+        log = log_of(1, 2, 3)
+        # A late AppendEntries covering only index 2 must not delete 3.
+        assert log.try_append(1, 1, [Entry(2, "cmd2")])
+        assert log.last_index == 3
+
+    def test_heartbeat_is_a_consistency_probe(self):
+        log = log_of(1, 2)
+        assert log.try_append(2, 2, [])
+        assert not log.try_append(2, 9, [])
+
+    def test_multi_entry_append_with_partial_overlap(self):
+        log = log_of(1, 1)
+        entries = [Entry(1, "cmd2"), Entry(2, "new3"), Entry(2, "new4")]
+        assert log.try_append(1, 1, entries)
+        assert log.last_index == 4
+        assert [log.term_at(i) for i in (2, 3, 4)] == [1, 2, 2]
+
+
+class TestUpToDate:
+    def test_higher_last_term_wins(self):
+        log = log_of(1, 2)
+        assert log.other_is_up_to_date(3, 1)
+        assert not log.other_is_up_to_date(1, 99)
+
+    def test_equal_term_longer_log_wins(self):
+        log = log_of(1, 2)
+        assert log.other_is_up_to_date(2, 2)
+        assert log.other_is_up_to_date(2, 3)
+        assert not log.other_is_up_to_date(2, 1)
+
+    def test_empty_log_accepts_anything(self):
+        log = RaftLog()
+        assert log.other_is_up_to_date(0, 0)
+        assert log.other_is_up_to_date(1, 1)

@@ -1,0 +1,263 @@
+"""Focused unit tests of RaftNode behaviours that the end-to-end runs only
+exercise incidentally: vote rules, term bookkeeping, commit rule details."""
+
+import pytest
+
+from repro.algorithms.raft import (
+    CANDIDATE,
+    FOLLOWER,
+    LEADER,
+    RaftNode,
+    run_raft_consensus,
+)
+from repro.algorithms.raft.log import Entry
+from repro.algorithms.raft.messages import (
+    AppendEntries,
+    AppendEntriesReply,
+    RequestVote,
+    RequestVoteReply,
+)
+from repro.algorithms.raft.state_machine import DecideAndStop
+from repro.sim.async_runtime import AsyncRuntime
+from repro.sim.network import ConstantDelay, NetworkConfig
+from repro.sim.ops import Receive, Send
+from repro.sim.process import FunctionProcess
+
+
+def drive(node, script, n=3, seed=0, max_time=500.0):
+    """Run ``node`` as pid 0 against a scripted pid-1 peer.
+
+    ``script(api)`` is a generator body for the peer; remaining pids are
+    passive sinks.  Returns the run result.
+    """
+
+    def sink(api):
+        while True:
+            yield Receive(count=1)
+
+    processes = [node, FunctionProcess(script)] + [
+        FunctionProcess(sink) for _ in range(n - 2)
+    ]
+    runtime = AsyncRuntime(
+        processes,
+        init_values=[f"v{i}" for i in range(n)],
+        t=(n - 1) // 2,
+        seed=seed,
+        network=NetworkConfig(delay_model=ConstantDelay(1.0)),
+        max_time=max_time,
+        stop_when="queue_empty",
+    )
+    return runtime.run()
+
+
+class TestVoting:
+    def test_grants_one_vote_per_term(self):
+        node = RaftNode(election_timeout=(1000.0, 2000.0))
+        replies = []
+
+        def first_candidate(api):
+            yield Send(0, RequestVote(term=1, candidate_id=1, last_log_index=0, last_log_term=0))
+            reply = yield Receive(count=1, predicate=lambda e: isinstance(e.payload, RequestVoteReply))
+            replies.append(("first", reply[0].payload))
+            # Signal the competing candidate to ask now.
+            yield Send(2, "your-turn")
+
+        def second_candidate(api):
+            yield Receive(count=1, predicate=lambda e: e.payload == "your-turn")
+            yield Send(0, RequestVote(term=1, candidate_id=2, last_log_index=0, last_log_term=0))
+            reply = yield Receive(count=1, predicate=lambda e: isinstance(e.payload, RequestVoteReply))
+            replies.append(("second", reply[0].payload))
+
+        runtime = AsyncRuntime(
+            [node, FunctionProcess(first_candidate), FunctionProcess(second_candidate)],
+            init_values=["a", "b", "c"],
+            t=1,
+            seed=0,
+            network=NetworkConfig(delay_model=ConstantDelay(1.0)),
+            max_time=500.0,
+            stop_when="queue_empty",
+        )
+        runtime.run()
+        outcomes = dict(replies)
+        assert outcomes["first"].vote_granted is True
+        assert outcomes["second"].vote_granted is False  # already voted this term
+        assert node.voted_for == 1
+
+    def test_rejects_stale_term(self):
+        node = RaftNode(election_timeout=(1000.0, 2000.0))
+        node.current_term = 5
+        replies = []
+
+        def peer(api):
+            yield Send(0, RequestVote(term=3, candidate_id=1, last_log_index=0, last_log_term=0))
+            reply = yield Receive(count=1, predicate=lambda e: isinstance(e.payload, RequestVoteReply))
+            replies.append(reply[0].payload)
+
+        drive(node, peer)
+        assert replies[0].vote_granted is False
+        assert replies[0].term == 5
+
+    def test_rejects_out_of_date_candidate_log(self):
+        node = RaftNode(election_timeout=(1000.0, 2000.0))
+        node.log.append_new(Entry(3, DecideAndStop("x")))
+        node.current_term = 3
+        replies = []
+
+        def peer(api):
+            yield Send(0, RequestVote(term=4, candidate_id=1, last_log_index=0, last_log_term=0))
+            reply = yield Receive(count=1, predicate=lambda e: isinstance(e.payload, RequestVoteReply))
+            replies.append(reply[0].payload)
+
+        drive(node, peer)
+        assert replies[0].vote_granted is False
+        assert node.current_term == 4  # term adopted even when vote denied
+
+    def test_higher_term_message_steps_down_and_updates(self):
+        node = RaftNode(election_timeout=(1000.0, 2000.0))
+
+        def peer(api):
+            yield Send(0, AppendEntries(term=7, leader_id=1, prev_log_index=0,
+                                        prev_log_term=0, entries=(), leader_commit=0))
+            yield Receive(count=1, predicate=lambda e: isinstance(e.payload, AppendEntriesReply))
+
+        drive(node, peer)
+        assert node.current_term == 7
+        assert node.state == FOLLOWER
+
+
+class TestAppendHandling:
+    def test_stale_append_rejected(self):
+        node = RaftNode(election_timeout=(1000.0, 2000.0))
+        node.current_term = 9
+        replies = []
+
+        def peer(api):
+            yield Send(0, AppendEntries(term=2, leader_id=1, prev_log_index=0,
+                                        prev_log_term=0, entries=(), leader_commit=0))
+            reply = yield Receive(count=1, predicate=lambda e: isinstance(e.payload, AppendEntriesReply))
+            replies.append(reply[0].payload)
+
+        drive(node, peer)
+        assert replies[0].success is False
+        assert replies[0].term == 9
+
+    def test_consistency_failure_reports_false(self):
+        node = RaftNode(election_timeout=(1000.0, 2000.0))
+        replies = []
+
+        def peer(api):
+            # prev_log_index=5 but the follower's log is empty.
+            yield Send(0, AppendEntries(term=1, leader_id=1, prev_log_index=5,
+                                        prev_log_term=1,
+                                        entries=(Entry(1, DecideAndStop("x")),),
+                                        leader_commit=0))
+            reply = yield Receive(count=1, predicate=lambda e: isinstance(e.payload, AppendEntriesReply))
+            replies.append(reply[0].payload)
+
+        drive(node, peer)
+        assert replies[0].success is False
+        assert node.log.last_index == 0
+
+    def test_successful_append_reports_match_index(self):
+        node = RaftNode(election_timeout=(1000.0, 2000.0))
+        replies = []
+
+        def peer(api):
+            yield Send(0, AppendEntries(term=1, leader_id=1, prev_log_index=0,
+                                        prev_log_term=0,
+                                        entries=(Entry(1, DecideAndStop("x")),
+                                                 Entry(1, DecideAndStop("x"))),
+                                        leader_commit=0))
+            reply = yield Receive(count=1, predicate=lambda e: isinstance(e.payload, AppendEntriesReply))
+            replies.append(reply[0].payload)
+
+        drive(node, peer)
+        assert replies[0].success is True
+        assert replies[0].match_index == 2
+        assert node.log.last_index == 2
+
+    def test_commit_index_capped_by_matched_prefix(self):
+        node = RaftNode(election_timeout=(1000.0, 2000.0))
+
+        def peer(api):
+            # leader_commit far beyond what this message replicates: the
+            # follower must only commit what it can verify (index 1).
+            yield Send(0, AppendEntries(term=1, leader_id=1, prev_log_index=0,
+                                        prev_log_term=0,
+                                        entries=(Entry(1, DecideAndStop("x")),),
+                                        leader_commit=99))
+            yield Receive(count=1, predicate=lambda e: isinstance(e.payload, AppendEntriesReply))
+
+        drive(node, peer)
+        assert node.commit_index == 1
+
+
+class TestClusterSize:
+    def test_client_processes_do_not_inflate_the_majority(self):
+        """Regression test: with a non-member process on the network and one
+        member crashed, the remaining two of three members must still elect
+        a leader (majority over the cluster, not over all processes)."""
+        from repro.algorithms.raft import LEADER
+        from repro.sim.failures import CrashPlan
+        from repro.sim.network import UniformDelay
+
+        nodes = [RaftNode(cluster_size=3, propose_on_leadership=False) for _ in range(3)]
+
+        def bystander(api):
+            while True:
+                yield Receive(count=1)
+
+        runtime = AsyncRuntime(
+            nodes + [FunctionProcess(bystander)],
+            init_values=[1, 2, 3, None],
+            t=1,
+            seed=0,
+            network=NetworkConfig(delay_model=UniformDelay(0.5, 1.5)),
+            max_time=80.0,
+            stop_when=lambda rt: any(n.state == LEADER for n in nodes),
+        )
+        runtime.run()
+        crashless_check = any(n.state == LEADER for n in nodes)
+        assert crashless_check
+
+        nodes = [RaftNode(cluster_size=3, propose_on_leadership=False) for _ in range(3)]
+        runtime = AsyncRuntime(
+            nodes + [FunctionProcess(bystander)],
+            init_values=[1, 2, 3, None],
+            t=1,
+            seed=0,
+            network=NetworkConfig(delay_model=UniformDelay(0.5, 1.5)),
+            crash_plans=[CrashPlan(2, at_time=1.0)],
+            max_time=80.0,
+            stop_when=lambda rt: any(n.state == LEADER for n in nodes),
+        )
+        runtime.run()
+        assert any(n.state == LEADER for n in nodes[:2])
+
+    def test_cluster_size_validation(self):
+        with pytest.raises(ValueError):
+            RaftNode(cluster_size=0)
+
+
+class TestSingleNodeCluster:
+    def test_n1_elects_itself_and_decides(self):
+        result = run_raft_consensus(["solo"], seed=0)
+        assert result.decisions == {0: "solo"}
+
+    def test_durable_state_survives_in_object(self):
+        node = RaftNode()
+        node.current_term = 4
+        node.voted_for = 2
+        node.log.append_new(Entry(4, DecideAndStop("v")))
+        # run() resets volatile state only.
+        gen = node.run(type("Api", (), {
+            "pid": 0, "n": 1, "t": 0, "init_value": "v",
+            "rng": __import__("random").Random(0), "now": 0.0,
+            "majority": lambda self: 1, "quorum": lambda self: 1,
+        })())
+        next(gen)  # first op (election timer)
+        assert node.current_term == 4
+        assert node.voted_for == 2
+        assert node.log.last_index == 1
+        assert node.state == FOLLOWER
+        assert node.commit_index == 0

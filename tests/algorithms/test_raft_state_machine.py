@@ -1,0 +1,62 @@
+"""Unit tests for the Raft state machines."""
+
+import pytest
+
+from repro.algorithms.raft.state_machine import (
+    DecideAndStop,
+    DecideStateMachine,
+    KeyValueStateMachine,
+    Put,
+)
+
+
+class TestDecideStateMachine:
+    def test_first_command_decides(self):
+        machine = DecideStateMachine()
+        assert machine.decision is None
+        machine.apply(1, DecideAndStop("v"))
+        assert machine.decision == "v"
+
+    def test_later_commands_ignored(self):
+        machine = DecideStateMachine()
+        machine.apply(1, DecideAndStop("first"))
+        machine.apply(2, DecideAndStop("second"))
+        assert machine.decision == "first"
+
+    def test_apply_returns_current_decision(self):
+        machine = DecideStateMachine()
+        assert machine.apply(1, DecideAndStop("v")) == "v"
+        assert machine.apply(2, DecideAndStop("w")) == "v"
+
+    def test_wrong_command_type_rejected(self):
+        machine = DecideStateMachine()
+        with pytest.raises(TypeError):
+            machine.apply(1, Put("k", "v"))
+
+    def test_reset_clears_decision(self):
+        machine = DecideStateMachine()
+        machine.apply(1, DecideAndStop("v"))
+        machine.reset()
+        assert machine.decision is None
+
+
+class TestKeyValueStateMachine:
+    def test_puts_build_the_map(self):
+        machine = KeyValueStateMachine()
+        machine.apply(1, Put("a", 1))
+        machine.apply(2, Put("b", 2))
+        machine.apply(3, Put("a", 3))
+        assert machine.data == {"a": 3, "b": 2}
+        assert machine.applied_count == 3
+
+    def test_wrong_command_type_rejected(self):
+        machine = KeyValueStateMachine()
+        with pytest.raises(TypeError):
+            machine.apply(1, DecideAndStop("x"))
+
+    def test_reset(self):
+        machine = KeyValueStateMachine()
+        machine.apply(1, Put("a", 1))
+        machine.reset()
+        assert machine.data == {}
+        assert machine.applied_count == 0

@@ -1,0 +1,83 @@
+"""Unit tests for the Raft VAC-view extraction and Lemma 7 checker."""
+
+import pytest
+
+from repro.algorithms.raft.vac import check_raft_vac, raft_vac_outcomes
+from repro.core.confidence import ADOPT, COMMIT, VACILLATE
+from repro.core.properties import PropertyViolation
+from repro.sim import trace as tr
+from repro.sim.trace import Trace
+
+
+def annotate(trace, pid, term, confidence, value, time=0.0):
+    trace.record(time, tr.ANNOTATE, pid, ("vac", (term, confidence, value)))
+
+
+class TestOutcomeExtraction:
+    def test_strongest_confidence_wins_per_term(self):
+        trace = Trace()
+        annotate(trace, 0, 1, VACILLATE, "x", 0.0)
+        annotate(trace, 0, 1, ADOPT, "v", 1.0)
+        annotate(trace, 0, 1, COMMIT, "v", 2.0)
+        outcomes = raft_vac_outcomes(trace)
+        assert outcomes == {1: {0: (COMMIT, "v")}}
+
+    def test_weaker_later_annotation_does_not_downgrade(self):
+        trace = Trace()
+        annotate(trace, 0, 1, ADOPT, "v", 0.0)
+        annotate(trace, 0, 1, VACILLATE, "x", 1.0)
+        assert raft_vac_outcomes(trace)[1][0] == (ADOPT, "v")
+
+    def test_terms_kept_separate(self):
+        trace = Trace()
+        annotate(trace, 0, 1, VACILLATE, "x")
+        annotate(trace, 0, 2, ADOPT, "v")
+        outcomes = raft_vac_outcomes(trace)
+        assert set(outcomes) == {1, 2}
+
+    def test_correct_filter(self):
+        trace = Trace()
+        annotate(trace, 0, 1, ADOPT, "v")
+        annotate(trace, 1, 1, ADOPT, "w")
+        outcomes = raft_vac_outcomes(trace, correct=[0])
+        assert outcomes[1] == {0: (ADOPT, "v")}
+
+
+class TestLemma7Checker:
+    def test_coherent_term_passes(self):
+        trace = Trace()
+        annotate(trace, 0, 1, COMMIT, "v")
+        annotate(trace, 1, 1, ADOPT, "v")
+        annotate(trace, 2, 1, VACILLATE, "w")
+        assert check_raft_vac(trace) == 1
+
+    def test_commit_with_divergent_adopt_fails(self):
+        trace = Trace()
+        annotate(trace, 0, 1, COMMIT, "v")
+        annotate(trace, 1, 1, ADOPT, "w")
+        with pytest.raises(PropertyViolation):
+            check_raft_vac(trace)
+
+    def test_two_committed_values_fail(self):
+        trace = Trace()
+        annotate(trace, 0, 1, COMMIT, "v")
+        annotate(trace, 1, 1, COMMIT, "w")
+        with pytest.raises(PropertyViolation):
+            check_raft_vac(trace)
+
+    def test_divergent_adopts_without_commit_fail(self):
+        trace = Trace()
+        annotate(trace, 0, 1, ADOPT, "v")
+        annotate(trace, 1, 1, ADOPT, "w")
+        with pytest.raises(PropertyViolation):
+            check_raft_vac(trace)
+
+    def test_vacillate_only_terms_are_fine(self):
+        trace = Trace()
+        annotate(trace, 0, 1, VACILLATE, "a")
+        annotate(trace, 1, 1, VACILLATE, "b")
+        annotate(trace, 0, 2, VACILLATE, "c")
+        assert check_raft_vac(trace) == 2
+
+    def test_empty_trace_checks_zero_terms(self):
+        assert check_raft_vac(Trace()) == 0

@@ -1,0 +1,122 @@
+"""Tests for the asynchronous AC + conciliator consensus (Algorithm 2)."""
+
+import pytest
+
+from repro.algorithms.shared_coin import (
+    GuardedCoinConciliator,
+    shared_coin_ac_consensus,
+)
+from repro.core.confidence import ADOPT
+from repro.core.properties import (
+    check_agreement,
+    check_all_rounds,
+    check_termination,
+    check_validity,
+)
+from repro.sim.async_runtime import AsyncRuntime
+from repro.sim.failures import CrashPlan
+from repro.sim.ops import Annotate
+from repro.sim.process import Process
+
+
+def run_sc(init_values, t, seed=0, crash_plans=()):
+    n = len(init_values)
+    processes = [shared_coin_ac_consensus() for _ in range(n)]
+    runtime = AsyncRuntime(
+        processes,
+        init_values=init_values,
+        t=t,
+        seed=seed,
+        crash_plans=crash_plans,
+        max_time=100_000.0,
+    )
+    return runtime.run()
+
+
+class TestConsensus:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_agreement_validity_termination(self, seed):
+        inits = [0, 1, 0, 1, 1]
+        result = run_sc(inits, t=2, seed=seed)
+        check_agreement(result.decisions)
+        check_validity(result.decisions, inits)
+        check_termination(result.decisions, range(5))
+
+    def test_unanimous_decides_in_one_round(self):
+        from repro.analysis.metrics import decision_rounds
+
+        result = run_sc([1] * 5, t=2, seed=0)
+        assert result.decided_value() == 1
+        assert all(m == 1 for m in decision_rounds(result.trace, "ac").values())
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_crashes_tolerated(self, seed):
+        inits = [0, 1, 0, 1, 1]
+        result = run_sc(
+            inits, t=2, seed=seed, crash_plans=[CrashPlan(4, at_time=2.0)]
+        )
+        check_agreement(result.decisions)
+        check_termination(result.decisions, range(4))
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_every_round_is_ac_coherent(self, seed):
+        result = run_sc([0, 1, 0, 1, 1], t=2, seed=seed)
+        check_all_rounds(result.trace, "ac")
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_no_vacillate_ever_surfaces(self, seed):
+        from repro.core.confidence import VACILLATE
+        from repro.core.properties import outcomes_by_round
+
+        result = run_sc([0, 1, 0, 1, 1], t=2, seed=seed)
+        for per_round in outcomes_by_round(result.trace, "ac").values():
+            assert all(c is not VACILLATE for c, _v in per_round.values())
+
+
+class OneShotConciliator(Process):
+    def __init__(self, conciliator, round_no=1):
+        self.conciliator = conciliator
+        self.round_no = round_no
+
+    def run(self, api):
+        value = yield from self.conciliator.invoke(
+            api, ADOPT, api.init_value, self.round_no
+        )
+        yield Annotate("outcome", value)
+
+
+def run_conciliator(init_values, t, seed=0):
+    n = len(init_values)
+    conciliator = GuardedCoinConciliator()
+    processes = [OneShotConciliator(conciliator) for _ in range(n)]
+    runtime = AsyncRuntime(
+        processes, init_values=init_values, t=t, seed=seed,
+        stop_when="all_halted", max_time=1_000.0,
+    )
+    result = runtime.run()
+    return {pid: v for pid, _t, v in result.trace.annotations("outcome")}
+
+
+class TestGuardedConciliator:
+    def test_unanimous_inputs_take_the_guard(self):
+        for seed in range(10):
+            outcomes = run_conciliator([1] * 5, t=2, seed=seed)
+            assert set(outcomes.values()) == {1}
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_validity_on_mixed_inputs(self, seed):
+        inits = [0, 1, 0, 1]
+        outcomes = run_conciliator(inits, t=1, seed=seed)
+        assert all(v in (0, 1) for v in outcomes.values())
+
+    def test_probabilistic_agreement_frequency(self):
+        agreements = sum(
+            len(set(run_conciliator([0, 1, 0, 1], t=1, seed=s).values())) == 1
+            for s in range(40)
+        )
+        # 4 coins agree with prob 1/8 plus guard-path luck; require > 0.
+        assert agreements > 0
+
+    def test_domain_validation(self):
+        with pytest.raises(ValueError):
+            GuardedCoinConciliator(())

@@ -1,0 +1,107 @@
+"""Unit tests for the analysis helpers (metrics + experiment harness)."""
+
+import pytest
+
+from repro.analysis.experiments import format_table, run_trials, summarize
+from repro.analysis.metrics import (
+    decision_latencies,
+    decision_rounds,
+    outcome_histogram,
+    rounds_used,
+)
+from repro.core.confidence import ADOPT, COMMIT, VACILLATE
+from repro.sim import trace as tr
+from repro.sim.trace import Trace
+
+
+def build_trace():
+    trace = Trace()
+    for pid in (0, 1):
+        trace.record(0.0, tr.ANNOTATE, pid, ("round_input", (1, pid)))
+        trace.record(1.0, tr.ANNOTATE, pid, ("vac", (1, VACILLATE, pid)))
+        trace.record(2.0, tr.ANNOTATE, pid, ("round_input", (2, 0)))
+    trace.record(3.0, tr.ANNOTATE, 0, ("vac", (2, COMMIT, 0)))
+    trace.record(3.0, tr.ANNOTATE, 1, ("vac", (2, ADOPT, 0)))
+    trace.record(3.5, tr.DECIDE, 0, 0)
+    trace.record(4.0, tr.ANNOTATE, 1, ("round_input", (3, 0)))
+    trace.record(5.0, tr.ANNOTATE, 1, ("vac", (3, COMMIT, 0)))
+    trace.record(5.5, tr.DECIDE, 1, 0)
+    return trace
+
+
+class TestMetrics:
+    def test_decision_rounds_first_commit(self):
+        assert decision_rounds(build_trace()) == {0: 2, 1: 3}
+
+    def test_rounds_used_counts_round_inputs(self):
+        assert rounds_used(build_trace()) == 3
+
+    def test_rounds_used_with_outcome_key(self):
+        assert rounds_used(build_trace(), "vac") == 3
+
+    def test_rounds_used_empty_trace(self):
+        assert rounds_used(Trace()) == 0
+
+    def test_decision_latencies(self):
+        assert decision_latencies(build_trace()) == {0: 3.5, 1: 5.5}
+
+    def test_outcome_histogram(self):
+        histogram = outcome_histogram(build_trace())
+        assert histogram[1] == {"V": 2}
+        assert histogram[2] == {"C": 1, "A": 1}
+        assert histogram[3] == {"C": 1}
+
+    def test_outcome_histogram_correct_filter(self):
+        histogram = outcome_histogram(build_trace(), correct=[0])
+        assert histogram[2] == {"C": 1}
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        stats = summarize([1, 2, 3, 4, 5])
+        assert stats.count == 5
+        assert stats.mean == 3.0
+        assert stats.median == 3.0
+        assert stats.minimum == 1.0
+        assert stats.maximum == 5.0
+
+    def test_p90(self):
+        stats = summarize(range(1, 101))
+        assert stats.p90 == 90.0
+
+    def test_single_value(self):
+        stats = summarize([7.0])
+        assert stats.stdev == 0.0
+        assert stats.p90 == 7.0
+        assert stats.ci95 == 0.0
+
+    def test_ci95_shrinks_with_sample_size(self):
+        small = summarize([1, 2, 3, 4, 5])
+        large = summarize(list(range(1, 6)) * 20)
+        assert large.ci95 < small.ci95
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_str_is_compact(self):
+        text = str(summarize([1.0, 2.0]))
+        assert "mean=1.50" in text
+        assert "±" in text
+
+
+class TestHarness:
+    def test_run_trials_passes_seeds(self):
+        results = run_trials(lambda seed: seed * 2, [1, 2, 3])
+        assert results == [2, 4, 6]
+
+    def test_format_table_aligns_columns(self):
+        table = format_table(["name", "n"], [["a", 1], ["long-name", 100]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert all(len(line) <= len(max(lines, key=len)) for line in lines)
+
+    def test_format_table_stringifies_cells(self):
+        table = format_table(["x"], [[None], [1.5]])
+        assert "None" in table and "1.5" in table

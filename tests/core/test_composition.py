@@ -1,0 +1,124 @@
+"""Tests for the Section 5 constructions (VAC from two ACs; AC from VAC).
+
+The compositions are exercised both with scripted ACs (deterministic branch
+coverage) and with the real message-passing AC used by Ben-Or's setting —
+the latter in ``tests/properties/test_hypothesis_composition.py``.
+"""
+
+from repro.core.composition import AdoptCommitFromVac, VacFromTwoAdoptCommits
+from repro.core.confidence import ADOPT, COMMIT, VACILLATE
+from repro.core.properties import check_vac_round
+from repro.sim.async_runtime import AsyncRuntime
+
+from tests.helpers import (
+    EchoAdoptCommit,
+    OneShotDetector,
+    ScriptedAdoptCommit,
+    ScriptedVac,
+    collect_outcomes,
+)
+
+
+def run_one_shot(detector_factory, init_values, seed=0):
+    processes = [OneShotDetector(detector_factory()) for _ in init_values]
+    runtime = AsyncRuntime(
+        processes, init_values=init_values, seed=seed, stop_when="all_halted"
+    )
+    result = runtime.run()
+    return collect_outcomes(result.trace)
+
+
+class TestVacFromTwoAcs:
+    def test_double_commit_yields_commit(self):
+        vac = VacFromTwoAdoptCommits(
+            EchoAdoptCommit(COMMIT), EchoAdoptCommit(COMMIT)
+        )
+        outcomes = run_one_shot(lambda: vac, ["v"])
+        assert outcomes[0] == (COMMIT, "v")
+
+    def test_adopt_then_commit_yields_adopt(self):
+        vac = VacFromTwoAdoptCommits(
+            EchoAdoptCommit(ADOPT), EchoAdoptCommit(COMMIT)
+        )
+        outcomes = run_one_shot(lambda: vac, ["v"])
+        assert outcomes[0] == (ADOPT, "v")
+
+    def test_second_stage_adopt_yields_vacillate(self):
+        for first in (ADOPT, COMMIT):
+            vac = VacFromTwoAdoptCommits(
+                EchoAdoptCommit(first), EchoAdoptCommit(ADOPT)
+            )
+            outcomes = run_one_shot(lambda: vac, ["v"])
+            assert outcomes[0] == (VACILLATE, "v")
+
+    def test_second_stage_receives_first_stage_value(self):
+        first = ScriptedAdoptCommit({0: [(ADOPT, "rewritten")]})
+        second = ScriptedAdoptCommit({0: [(COMMIT, "rewritten")]})
+        vac = VacFromTwoAdoptCommits(first, second)
+        run_one_shot(lambda: vac, ["original"])
+        assert second.calls[0][2] == "rewritten"
+
+    def test_stages_use_distinct_round_tags(self):
+        first = ScriptedAdoptCommit({0: [(ADOPT, "v")]})
+        second = ScriptedAdoptCommit({0: [(ADOPT, "v")]})
+        vac = VacFromTwoAdoptCommits(first, second)
+        run_one_shot(lambda: vac, ["v"])
+        assert first.calls[0][1] == (1, "a")
+        assert second.calls[0][1] == (1, "b")
+
+    def test_mixed_population_is_vac_coherent(self):
+        # A legal mixed execution: the first stage has no commit (inputs
+        # were split u/w), the second stage commits at one process only.
+        # The composition must yield adopt at the committer and vacillate
+        # elsewhere — a coherent VAC round.
+        first = ScriptedAdoptCommit(
+            {0: [(ADOPT, "u")], 1: [(ADOPT, "u")], 2: [(ADOPT, "w")]}
+        )
+        second = ScriptedAdoptCommit(
+            {0: [(COMMIT, "u")], 1: [(ADOPT, "u")], 2: [(ADOPT, "u")]}
+        )
+        vac = VacFromTwoAdoptCommits(first, second)
+        outcomes = run_one_shot(lambda: vac, ["u", "u", "w"])
+        assert outcomes[0] == (ADOPT, "u")
+        assert outcomes[1] == (VACILLATE, "u")
+        assert outcomes[2] == (VACILLATE, "u")
+        check_vac_round(outcomes)
+
+    def test_illegal_second_stage_convergence_would_be_incoherent(self):
+        # Sanity: if the second AC *violated* its convergence property
+        # (committing at one process, adopting at another, despite equal
+        # inputs), the composed outcomes would break VAC coherence — this
+        # is exactly why the construction's correctness leans on AC_b's
+        # convergence, as documented in repro.core.composition.
+        first = ScriptedAdoptCommit(
+            {0: [(COMMIT, "u")], 1: [(ADOPT, "u")], 2: [(ADOPT, "u")]}
+        )
+        second = ScriptedAdoptCommit(
+            {0: [(COMMIT, "u")], 1: [(COMMIT, "u")], 2: [(ADOPT, "u")]}
+        )
+        vac = VacFromTwoAdoptCommits(first, second)
+        outcomes = run_one_shot(lambda: vac, ["u", "u", "u"])
+        import pytest
+        from repro.core.properties import PropertyViolation
+
+        with pytest.raises(PropertyViolation):
+            check_vac_round(outcomes)
+
+
+class TestAcFromVac:
+    def test_vacillate_coarsens_to_adopt(self):
+        ac = AdoptCommitFromVac(ScriptedVac({0: [(VACILLATE, "x")]}))
+        outcomes = run_one_shot(lambda: ac, ["x"])
+        assert outcomes[0] == (ADOPT, "x")
+
+    def test_adopt_and_commit_pass_through(self):
+        for confidence in (ADOPT, COMMIT):
+            ac = AdoptCommitFromVac(ScriptedVac({0: [(confidence, "x")]}))
+            outcomes = run_one_shot(lambda: ac, ["x"])
+            assert outcomes[0] == (confidence, "x")
+
+    def test_round_tag_forwarded(self):
+        vac = ScriptedVac({0: [(ADOPT, "x")]})
+        ac = AdoptCommitFromVac(vac)
+        run_one_shot(lambda: ac, ["x"])
+        assert vac.calls[0][1] == 1

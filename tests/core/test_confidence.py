@@ -1,0 +1,40 @@
+"""Unit tests for the confidence lattice."""
+
+import pytest
+
+from repro.core.confidence import ADOPT, COMMIT, VACILLATE, Confidence
+
+
+def test_total_order():
+    assert VACILLATE < ADOPT < COMMIT
+    assert COMMIT > ADOPT > VACILLATE
+    assert not COMMIT < ADOPT
+
+
+def test_equality_and_identity():
+    assert ADOPT == Confidence.ADOPT
+    assert ADOPT is Confidence.ADOPT
+
+
+def test_letters_match_paper_notation():
+    assert VACILLATE.letter == "V"
+    assert ADOPT.letter == "A"
+    assert COMMIT.letter == "C"
+
+
+def test_comparison_with_non_confidence_raises():
+    with pytest.raises(TypeError):
+        _ = ADOPT < 1
+
+
+def test_max_picks_strongest():
+    assert max([VACILLATE, COMMIT, ADOPT]) is COMMIT
+    assert min([ADOPT, COMMIT]) is ADOPT
+
+
+def test_repr():
+    assert repr(COMMIT) == "Confidence.COMMIT"
+
+
+def test_members_are_exactly_three():
+    assert list(Confidence) == [VACILLATE, ADOPT, COMMIT]

@@ -1,0 +1,147 @@
+"""Unit tests for the Section 2 property checkers (positive and negative)."""
+
+import pytest
+
+from repro.core.confidence import ADOPT, COMMIT, VACILLATE
+from repro.core.properties import (
+    PropertyViolation,
+    check_ac_round,
+    check_agreement,
+    check_convergence,
+    check_no_decision_without_commit,
+    check_round_validity,
+    check_termination,
+    check_vac_round,
+    check_validity,
+    inputs_by_round,
+    outcomes_by_round,
+)
+from repro.sim import trace as tr
+from repro.sim.trace import Trace
+
+
+class TestConsensusLevel:
+    def test_agreement_accepts_unanimous(self):
+        check_agreement({0: "v", 1: "v", 2: "v"})
+
+    def test_agreement_rejects_split(self):
+        with pytest.raises(PropertyViolation):
+            check_agreement({0: "a", 1: "b"})
+
+    def test_agreement_vacuous_when_empty(self):
+        check_agreement({})
+
+    def test_validity_accepts_input_value(self):
+        check_validity({0: 1, 1: 1}, [0, 1, 1])
+
+    def test_validity_rejects_foreign_value(self):
+        with pytest.raises(PropertyViolation):
+            check_validity({0: 2}, [0, 1])
+
+    def test_termination_accepts_all_decided(self):
+        check_termination({0: "v", 1: "v"}, [0, 1])
+
+    def test_termination_rejects_missing(self):
+        with pytest.raises(PropertyViolation):
+            check_termination({0: "v"}, [0, 1])
+
+
+class TestVacRound:
+    def test_commit_with_matching_adopts_is_coherent(self):
+        check_vac_round({0: (COMMIT, "u"), 1: (ADOPT, "u"), 2: (COMMIT, "u")})
+
+    def test_commit_plus_vacillate_violates(self):
+        with pytest.raises(PropertyViolation):
+            check_vac_round({0: (COMMIT, "u"), 1: (VACILLATE, "x")})
+
+    def test_commit_plus_different_adopt_value_violates(self):
+        with pytest.raises(PropertyViolation):
+            check_vac_round({0: (COMMIT, "u"), 1: (ADOPT, "w")})
+
+    def test_two_commits_with_distinct_values_violate(self):
+        with pytest.raises(PropertyViolation):
+            check_vac_round({0: (COMMIT, "u"), 1: (COMMIT, "w")})
+
+    def test_adopts_without_commit_must_share_value(self):
+        check_vac_round({0: (ADOPT, "u"), 1: (VACILLATE, "anything")})
+        with pytest.raises(PropertyViolation):
+            check_vac_round({0: (ADOPT, "u"), 1: (ADOPT, "w")})
+
+    def test_vacillate_values_unconstrained_without_commit(self):
+        check_vac_round(
+            {0: (ADOPT, "u"), 1: (VACILLATE, "a"), 2: (VACILLATE, "b")}
+        )
+
+    def test_all_vacillate_is_fine(self):
+        check_vac_round({0: (VACILLATE, "a"), 1: (VACILLATE, "b")})
+
+
+class TestAcRound:
+    def test_commit_forces_common_value_everywhere(self):
+        check_ac_round({0: (COMMIT, "u"), 1: (ADOPT, "u")})
+        with pytest.raises(PropertyViolation):
+            check_ac_round({0: (COMMIT, "u"), 1: (ADOPT, "w")})
+
+    def test_vacillate_never_allowed(self):
+        with pytest.raises(PropertyViolation):
+            check_ac_round({0: (VACILLATE, "u")})
+
+    def test_adopts_may_differ_without_commit(self):
+        check_ac_round({0: (ADOPT, "a"), 1: (ADOPT, "b")})
+
+    def test_two_distinct_commits_violate(self):
+        with pytest.raises(PropertyViolation):
+            check_ac_round({0: (COMMIT, "a"), 1: (COMMIT, "b")})
+
+
+class TestConvergenceAndValidity:
+    def test_convergence_on_unanimous_inputs(self):
+        check_convergence({0: "v", 1: "v"}, {0: (COMMIT, "v"), 1: (COMMIT, "v")})
+
+    def test_convergence_violated_by_adopt(self):
+        with pytest.raises(PropertyViolation):
+            check_convergence({0: "v", 1: "v"}, {0: (COMMIT, "v"), 1: (ADOPT, "v")})
+
+    def test_convergence_vacuous_on_mixed_inputs(self):
+        check_convergence({0: "a", 1: "b"}, {0: (VACILLATE, "a"), 1: (ADOPT, "b")})
+
+    def test_round_validity_accepts_input_values(self):
+        check_round_validity({0: "a", 1: "b"}, {0: (ADOPT, "b"), 1: (ADOPT, "a")})
+
+    def test_round_validity_rejects_invented_values(self):
+        with pytest.raises(PropertyViolation):
+            check_round_validity({0: "a"}, {0: (ADOPT, "z")})
+
+
+class TestTraceExtraction:
+    def build_trace(self):
+        trace = Trace()
+        trace.record(0.0, tr.ANNOTATE, 0, ("round_input", (1, "a")))
+        trace.record(0.0, tr.ANNOTATE, 1, ("round_input", (1, "b")))
+        trace.record(1.0, tr.ANNOTATE, 0, ("vac", (1, ADOPT, "a")))
+        trace.record(1.0, tr.ANNOTATE, 1, ("vac", (1, VACILLATE, "b")))
+        trace.record(2.0, tr.ANNOTATE, 0, ("vac", (2, COMMIT, "a")))
+        trace.record(2.0, tr.DECIDE, 0, "a")
+        return trace
+
+    def test_outcomes_by_round_groups_correctly(self):
+        outcomes = outcomes_by_round(self.build_trace(), "vac")
+        assert outcomes[1] == {0: (ADOPT, "a"), 1: (VACILLATE, "b")}
+        assert outcomes[2] == {0: (COMMIT, "a")}
+
+    def test_outcomes_filtered_by_correct_set(self):
+        outcomes = outcomes_by_round(self.build_trace(), "vac", correct=[1])
+        assert 0 not in outcomes[1]
+
+    def test_inputs_by_round(self):
+        inputs = inputs_by_round(self.build_trace())
+        assert inputs[1] == {0: "a", 1: "b"}
+
+    def test_no_decision_without_commit_passes(self):
+        check_no_decision_without_commit(self.build_trace(), "vac")
+
+    def test_no_decision_without_commit_catches_phantom_decide(self):
+        trace = self.build_trace()
+        trace.record(3.0, tr.DECIDE, 1, "b")  # pid 1 never committed
+        with pytest.raises(PropertyViolation):
+            check_no_decision_without_commit(trace, "vac")

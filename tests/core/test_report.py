@@ -1,0 +1,80 @@
+"""Unit tests for the trace-rendering helpers."""
+
+from repro.analysis.report import describe_run, event_lanes, round_table
+from repro.core.confidence import ADOPT, COMMIT, VACILLATE
+from repro.sim import trace as tr
+from repro.sim.trace import Trace
+
+
+def build_trace():
+    trace = Trace()
+    trace.record(0.5, tr.SEND, 0, "m")
+    trace.record(1.0, tr.DELIVER, 1, "m")
+    trace.record(1.0, tr.ANNOTATE, 0, ("vac", (1, ADOPT, 1)))
+    trace.record(1.0, tr.ANNOTATE, 1, ("vac", (1, VACILLATE, 0)))
+    trace.record(2.0, tr.ANNOTATE, 0, ("vac", (2, COMMIT, 1)))
+    trace.record(2.1, tr.DECIDE, 0, 1)
+    trace.record(3.0, tr.CRASH, 1)
+    trace.record(5.0, tr.RESTART, 1)
+    trace.record(8.0, tr.DECIDE, 1, 1)
+    return trace
+
+
+class TestRoundTable:
+    def test_contains_rounds_and_outcomes(self):
+        table = round_table(build_trace())
+        assert "A:1" in table
+        assert "V:0" in table
+        assert "C:1" in table
+        assert "p0" in table and "p1" in table
+
+    def test_missing_outcome_rendered_as_dash(self):
+        lines = round_table(build_trace()).splitlines()
+        round2 = next(line for line in lines if line.startswith("2"))
+        assert "-" in round2  # pid 1 produced no round-2 outcome
+
+    def test_empty_trace(self):
+        assert "no detector outcomes" in round_table(Trace())
+
+    def test_correct_filter(self):
+        table = round_table(build_trace(), correct=[1])
+        assert "p0" not in table
+
+
+class TestEventLanes:
+    def test_markers_present(self):
+        lanes = event_lanes(build_trace())
+        assert "D" in lanes
+        assert "X" in lanes
+        assert "R" in lanes
+        assert "legend" in lanes
+
+    def test_one_lane_per_pid(self):
+        lanes = event_lanes(build_trace()).splitlines()
+        assert lanes[0].startswith("p0")
+        assert lanes[1].startswith("p1")
+
+    def test_empty_trace(self):
+        assert "no lifecycle events" in event_lanes(Trace())
+
+    def test_width_respected(self):
+        lanes = event_lanes(build_trace(), width=30).splitlines()[0]
+        bar = lanes[lanes.index("|") + 1 : lanes.rindex("|")]
+        assert len(bar) == 30
+
+
+class TestDescribeRun:
+    def test_summarizes_agreement(self):
+        text = describe_run(build_trace())
+        assert "1 messages sent" in text
+        assert "crashes at pids [1]" in text
+        assert "2 processes decided 1" in text
+
+    def test_flags_disagreement(self):
+        trace = Trace()
+        trace.record(1.0, tr.DECIDE, 0, "a")
+        trace.record(1.0, tr.DECIDE, 1, "b")
+        assert "DISAGREEMENT" in describe_run(trace)
+
+    def test_no_decisions(self):
+        assert "no process decided" in describe_run(Trace())

@@ -1,0 +1,109 @@
+"""Unit tests for Algorithm 2 (the AC + conciliator template)."""
+
+import pytest
+
+from repro.core.confidence import ADOPT, COMMIT, VACILLATE
+from repro.core.template import AcTemplateConsensus
+from repro.sim.async_runtime import AsyncRuntime
+
+from tests.helpers import FixedConciliator, ScriptedAdoptCommit
+
+
+def run_template(script, conciliator_value="C", init_values=None, **kwargs):
+    n = len(script)
+    adopt_commit = ScriptedAdoptCommit(script)
+    conciliator = FixedConciliator(conciliator_value)
+    processes = [
+        AcTemplateConsensus(adopt_commit, conciliator, **kwargs)
+        for _ in range(n)
+    ]
+    runtime = AsyncRuntime(
+        processes,
+        init_values=init_values or [f"init{i}" for i in range(n)],
+        seed=0,
+        stop_when="all_halted",
+        max_time=100.0,
+    )
+    return runtime.run(), adopt_commit, conciliator
+
+
+def test_commit_decides():
+    result, _ac, _conc = run_template(
+        {0: [(COMMIT, "v")]}, continue_after_decide=False
+    )
+    assert result.decisions == {0: "v"}
+
+
+def test_adopt_routes_through_conciliator():
+    script = {0: [(ADOPT, "a"), (COMMIT, "C")]}
+    result, ac, conciliator = run_template(script, continue_after_decide=False)
+    assert conciliator.calls == 1
+    assert result.decisions == {0: "C"}
+    assert ac.calls[1][2] == "C"  # conciliated value fed back
+
+
+def test_always_run_mixer_invokes_conciliator_on_commit_too():
+    script = {0: [(COMMIT, "v"), (COMMIT, "v")]}
+    _result, ac, conciliator = run_template(
+        script,
+        continue_after_decide=True,
+        always_run_mixer=True,
+        max_rounds=2,
+    )
+    assert conciliator.calls == 2
+    # ... but the committed value is kept, not the conciliator's.
+    assert ac.calls[1][2] == "v"
+
+
+def test_without_always_run_mixer_commit_skips_conciliator():
+    script = {0: [(COMMIT, "v"), (COMMIT, "v")]}
+    _result, _ac, conciliator = run_template(
+        script, continue_after_decide=True, max_rounds=2
+    )
+    assert conciliator.calls == 0
+
+
+def test_fixed_round_mode_decides_at_the_end():
+    script = {0: [(ADOPT, "a"), (ADOPT, "b"), (ADOPT, "c")]}
+    result, _ac, _conc = run_template(
+        script,
+        decide_on_commit=False,
+        max_rounds=3,
+        conciliator_value="k",
+    )
+    # Final value is the conciliator's output of the last round.
+    assert result.decisions == {0: "k"}
+
+
+def test_fixed_round_mode_commit_keeps_value():
+    script = {0: [(COMMIT, "v"), (COMMIT, "v")]}
+    result, _ac, conciliator = run_template(
+        script,
+        decide_on_commit=False,
+        always_run_mixer=True,
+        max_rounds=2,
+        conciliator_value="ignored",
+    )
+    assert result.decisions == {0: "v"}
+    assert conciliator.calls == 2  # participated, result discarded
+
+
+def test_fixed_round_mode_requires_max_rounds():
+    with pytest.raises(ValueError):
+        AcTemplateConsensus(
+            ScriptedAdoptCommit({0: []}),
+            FixedConciliator("x"),
+            decide_on_commit=False,
+        )
+
+
+def test_vacillate_from_ac_is_rejected():
+    script = {0: [(VACILLATE, "x")]}
+    with pytest.raises(ValueError):
+        run_template(script, continue_after_decide=False)
+
+
+def test_decide_early_then_halt_without_participation():
+    script = {0: [(ADOPT, "a"), (COMMIT, "a"), (COMMIT, "a")]}
+    _result, ac, _conc = run_template(script, continue_after_decide=False)
+    assert len(ac.calls) == 2  # stopped right after the commit round

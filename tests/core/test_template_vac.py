@@ -1,0 +1,132 @@
+"""Unit tests for Algorithm 1 (the VAC + reconciliator template).
+
+The templates are driven with scripted objects so every branch is exercised
+deterministically, independent of any real protocol.
+"""
+
+import pytest
+
+from repro.core.confidence import ADOPT, COMMIT, VACILLATE
+from repro.core.properties import inputs_by_round, outcomes_by_round
+from repro.core.template import VacTemplateConsensus
+from repro.sim.async_runtime import AsyncRuntime
+from repro.sim.ops import Annotate
+
+from tests.helpers import FixedReconciliator, ScriptedVac
+
+
+def run_template(script, reconciliator_value="R", init_values=None, **kwargs):
+    n = len(script)
+    vac = ScriptedVac(script)
+    reconciliator = FixedReconciliator(reconciliator_value)
+    processes = [
+        VacTemplateConsensus(vac, reconciliator, **kwargs) for _ in range(n)
+    ]
+    runtime = AsyncRuntime(
+        processes,
+        init_values=init_values or [f"init{i}" for i in range(n)],
+        seed=0,
+        stop_when="all_halted",
+        max_time=100.0,
+    )
+    return runtime.run(), vac, reconciliator
+
+
+def test_commit_decides_and_halts_without_participation():
+    result, _vac, _rec = run_template(
+        {0: [(COMMIT, "v")]}, continue_after_decide=False
+    )
+    assert result.decisions == {0: "v"}
+
+
+def test_commit_with_participation_keeps_running():
+    script = {0: [(COMMIT, "v"), (COMMIT, "v"), (COMMIT, "v")]}
+    result, vac, _rec = run_template(
+        script, continue_after_decide=True, max_rounds=3
+    )
+    assert result.decisions == {0: "v"}
+    assert len(vac.calls) == 3  # kept invoking the VAC after deciding
+
+
+def test_adopt_updates_preference():
+    script = {0: [(ADOPT, "adopted"), (COMMIT, "adopted")]}
+    result, vac, _rec = run_template(script, continue_after_decide=False)
+    assert result.decisions == {0: "adopted"}
+    # Round 2's input must be the adopted value.
+    assert vac.calls[1][2] == "adopted"
+
+
+def test_vacillate_invokes_reconciliator():
+    script = {0: [(VACILLATE, "x"), (COMMIT, "R")]}
+    result, vac, reconciliator = run_template(
+        script, continue_after_decide=False
+    )
+    assert reconciliator.calls == 1
+    assert result.decisions == {0: "R"}
+    assert vac.calls[1][2] == "R"  # reconciled value fed back in
+
+
+def test_adopt_does_not_invoke_reconciliator():
+    script = {0: [(ADOPT, "a"), (COMMIT, "a")]}
+    _result, _vac, reconciliator = run_template(script, continue_after_decide=False)
+    assert reconciliator.calls == 0
+
+
+def test_max_rounds_caps_undecided_run():
+    script = {0: [(VACILLATE, "x")] * 10}
+    result, vac, _rec = run_template(
+        script, continue_after_decide=False, max_rounds=4
+    )
+    assert result.decisions == {}
+    assert len(vac.calls) == 4
+
+
+def test_round_annotations_recorded():
+    script = {0: [(VACILLATE, "x"), (ADOPT, "y"), (COMMIT, "y")]}
+    result, _vac, _rec = run_template(script, continue_after_decide=False)
+    outcomes = outcomes_by_round(result.trace, "vac")
+    assert outcomes[1][0] == (VACILLATE, "x")
+    assert outcomes[2][0] == (ADOPT, "y")
+    assert outcomes[3][0] == (COMMIT, "y")
+    inputs = inputs_by_round(result.trace)
+    assert inputs[1][0] == "init0"
+    assert inputs[2][0] == "R"  # after the reconciliator
+    assert inputs[3][0] == "y"  # after the adopt
+
+
+def test_init_hook_runs_before_first_round():
+    events = []
+
+    def init(api):
+        events.append("init")
+        yield Annotate("init_done", True)
+
+    script = {0: [(COMMIT, "v")]}
+    vac = ScriptedVac(script)
+    process = VacTemplateConsensus(
+        vac, FixedReconciliator("R"), continue_after_decide=False, init=init
+    )
+    AsyncRuntime([process], seed=0, stop_when="all_halted").run()
+    assert events == ["init"]
+
+
+def test_invalid_confidence_raises():
+    class BadVac(ScriptedVac):
+        def invoke(self, api, value, round_no):
+            yield Annotate("noop", None)
+            return "not-a-confidence", value
+
+    process = VacTemplateConsensus(
+        BadVac({0: []}), FixedReconciliator("R"), continue_after_decide=False
+    )
+    with pytest.raises(ValueError):
+        AsyncRuntime([process], seed=0, stop_when="all_halted").run()
+
+
+def test_two_processes_with_different_scripts():
+    script = {
+        0: [(COMMIT, "v")],
+        1: [(ADOPT, "v"), (COMMIT, "v")],
+    }
+    result, _vac, _rec = run_template(script, continue_after_decide=False)
+    assert result.decisions == {0: "v", 1: "v"}

@@ -1,0 +1,63 @@
+"""Unit tests for the workload generators."""
+
+import pytest
+
+from repro.analysis.workloads import (
+    balanced_split,
+    byzantine_on_first_kings,
+    byzantine_spread,
+    mid_broadcast_crashes,
+    random_inputs,
+    skewed,
+    staggered_crashes,
+    unanimous,
+)
+from repro.sim.failures import silent_strategy
+
+
+class TestInputProfiles:
+    def test_unanimous(self):
+        assert unanimous(4, "v") == ["v"] * 4
+        with pytest.raises(ValueError):
+            unanimous(0)
+
+    def test_balanced_split(self):
+        assert balanced_split(4) == [0, 1, 0, 1]
+        assert balanced_split(5, ("a", "b", "c")) == ["a", "b", "c", "a", "b"]
+        with pytest.raises(ValueError):
+            balanced_split(0)
+
+    def test_skewed(self):
+        inputs = skewed(8, 0.75)
+        assert inputs.count(1) == 6
+        assert inputs.count(0) == 2
+        assert skewed(4, 1.0) == [1, 1, 1, 1]
+        assert skewed(4, 0.0) == [0, 0, 0, 0]
+        with pytest.raises(ValueError):
+            skewed(4, 1.5)
+
+    def test_random_inputs_deterministic(self):
+        assert random_inputs(10, seed=3) == random_inputs(10, seed=3)
+        assert random_inputs(10, seed=3) != random_inputs(10, seed=4)
+        assert all(v in (0, 1) for v in random_inputs(50, seed=0))
+
+
+class TestFaultPlacements:
+    def test_first_kings_placement(self):
+        placement = byzantine_on_first_kings(3, lambda: silent_strategy)
+        assert sorted(placement) == [0, 1, 2]
+
+    def test_spread_placement(self):
+        placement = byzantine_spread(9, 3, lambda: silent_strategy)
+        assert len(placement) == 3
+        assert all(0 <= pid < 9 for pid in placement)
+        assert byzantine_spread(9, 0, lambda: silent_strategy) == {}
+
+    def test_staggered_crashes(self):
+        plans = staggered_crashes([4, 2], first_at=1.0, gap=2.0)
+        assert [(p.pid, p.at_time) for p in plans] == [(4, 1.0), (2, 3.0)]
+
+    def test_mid_broadcast_crashes(self):
+        plans = mid_broadcast_crashes([1, 3], after_sends=2)
+        assert all(p.after_sends == 2 for p in plans)
+        assert [p.pid for p in plans] == [1, 3]

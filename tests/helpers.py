@@ -1,0 +1,126 @@
+"""Shared test harness utilities.
+
+* One-shot processes that invoke a single framework object and annotate its
+  outcome — used to unit-test AC/VAC implementations in isolation.
+* Scripted objects with predetermined outcomes — used to unit-test the
+  generic templates without a real protocol underneath.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.confidence import Confidence
+from repro.core.objects import (
+    AdoptCommitObject,
+    ConciliatorObject,
+    ReconciliatorObject,
+    VacillateAdoptCommitObject,
+)
+from repro.sim.messages import Pid
+from repro.sim.ops import Annotate
+from repro.sim.process import Process, ProcessAPI
+from repro.sim.trace import Trace
+
+
+class OneShotDetector(Process):
+    """Invoke one agreement detector once and annotate the outcome.
+
+    Works for both AC and VAC objects (same invoke signature).  The outcome
+    is annotated under ``"outcome"`` as ``(confidence, value)``.
+    """
+
+    def __init__(self, detector, round_no: Hashable = 1):
+        self.detector = detector
+        self.round_no = round_no
+
+    def run(self, api: ProcessAPI):
+        outcome = yield from self.detector.invoke(
+            api, api.init_value, self.round_no
+        )
+        yield Annotate("outcome", outcome)
+
+
+def collect_outcomes(
+    trace: Trace, correct: Optional[Sequence[Pid]] = None
+) -> Dict[Pid, Tuple[Confidence, Any]]:
+    """Gather the per-pid ``"outcome"`` annotations of one-shot runs."""
+    allowed = None if correct is None else set(correct)
+    outcomes: Dict[Pid, Tuple[Confidence, Any]] = {}
+    for pid, _time, value in trace.annotations("outcome"):
+        if allowed is None or pid in allowed:
+            outcomes[pid] = value
+    return outcomes
+
+
+class ScriptedVac(VacillateAdoptCommitObject):
+    """A VAC whose outcomes are scripted per (pid, round) — no messaging.
+
+    Args:
+        script: pid -> list of (confidence, value) outcomes, one per round
+            (the last entry repeats if rounds run past the script).
+    """
+
+    def __init__(self, script: Dict[Pid, List[Tuple[Confidence, Any]]]):
+        self.script = script
+        self.calls: List[Tuple[Pid, Hashable, Any]] = []
+
+    def invoke(self, api: ProcessAPI, value: Any, round_no: Hashable):
+        self.calls.append((api.pid, round_no, value))
+        outcomes = self.script[api.pid]
+        index = min(int(round_no) - 1, len(outcomes) - 1)
+        yield Annotate("scripted_vac", (round_no, value))
+        return outcomes[index]
+
+
+class ScriptedAdoptCommit(AdoptCommitObject):
+    """An AC with scripted outcomes per (pid, round) — no messaging."""
+
+    def __init__(self, script: Dict[Pid, List[Tuple[Confidence, Any]]]):
+        self.script = script
+        self.calls: List[Tuple[Pid, Hashable, Any]] = []
+
+    def invoke(self, api: ProcessAPI, value: Any, round_no: Hashable):
+        self.calls.append((api.pid, round_no, value))
+        outcomes = self.script[api.pid]
+        key = round_no[0] if isinstance(round_no, tuple) else round_no
+        index = min(int(key) - 1, len(outcomes) - 1)
+        yield Annotate("scripted_ac", (round_no, value))
+        return outcomes[index]
+
+
+class EchoAdoptCommit(AdoptCommitObject):
+    """An AC that always returns the scripted confidence with the input value."""
+
+    def __init__(self, confidence: Confidence):
+        self.confidence = confidence
+
+    def invoke(self, api: ProcessAPI, value: Any, round_no: Hashable):
+        yield Annotate("echo_ac", (round_no, value))
+        return self.confidence, value
+
+
+class FixedReconciliator(ReconciliatorObject):
+    """A reconciliator that always returns a fixed value."""
+
+    def __init__(self, value: Any):
+        self.value = value
+        self.calls = 0
+
+    def invoke(self, api: ProcessAPI, confidence, value, round_no):
+        self.calls += 1
+        yield Annotate("fixed_reconciliator", (round_no, self.value))
+        return self.value
+
+
+class FixedConciliator(ConciliatorObject):
+    """A conciliator that always returns a fixed value."""
+
+    def __init__(self, value: Any):
+        self.value = value
+        self.calls = 0
+
+    def invoke(self, api: ProcessAPI, confidence, value, round_no):
+        self.calls += 1
+        yield Annotate("fixed_conciliator", (round_no, self.value))
+        return self.value

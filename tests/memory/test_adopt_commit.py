@@ -1,0 +1,109 @@
+"""Tests for the register-based adopt-commit object (wait-free, Gafni-style)."""
+
+import pytest
+
+from repro.core.confidence import ADOPT, COMMIT
+from repro.core.properties import check_ac_round
+from repro.memory.adopt_commit import RegisterAdoptCommit
+from repro.memory.scheduler import MemoryScheduler, SharedMemoryProcess
+from repro.sim.ops import Annotate
+
+
+class OneShot(SharedMemoryProcess):
+    def __init__(self, ac):
+        self.ac = ac
+
+    def run(self, api):
+        outcome = yield from self.ac.invoke(api, api.init_value)
+        yield Annotate("outcome", outcome)
+
+
+def run_ac(init_values, policy="random", seed=0):
+    n = len(init_values)
+    ac = RegisterAdoptCommit(n)
+    scheduler = MemoryScheduler(
+        [OneShot(ac) for _ in range(n)],
+        init_values=init_values,
+        policy=policy,
+        seed=seed,
+    )
+    result = scheduler.run()
+    return {pid: v for pid, _t, v in result.trace.annotations("outcome")}
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+    def test_unanimous_inputs_commit(self, n):
+        outcomes = run_ac(["v"] * n)
+        assert all(o == (COMMIT, "v") for o in outcomes.values())
+
+    def test_solo_invocation_commits(self):
+        outcomes = run_ac(["only"])
+        assert outcomes[0] == (COMMIT, "only")
+
+
+class TestCoherence:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_interleavings_stay_coherent(self, seed):
+        outcomes = run_ac(["a", "b", "a", "b", "a"], seed=seed)
+        check_ac_round(outcomes)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_round_robin_interleaving(self, seed):
+        outcomes = run_ac(["x", "y", "x"], policy="round_robin", seed=seed)
+        check_ac_round(outcomes)
+
+    def test_sequential_schedule_first_process_commits(self):
+        # Run processes strictly one after another: the first to finish
+        # sees no conflict and commits; the rest must adopt its value.
+        def sequential(step, runnable, rng):
+            return runnable[0]
+
+        n = 3
+        ac = RegisterAdoptCommit(n)
+        scheduler = MemoryScheduler(
+            [OneShot(ac) for _ in range(n)],
+            init_values=["first", "second", "third"],
+            policy=sequential,
+            seed=0,
+        )
+        result = scheduler.run()
+        outcomes = {pid: v for pid, _t, v in result.trace.annotations("outcome")}
+        assert outcomes[0] == (COMMIT, "first")
+        assert outcomes[1] == (ADOPT, "first")
+        assert outcomes[2] == (ADOPT, "first")
+
+    def test_validity_outputs_are_inputs(self):
+        for seed in range(20):
+            inits = ["a", "b", "c", "d"]
+            outcomes = run_ac(inits, seed=seed)
+            assert all(v in inits for _c, v in outcomes.values())
+
+
+class TestIsolation:
+    def test_two_instances_do_not_interfere(self):
+        class TwoRounds(SharedMemoryProcess):
+            def __init__(self, ac1, ac2):
+                self.ac1, self.ac2 = ac1, ac2
+
+            def run(self, api):
+                first = yield from self.ac1.invoke(api, api.init_value)
+                second = yield from self.ac2.invoke(api, "fresh")
+                yield Annotate("outcome", (first, second))
+
+        ac1 = RegisterAdoptCommit(2, tag="round1")
+        ac2 = RegisterAdoptCommit(2, tag="round2")
+        scheduler = MemoryScheduler(
+            [TwoRounds(ac1, ac2) for _ in range(2)],
+            init_values=["a", "b"],
+            seed=1,
+        )
+        result = scheduler.run()
+        outcomes = {pid: v for pid, _t, v in result.trace.annotations("outcome")}
+        # Second instance sees unanimous "fresh" regardless of round 1.
+        for _first, second in outcomes.values():
+            assert second == (COMMIT, "fresh")
+
+    def test_rejects_invalid_n(self):
+        with pytest.raises(ValueError):
+            RegisterAdoptCommit(0)

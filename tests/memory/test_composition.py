@@ -1,0 +1,84 @@
+"""Unit tests for the shared-memory VAC-from-two-ACs composition."""
+
+import pytest
+
+from repro.core.confidence import COMMIT, VACILLATE
+from repro.core.properties import check_vac_round
+from repro.memory.composition import RegisterVacFromTwoAcs
+from repro.memory.scheduler import MemoryScheduler, SharedMemoryProcess
+from repro.sim.ops import Annotate
+
+
+class OneShot(SharedMemoryProcess):
+    def __init__(self, vac):
+        self.vac = vac
+
+    def run(self, api):
+        outcome = yield from self.vac.invoke(api, api.init_value)
+        yield Annotate("outcome", outcome)
+
+
+def run_vac(init_values, policy="random", seed=0):
+    n = len(init_values)
+    vac = RegisterVacFromTwoAcs(n)
+    scheduler = MemoryScheduler(
+        [OneShot(vac) for _ in range(n)],
+        init_values=init_values,
+        policy=policy,
+        seed=seed,
+    )
+    result = scheduler.run()
+    return {pid: v for pid, _t, v in result.trace.annotations("outcome")}
+
+
+def test_unanimous_inputs_commit():
+    outcomes = run_vac(["v"] * 4)
+    assert all(o == (COMMIT, "v") for o in outcomes.values())
+
+
+def test_solo_run_commits():
+    # Sequential schedule: the first process runs both stages alone.
+    def sequential(step, runnable, rng):
+        return runnable[0]
+
+    outcomes = run_vac(["a", "b"], policy=sequential)
+    assert outcomes[0] == (COMMIT, "a")
+    assert outcomes[1][1] == "a"  # second process carries the first value
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_mixed_inputs_always_coherent(seed):
+    outcomes = run_vac(["a", "b", "a", "b"], seed=seed)
+    check_vac_round(outcomes)
+    assert all(v in ("a", "b") for _c, v in outcomes.values())
+
+
+def test_all_three_levels_possible():
+    # Across a battery of seeds all three confidence levels should appear
+    # somewhere (commit from clean runs, vacillate from contended ones).
+    seen = set()
+    for seed in range(60):
+        for confidence, _value in run_vac(["a", "b", "a"], seed=seed).values():
+            seen.add(confidence)
+    assert COMMIT in seen
+    assert VACILLATE in seen
+
+
+def test_instances_are_namespaced():
+    first = RegisterVacFromTwoAcs(2, tag="one")
+    second = RegisterVacFromTwoAcs(2, tag="two")
+
+    class TwoRounds(SharedMemoryProcess):
+        def run(self, api):
+            a = yield from first.invoke(api, api.init_value)
+            b = yield from second.invoke(api, "fresh")
+            yield Annotate("outcome", (a, b))
+
+    scheduler = MemoryScheduler(
+        [TwoRounds(), TwoRounds()], init_values=["x", "y"], seed=1
+    )
+    result = scheduler.run()
+    for _first, second_outcome in (
+        v for _p, _t, v in result.trace.annotations("outcome")
+    ):
+        assert second_outcome == (COMMIT, "fresh")

@@ -1,0 +1,73 @@
+"""Tests for the probabilistic-write conciliator."""
+
+import pytest
+
+from repro.memory.conciliator import ProbabilisticWriteConciliator
+from repro.memory.scheduler import MemoryScheduler, SharedMemoryProcess
+from repro.sim.ops import Annotate
+
+
+class OneShot(SharedMemoryProcess):
+    def __init__(self, conciliator):
+        self.conciliator = conciliator
+
+    def run(self, api):
+        value = yield from self.conciliator.invoke(api, api.init_value)
+        yield Annotate("outcome", value)
+
+
+def run_conciliator(init_values, seed=0, policy="random"):
+    n = len(init_values)
+    conciliator = ProbabilisticWriteConciliator(n)
+    scheduler = MemoryScheduler(
+        [OneShot(conciliator) for _ in range(n)],
+        init_values=init_values,
+        policy=policy,
+        seed=seed,
+        max_steps=500_000,
+    )
+    result = scheduler.run()
+    return {pid: v for pid, _t, v in result.trace.annotations("outcome")}
+
+
+class TestTermination:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_every_invoker_returns(self, seed):
+        outcomes = run_conciliator(["a", "b", "c", "d"], seed=seed)
+        assert len(outcomes) == 4
+
+    def test_solo_invoker_returns_own_value(self):
+        outcomes = run_conciliator(["mine"])
+        assert outcomes[0] == "mine"
+
+
+class TestValidity:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_output_is_some_input(self, seed):
+        inits = ["a", "b", "c"]
+        outcomes = run_conciliator(inits, seed=seed)
+        assert all(v in inits for v in outcomes.values())
+
+
+class TestProbabilisticAgreement:
+    def test_agreement_frequency_bounded_away_from_zero(self):
+        """Across a seed battery the all-agree fraction must comfortably
+        exceed the theoretical floor (1 - 1/2n)^(n-1) ~ e^(-1/2) ~ 0.60."""
+        n = 4
+        agreements = 0
+        trials = 60
+        for seed in range(trials):
+            outcomes = run_conciliator(["a", "b", "c", "d"], seed=seed)
+            if len(set(outcomes.values())) == 1:
+                agreements += 1
+        assert agreements / trials > 0.4
+
+    def test_unanimous_inputs_always_agree(self):
+        for seed in range(10):
+            outcomes = run_conciliator(["v"] * 5, seed=seed)
+            assert set(outcomes.values()) == {"v"}
+
+
+def test_rejects_invalid_n():
+    with pytest.raises(ValueError):
+        ProbabilisticWriteConciliator(0)

@@ -1,0 +1,75 @@
+"""End-to-end tests for shared-memory consensus (Aspnes' framework, E9)."""
+
+import pytest
+
+from repro.core.properties import (
+    check_agreement,
+    check_all_rounds,
+    check_termination,
+    check_validity,
+)
+from repro.memory import run_shared_memory_consensus
+from repro.memory.consensus import SharedMemoryConsensus
+from repro.memory.scheduler import MemoryScheduler
+
+
+class TestConsensus:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_agreement_validity_termination(self, seed):
+        inits = [0, 1, 1, 0, 1]
+        result = run_shared_memory_consensus(inits, seed=seed)
+        check_agreement(result.decisions)
+        check_validity(result.decisions, inits)
+        check_termination(result.decisions, range(5))
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 6, 10])
+    def test_system_sizes(self, n):
+        inits = [i % 2 for i in range(n)]
+        result = run_shared_memory_consensus(inits, seed=7)
+        check_agreement(result.decisions)
+        check_termination(result.decisions, range(n))
+
+    def test_unanimous_decides_in_round_one(self):
+        result = run_shared_memory_consensus([3, 3, 3], seed=0)
+        assert result.decided_value() == 3
+        rounds = check_all_rounds(result.trace, "ac")
+        assert rounds == 1
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_every_round_is_ac_coherent(self, seed):
+        result = run_shared_memory_consensus([0, 1, 0, 1], seed=seed)
+        check_all_rounds(result.trace, "ac")
+
+    def test_round_robin_schedule(self):
+        result = run_shared_memory_consensus([0, 1, 0, 1], seed=2, policy="round_robin")
+        check_agreement(result.decisions)
+        check_termination(result.decisions, range(4))
+
+    def test_adversarial_alternating_schedule(self):
+        # A hostile-ish deterministic policy: always step the lowest
+        # unfinished pid on even steps and the highest on odd steps.
+        def policy(step, runnable, rng):
+            return runnable[0] if step % 2 == 0 else runnable[-1]
+
+        result = run_shared_memory_consensus([0, 1, 1, 0], seed=0, policy=policy)
+        check_agreement(result.decisions)
+        check_termination(result.decisions, range(4))
+
+    def test_max_rounds_caps_execution(self):
+        # With max_rounds=0 the process body exits immediately, undecided.
+        scheduler = MemoryScheduler(
+            [SharedMemoryConsensus(2, max_rounds=0) for _ in range(2)],
+            init_values=[0, 1],
+            seed=0,
+        )
+        result = scheduler.run()
+        assert result.decisions == {}
+
+    def test_wait_free_progress_under_starvation(self):
+        """One process runs alone (others never scheduled): it must still
+        decide — the wait-freedom of the shared-memory framework."""
+        def solo_policy(step, runnable, rng):
+            return 0 if 0 in runnable else runnable[0]
+
+        result = run_shared_memory_consensus([5, 6, 7], seed=0, policy=solo_policy)
+        assert result.decisions.get(0) == 5

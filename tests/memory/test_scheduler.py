@@ -1,0 +1,168 @@
+"""Unit tests for the shared-memory step scheduler and registers."""
+
+import pytest
+
+from repro.memory.scheduler import (
+    MemoryScheduler,
+    ReadReg,
+    SharedMemoryProcess,
+    WriteReg,
+)
+from repro.sim.ops import Annotate, Decide, Halt
+
+
+class Prog(SharedMemoryProcess):
+    def __init__(self, body):
+        self._body = body
+
+    def run(self, api):
+        return self._body(api)
+
+
+def run(bodies, **kwargs):
+    return MemoryScheduler([Prog(b) for b in bodies], **kwargs).run()
+
+
+class TestRegisters:
+    def test_unwritten_register_reads_none(self):
+        def body(api):
+            value = yield ReadReg("r")
+            yield Decide(value)
+
+        result = run([body])
+        assert result.decisions == {0: None}
+
+    def test_write_then_read(self):
+        def body(api):
+            yield WriteReg("r", 42)
+            value = yield ReadReg("r")
+            yield Decide(value)
+
+        result = run([body])
+        assert result.decisions == {0: 42}
+        assert result.registers == {"r": 42}
+
+    def test_registers_shared_between_processes(self):
+        def writer(api):
+            yield WriteReg("shared", "w")
+
+        def reader(api):
+            while True:
+                value = yield ReadReg("shared")
+                if value is not None:
+                    yield Decide(value)
+                    return
+
+        result = run([writer, reader])
+        assert result.decisions == {1: "w"}
+
+    def test_tuple_register_names(self):
+        def body(api):
+            yield WriteReg(("ns", 1, api.pid), api.pid)
+            value = yield ReadReg(("ns", 1, api.pid))
+            yield Decide(value)
+
+        result = run([body, body])
+        assert result.decisions == {0: 0, 1: 1}
+
+
+class TestScheduling:
+    def test_round_robin_is_fair_and_deterministic(self):
+        order = []
+
+        def body(api):
+            for _ in range(3):
+                order.append(api.pid)
+                yield ReadReg("r")
+
+        run([body, body], policy="round_robin")
+        assert order == [0, 1, 0, 1, 0, 1]
+
+    def test_random_policy_is_seed_deterministic(self):
+        def body(api):
+            yield WriteReg(("out", api.pid), api.rng.random())
+            yield Decide(api.pid)
+
+        first = run([body, body, body], policy="random", seed=5)
+        second = run([body, body, body], policy="random", seed=5)
+        assert first.registers == second.registers
+
+    def test_custom_policy(self):
+        # Starve pid 0 until pid 1 finishes.
+        def policy(step, runnable, rng):
+            return runnable[-1]
+
+        order = []
+
+        def body(api):
+            order.append(api.pid)
+            yield ReadReg("r")
+            order.append(api.pid)
+
+        run([body, body], policy=policy)
+        assert order == [1, 1, 0, 0]
+
+    def test_bad_policy_choice_rejected(self):
+        def policy(step, runnable, rng):
+            return 99
+
+        def body(api):
+            yield ReadReg("r")
+
+        with pytest.raises(ValueError):
+            run([body], policy=policy)
+
+    def test_unknown_policy_rejected(self):
+        def body(api):
+            yield ReadReg("r")
+
+        with pytest.raises(ValueError):
+            run([body], policy="bogus")
+
+    def test_max_steps_caps_livelock(self):
+        def spin(api):
+            while True:
+                yield ReadReg("r")
+
+        result = run([spin], max_steps=100)
+        assert result.steps == 100
+
+
+class TestOps:
+    def test_annotate_recorded(self):
+        def body(api):
+            yield Annotate("mark", 1)
+
+        result = run([body])
+        assert result.trace.annotations("mark") == [(0, 1, 1)]
+
+    def test_halt_stops(self):
+        def body(api):
+            yield Halt()
+            yield Decide("never")
+
+        result = run([body])
+        assert result.decisions == {}
+
+    def test_double_decide_conflict_raises(self):
+        def body(api):
+            yield Decide(1)
+            yield Decide(2)
+
+        with pytest.raises(RuntimeError):
+            run([body])
+
+    def test_message_ops_rejected(self):
+        from repro.sim.ops import Send
+
+        def body(api):
+            yield Send(0, "x")
+
+        with pytest.raises(RuntimeError):
+            run([body])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryScheduler([])
+        with pytest.raises(ValueError):
+            MemoryScheduler([Prog(lambda api: iter(()))], init_values=[1, 2])

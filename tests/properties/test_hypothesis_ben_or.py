@@ -1,0 +1,92 @@
+"""Property-based tests: Ben-Or invariants over random systems and schedules."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.ben_or import ben_or_template_consensus
+from repro.algorithms.ben_or.vac import BenOrVac
+from repro.core.properties import (
+    check_agreement,
+    check_all_rounds,
+    check_no_decision_without_commit,
+    check_termination,
+    check_validity,
+    check_vac_round,
+)
+from repro.sim.async_runtime import AsyncRuntime
+from repro.sim.failures import CrashPlan
+
+from tests.helpers import OneShotDetector, collect_outcomes
+
+
+@st.composite
+def ben_or_system(draw):
+    n = draw(st.integers(min_value=3, max_value=8))
+    t = draw(st.integers(min_value=1, max_value=(n - 1) // 2))
+    inits = draw(st.lists(st.integers(0, 1), min_size=n, max_size=n))
+    seed = draw(st.integers(min_value=0, max_value=2**32))
+    return n, t, inits, seed
+
+
+@given(ben_or_system())
+@settings(max_examples=40, deadline=None)
+def test_consensus_invariants_hold(system):
+    n, t, inits, seed = system
+    processes = [ben_or_template_consensus() for _ in range(n)]
+    runtime = AsyncRuntime(
+        processes, init_values=inits, t=t, seed=seed, max_time=10_000.0
+    )
+    result = runtime.run()
+    assert result.stop_reason == "stop_condition", "must terminate by deciding"
+    check_agreement(result.decisions)
+    check_validity(result.decisions, inits)
+    check_termination(result.decisions, range(n))
+    check_all_rounds(result.trace, "vac")
+    check_no_decision_without_commit(result.trace, "vac")
+
+
+@given(ben_or_system(), st.data())
+@settings(max_examples=30, deadline=None)
+def test_consensus_invariants_hold_with_crashes(system, data):
+    n, t, inits, seed = system
+    crash_count = data.draw(st.integers(min_value=0, max_value=t))
+    victims = data.draw(
+        st.lists(
+            st.integers(0, n - 1), min_size=crash_count, max_size=crash_count,
+            unique=True,
+        )
+    )
+    plans = []
+    for victim in victims:
+        if data.draw(st.booleans()):
+            plans.append(CrashPlan(victim, at_time=data.draw(st.floats(0.1, 20.0))))
+        else:
+            plans.append(CrashPlan(victim, after_sends=data.draw(st.integers(0, 30))))
+    processes = [ben_or_template_consensus() for _ in range(n)]
+    runtime = AsyncRuntime(
+        processes, init_values=inits, t=t, seed=seed, crash_plans=plans,
+        max_time=10_000.0,
+    )
+    result = runtime.run()
+    live = [pid for pid in range(n) if pid not in victims]
+    check_agreement(result.decisions)
+    check_validity(result.decisions, inits)
+    check_termination(result.decisions, live)
+    check_all_rounds(result.trace, "vac", correct=live)
+
+
+@given(ben_or_system())
+@settings(max_examples=40, deadline=None)
+def test_single_vac_invocation_coherent(system):
+    n, t, inits, seed = system
+    processes = [OneShotDetector(BenOrVac()) for _ in range(n)]
+    runtime = AsyncRuntime(
+        processes, init_values=inits, t=t, seed=seed,
+        stop_when="all_halted", max_time=1_000.0,
+    )
+    result = runtime.run()
+    outcomes = collect_outcomes(result.trace)
+    assert len(outcomes) == n
+    check_vac_round(outcomes)
+    # Object validity: every outcome value is some process's input.
+    assert all(v in inits for _c, v in outcomes.values())

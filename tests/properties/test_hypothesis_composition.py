@@ -1,0 +1,93 @@
+"""Property-based tests for the Section 5 compositions over real objects.
+
+``VacFromTwoAdoptCommits`` is exercised with two Phase-King adopt-commit
+objects in the synchronous model (with and without Byzantine processes);
+``AdoptCommitFromVac`` with Ben-Or's VAC in the asynchronous model.  In
+every execution the composed object must satisfy the *stronger* interface's
+properties.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.ben_or.vac import BenOrVac
+from repro.algorithms.phase_king.adopt_commit import PhaseKingAdoptCommit
+from repro.core.composition import AdoptCommitFromVac, VacFromTwoAdoptCommits
+from repro.core.confidence import COMMIT
+from repro.core.properties import check_ac_round, check_vac_round
+from repro.sim.async_runtime import AsyncRuntime
+from repro.sim.failures import ByzantineProcess, equivocating_strategy, silent_strategy
+from repro.sim.sync_runtime import SyncRuntime
+
+from tests.helpers import OneShotDetector, collect_outcomes
+
+
+@st.composite
+def sync_system(draw):
+    t = draw(st.integers(min_value=1, max_value=2))
+    n = draw(st.integers(min_value=3 * t + 1, max_value=3 * t + 3))
+    inits = draw(st.lists(st.integers(0, 1), min_size=n, max_size=n))
+    byz_count = draw(st.integers(min_value=0, max_value=t))
+    byz_pids = draw(
+        st.lists(st.integers(0, n - 1), min_size=byz_count, max_size=byz_count, unique=True)
+    )
+    seed = draw(st.integers(min_value=0, max_value=2**32))
+    return n, t, inits, byz_pids, seed
+
+
+@given(sync_system(), st.booleans())
+@settings(max_examples=50, deadline=None)
+def test_vac_from_two_phase_king_acs_is_a_correct_vac(system, use_silent):
+    n, t, inits, byz_pids, seed = system
+    strategy_factory = (lambda: silent_strategy) if use_silent else equivocating_strategy
+    vac = VacFromTwoAdoptCommits(PhaseKingAdoptCommit(), PhaseKingAdoptCommit())
+    processes = []
+    for pid in range(n):
+        if pid in byz_pids:
+            processes.append(ByzantineProcess(strategy_factory()))
+        else:
+            processes.append(OneShotDetector(vac))
+    correct = [pid for pid in range(n) if pid not in byz_pids]
+    runtime = SyncRuntime(
+        processes,
+        init_values=inits,
+        t=t,
+        seed=seed,
+        stop_pids=correct,
+        stop_when="all_done",
+        max_exchanges=6,
+    )
+    result = runtime.run()
+    outcomes = collect_outcomes(result.trace, correct)
+    assert len(outcomes) == len(correct)
+    check_vac_round(outcomes)
+    # Convergence (only claimable without Byzantine interference on values):
+    if not byz_pids and len(set(inits)) == 1:
+        assert all(c is COMMIT for c, _v in outcomes.values())
+
+
+@st.composite
+def async_system(draw):
+    n = draw(st.integers(min_value=3, max_value=7))
+    t = draw(st.integers(min_value=1, max_value=(n - 1) // 2))
+    inits = draw(st.lists(st.integers(0, 1), min_size=n, max_size=n))
+    seed = draw(st.integers(min_value=0, max_value=2**32))
+    return n, t, inits, seed
+
+
+@given(async_system())
+@settings(max_examples=50, deadline=None)
+def test_ac_from_ben_or_vac_is_a_correct_ac(system):
+    n, t, inits, seed = system
+    ac = AdoptCommitFromVac(BenOrVac())
+    processes = [OneShotDetector(ac) for _ in range(n)]
+    runtime = AsyncRuntime(
+        processes, init_values=inits, t=t, seed=seed,
+        stop_when="all_halted", max_time=1_000.0,
+    )
+    result = runtime.run()
+    outcomes = collect_outcomes(result.trace)
+    assert len(outcomes) == n
+    check_ac_round(outcomes)
+    if len(set(inits)) == 1:
+        assert all(c is COMMIT for c, _v in outcomes.values())

@@ -1,0 +1,70 @@
+"""Property-based tests for the coordinator-based asynchronous algorithms.
+
+Raft and Chandra-Toueg are fuzzed over system sizes, inputs, crash
+schedules (within the minority budget) and timing parameters; both must
+satisfy full consensus and their per-term / per-round coherence.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.chandra_toueg import run_chandra_toueg
+from repro.algorithms.raft import run_raft_consensus
+from repro.algorithms.raft.vac import check_raft_vac
+from repro.core.properties import (
+    check_agreement,
+    check_termination,
+    check_validity,
+)
+from repro.sim.failures import CrashPlan
+
+
+@st.composite
+def crash_schedule(draw, n):
+    crash_count = draw(st.integers(min_value=0, max_value=(n - 1) // 2))
+    victims = draw(
+        st.lists(
+            st.integers(0, n - 1), min_size=crash_count, max_size=crash_count,
+            unique=True,
+        )
+    )
+    plans = []
+    for victim in victims:
+        when = draw(st.floats(min_value=0.5, max_value=40.0))
+        plans.append(CrashPlan(victim, at_time=when))
+    return plans
+
+
+@st.composite
+def raft_system(draw):
+    n = draw(st.integers(min_value=1, max_value=7))
+    inits = draw(st.lists(st.integers(0, 9), min_size=n, max_size=n))
+    seed = draw(st.integers(min_value=0, max_value=2**32))
+    plans = draw(crash_schedule(n))
+    return n, inits, seed, plans
+
+
+@given(raft_system())
+@settings(max_examples=25, deadline=None)
+def test_raft_invariants(system):
+    n, inits, seed, plans = system
+    result = run_raft_consensus(inits, seed=seed, crash_plans=plans, max_time=5_000.0)
+    victims = {plan.pid for plan in plans}
+    live = [pid for pid in range(n) if pid not in victims]
+    check_agreement(result.decisions)
+    check_validity(result.decisions, inits)
+    check_termination(result.decisions, live)
+    check_raft_vac(result.trace)
+
+
+@given(raft_system())
+@settings(max_examples=25, deadline=None)
+def test_chandra_toueg_invariants(system):
+    n, inits, seed, plans = system
+    result = run_chandra_toueg(inits, seed=seed, crash_plans=plans, max_time=10_000.0)
+    victims = {plan.pid for plan in plans}
+    live = [pid for pid in range(n) if pid not in victims]
+    check_agreement(result.decisions)
+    check_validity(result.decisions, inits)
+    check_termination(result.decisions, live)
+    check_raft_vac(result.trace)

@@ -1,0 +1,98 @@
+"""Property-based tests: Phase-King under randomized Byzantine adversaries."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.phase_king import run_phase_king
+from repro.algorithms.phase_king.adopt_commit import PhaseKingAdoptCommit
+from repro.core.properties import (
+    check_ac_round,
+    check_agreement,
+    check_termination,
+    check_validity,
+)
+from repro.sim.failures import (
+    ByzantineProcess,
+    anti_phase_king_strategy,
+    equivocating_strategy,
+    random_noise_strategy,
+    silent_strategy,
+)
+from repro.sim.sync_runtime import SyncRuntime
+
+from tests.helpers import OneShotDetector, collect_outcomes
+
+STRATEGY_FACTORIES = [
+    lambda: silent_strategy,
+    random_noise_strategy,
+    equivocating_strategy,
+    anti_phase_king_strategy,
+]
+
+
+@st.composite
+def phase_king_system(draw):
+    t = draw(st.integers(min_value=1, max_value=3))
+    n = draw(st.integers(min_value=3 * t + 1, max_value=3 * t + 4))
+    inits = draw(st.lists(st.integers(0, 1), min_size=n, max_size=n))
+    byz_count = draw(st.integers(min_value=0, max_value=t))
+    byz_pids = draw(
+        st.lists(
+            st.integers(0, n - 1), min_size=byz_count, max_size=byz_count,
+            unique=True,
+        )
+    )
+    strategies = [
+        draw(st.sampled_from(range(len(STRATEGY_FACTORIES)))) for _ in byz_pids
+    ]
+    seed = draw(st.integers(min_value=0, max_value=2**32))
+    return n, t, inits, dict(zip(byz_pids, strategies)), seed
+
+
+@given(phase_king_system())
+@settings(max_examples=40, deadline=None)
+def test_fixed_mode_agreement_validity_termination(system):
+    n, t, inits, byz_spec, seed = system
+    byzantine = {
+        pid: STRATEGY_FACTORIES[index]() for pid, index in byz_spec.items()
+    }
+    result = run_phase_king(inits, t=t, byzantine=byzantine, mode="fixed", seed=seed)
+    correct = [pid for pid in range(n) if pid not in byzantine]
+    decisions = {pid: result.decisions[pid] for pid in correct if pid in result.decisions}
+    check_termination(decisions, correct)
+    check_agreement(decisions)
+    # Validity in the binary-with-sentinel domain: decisions stay in {0, 1}.
+    assert all(v in (0, 1) for v in decisions.values())
+    # Strict validity where the paper claims it: unanimous correct inputs.
+    correct_inputs = {inits[pid] for pid in correct}
+    if len(correct_inputs) == 1:
+        check_validity(decisions, correct_inputs)
+
+
+@given(phase_king_system())
+@settings(max_examples=40, deadline=None)
+def test_single_ac_invocation_coherent(system):
+    n, t, inits, byz_spec, seed = system
+    byzantine = {
+        pid: STRATEGY_FACTORIES[index]() for pid, index in byz_spec.items()
+    }
+    processes = []
+    for pid in range(n):
+        if pid in byzantine:
+            processes.append(ByzantineProcess(byzantine[pid]))
+        else:
+            processes.append(OneShotDetector(PhaseKingAdoptCommit()))
+    correct = [pid for pid in range(n) if pid not in byzantine]
+    runtime = SyncRuntime(
+        processes,
+        init_values=inits,
+        t=t,
+        seed=seed,
+        stop_pids=correct,
+        stop_when="all_done",
+        max_exchanges=4,
+    )
+    result = runtime.run()
+    outcomes = collect_outcomes(result.trace, correct)
+    assert len(outcomes) == len(correct)
+    check_ac_round(outcomes)

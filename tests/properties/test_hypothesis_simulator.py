@@ -1,0 +1,111 @@
+"""Property-based tests of the simulators themselves (Experiment E10).
+
+Two classes of properties: *determinism* (a run is a pure function of the
+seed) and *event ordering* (the queue is a faithful priority queue; the
+mailbox preserves delivery order).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.async_runtime import AsyncRuntime
+from repro.sim.events import EventQueue
+from repro.sim.network import NetworkConfig, UniformDelay
+from repro.sim.ops import Broadcast, Decide, Receive
+from repro.sim.process import FunctionProcess
+from repro.sim.sync_runtime import SyncRuntime
+from repro.sim.ops import Exchange
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_event_queue_is_a_stable_priority_queue(times):
+    queue = EventQueue()
+    for i, time in enumerate(times):
+        queue.push(time, i)
+    popped = [queue.pop() for _ in range(len(times))]
+    popped_times = [t for t, _e in popped]
+    assert popped_times == sorted(times)
+    # Stability: equal times pop in insertion order.
+    from collections import defaultdict
+
+    groups = defaultdict(list)
+    for time, event in popped:
+        groups[time].append(event)
+    for time, events in groups.items():
+        assert events == sorted(events)
+
+
+def gossip(api):
+    yield Broadcast(("gossip", api.pid, api.rng.random()))
+    envelopes = yield Receive(count=api.n)
+    yield Decide(tuple(sorted(e.payload[2] for e in envelopes)))
+
+
+@given(
+    st.integers(min_value=2, max_value=8),
+    st.integers(min_value=0, max_value=2**32),
+)
+@settings(max_examples=50, deadline=None)
+def test_async_runtime_is_seed_deterministic(n, seed):
+    def execute():
+        runtime = AsyncRuntime(
+            [FunctionProcess(gossip) for _ in range(n)],
+            seed=seed,
+            network=NetworkConfig(delay_model=UniformDelay(0.1, 2.0)),
+        )
+        result = runtime.run()
+        return (
+            result.decisions,
+            result.final_time,
+            len(result.trace),
+            result.events_processed,
+        )
+
+    assert execute() == execute()
+
+
+def sync_gossip(api):
+    inbox = yield Exchange(api.rng.randrange(100))
+    yield Decide(tuple(sorted(inbox.items())))
+
+
+@given(
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=0, max_value=2**32),
+)
+@settings(max_examples=50, deadline=None)
+def test_sync_runtime_is_seed_deterministic(n, seed):
+    def execute():
+        runtime = SyncRuntime(
+            [FunctionProcess(sync_gossip) for _ in range(n)], seed=seed
+        )
+        result = runtime.run()
+        return result.decisions, result.exchanges, len(result.trace)
+
+    assert execute() == execute()
+
+
+@given(
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=0, max_value=2**32),
+    st.integers(min_value=0, max_value=2**32),
+)
+@settings(max_examples=30, deadline=None)
+def test_different_seeds_vary_randomness(n, seed_a, seed_b):
+    # Not a strict property (collisions possible) — we only require that the
+    # *per-process RNG streams* differ between different seeds, which holds
+    # unless the seeds collide.
+    if seed_a == seed_b:
+        return
+
+    def sample(seed):
+        runtime = AsyncRuntime(
+            [FunctionProcess(gossip) for _ in range(n)], seed=seed
+        )
+        return runtime.run().decisions
+
+    # Equal decisions are possible but the full float tuples colliding for
+    # all processes is (astronomically) unlikely; treat equality as failure
+    # only if every coin matches.
+    assert sample(seed_a) != sample(seed_b)

@@ -1,0 +1,85 @@
+"""Unit tests for the discrete-event queue."""
+
+import pytest
+
+from repro.sim.events import EventQueue
+
+
+def test_pops_in_time_order():
+    queue = EventQueue()
+    queue.push(3.0, "c")
+    queue.push(1.0, "a")
+    queue.push(2.0, "b")
+    assert [queue.pop()[1] for _ in range(3)] == ["a", "b", "c"]
+
+
+def test_ties_break_by_insertion_order():
+    queue = EventQueue()
+    queue.push(1.0, "first")
+    queue.push(1.0, "second")
+    queue.push(1.0, "third")
+    assert [queue.pop()[1] for _ in range(3)] == ["first", "second", "third"]
+
+
+def test_pop_returns_time_and_event():
+    queue = EventQueue()
+    queue.push(4.5, "x")
+    assert queue.pop() == (4.5, "x")
+
+
+def test_peek_time_without_removal():
+    queue = EventQueue()
+    assert queue.peek_time() is None
+    queue.push(2.0, "x")
+    queue.push(1.0, "y")
+    assert queue.peek_time() == 1.0
+    assert len(queue) == 2
+
+
+def test_len_and_bool():
+    queue = EventQueue()
+    assert not queue
+    assert len(queue) == 0
+    queue.push(1.0, "x")
+    assert queue
+    assert len(queue) == 1
+    queue.pop()
+    assert not queue
+
+
+def test_negative_time_rejected():
+    queue = EventQueue()
+    with pytest.raises(ValueError):
+        queue.push(-0.1, "x")
+
+
+def test_interleaved_push_pop():
+    queue = EventQueue()
+    queue.push(5.0, "late")
+    queue.push(1.0, "early")
+    assert queue.pop()[1] == "early"
+    queue.push(2.0, "mid")
+    assert queue.pop()[1] == "mid"
+    assert queue.pop()[1] == "late"
+
+
+def test_iter_exposes_pending_events():
+    queue = EventQueue()
+    queue.push(1.0, "a")
+    queue.push(2.0, "b")
+    assert set(queue) == {"a", "b"}
+
+
+def test_zero_time_allowed():
+    queue = EventQueue()
+    queue.push(0.0, "now")
+    assert queue.pop() == (0.0, "now")
+
+
+def test_many_events_sorted():
+    queue = EventQueue()
+    times = [7.0, 3.0, 9.0, 1.0, 5.0, 2.0, 8.0, 4.0, 6.0]
+    for t in times:
+        queue.push(t, t)
+    popped = [queue.pop()[0] for _ in range(len(times))]
+    assert popped == sorted(times)

@@ -1,0 +1,91 @@
+"""Unit tests for the Byzantine strategy library."""
+
+import random
+
+from repro.sim.failures import (
+    ByzantineProcess,
+    anti_phase_king_strategy,
+    equivocating_strategy,
+    random_noise_strategy,
+    silent_strategy,
+)
+from repro.sim.ops import Decide, Exchange
+from repro.sim.process import FunctionProcess, ProcessAPI
+from repro.sim.sync_runtime import SyncRuntime
+
+
+def make_api(pid=0, n=4):
+    return ProcessAPI(pid, n, 1, None, random.Random(0))
+
+
+class TestStrategies:
+    def test_silent_sends_nothing(self):
+        assert silent_strategy(make_api(), 0, {}) == {}
+
+    def test_random_noise_covers_all_recipients(self):
+        strategy = random_noise_strategy((0, 1))
+        out = strategy(make_api(n=5), 0, {})
+        assert set(out) == {0, 1, 2, 3, 4}
+        assert all(v in (0, 1) for v in out.values())
+
+    def test_equivocating_splits_the_network(self):
+        strategy = equivocating_strategy("a", "b")
+        out = strategy(make_api(n=4), 0, {})
+        assert out == {0: "a", 1: "a", 2: "b", 3: "b"}
+
+    def test_anti_phase_king_echoes_observed_values(self):
+        strategy = anti_phase_king_strategy()
+        api = make_api(n=4)
+        strategy(api, 0, {})  # first barrier: no observations yet
+        out = strategy(api, 1, {0: 1, 1: 0, 2: 1})
+        assert out[0] == 1
+        assert out[1] == 0
+        assert out[2] == 1
+
+    def test_anti_phase_king_ignores_non_binary_noise(self):
+        strategy = anti_phase_king_strategy()
+        api = make_api(n=4)
+        out = strategy(api, 0, {0: 2, 1: "junk"})
+        # Non-binary observations are not echoed; equivocation fallback.
+        assert out[0] in (0, 1)
+
+
+class TestByzantineProcess:
+    def test_participates_in_every_barrier(self):
+        log = []
+
+        def recording(api, barrier, inbox):
+            log.append(barrier)
+            return {pid: barrier for pid in range(api.n)}
+
+        def observer(api):
+            first = yield Exchange(None)
+            second = yield Exchange(None)
+            yield Decide((first.get(1), second.get(1)))
+
+        runtime = SyncRuntime(
+            [FunctionProcess(observer), ByzantineProcess(recording)],
+            stop_pids=[0],
+        )
+        result = runtime.run()
+        assert result.decisions[0] == (0, 1)
+        assert log[:2] == [0, 1]
+
+    def test_strategy_sees_previous_inbox(self):
+        seen = []
+
+        def spying(api, barrier, inbox):
+            seen.append(dict(inbox))
+            return {}
+
+        def speaker(api):
+            yield Exchange("round-a")
+            yield Exchange("round-b")
+            yield Decide("done")
+
+        SyncRuntime(
+            [FunctionProcess(speaker), ByzantineProcess(spying)],
+            stop_pids=[0],
+        ).run()
+        assert seen[0] == {}
+        assert seen[1] == {0: "round-a"}

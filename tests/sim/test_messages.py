@@ -1,0 +1,41 @@
+"""Unit tests for message and envelope types."""
+
+from repro.sim.messages import Envelope, Message
+
+
+def test_message_fields():
+    message = Message(1, 2, "hello")
+    assert message.src == 1
+    assert message.dst == 2
+    assert message.payload == "hello"
+
+
+def test_message_is_frozen():
+    message = Message(0, 1, "x")
+    try:
+        message.src = 5
+        raised = False
+    except AttributeError:
+        raised = True
+    assert raised
+
+
+def test_envelope_delegates_to_message():
+    envelope = Envelope(Message(3, 4, {"k": 1}), send_time=1.0, deliver_time=2.5, seq=7)
+    assert envelope.src == 3
+    assert envelope.dst == 4
+    assert envelope.payload == {"k": 1}
+    assert envelope.send_time == 1.0
+    assert envelope.deliver_time == 2.5
+    assert envelope.seq == 7
+
+
+def test_envelope_repr_contains_route():
+    envelope = Envelope(Message(0, 1, "p"), 0.0, 1.0, 3)
+    text = repr(envelope)
+    assert "0->1" in text
+    assert "#3" in text
+
+
+def test_message_repr():
+    assert "1->2" in repr(Message(1, 2, "x"))

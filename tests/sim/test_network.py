@@ -1,0 +1,122 @@
+"""Unit tests for network delay/drop/partition models."""
+
+import random
+
+import pytest
+
+from repro.sim.network import (
+    ConstantDelay,
+    ExponentialDelay,
+    NetworkConfig,
+    Partition,
+    SkewedDelay,
+    UniformDelay,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(42)
+
+
+class TestDelayModels:
+    def test_constant_delay(self, rng):
+        model = ConstantDelay(2.5)
+        assert model.delay(rng, 0, 1, 0.0) == 2.5
+        assert model.delay(rng, 3, 4, 99.0) == 2.5
+
+    def test_constant_delay_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ConstantDelay(0.0)
+
+    def test_uniform_delay_within_bounds(self, rng):
+        model = UniformDelay(1.0, 3.0)
+        samples = [model.delay(rng, 0, 1, 0.0) for _ in range(200)]
+        assert all(1.0 <= s <= 3.0 for s in samples)
+        assert max(samples) - min(samples) > 0.5  # actually varies
+
+    def test_uniform_delay_validates_bounds(self):
+        with pytest.raises(ValueError):
+            UniformDelay(3.0, 1.0)
+        with pytest.raises(ValueError):
+            UniformDelay(0.0, 1.0)
+
+    def test_exponential_delay_respects_floor_and_cap(self, rng):
+        model = ExponentialDelay(mean=1.0, min_latency=0.5, cap=2.0)
+        samples = [model.delay(rng, 0, 1, 0.0) for _ in range(500)]
+        assert all(0.5 <= s <= 2.0 for s in samples)
+        assert any(s == 2.0 for s in samples)  # the cap engages
+
+    def test_exponential_delay_validates(self):
+        with pytest.raises(ValueError):
+            ExponentialDelay(mean=-1.0)
+        with pytest.raises(ValueError):
+            ExponentialDelay(cap=0.01, min_latency=0.5)
+
+    def test_skewed_delay_slows_marked_pids(self, rng):
+        model = SkewedDelay(ConstantDelay(1.0), slow_pids=[2], factor=4.0)
+        assert model.delay(rng, 0, 1, 0.0) == 1.0
+        assert model.delay(rng, 2, 1, 0.0) == 4.0
+        assert model.delay(rng, 0, 2, 0.0) == 4.0
+
+    def test_skewed_delay_rejects_speedup(self):
+        with pytest.raises(ValueError):
+            SkewedDelay(ConstantDelay(1.0), [0], factor=0.5)
+
+
+class TestPartition:
+    def test_severs_cross_group_messages_in_window(self):
+        partition = Partition(10.0, 20.0, [[0, 1], [2, 3]])
+        assert partition.severed(0, 2, 15.0)
+        assert partition.severed(3, 1, 10.0)
+
+    def test_same_group_unaffected(self):
+        partition = Partition(10.0, 20.0, [[0, 1], [2, 3]])
+        assert not partition.severed(0, 1, 15.0)
+        assert not partition.severed(2, 3, 15.0)
+
+    def test_outside_window_unaffected(self):
+        partition = Partition(10.0, 20.0, [[0, 1], [2, 3]])
+        assert not partition.severed(0, 2, 9.9)
+        assert not partition.severed(0, 2, 20.0)  # end is exclusive
+
+    def test_unlisted_pids_stay_connected(self):
+        partition = Partition(0.0, 10.0, [[0], [1]])
+        assert not partition.severed(0, 5, 5.0)
+        assert not partition.severed(5, 1, 5.0)
+
+
+class TestNetworkConfig:
+    def test_defaults_route_everything(self, rng):
+        config = NetworkConfig()
+        assert config.route(rng, 0, 1, 0.0) is not None
+
+    def test_self_messages_use_self_delay(self, rng):
+        config = NetworkConfig(self_delay=0.05)
+        assert config.route(rng, 2, 2, 0.0) == 0.05
+
+    def test_self_messages_never_dropped(self, rng):
+        config = NetworkConfig(drop_rate=0.99)
+        for _ in range(100):
+            assert config.route(rng, 1, 1, 0.0) is not None
+
+    def test_drop_rate_drops_roughly_that_fraction(self, rng):
+        config = NetworkConfig(drop_rate=0.5)
+        outcomes = [config.route(rng, 0, 1, 0.0) for _ in range(1000)]
+        dropped = sum(1 for o in outcomes if o is None)
+        assert 400 < dropped < 600
+
+    def test_partition_drops_cross_messages(self, rng):
+        config = NetworkConfig(partitions=[Partition(0.0, 10.0, [[0], [1]])])
+        assert config.route(rng, 0, 1, 5.0) is None
+        assert config.route(rng, 0, 1, 15.0) is not None
+
+    def test_invalid_drop_rate_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(drop_rate=1.0)
+        with pytest.raises(ValueError):
+            NetworkConfig(drop_rate=-0.1)
+
+    def test_invalid_self_delay_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(self_delay=0.0)

@@ -1,0 +1,163 @@
+"""Tests for FIFO links and the content-aware interceptor hook."""
+
+import random
+
+import pytest
+
+from repro.algorithms.ben_or import ben_or_template_consensus
+from repro.algorithms.ben_or.messages import Ratify
+from repro.core.properties import check_agreement, check_all_rounds
+from repro.sim.async_runtime import AsyncRuntime
+from repro.sim.network import DEFER, NetworkConfig, UniformDelay
+from repro.sim.ops import Decide, Receive, Send
+from repro.sim.process import FunctionProcess
+
+
+class TestFifo:
+    def test_fifo_preserves_per_link_order(self):
+        def sender(api):
+            for i in range(20):
+                yield Send(1, i)
+            yield Decide("sent")
+
+        def receiver(api):
+            envelopes = yield Receive(count=20)
+            yield Decide([e.payload for e in envelopes])
+
+        runtime = AsyncRuntime(
+            [FunctionProcess(sender), FunctionProcess(receiver)],
+            seed=3,
+            network=NetworkConfig(delay_model=UniformDelay(0.1, 5.0), fifo=True),
+        )
+        result = runtime.run()
+        assert result.decisions[1] == list(range(20))
+
+    def test_non_fifo_reorders_with_wide_jitter(self):
+        def sender(api):
+            for i in range(20):
+                yield Send(1, i)
+            yield Decide("sent")
+
+        def receiver(api):
+            envelopes = yield Receive(count=20)
+            yield Decide([e.payload for e in envelopes])
+
+        runtime = AsyncRuntime(
+            [FunctionProcess(sender), FunctionProcess(receiver)],
+            seed=3,
+            network=NetworkConfig(delay_model=UniformDelay(0.1, 5.0), fifo=False),
+        )
+        result = runtime.run()
+        assert result.decisions[1] != list(range(20))
+
+    def test_fifo_links_are_independent(self):
+        # FIFO constrains each (src, dst) pair separately, not globally.
+        config = NetworkConfig(delay_model=UniformDelay(1.0, 1.0), fifo=True)
+        rng = random.Random(0)
+        first = config.route(rng, 0, 1, now=0.0)
+        assert first == pytest.approx(1.0)
+        other_link = config.route(rng, 0, 2, now=0.0)
+        assert other_link == pytest.approx(1.0)
+
+    def test_ben_or_correct_over_fifo_links(self):
+        network = NetworkConfig(delay_model=UniformDelay(0.5, 1.5), fifo=True)
+        for seed in range(5):
+            runtime = AsyncRuntime(
+                [ben_or_template_consensus() for _ in range(5)],
+                init_values=[0, 1, 0, 1, 1],
+                t=2,
+                seed=seed,
+                network=network,
+                max_time=50_000.0,
+            )
+            result = runtime.run()
+            check_agreement(result.decisions)
+            check_all_rounds(result.trace, "vac")
+
+
+class TestInterceptor:
+    def test_interceptor_can_drop_by_content(self):
+        def drop_evens(payload, src, dst, now):
+            if isinstance(payload, int) and payload % 2 == 0:
+                return None
+            return DEFER
+
+        def sender(api):
+            for i in range(6):
+                yield Send(1, i)
+            yield Decide("sent")
+
+        def receiver(api):
+            envelopes = yield Receive(count=3)
+            yield Decide(sorted(e.payload for e in envelopes))
+
+        runtime = AsyncRuntime(
+            [FunctionProcess(sender), FunctionProcess(receiver)],
+            seed=0,
+            network=NetworkConfig(interceptor=drop_evens),
+        )
+        result = runtime.run()
+        assert result.decisions[1] == [1, 3, 5]
+
+    def test_interceptor_can_fix_latency(self):
+        def slow_threes(payload, src, dst, now):
+            return 30.0 if payload == 3 else DEFER
+
+        def sender(api):
+            yield Send(1, 3)
+            yield Send(1, 9)
+            yield Decide("sent")
+
+        def receiver(api):
+            envelopes = yield Receive(count=2)
+            yield Decide([e.payload for e in envelopes])
+
+        runtime = AsyncRuntime(
+            [FunctionProcess(sender), FunctionProcess(receiver)],
+            seed=0,
+            network=NetworkConfig(interceptor=slow_threes),
+        )
+        result = runtime.run()
+        assert result.decisions[1] == [9, 3]  # 3 delayed past 9
+
+    def test_self_messages_bypass_interceptor(self):
+        def drop_all(payload, src, dst, now):
+            return None
+
+        def proto(api):
+            yield Send(0, "to-self")
+            envelopes = yield Receive(count=1)
+            yield Decide(envelopes[0].payload)
+
+        runtime = AsyncRuntime(
+            [FunctionProcess(proto)],
+            seed=0,
+            network=NetworkConfig(interceptor=drop_all),
+        )
+        assert runtime.run().decisions[0] == "to-self"
+
+    def test_ratify_starvation_adversary_cannot_break_ben_or_safety(self):
+        """A content-aware adversary that delays every ratify message toward
+        process 0 by 10x: safety (agreement + coherence) must survive, even
+        though process 0 runs permanently behind."""
+
+        def starve_ratifies(payload, src, dst, now):
+            if dst == 0 and isinstance(payload, Ratify):
+                return 15.0
+            return DEFER
+
+        for seed in range(5):
+            runtime = AsyncRuntime(
+                [ben_or_template_consensus() for _ in range(5)],
+                init_values=[0, 1, 0, 1, 1],
+                t=2,
+                seed=seed,
+                network=NetworkConfig(
+                    delay_model=UniformDelay(0.5, 1.5),
+                    interceptor=starve_ratifies,
+                ),
+                max_time=100_000.0,
+            )
+            result = runtime.run()
+            check_agreement(result.decisions)
+            check_all_rounds(result.trace, "vac")

@@ -1,0 +1,77 @@
+"""Unit tests for the operation dataclasses."""
+
+import dataclasses
+
+import pytest
+
+from repro.sim.ops import (
+    Annotate,
+    Broadcast,
+    CancelTimer,
+    Decide,
+    Exchange,
+    ExchangeTo,
+    Halt,
+    Op,
+    Receive,
+    Send,
+    SetTimer,
+    TimerFired,
+)
+
+
+ALL_OPS = [
+    Send(1, "x"),
+    Broadcast("x"),
+    Receive(),
+    SetTimer(1.0),
+    CancelTimer(),
+    Exchange("x"),
+    ExchangeTo({0: "x"}),
+    Decide("x"),
+    Annotate("k", "v"),
+    Halt(),
+]
+
+
+def test_every_op_is_an_op():
+    assert all(isinstance(op, Op) for op in ALL_OPS)
+
+
+def test_ops_are_frozen():
+    for op in ALL_OPS:
+        fields = dataclasses.fields(op)
+        if not fields:
+            continue
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            setattr(op, fields[0].name, "mutated")
+
+
+def test_broadcast_defaults_to_include_self():
+    assert Broadcast("x").include_self is True
+    assert Broadcast("x", include_self=False).include_self is False
+
+
+def test_receive_defaults():
+    receive = Receive()
+    assert receive.count == 1
+    assert receive.predicate is None
+    assert receive.consume is True
+
+
+def test_set_timer_default_name():
+    assert SetTimer(2.0).name == "timer"
+    assert CancelTimer().name == "timer"
+
+
+def test_exchange_default_payload_is_silent():
+    assert Exchange().payload is None
+
+
+def test_exchange_to_defaults_to_empty():
+    assert ExchangeTo().payloads == {}
+
+
+def test_timer_fired_is_a_payload_not_an_op():
+    assert not isinstance(TimerFired("t"), Op)
+    assert TimerFired("t").name == "t"

@@ -1,0 +1,86 @@
+"""Tests for trace serialization (JSON Lines export)."""
+
+import json
+
+from repro.algorithms.ben_or import ben_or_template_consensus
+from repro.sim.async_runtime import AsyncRuntime
+from repro.sim.failures import CrashPlan
+from repro.sim.serialize import dump_jsonl, event_to_record, load_jsonl, trace_records
+from repro.sim import trace as tr
+from repro.sim.trace import Trace, TraceEvent
+
+
+def sample_run():
+    runtime = AsyncRuntime(
+        [ben_or_template_consensus() for _ in range(4)],
+        init_values=[0, 1, 0, 1],
+        t=1,
+        seed=5,
+        crash_plans=[CrashPlan(3, at_time=2.0)],
+        max_time=10_000.0,
+    )
+    return runtime.run()
+
+
+class TestEventRecords:
+    def test_send_event_is_structured(self):
+        result = sample_run()
+        send = next(e for e in result.trace.events if e.kind == tr.SEND)
+        record = event_to_record(send)
+        assert {"time", "kind", "pid", "src", "dst", "seq", "payload"} <= set(record)
+        json.dumps(record)  # round-trips through JSON
+
+    def test_annotation_event_keeps_key(self):
+        result = sample_run()
+        annotate = next(e for e in result.trace.events if e.kind == tr.ANNOTATE)
+        record = event_to_record(annotate)
+        assert "key" in record and "value" in record
+        json.dumps(record)
+
+    def test_decide_event_carries_detail(self):
+        record = event_to_record(TraceEvent(1.0, tr.DECIDE, 2, 42))
+        assert record["detail"] == 42
+
+    def test_crash_event_minimal(self):
+        record = event_to_record(TraceEvent(3.0, tr.CRASH, 1))
+        assert record == {"time": 3.0, "kind": "crash", "pid": 1}
+
+    def test_non_json_payloads_become_repr(self):
+        record = event_to_record(
+            TraceEvent(0.0, tr.ANNOTATE, 0, ("k", (1, object())))
+        )
+        assert isinstance(record["value"][1], str)
+        json.dumps(record)
+
+    def test_every_event_of_a_real_run_serializes(self):
+        result = sample_run()
+        records = list(trace_records(result.trace))
+        assert len(records) == len(result.trace)
+        json.dumps(records)
+
+
+class TestJsonlRoundtrip:
+    def test_dump_and_load(self, tmp_path):
+        result = sample_run()
+        path = str(tmp_path / "trace.jsonl")
+        written = dump_jsonl(result.trace, path)
+        assert written == len(result.trace)
+        records = load_jsonl(path)
+        assert len(records) == written
+        kinds = {record["kind"] for record in records}
+        assert {"send", "deliver", "decide", "annotate", "crash"} <= kinds
+
+    def test_empty_trace(self, tmp_path):
+        path = str(tmp_path / "empty.jsonl")
+        assert dump_jsonl(Trace(), path) == 0
+        assert load_jsonl(path) == []
+
+    def test_decisions_recoverable_from_dump(self, tmp_path):
+        result = sample_run()
+        path = str(tmp_path / "trace.jsonl")
+        dump_jsonl(result.trace, path)
+        decisions = {}
+        for record in load_jsonl(path):
+            if record["kind"] == "decide" and record["pid"] not in decisions:
+                decisions[record["pid"]] = record["detail"]
+        assert decisions == result.decisions

@@ -1,0 +1,202 @@
+"""Behavioural tests for the synchronous lock-step runtime."""
+
+import pytest
+
+from repro.sim import trace as tr
+from repro.sim.async_runtime import SimulationError
+from repro.sim.ops import Annotate, Decide, Exchange, ExchangeTo, Halt
+from repro.sim.process import FunctionProcess, Process
+from repro.sim.sync_runtime import SyncRuntime
+
+
+def run(protocols, **kwargs):
+    processes = [
+        p if isinstance(p, Process) else FunctionProcess(p) for p in protocols
+    ]
+    kwargs.setdefault("seed", 1)
+    return SyncRuntime(processes, **kwargs).run()
+
+
+class TestExchange:
+    def test_everyone_receives_everyone(self):
+        def proto(api):
+            inbox = yield Exchange(api.pid * 10)
+            yield Decide(dict(sorted(inbox.items())))
+
+        result = run([proto, proto, proto])
+        assert result.decisions[0] == {0: 0, 1: 10, 2: 20}
+        assert result.decisions[1] == result.decisions[0]
+
+    def test_none_payload_participates_silently(self):
+        def speaker(api):
+            inbox = yield Exchange("hello")
+            yield Decide(sorted(inbox))
+
+        def silent(api):
+            inbox = yield Exchange(None)
+            yield Decide(sorted(inbox))
+
+        result = run([speaker, silent])
+        assert result.decisions[0] == [0]  # only the speaker's message
+        assert result.decisions[1] == [0]
+
+    def test_multiple_rounds_stay_aligned(self):
+        def proto(api):
+            first = yield Exchange(("r1", api.pid))
+            second = yield Exchange(("r2", api.pid))
+            assert all(v[0] == "r1" for v in first.values())
+            assert all(v[0] == "r2" for v in second.values())
+            yield Decide("ok")
+
+        result = run([proto, proto, proto])
+        assert set(result.decisions.values()) == {"ok"}
+
+    def test_exchange_to_equivocates(self):
+        def byzantine(api):
+            yield ExchangeTo({0: "left", 1: "right"})
+            yield Halt()
+
+        def observer(api):
+            inbox = yield Exchange(None)
+            yield Decide(inbox.get(2))
+
+        result = run([observer, observer, byzantine], stop_pids=[0, 1])
+        assert result.decisions[0] == "left"
+        assert result.decisions[1] == "right"
+
+    def test_exchange_to_partial_recipients(self):
+        def byzantine(api):
+            yield ExchangeTo({0: "only-you"})
+            yield Halt()
+
+        def observer(api):
+            inbox = yield Exchange(None)
+            yield Decide(inbox.get(2, "nothing"))
+
+        result = run([observer, observer, byzantine], stop_pids=[0, 1])
+        assert result.decisions[0] == "only-you"
+        assert result.decisions[1] == "nothing"
+
+    def test_exchange_to_unknown_pid_raises(self):
+        def byzantine(api):
+            yield ExchangeTo({99: "x"})
+
+        with pytest.raises(SimulationError):
+            run([byzantine], stop_when="all_done")
+
+
+class TestCrashRounds:
+    def test_crashed_process_sends_nothing_from_round(self):
+        def proto(api):
+            first = yield Exchange(api.pid)
+            second = yield Exchange(api.pid)
+            yield Decide((sorted(first), sorted(second)))
+
+        result = run(
+            [proto, proto, proto],
+            crash_rounds={2: 1},
+            stop_pids=[0, 1],
+        )
+        first, second = result.decisions[0]
+        assert first == [0, 1, 2]  # round 0: everyone
+        assert second == [0, 1]  # round 1 onward: pid 2 silent
+
+    def test_crash_at_round_zero_is_total_silence(self):
+        def proto(api):
+            inbox = yield Exchange(api.pid)
+            yield Decide(sorted(inbox))
+
+        result = run([proto, proto], crash_rounds={1: 0}, stop_pids=[0])
+        assert result.decisions[0] == [0]
+
+
+class TestStopConditions:
+    def test_all_decided_considers_only_stop_pids(self):
+        def decider(api):
+            yield Exchange("x")
+            yield Decide("done")
+
+        def forever(api):
+            while True:
+                yield Exchange("y")
+
+        result = run([decider, forever], stop_pids=[0])
+        assert result.stop_reason == "all_decided"
+        assert result.decisions == {0: "done"}
+
+    def test_all_done_waits_for_generators(self):
+        def proto(api):
+            yield Exchange(1)
+            yield Annotate("done", True)
+
+        result = run([proto, proto], stop_when="all_done")
+        assert result.stop_reason == "all_done"
+
+    def test_max_exchanges_cap(self):
+        def forever(api):
+            while True:
+                yield Exchange("x")
+
+        result = run([forever], max_exchanges=5)
+        assert result.stop_reason == "max_rounds"
+        assert result.exchanges == 5
+
+    def test_decide_without_exchange_stops_immediately(self):
+        def proto(api):
+            yield Decide(42)
+
+        result = run([proto])
+        assert result.decisions == {0: 42}
+        assert result.exchanges == 0
+
+
+class TestSemantics:
+    def test_decide_twice_different_raises(self):
+        def proto(api):
+            yield Decide(1)
+            yield Decide(2)
+
+        with pytest.raises(SimulationError):
+            run([proto], stop_when="all_done")
+
+    def test_async_ops_rejected(self):
+        from repro.sim.ops import Send
+
+        def proto(api):
+            yield Send(0, "x")
+
+        with pytest.raises(SimulationError):
+            run([proto], stop_when="all_done")
+
+    def test_round_no_visible_via_api(self):
+        seen = []
+
+        def proto(api):
+            seen.append(api.round_no)
+            yield Exchange(1)
+            seen.append(api.round_no)
+            yield Exchange(2)
+            seen.append(api.round_no)
+            yield Decide("ok")
+
+        run([proto])
+        assert seen == [0, 1, 2]
+
+    def test_determinism_same_seed(self):
+        def proto(api):
+            inbox = yield Exchange(api.rng.random())
+            yield Decide(tuple(sorted(inbox.values())))
+
+        first = run([proto, proto], seed=9)
+        second = run([proto, proto], seed=9)
+        assert first.decisions == second.decisions
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyncRuntime([])
+        def proto(api):
+            yield Decide(1)
+        with pytest.raises(ValueError):
+            SyncRuntime([FunctionProcess(proto)], init_values=[1, 2])
+        with pytest.raises(ValueError):
+            SyncRuntime([FunctionProcess(proto)], stop_when="bogus")

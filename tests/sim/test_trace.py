@@ -1,0 +1,62 @@
+"""Unit tests for execution traces."""
+
+from repro.sim import trace as tr
+from repro.sim.trace import Trace
+
+
+def build_sample_trace() -> Trace:
+    trace = Trace()
+    trace.record(0.0, tr.SEND, 0, "m1")
+    trace.record(1.0, tr.DELIVER, 1, "m1")
+    trace.record(1.5, tr.ANNOTATE, 1, ("vac", (1, "A", 0)))
+    trace.record(2.0, tr.DECIDE, 1, 42)
+    trace.record(2.5, tr.DECIDE, 1, 42)  # duplicate decide ignored by queries
+    trace.record(3.0, tr.CRASH, 2)
+    trace.record(3.5, tr.ANNOTATE, 0, ("coin", (1, 1)))
+    trace.record(4.0, tr.DECIDE, 0, 42)
+    return trace
+
+
+def test_decisions_keep_first_value():
+    trace = build_sample_trace()
+    assert trace.decisions() == {1: 42, 0: 42}
+
+
+def test_decision_times_are_first_occurrence():
+    trace = build_sample_trace()
+    assert trace.decision_times() == {1: 2.0, 0: 4.0}
+
+
+def test_annotations_filter_by_key():
+    trace = build_sample_trace()
+    assert trace.annotations("coin") == [(0, 3.5, (1, 1))]
+    assert len(trace.annotations()) == 2
+
+
+def test_message_and_delivered_counts():
+    trace = build_sample_trace()
+    assert trace.message_count() == 1
+    assert trace.delivered_count() == 1
+
+
+def test_crashed_pids():
+    trace = build_sample_trace()
+    assert trace.crashed_pids() == [2]
+
+
+def test_of_kind_preserves_order():
+    trace = build_sample_trace()
+    decide_times = [e.time for e in trace.of_kind(tr.DECIDE)]
+    assert decide_times == [2.0, 2.5, 4.0]
+
+
+def test_len_counts_all_events():
+    assert len(build_sample_trace()) == 8
+
+
+def test_empty_trace_queries():
+    trace = Trace()
+    assert trace.decisions() == {}
+    assert trace.annotations() == []
+    assert trace.message_count() == 0
+    assert trace.crashed_pids() == []

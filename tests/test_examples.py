@@ -1,0 +1,79 @@
+"""Integration tests: every example script must run clean, end to end.
+
+Each example is executed as a subprocess (exactly as a user would run it)
+and checked for a zero exit code and its key output lines.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_examples_directory_contents():
+    names = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+    assert names == [
+        "build_your_own_object.py",
+        "byzantine_agreement.py",
+        "paxos_vs_raft.py",
+        "quickstart.py",
+        "replicated_log.py",
+        "shared_memory_consensus.py",
+        "trace_inspection.py",
+    ]
+
+
+def test_paxos_vs_raft():
+    out = run_example("paxos_vs_raft.py")
+    assert "Raft" in out and "Paxos" in out
+    assert "per-ballot VAC outcomes" in out
+    assert "decided:" in out
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "decided value: 1" in out
+    assert "agreement + validity: OK" in out
+    assert "crashed pids:  [4]" in out
+
+
+def test_byzantine_agreement():
+    out = run_example("byzantine_agreement.py")
+    assert "agreement: OK" in out
+    assert "mode=early" in out and "AGREEMENT VIOLATED" in out
+    assert "mode=fixed" in out and "agreement holds" in out
+
+
+def test_replicated_log():
+    out = run_example("replicated_log.py")
+    assert "all state machines identical: OK" in out
+    assert "'alice': 130" in out
+
+
+def test_build_your_own_object():
+    out = run_example("build_your_own_object.py")
+    assert "homemade VAC passed coherence/convergence checks" in out
+
+
+def test_shared_memory_consensus():
+    out = run_example("shared_memory_consensus.py")
+    assert out.count("decisions:") == 3  # three schedulers
+    assert "hostile alternator" in out
+
+
+def test_trace_inspection():
+    out = run_example("trace_inspection.py")
+    assert "per-round VAC outcomes" in out
+    assert "legend: D decide, X crash, R restart, H halt" in out
