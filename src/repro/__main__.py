@@ -12,6 +12,12 @@ Examples::
     python -m repro decentralized-raft --n 6
     python -m repro shared-memory --n 4
     python -m repro shared-coin --n 5
+
+Deterministic simulation testing (see ``docs/testing.md``) hangs off the
+same entry point::
+
+    python -m repro explore ben-or --schedules 1000
+    python -m repro replay tests/regressions/corpus/<case>.json
 """
 
 from __future__ import annotations
@@ -100,6 +106,12 @@ def _run_async(factory, args, key="vac") -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] in ("explore", "replay"):
+        from repro.dst.cli import main as dst_main
+
+        return dst_main(argv)
     args = build_parser().parse_args(argv)
     name = args.algorithm
 

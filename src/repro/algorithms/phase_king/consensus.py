@@ -74,6 +74,8 @@ def run_phase_king(
     mode: str = "fixed",
     seed: int = 0,
     processes: Optional[Dict[Pid, Process]] = None,
+    crash_rounds: Optional[Dict[Pid, int]] = None,
+    observers: Sequence[Any] = (),
 ) -> SyncResult:
     """Run a full Phase-King system and return the synchronous result.
 
@@ -86,6 +88,10 @@ def run_phase_king(
         seed: run seed.
         processes: optional overrides mapping pid -> custom process (used
             by tests to inject hand-crafted behaviours).
+        crash_rounds: pid -> exchange index at which that process
+            crash-stops (crash faults count against the same budget ``t``).
+        observers: trace listeners forwarded to the runtime (online
+            invariant checking).
     """
     n = len(init_values)
     byzantine = byzantine or {}
@@ -101,7 +107,10 @@ def run_phase_king(
             procs.append(ByzantineProcess(byzantine[pid]))
         else:
             procs.append(phase_king_consensus(t, mode))
-    correct = [pid for pid in range(n) if pid not in byzantine]
+    crash_rounds = crash_rounds or {}
+    correct = [
+        pid for pid in range(n) if pid not in byzantine and pid not in crash_rounds
+    ]
     rounds = t + 2 if mode == "early" else t + 1
     runtime = SyncRuntime(
         procs,
@@ -109,7 +118,9 @@ def run_phase_king(
         t=t,
         seed=seed,
         max_exchanges=EXCHANGES_PER_ROUND * rounds + EXCHANGES_PER_ROUND,
+        crash_rounds=crash_rounds,
         stop_pids=correct,
         stop_when="all_decided",
+        observers=observers,
     )
     return runtime.run()

@@ -13,7 +13,12 @@ from repro.analysis.metrics import (
     outcome_histogram,
     rounds_used,
 )
-from repro.analysis.report import describe_run, event_lanes, round_table
+from repro.analysis.report import (
+    describe_run,
+    event_lanes,
+    exploration_summary,
+    round_table,
+)
 
 __all__ = [
     "SummaryStats",
@@ -21,6 +26,7 @@ __all__ = [
     "decision_rounds",
     "describe_run",
     "event_lanes",
+    "exploration_summary",
     "format_table",
     "outcome_histogram",
     "round_table",

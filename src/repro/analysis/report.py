@@ -8,6 +8,8 @@ and for the examples:
 * :func:`event_lanes` — an ASCII per-process lane chart of lifecycle events
   (decide, crash, restart, timers) over virtual time.
 * :func:`describe_run` — a one-paragraph summary of an asynchronous run.
+* :func:`exploration_summary` — outcome and coverage tables for one DST
+  sweep (a :class:`repro.dst.explorer.ExplorationReport`).
 """
 
 from __future__ import annotations
@@ -118,3 +120,49 @@ def describe_run(trace: Trace) -> str:
     else:
         parts.append("no process decided")
     return "; ".join(parts) + "."
+
+
+def exploration_summary(report) -> str:
+    """Render one DST sweep as outcome + coverage tables.
+
+    ``report`` is duck-typed (any object with the
+    :class:`repro.dst.explorer.ExplorationReport` attributes) so the
+    analysis layer stays import-independent of :mod:`repro.dst`.
+    """
+    from repro.analysis.experiments import format_table
+
+    out = [
+        f"swept {report.schedules} schedules of {report.algorithm!r}: "
+        f"{report.events_total} events total "
+        f"(max {report.events_max}/run, {report.rounds_max} rounds max)"
+    ]
+    out.append("")
+    out.append(
+        format_table(
+            ["outcome", "count"],
+            [(k, v) for k, v in sorted(report.outcomes.items())],
+        )
+    )
+    if report.stop_reasons:
+        out.append("")
+        out.append(
+            format_table(
+                ["stop reason", "count"],
+                [(k, v) for k, v in sorted(report.stop_reasons.items())],
+            )
+        )
+    if report.coverage:
+        out.append("")
+        out.append(
+            format_table(
+                ["coverage", "schedules"],
+                [(k, v) for k, v in sorted(report.coverage.items())],
+            )
+        )
+    for scenario, violation in report.violations:
+        out.append("")
+        out.append(
+            f"VIOLATION [{violation.kind}] n={scenario.n} "
+            f"seed={scenario.seed}: {violation.message}"
+        )
+    return "\n".join(out)

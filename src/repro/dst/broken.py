@@ -1,0 +1,79 @@
+"""Deliberately broken framework objects — the explorer's test targets.
+
+A schedule explorer is only as good as its ability to *find* bugs, so the
+DST layer ships faulty variants of the paper's objects with known, subtle
+coherence defects.  They are registered in :mod:`repro.dst.registry` under
+``*-broken-*`` names, the self-tests assert the explorer flags them within
+a bounded budget, and minimized witnesses live in the seed-regression
+corpus (``tests/regressions/corpus/``).
+
+Never use these outside tests.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Hashable
+
+from repro.algorithms.ben_or.messages import Ratify, Report
+from repro.algorithms.ben_or.reconciliator import CoinFlipReconciliator
+from repro.algorithms.ben_or.vac import _matcher
+from repro.core.confidence import ADOPT, COMMIT, VACILLATE
+from repro.core.objects import SubProtocol, VacillateAdoptCommitObject
+from repro.core.template import VacTemplateConsensus
+from repro.sim.ops import Broadcast, Receive
+from repro.sim.process import ProcessAPI
+
+
+class PluralityRatifyVac(VacillateAdoptCommitObject):
+    """Ben-Or's VAC with the coherence guard removed (deliberately broken).
+
+    The correct object (Algorithm 5) only ratifies a value seen in a
+    *strict majority* of first-exchange reports — that is exactly what
+    makes all ratifications in a round unanimous and carries Lemma 5's
+    coherence proof.  This variant ratifies the mere *plurality* of its
+    quorum sample, so two processes with different report samples can
+    ratify different values in the same round; one can then commit ``u``
+    while another adopts ``w != u`` — a VAC-coherence violation, and two
+    rounds later often an agreement violation.
+    """
+
+    def invoke(self, api: ProcessAPI, value: Any, round_no: Hashable) -> SubProtocol:
+        quorum = api.n - api.t
+
+        yield Broadcast(Report(round_no, value))
+        reports = yield Receive(count=quorum, predicate=_matcher(Report, round_no))
+        tally = Counter(envelope.payload.value for envelope in reports)
+        # BUG (intentional): plurality of the sample, not strict majority
+        # of n — different quorum samples ratify different values.
+        plurality_value = min(
+            (v for v, c in tally.items() if c == max(tally.values())),
+            key=repr,
+        )
+
+        yield Broadcast(Ratify(round_no, plurality_value))
+        ratifies = yield Receive(count=quorum, predicate=_matcher(Ratify, round_no))
+        ratified = [e.payload.value for e in ratifies if e.payload.is_ratify]
+
+        if ratified:
+            # BUG (intentional): no unanimity assertion; just take the
+            # most common ratified value.
+            counts = Counter(ratified)
+            u = min(
+                (v for v, c in counts.items() if c == max(counts.values())),
+                key=repr,
+            )
+            if counts[u] > api.t:
+                return COMMIT, u
+            return ADOPT, u
+        return VACILLATE, value
+
+
+def broken_ben_or_consensus(**kwargs: Any) -> VacTemplateConsensus:
+    """Ben-Or's template wired with the broken :class:`PluralityRatifyVac`."""
+    return VacTemplateConsensus(
+        PluralityRatifyVac(),
+        CoinFlipReconciliator((0, 1)),
+        continue_after_decide=True,
+        max_rounds=kwargs.get("max_rounds"),
+    )

@@ -1,0 +1,216 @@
+"""Online invariant checking for the deterministic simulation tester.
+
+:class:`OnlineInvariantChecker` is a trace listener (see
+:class:`repro.sim.trace.Trace`) that re-evaluates the Section-2 property
+checkers of :mod:`repro.core.properties` *incrementally*, as decide and
+annotation events are recorded.  A violation raises :class:`OnlineViolation`
+out of the runtime's ``run()`` immediately, so the explorer gets the
+offending trace prefix instead of a completed (and possibly much longer)
+run.
+
+Soundness of checking prefixes
+------------------------------
+Every incremental check evaluates a checker on a *subset* of the data the
+post-hoc check would see, and each checker used here is monotone in the
+sense that adding more outcomes/decisions can only surface *more*
+violations, never retract one:
+
+* agreement/validity look at individual decisions;
+* VAC/AC round coherence conditions are universally quantified over the
+  outcomes present;
+* round validity is checked against the inputs recorded *so far* — sound
+  because a detector's output value always originates from some process
+  that annotated its ``round_input`` before broadcasting it (trace order
+  is execution order).
+
+Convergence is the one exception: it needs the round's full participant
+set, so it is only evaluated in :meth:`OnlineInvariantChecker.finalize`,
+which runs the complete post-hoc sweep (`check_all_rounds`) plus
+termination after the run stops normally.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional, Set, Tuple
+
+from repro.core.confidence import COMMIT, Confidence
+from repro.core.properties import (
+    PropertyViolation,
+    check_ac_round,
+    check_agreement,
+    check_all_rounds,
+    check_termination,
+    check_vac_round,
+)
+from repro.sim import trace as tr
+from repro.sim.messages import Pid
+from repro.sim.trace import Trace, TraceEvent
+
+
+class OnlineViolation(PropertyViolation):
+    """A Section-2 property failed while the run was still executing.
+
+    Attributes:
+        check: short machine-readable name of the failed check
+            (``"agreement"``, ``"validity"``, ``"vac-coherence"``,
+            ``"ac-coherence"``, ``"round-validity"``,
+            ``"decide-without-commit"``, ``"termination"``,
+            ``"convergence"``).
+        event_index: index into the trace's event list of the event that
+            triggered the violation (``-1`` for finalize-time checks).
+    """
+
+    def __init__(self, check: str, message: str, event_index: int = -1):
+        super().__init__(f"[{check}] {message}")
+        self.check = check
+        self.event_index = event_index
+
+
+class OnlineInvariantChecker:
+    """Trace listener evaluating consensus invariants event by event.
+
+    Args:
+        init_values: the run's consensus inputs (for validity).
+        key: detector annotation key — ``"vac"`` or ``"ac"``.
+        correct: pids whose outcomes/decisions the guarantees cover
+            (exclude Byzantine pids); ``None`` means all.
+        round_validity: also check that detector outputs stay within the
+            round's inputs.  Disable for detectors that legitimately emit
+            out-of-domain sentinels (Phase-King's ``2``).
+        decision_implies_commit: check that every decision is backed by a
+            ``commit`` outcome already on the trace.  Disable for
+            fixed-round decision rules that decide without committing.
+    """
+
+    def __init__(
+        self,
+        init_values: Iterable[Any],
+        *,
+        key: str = "vac",
+        correct: Optional[Iterable[Pid]] = None,
+        round_validity: bool = True,
+        decision_implies_commit: bool = True,
+    ):
+        self.key = key
+        self.correct: Optional[Set[Pid]] = (
+            None if correct is None else set(correct)
+        )
+        self.round_validity = round_validity
+        self.decision_implies_commit = decision_implies_commit
+        self.init_values = list(init_values)
+        self._input_set = set(self.init_values)
+        self._decisions: Dict[Pid, Any] = {}
+        self._round_outcomes: Dict[Any, Dict[Pid, Tuple[Confidence, Any]]] = {}
+        self._round_inputs: Dict[Any, Dict[Pid, Any]] = {}
+        self._commits: Dict[Pid, Set[Any]] = {}
+        self._events_seen = 0
+        self.violation: Optional[OnlineViolation] = None
+
+    @property
+    def events_seen(self) -> int:
+        """Number of trace events observed so far."""
+        return self._events_seen
+
+    # ------------------------------------------------------------------
+    # Listener protocol
+    # ------------------------------------------------------------------
+
+    def __call__(self, event: TraceEvent) -> None:
+        index = self._events_seen
+        self._events_seen += 1
+        if event.kind == tr.DECIDE:
+            self._on_decide(event.pid, event.detail, index)
+        elif event.kind == tr.ANNOTATE:
+            ann_key, value = event.detail
+            if ann_key == self.key:
+                self._on_outcome(event.pid, value, index)
+            elif ann_key == "round_input":
+                m, v = value
+                self._round_inputs.setdefault(m, {})[event.pid] = v
+
+    def _tracked(self, pid: Pid) -> bool:
+        return self.correct is None or pid in self.correct
+
+    def _fail(self, check: str, message: str, index: int) -> None:
+        violation = OnlineViolation(check, message, index)
+        self.violation = violation
+        raise violation
+
+    def _on_decide(self, pid: Pid, value: Any, index: int) -> None:
+        if not self._tracked(pid):
+            return
+        self._decisions[pid] = value
+        try:
+            check_agreement(self._decisions)
+        except PropertyViolation as exc:
+            self._fail("agreement", str(exc), index)
+        if value not in self._input_set:
+            self._fail(
+                "validity",
+                f"pid {pid} decided {value!r}, inputs {self._input_set}",
+                index,
+            )
+        if self.decision_implies_commit:
+            if value not in self._commits.get(pid, ()):
+                self._fail(
+                    "decide-without-commit",
+                    f"pid {pid} decided {value!r} without a prior commit outcome",
+                    index,
+                )
+
+    def _on_outcome(self, pid: Pid, detail: Any, index: int) -> None:
+        m, confidence, value = detail
+        if not self._tracked(pid):
+            return
+        outcomes = self._round_outcomes.setdefault(m, {})
+        outcomes[pid] = (confidence, value)
+        if confidence is COMMIT:
+            self._commits.setdefault(pid, set()).add(value)
+        round_checker = check_vac_round if self.key == "vac" else check_ac_round
+        try:
+            round_checker(outcomes)
+        except PropertyViolation as exc:
+            self._fail(f"{self.key}-coherence", f"round {m}: {exc}", index)
+        if self.round_validity:
+            inputs_so_far = self._round_inputs.get(m, {})
+            if inputs_so_far and value not in set(inputs_so_far.values()):
+                self._fail(
+                    "round-validity",
+                    f"round {m}: pid {pid} output {value!r} not among "
+                    f"inputs {set(inputs_so_far.values())}",
+                    index,
+                )
+
+    # ------------------------------------------------------------------
+    # Post-run sweep
+    # ------------------------------------------------------------------
+
+    def finalize(
+        self,
+        trace: Trace,
+        *,
+        expect_termination_of: Iterable[Pid] = (),
+    ) -> int:
+        """Run the full post-hoc checker sweep over the completed trace.
+
+        Re-checks everything (belt and braces over the incremental pass)
+        and adds the two checks that need a complete run: convergence and
+        termination.  Returns the number of rounds checked; raises
+        :class:`OnlineViolation` on failure.
+        """
+        try:
+            rounds = check_all_rounds(
+                trace,
+                self.key,
+                correct=self.correct,
+                validity=self.round_validity,
+            )
+        except PropertyViolation as exc:
+            self._fail("convergence", str(exc), -1)
+        expected = list(expect_termination_of)
+        if expected:
+            try:
+                check_termination(trace.decisions(), expected)
+            except PropertyViolation as exc:
+                self._fail("termination", str(exc), -1)
+        return rounds

@@ -1,0 +1,216 @@
+"""Algorithm registry: names the explorer/corpus can build and run.
+
+Each entry binds a scenario's ``algorithm`` string to a way of constructing
+the system — a process factory for the asynchronous model, or a complete
+synchronous harness for the lock-step model — plus the checking profile the
+oracle should apply (detector key, whether round validity and
+decision-implies-commit hold for this algorithm).
+
+Deliberately broken variants (:mod:`repro.dst.broken`) register with
+``expect_broken=True`` so sweeps over "all correct algorithms" can skip
+them while the explorer self-tests target them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.dst.scenario import ASYNC, SYNC, Scenario
+from repro.sim.failures import (
+    anti_phase_king_strategy,
+    equivocating_strategy,
+    random_noise_strategy,
+    silent_strategy,
+)
+from repro.sim.process import Process
+from repro.sim.sync_runtime import SyncResult
+
+#: Named Byzantine strategy factories usable in scenario specs.
+BYZANTINE_STRATEGIES: Dict[str, Callable[[], object]] = {
+    "silent": lambda: silent_strategy,
+    "equivocate": equivocating_strategy,
+    "noise": random_noise_strategy,
+    "anti-phase-king": anti_phase_king_strategy,
+}
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """How to build, run and check one registered algorithm.
+
+    Attributes:
+        name: registry key, used as ``Scenario.algorithm``.
+        model: ``"async"`` or ``"sync"``.
+        key: detector annotation key (``"vac"`` / ``"ac"``).
+        max_t: resilience bound as a function of ``n``.
+        build_processes: asynchronous model — per-run process list.
+        run_sync: synchronous model — full harness
+            ``(scenario, observers) -> SyncResult``.
+        round_validity: whether per-round object validity is checked.
+        decision_implies_commit: whether a decision must be backed by a
+            commit outcome (false for fixed-round decision rules).
+        expect_broken: deliberately faulty variant — excluded from
+            "correct algorithms survive" sweeps.
+    """
+
+    name: str
+    model: str
+    key: str
+    max_t: Callable[[int], int]
+    build_processes: Optional[Callable[[Scenario], List[Process]]] = None
+    run_sync: Optional[Callable[..., SyncResult]] = None
+    round_validity: bool = True
+    decision_implies_commit: bool = True
+    expect_broken: bool = False
+
+
+_REGISTRY: Dict[str, AlgorithmSpec] = {}
+
+
+def register(spec: AlgorithmSpec) -> AlgorithmSpec:
+    """Add (or replace) a registry entry."""
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_algorithm(name: str) -> AlgorithmSpec:
+    """Look up a registered algorithm; raises ``KeyError`` with the catalog."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def algorithm_names(
+    model: Optional[str] = None, include_broken: bool = False
+) -> List[str]:
+    """Registered names, optionally filtered by model / correctness."""
+    return sorted(
+        name
+        for name, spec in _REGISTRY.items()
+        if (model is None or spec.model == model)
+        and (include_broken or not spec.expect_broken)
+    )
+
+
+# ----------------------------------------------------------------------
+# Built-in entries
+# ----------------------------------------------------------------------
+
+
+def _ben_or_processes(scenario: Scenario) -> List[Process]:
+    from repro.algorithms.ben_or import ben_or_template_consensus
+
+    return [
+        ben_or_template_consensus(max_rounds=scenario.max_rounds)
+        for _ in range(scenario.n)
+    ]
+
+
+def _decentralized_raft_processes(scenario: Scenario) -> List[Process]:
+    from repro.algorithms.decentralized_raft import decentralized_raft_consensus
+
+    return [
+        decentralized_raft_consensus(max_rounds=scenario.max_rounds)
+        for _ in range(scenario.n)
+    ]
+
+
+def _broken_ben_or_processes(scenario: Scenario) -> List[Process]:
+    from repro.dst.broken import broken_ben_or_consensus
+
+    return [
+        broken_ben_or_consensus(max_rounds=scenario.max_rounds)
+        for _ in range(scenario.n)
+    ]
+
+
+def _run_phase_king_scenario(
+    scenario: Scenario, observers: Sequence[object] = (), *, mode: str
+) -> SyncResult:
+    from repro.algorithms.phase_king import run_phase_king
+
+    byzantine = {
+        pid: BYZANTINE_STRATEGIES[name]() for pid, name in scenario.byzantine
+    }
+    return run_phase_king(
+        list(scenario.init_values),
+        t=scenario.t,
+        byzantine=byzantine,
+        mode=mode,
+        seed=scenario.seed,
+        crash_rounds=dict(scenario.crash_rounds),
+        observers=observers,
+    )
+
+
+def _phase_king_fixed(scenario: Scenario, observers: Sequence[object] = ()):
+    return _run_phase_king_scenario(scenario, observers, mode="fixed")
+
+
+def _phase_king_early(scenario: Scenario, observers: Sequence[object] = ()):
+    return _run_phase_king_scenario(scenario, observers, mode="early")
+
+
+register(
+    AlgorithmSpec(
+        name="ben-or",
+        model=ASYNC,
+        key="vac",
+        max_t=lambda n: (n - 1) // 2,
+        build_processes=_ben_or_processes,
+    )
+)
+
+register(
+    AlgorithmSpec(
+        name="decentralized-raft",
+        model=ASYNC,
+        key="vac",
+        max_t=lambda n: (n - 1) // 2,
+        build_processes=_decentralized_raft_processes,
+    )
+)
+
+register(
+    AlgorithmSpec(
+        name="ben-or-broken-coherence",
+        model=ASYNC,
+        key="vac",
+        max_t=lambda n: (n - 1) // 2,
+        build_processes=_broken_ben_or_processes,
+        expect_broken=True,
+    )
+)
+
+register(
+    AlgorithmSpec(
+        name="phase-king",
+        model=SYNC,
+        key="ac",
+        max_t=lambda n: (n - 1) // 3,
+        run_sync=_phase_king_fixed,
+        # Phase-King's AC legitimately emits the out-of-domain sentinel 2
+        # mid-protocol, and the fixed-round rule decides without a commit.
+        round_validity=False,
+        decision_implies_commit=False,
+    )
+)
+
+register(
+    AlgorithmSpec(
+        name="phase-king-early",
+        model=SYNC,
+        key="ac",
+        max_t=lambda n: (n - 1) // 3,
+        run_sync=_phase_king_early,
+        round_validity=False,
+        # The paper-literal early rule is known-vulnerable to Byzantine
+        # kings (see tests/algorithms/test_phase_king_adversarial.py);
+        # keep it out of "correct algorithms survive" sweeps.
+        expect_broken=True,
+    )
+)

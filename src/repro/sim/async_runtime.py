@@ -142,6 +142,10 @@ class AsyncRuntime:
         stop_when: ``"all_alive_decided"`` (default — stop as soon as every
             live, started process has decided), ``"all_halted"``,
             ``"queue_empty"``, or a custom predicate over the runtime.
+        observers: trace listeners invoked on every recorded event — the
+            online invariant checkers of :mod:`repro.dst` plug in here.  An
+            observer that raises aborts the run at the offending event; the
+            prefix recorded so far stays available as ``runtime.trace``.
     """
 
     def __init__(
@@ -156,6 +160,7 @@ class AsyncRuntime:
         max_time: float = math.inf,
         max_events: int = 2_000_000,
         stop_when: Union[str, Callable[["AsyncRuntime"], bool]] = "all_alive_decided",
+        observers: Sequence[tr.TraceListener] = (),
     ):
         n = len(processes)
         if n == 0:
@@ -171,7 +176,7 @@ class AsyncRuntime:
         self.max_time = max_time
         self.max_events = max_events
         self.stop_when = stop_when
-        self.trace = tr.Trace()
+        self.trace = tr.Trace(tuple(observers))
         self.now = 0.0
         self._queue = EventQueue()
         self._net_rng = random.Random(seed * 2654435761 % (2**63) + 1)

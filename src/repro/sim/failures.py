@@ -40,10 +40,14 @@ class CrashPlan:
         pid: the victim process.
         at_time: crash at this virtual time.
         after_sends: crash immediately after the victim's N-th
-            point-to-point send (1-based) — ``Broadcast`` counts as ``n``
-            individual sends, so ``after_sends`` mid-broadcast yields the
-            classic partial-broadcast crash.
-        restart_at: optional virtual time at which to restart the process.
+            point-to-point send (1-based, so ``>= 1``) — ``Broadcast``
+            counts as ``n`` individual sends, so ``after_sends``
+            mid-broadcast yields the classic partial-broadcast crash.
+        restart_at: optional virtual time (strictly positive, and after
+            ``at_time`` when that is the trigger) at which to restart the
+            process.  With ``after_sends`` the crash moment is only known
+            at run time; a restart scheduled before the crash actually
+            happens is a no-op, so pick ``restart_at`` comfortably late.
     """
 
     pid: Pid
@@ -54,10 +58,14 @@ class CrashPlan:
     def __post_init__(self) -> None:
         if (self.at_time is None) == (self.after_sends is None):
             raise ValueError("set exactly one of at_time / after_sends")
-        if self.after_sends is not None and self.after_sends < 0:
-            raise ValueError("after_sends must be >= 0")
-        if self.restart_at is not None and self.at_time is not None:
-            if self.restart_at <= self.at_time:
+        if self.at_time is not None and self.at_time < 0:
+            raise ValueError("at_time must be >= 0")
+        if self.after_sends is not None and self.after_sends < 1:
+            raise ValueError("after_sends is 1-based and must be >= 1")
+        if self.restart_at is not None:
+            if self.restart_at <= 0:
+                raise ValueError("restart_at must be positive")
+            if self.at_time is not None and self.restart_at <= self.at_time:
                 raise ValueError("restart_at must be after at_time")
 
 

@@ -98,6 +98,8 @@ class SyncRuntime:
             the run ends when all *correct* processes have decided.
         stop_when: ``"all_decided"`` (default) stops once every tracked pid
             has decided; ``"all_done"`` waits for their generators to finish.
+        observers: trace listeners invoked on every recorded event (online
+            invariant checking; see :class:`repro.sim.trace.Trace`).
     """
 
     def __init__(
@@ -111,6 +113,7 @@ class SyncRuntime:
         crash_rounds: Optional[Dict[Pid, int]] = None,
         stop_pids: Optional[Sequence[Pid]] = None,
         stop_when: str = "all_decided",
+        observers: Sequence[tr.TraceListener] = (),
     ):
         n = len(processes)
         if n == 0:
@@ -126,7 +129,7 @@ class SyncRuntime:
         self.max_exchanges = max_exchanges
         self.stop_when = stop_when
         self.stop_pids = list(stop_pids) if stop_pids is not None else list(range(n))
-        self.trace = tr.Trace()
+        self.trace = tr.Trace(tuple(observers))
         master = random.Random(seed)
         proc_seeds = [master.randrange(2**63) for _ in range(n)]
         self._states = [

@@ -5,12 +5,20 @@ Both runtimes record everything observable about a run into a
 and algorithm-supplied annotations.  Traces are the single source of truth
 for the property checkers in :mod:`repro.core.properties` and the metric
 extraction in :mod:`repro.analysis.metrics`.
+
+Traces also support *listeners* — callbacks invoked synchronously on every
+recorded event.  The deterministic simulation-testing layer
+(:mod:`repro.dst`) uses them to evaluate the Section-2 property checkers
+*online*, while a run is still executing, so a violation aborts the run at
+the offending event instead of after ``max_events``.  A listener that raises
+propagates out of the runtime's ``run()``; the partially recorded trace (the
+offending prefix) remains available on the runtime.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.sim.messages import Pid
 
@@ -48,15 +56,33 @@ class TraceEvent:
     detail: Any = None
 
 
-class Trace:
-    """An append-only record of a single execution, with query helpers."""
+#: A trace listener: called with each event right after it is recorded.
+TraceListener = Callable[["TraceEvent"], None]
 
-    def __init__(self) -> None:
+
+class Trace:
+    """An append-only record of a single execution, with query helpers.
+
+    Args:
+        listeners: callbacks invoked (in order) with every event as it is
+            recorded.  Listeners observe the run online; one that raises
+            aborts the recording runtime at exactly that event.
+    """
+
+    def __init__(self, listeners: Tuple[TraceListener, ...] = ()) -> None:
         self.events: List[TraceEvent] = []
+        self._listeners: List[TraceListener] = list(listeners)
+
+    def subscribe(self, listener: TraceListener) -> None:
+        """Add a listener notified of every subsequently recorded event."""
+        self._listeners.append(listener)
 
     def record(self, time: float, kind: str, pid: Pid, detail: Any = None) -> None:
-        """Append one event."""
-        self.events.append(TraceEvent(time, kind, pid, detail))
+        """Append one event and notify the listeners."""
+        event = TraceEvent(time, kind, pid, detail)
+        self.events.append(event)
+        for listener in self._listeners:
+            listener(event)
 
     # ------------------------------------------------------------------
     # Queries

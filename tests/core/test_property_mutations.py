@@ -1,0 +1,197 @@
+"""Mutation-style self-tests for the Section-2 property checkers.
+
+Each test plants a specific violation into otherwise-healthy synthetic
+data (or a synthetic trace) and asserts the corresponding checker in
+:mod:`repro.core.properties` raises :class:`PropertyViolation`.  This is
+the test suite *of* the test oracles: a checker that silently accepts its
+own target violation would make every sweep in :mod:`repro.dst`
+meaningless.
+"""
+
+import pytest
+
+from repro.core.confidence import ADOPT, COMMIT, VACILLATE
+from repro.core.properties import (
+    PropertyViolation,
+    check_ac_round,
+    check_agreement,
+    check_all_rounds,
+    check_convergence,
+    check_no_decision_without_commit,
+    check_round_validity,
+    check_termination,
+    check_vac_round,
+    check_validity,
+)
+from repro.sim import trace as tr
+from repro.sim.trace import Trace
+
+
+def _trace(events):
+    trace = Trace()
+    for time, kind, pid, detail in events:
+        trace.record(time, kind, pid, detail)
+    return trace
+
+
+# ----------------------------------------------------------------------
+# Consensus-level checkers
+# ----------------------------------------------------------------------
+
+
+def test_agreement_accepts_unanimous_and_rejects_split():
+    check_agreement({0: 1, 1: 1, 2: 1})
+    with pytest.raises(PropertyViolation):
+        check_agreement({0: 1, 1: 0})
+
+
+def test_validity_rejects_invented_value():
+    check_validity({0: 1, 1: 1}, [0, 1])
+    with pytest.raises(PropertyViolation):
+        check_validity({0: 2}, [0, 1])
+
+
+def test_termination_rejects_missing_decider():
+    check_termination({0: 1, 1: 1}, [0, 1])
+    with pytest.raises(PropertyViolation):
+        check_termination({0: 1}, [0, 1])
+
+
+# ----------------------------------------------------------------------
+# VAC round coherence
+# ----------------------------------------------------------------------
+
+
+def test_vac_round_accepts_coherent_commit():
+    check_vac_round({0: (COMMIT, 1), 1: (ADOPT, 1), 2: (ADOPT, 1)})
+
+
+def test_vac_round_rejects_two_distinct_commits():
+    with pytest.raises(PropertyViolation):
+        check_vac_round({0: (COMMIT, 1), 1: (COMMIT, 0)})
+
+
+def test_vac_round_rejects_vacillate_alongside_commit():
+    with pytest.raises(PropertyViolation):
+        check_vac_round({0: (COMMIT, 1), 1: (VACILLATE, 0)})
+
+
+def test_vac_round_rejects_adopt_of_other_value_alongside_commit():
+    with pytest.raises(PropertyViolation):
+        check_vac_round({0: (COMMIT, 1), 1: (ADOPT, 0)})
+
+
+def test_vac_round_rejects_two_distinct_adopts_without_commit():
+    check_vac_round({0: (ADOPT, 1), 1: (VACILLATE, 0)})
+    with pytest.raises(PropertyViolation):
+        check_vac_round({0: (ADOPT, 1), 1: (ADOPT, 0)})
+
+
+# ----------------------------------------------------------------------
+# AC round coherence
+# ----------------------------------------------------------------------
+
+
+def test_ac_round_rejects_any_vacillate():
+    check_ac_round({0: (COMMIT, 1), 1: (ADOPT, 1)})
+    with pytest.raises(PropertyViolation):
+        check_ac_round({0: (ADOPT, 1), 1: (VACILLATE, 1)})
+
+
+def test_ac_round_rejects_two_distinct_commits():
+    with pytest.raises(PropertyViolation):
+        check_ac_round({0: (COMMIT, 1), 1: (COMMIT, 0)})
+
+
+def test_ac_round_rejects_commit_with_other_value_present():
+    with pytest.raises(PropertyViolation):
+        check_ac_round({0: (COMMIT, 1), 1: (ADOPT, 0)})
+
+
+# ----------------------------------------------------------------------
+# Convergence / round validity
+# ----------------------------------------------------------------------
+
+
+def test_convergence_rejects_non_commit_on_unanimous_inputs():
+    check_convergence({0: 1, 1: 1}, {0: (COMMIT, 1), 1: (COMMIT, 1)})
+    check_convergence({0: 0, 1: 1}, {0: (ADOPT, 1), 1: (VACILLATE, 0)})
+    with pytest.raises(PropertyViolation):
+        check_convergence({0: 1, 1: 1}, {0: (COMMIT, 1), 1: (ADOPT, 1)})
+
+
+def test_round_validity_rejects_out_of_domain_output():
+    check_round_validity({0: 0, 1: 1}, {0: (ADOPT, 1)})
+    with pytest.raises(PropertyViolation):
+        check_round_validity({0: 0, 1: 0}, {0: (ADOPT, 1)})
+
+
+# ----------------------------------------------------------------------
+# Trace-level checkers
+# ----------------------------------------------------------------------
+
+
+def test_decide_without_commit_detected_on_synthetic_trace():
+    healthy = _trace(
+        [
+            (1.0, tr.ANNOTATE, 0, ("vac", (0, COMMIT, 1))),
+            (2.0, tr.DECIDE, 0, 1),
+        ]
+    )
+    check_no_decision_without_commit(healthy)
+    planted = _trace(
+        [
+            (1.0, tr.ANNOTATE, 0, ("vac", (0, ADOPT, 1))),
+            (2.0, tr.DECIDE, 0, 1),
+        ]
+    )
+    with pytest.raises(PropertyViolation):
+        check_no_decision_without_commit(planted)
+
+
+def test_check_all_rounds_catches_planted_coherence_break():
+    healthy = _trace(
+        [
+            (1.0, tr.ANNOTATE, 0, ("round_input", (0, 1))),
+            (1.0, tr.ANNOTATE, 1, ("round_input", (0, 1))),
+            (2.0, tr.ANNOTATE, 0, ("vac", (0, COMMIT, 1))),
+            (2.0, tr.ANNOTATE, 1, ("vac", (0, COMMIT, 1))),
+        ]
+    )
+    assert check_all_rounds(healthy) == 1
+    planted = _trace(
+        [
+            (1.0, tr.ANNOTATE, 0, ("round_input", (0, 1))),
+            (1.0, tr.ANNOTATE, 1, ("round_input", (0, 0))),
+            (2.0, tr.ANNOTATE, 0, ("vac", (0, COMMIT, 1))),
+            (2.0, tr.ANNOTATE, 1, ("vac", (0, COMMIT, 0))),
+        ]
+    )
+    with pytest.raises(PropertyViolation):
+        check_all_rounds(planted)
+
+
+def test_check_all_rounds_catches_planted_convergence_break():
+    planted = _trace(
+        [
+            (1.0, tr.ANNOTATE, 0, ("round_input", (0, 1))),
+            (1.0, tr.ANNOTATE, 1, ("round_input", (0, 1))),
+            (2.0, tr.ANNOTATE, 0, ("vac", (0, ADOPT, 1))),
+            (2.0, tr.ANNOTATE, 1, ("vac", (0, ADOPT, 1))),
+        ]
+    )
+    with pytest.raises(PropertyViolation):
+        check_all_rounds(planted)
+
+
+def test_check_all_rounds_catches_planted_validity_break():
+    planted = _trace(
+        [
+            (1.0, tr.ANNOTATE, 0, ("round_input", (0, 0))),
+            (1.0, tr.ANNOTATE, 1, ("round_input", (0, 0))),
+            (2.0, tr.ANNOTATE, 0, ("vac", (0, ADOPT, 1))),
+        ]
+    )
+    with pytest.raises(PropertyViolation):
+        check_all_rounds(planted)
+    assert check_all_rounds(planted, validity=False) == 1

@@ -1,0 +1,140 @@
+"""Explorer tests: deterministic generation, adversarial mutations, and the
+bug-catching acceptance path (broken variant found within a bounded budget).
+
+The ``dst``-marked sweeps at the bottom are the long-haul version —
+1000 schedules per model — excluded from tier-1 by the ``-m 'not dst'``
+default and run with ``pytest -m dst``.
+"""
+
+import random
+
+import pytest
+
+from repro.dst import (
+    ExplorationReport,
+    explore,
+    generate_scenarios,
+    get_algorithm,
+    mutate,
+    random_scenario,
+)
+from repro.dst.explorer import ASYNC_MUTATIONS, SYNC_MUTATIONS
+
+
+def test_generation_is_a_pure_function_of_the_meta_seed():
+    first = generate_scenarios("ben-or", 40, meta_seed=11)
+    second = generate_scenarios("ben-or", 40, meta_seed=11)
+    assert first == second
+    assert generate_scenarios("ben-or", 40, meta_seed=12) != first
+
+
+def test_generation_mixes_walks_and_mutations():
+    scenarios = generate_scenarios("ben-or", 60, meta_seed=0, mutation_rate=0.5)
+    assert len(scenarios) == 60
+    seeds = {s.seed for s in scenarios}
+    assert len(seeds) > 30
+
+
+@pytest.mark.parametrize("algorithm", ["ben-or", "phase-king"])
+def test_mutations_preserve_scenario_wellformedness(algorithm):
+    spec = get_algorithm(algorithm)
+    rng = random.Random(7)
+    scenario = random_scenario(algorithm, rng)
+    for _ in range(100):
+        scenario = mutate(scenario, rng)
+        assert scenario.algorithm == algorithm
+        assert len(scenario.faulty_pids()) <= spec.max_t(scenario.n)
+        assert all(0 <= p < scenario.n for p in scenario.faulty_pids())
+        if spec.model == "sync":
+            assert not scenario.crashes and not scenario.network.partitions
+        else:
+            assert not scenario.byzantine and not scenario.crash_rounds
+
+
+def test_adversarial_mutations_reach_every_failure_shape():
+    # The targeted operators must actually inject the shapes they name:
+    # drive a long mutation chain and check partitions, mid-broadcast
+    # crashes and restarts all show up in the async model, and reshuffles,
+    # strategy swaps and crash-stops in the sync model.
+    rng = random.Random(0)
+    async_shapes = set()
+    scenario = random_scenario("ben-or", rng)
+    for _ in range(200):
+        scenario = mutate(scenario, rng)
+        if scenario.network.partitions:
+            async_shapes.add("partition")
+        if any(c.after_sends is not None for c in scenario.crashes):
+            async_shapes.add("mid-broadcast")
+        if any(c.restart_at is not None for c in scenario.crashes):
+            async_shapes.add("restart")
+    assert async_shapes == {"partition", "mid-broadcast", "restart"}
+    # Sync mutations rearrange Byzantine pids but never invent them, so
+    # sample several starting walks and mutate each a few steps.
+    sync_shapes = set()
+    for _ in range(20):
+        scenario = random_scenario("phase-king", rng)
+        for _ in range(10):
+            scenario = mutate(scenario, rng)
+            if scenario.byzantine:
+                sync_shapes.add("byzantine")
+            if scenario.crash_rounds:
+                sync_shapes.add("crash-stop")
+    assert sync_shapes == {"byzantine", "crash-stop"}
+    assert len(ASYNC_MUTATIONS) == 6 and len(SYNC_MUTATIONS) == 4
+
+
+def test_report_aggregation_counts():
+    report = explore("ben-or", schedules=25, meta_seed=4)
+    assert isinstance(report, ExplorationReport)
+    assert report.schedules == 25
+    assert sum(report.outcomes.values()) == 25
+    assert report.violation_count == 0
+    assert report.events_total >= report.events_max > 0
+    assert any(key.startswith("n:") for key in report.coverage)
+    assert any(key.startswith("delay:") for key in report.coverage)
+
+
+def test_explorer_catches_the_broken_variant_within_budget():
+    # Acceptance path: the deliberately broken Ben-Or (plurality ratify)
+    # must be caught by the sweep within a bounded schedule budget.
+    report = explore(
+        "ben-or-broken-coherence",
+        schedules=200,
+        meta_seed=0,
+        stop_after_violations=1,
+    )
+    assert report.violation_count >= 1
+    scenario, violation = report.violations[0]
+    assert violation.kind == "vac-coherence"
+    assert scenario.algorithm == "ben-or-broken-coherence"
+    # Found early, not at the budget's edge.
+    assert report.schedules < 200
+
+
+def test_stop_after_violations_halts_the_sweep():
+    full = explore("ben-or-broken-coherence", schedules=120, meta_seed=0)
+    early = explore(
+        "ben-or-broken-coherence",
+        schedules=120,
+        meta_seed=0,
+        stop_after_violations=1,
+    )
+    assert early.schedules < full.schedules
+    assert full.violation_count >= early.violation_count >= 1
+
+
+# ----------------------------------------------------------------------
+# Long-haul sweeps (opt in with `pytest -m dst`)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.dst
+@pytest.mark.parametrize(
+    "algorithm", ["ben-or", "decentralized-raft", "phase-king"]
+)
+def test_correct_algorithms_survive_thousand_schedule_sweep(algorithm):
+    report = explore(algorithm, schedules=1000, meta_seed=2026)
+    assert report.schedules == 1000
+    assert report.violation_count == 0, [
+        (s.to_json(), v.kind, v.message) for s, v in report.violations
+    ]

@@ -1,0 +1,158 @@
+"""Unit tests for the online invariant oracle (trace-listener checking).
+
+Each test drives a :class:`~repro.sim.trace.Trace` with the checker
+subscribed and plants a violating event, asserting the oracle aborts *at
+that event* with the right check name — the "violations abort immediately
+with the offending prefix" contract the explorer relies on.
+"""
+
+import pytest
+
+from repro.core.confidence import ADOPT, COMMIT, VACILLATE
+from repro.dst import OnlineInvariantChecker, OnlineViolation
+from repro.sim import trace as tr
+from repro.sim.trace import Trace
+
+
+def _feed(checker, events):
+    """Record events on a subscribed trace; return it."""
+    trace = Trace((checker,))
+    for time, kind, pid, detail in events:
+        trace.record(time, kind, pid, detail)
+    return trace
+
+
+def test_agreement_violation_aborts_at_second_decide():
+    checker = OnlineInvariantChecker([0, 1], decision_implies_commit=False)
+    trace = Trace((checker,))
+    trace.record(1.0, tr.DECIDE, 0, 1)
+    with pytest.raises(OnlineViolation) as exc_info:
+        trace.record(2.0, tr.DECIDE, 1, 0)
+    assert exc_info.value.check == "agreement"
+    assert exc_info.value.event_index == 1
+    # The offending prefix is preserved on the trace.
+    assert len(trace) == 2
+
+
+def test_validity_violation_on_invented_decision():
+    checker = OnlineInvariantChecker([0, 1], decision_implies_commit=False)
+    with pytest.raises(OnlineViolation) as exc_info:
+        _feed(checker, [(1.0, tr.DECIDE, 0, 7)])
+    assert exc_info.value.check == "validity"
+
+
+def test_decide_without_commit_caught_online():
+    checker = OnlineInvariantChecker([0, 1])
+    with pytest.raises(OnlineViolation) as exc_info:
+        _feed(
+            checker,
+            [
+                (1.0, tr.ANNOTATE, 0, ("vac", (0, ADOPT, 1))),
+                (2.0, tr.DECIDE, 0, 1),
+            ],
+        )
+    assert exc_info.value.check == "decide-without-commit"
+
+
+def test_decide_backed_by_commit_passes():
+    checker = OnlineInvariantChecker([0, 1])
+    _feed(
+        checker,
+        [
+            (1.0, tr.ANNOTATE, 0, ("round_input", (0, 1))),
+            (1.5, tr.ANNOTATE, 0, ("vac", (0, COMMIT, 1))),
+            (2.0, tr.DECIDE, 0, 1),
+        ],
+    )
+    assert checker.violation is None
+    assert checker.events_seen == 3
+
+
+def test_vac_coherence_violation_aborts_at_offending_annotation():
+    checker = OnlineInvariantChecker([0, 1], decision_implies_commit=False)
+    with pytest.raises(OnlineViolation) as exc_info:
+        _feed(
+            checker,
+            [
+                (1.0, tr.ANNOTATE, 0, ("vac", (0, COMMIT, 1))),
+                (2.0, tr.ANNOTATE, 1, ("vac", (0, VACILLATE, 0))),
+            ],
+        )
+    assert exc_info.value.check == "vac-coherence"
+    assert exc_info.value.event_index == 1
+
+
+def test_ac_mode_rejects_vacillate():
+    checker = OnlineInvariantChecker([0, 1], key="ac", decision_implies_commit=False)
+    with pytest.raises(OnlineViolation) as exc_info:
+        _feed(checker, [(1.0, tr.ANNOTATE, 0, ("ac", (0, VACILLATE, 1)))])
+    assert exc_info.value.check == "ac-coherence"
+
+
+def test_round_validity_checked_against_inputs_so_far():
+    checker = OnlineInvariantChecker([0, 1], decision_implies_commit=False)
+    with pytest.raises(OnlineViolation) as exc_info:
+        _feed(
+            checker,
+            [
+                (1.0, tr.ANNOTATE, 0, ("round_input", (0, 0))),
+                (1.0, tr.ANNOTATE, 1, ("round_input", (0, 0))),
+                (2.0, tr.ANNOTATE, 0, ("vac", (0, ADOPT, 1))),
+            ],
+        )
+    assert exc_info.value.check == "round-validity"
+
+
+def test_round_validity_can_be_disabled():
+    checker = OnlineInvariantChecker(
+        [0, 1], round_validity=False, decision_implies_commit=False
+    )
+    _feed(
+        checker,
+        [
+            (1.0, tr.ANNOTATE, 0, ("round_input", (0, 0))),
+            (2.0, tr.ANNOTATE, 0, ("vac", (0, ADOPT, 2))),
+        ],
+    )
+    assert checker.violation is None
+
+
+def test_untracked_pids_are_ignored():
+    # Pid 2 is Byzantine: its contradictory outcome must not fire checks.
+    checker = OnlineInvariantChecker(
+        [0, 1], correct=(0, 1), decision_implies_commit=False
+    )
+    _feed(
+        checker,
+        [
+            (1.0, tr.ANNOTATE, 0, ("vac", (0, COMMIT, 1))),
+            (2.0, tr.ANNOTATE, 2, ("vac", (0, COMMIT, 0))),
+            (3.0, tr.DECIDE, 2, 7),
+        ],
+    )
+    assert checker.violation is None
+
+
+def test_finalize_checks_termination():
+    checker = OnlineInvariantChecker([0, 1], decision_implies_commit=False)
+    trace = _feed(checker, [(1.0, tr.DECIDE, 0, 1)])
+    assert checker.finalize(trace, expect_termination_of=[0]) == 0
+    with pytest.raises(OnlineViolation) as exc_info:
+        checker.finalize(trace, expect_termination_of=[0, 1])
+    assert exc_info.value.check == "termination"
+
+
+def test_finalize_checks_convergence():
+    checker = OnlineInvariantChecker([1, 1], decision_implies_commit=False)
+    trace = _feed(
+        checker,
+        [
+            (1.0, tr.ANNOTATE, 0, ("round_input", (0, 1))),
+            (1.0, tr.ANNOTATE, 1, ("round_input", (0, 1))),
+            (2.0, tr.ANNOTATE, 0, ("vac", (0, ADOPT, 1))),
+            (2.0, tr.ANNOTATE, 1, ("vac", (0, ADOPT, 1))),
+        ],
+    )
+    with pytest.raises(OnlineViolation) as exc_info:
+        checker.finalize(trace)
+    assert exc_info.value.check == "convergence"

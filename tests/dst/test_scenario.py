@@ -1,0 +1,129 @@
+"""Scenario spec tests: serialization contract and outcome classification."""
+
+import random
+
+import pytest
+
+from repro.dst import (
+    CrashSpec,
+    DelaySpec,
+    NetworkSpec,
+    PartitionSpec,
+    Scenario,
+    get_algorithm,
+    random_scenario,
+    run_scenario,
+)
+from repro.dst.scenario import OK, UNDECIDED
+from repro.sim.network import (
+    ConstantDelay,
+    ExponentialDelay,
+    SkewedDelay,
+    UniformDelay,
+)
+
+
+def _full_scenario():
+    return Scenario(
+        algorithm="ben-or",
+        n=5,
+        t=2,
+        init_values=(0, 1, 0, 1, 1),
+        seed=99,
+        network=NetworkSpec(
+            delay=DelaySpec("skewed", (0.5, 1.5), slow_pids=(1, 3), factor=4.0),
+            drop_rate=0.0,
+            partitions=(PartitionSpec(2.0, 8.0, ((0, 1), (2, 3, 4))),),
+            fifo=True,
+        ),
+        crashes=(
+            CrashSpec(0, after_sends=4),
+            CrashSpec(2, at_time=5.0, restart_at=12.0),
+        ),
+        max_rounds=30,
+    )
+
+
+def test_json_round_trip_preserves_every_field():
+    scenario = _full_scenario()
+    assert Scenario.from_json(scenario.to_json()) == scenario
+
+
+def test_json_round_trip_sync_scenario():
+    scenario = Scenario(
+        algorithm="phase-king",
+        n=7,
+        t=2,
+        init_values=(0, 1, 0, 1, 1, 0, 1),
+        seed=3,
+        byzantine=((0, "equivocate"), (1, "silent")),
+        crash_rounds=((2, 4),),
+    )
+    assert Scenario.from_json(scenario.to_json()) == scenario
+
+
+def test_delay_specs_build_the_right_models():
+    assert isinstance(DelaySpec("constant", (1.0,)).build(), ConstantDelay)
+    assert isinstance(DelaySpec("uniform", (0.5, 1.5)).build(), UniformDelay)
+    assert isinstance(
+        DelaySpec("exponential", (1.0, 0.1, 20.0)).build(), ExponentialDelay
+    )
+    assert isinstance(
+        DelaySpec("skewed", (0.5, 1.5), slow_pids=(0,)).build(), SkewedDelay
+    )
+    with pytest.raises(ValueError):
+        DelaySpec("warp", ()).build()
+
+
+def test_faulty_and_correct_pids():
+    scenario = _full_scenario()
+    assert scenario.faulty_pids() == (0, 2)
+    assert scenario.correct_pids() == (1, 3, 4)
+
+
+def test_clean_run_is_ok_and_records_decisions():
+    scenario = Scenario(
+        algorithm="ben-or", n=4, t=1, init_values=(1, 1, 1, 1), seed=0
+    )
+    outcome = run_scenario(scenario)
+    assert outcome.status == OK
+    assert set(outcome.decisions) == {0, 1, 2, 3}
+    assert set(outcome.decisions.values()) == {1}
+    assert outcome.rounds >= 1
+    assert outcome.violation is None
+
+
+def test_partitioned_stuck_run_classifies_undecided_not_violation():
+    # A permanent partition splits the system below quorum on both sides:
+    # no decision is possible, which is inconclusive — never "termination".
+    scenario = Scenario(
+        algorithm="ben-or",
+        n=4,
+        t=1,
+        init_values=(0, 1, 0, 1),
+        seed=0,
+        network=NetworkSpec(
+            partitions=(PartitionSpec(0.0, 1e9, ((0, 1), (2, 3))),)
+        ),
+        max_rounds=5,
+        max_time=200.0,
+    )
+    outcome = run_scenario(scenario)
+    assert outcome.status == UNDECIDED
+    assert outcome.violation is None
+
+
+def test_unknown_algorithm_raises_with_catalog():
+    with pytest.raises(KeyError, match="registered"):
+        get_algorithm("nope")
+
+
+def test_random_scenarios_respect_fault_budget():
+    for meta_seed in range(20):
+        rng = random.Random(meta_seed)
+        scenario = random_scenario("ben-or", rng)
+        spec = get_algorithm("ben-or")
+        assert len(scenario.faulty_pids()) <= spec.max_t(scenario.n)
+        assert all(0 <= p < scenario.n for p in scenario.faulty_pids())
+        sync = random_scenario("phase-king", rng)
+        assert len(sync.faulty_pids()) <= get_algorithm("phase-king").max_t(sync.n)

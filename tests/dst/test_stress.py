@@ -1,0 +1,78 @@
+"""Adversarial crash-schedule stress tests (satellite S4).
+
+Small-budget explorer sweeps aimed at the hardest failure shapes for the
+two asynchronous algorithms — mid-broadcast crashes (a broadcast delivered
+to only a prefix of recipients), crash+restart churn, partition flaps and
+skewed schedulers.  These run in tier-1; the 1000-schedule versions live
+behind the ``dst`` marker in ``test_explorer.py``.
+"""
+
+import pytest
+
+from repro.dst import CrashSpec, NetworkSpec, PartitionSpec, Scenario, explore
+from repro.dst.scenario import DelaySpec, VIOLATION, run_scenario
+
+
+@pytest.mark.parametrize("algorithm", ["ben-or", "decentralized-raft"])
+def test_async_algorithms_survive_adversarial_sweep(algorithm):
+    report = explore(algorithm, schedules=60, meta_seed=1, mutation_rate=0.6)
+    assert report.violation_count == 0, [
+        (s.to_json(), v.kind, v.message) for s, v in report.violations
+    ]
+    # The sweep must actually have exercised the adversarial shapes.
+    assert report.coverage.get("mid-broadcast-crash", 0) > 0
+    assert report.coverage.get("partitioned", 0) > 0
+
+
+@pytest.mark.parametrize("algorithm", ["ben-or", "decentralized-raft"])
+def test_mid_broadcast_crash_storm(algorithm):
+    # Every tolerated process crashes mid-broadcast at a different point:
+    # the prefix-delivery case the coherence lemmas must absorb.
+    for seed in range(8):
+        scenario = Scenario(
+            algorithm=algorithm,
+            n=5,
+            t=2,
+            init_values=(0, 1, 0, 1, 1),
+            seed=seed,
+            crashes=(
+                CrashSpec(0, after_sends=1 + seed % 4),
+                CrashSpec(1, after_sends=5 + seed),
+            ),
+            max_rounds=40,
+        )
+        outcome = run_scenario(scenario)
+        assert outcome.status != VIOLATION, outcome.violation
+
+
+@pytest.mark.parametrize("algorithm", ["ben-or", "decentralized-raft"])
+def test_partition_flap_with_restart_churn(algorithm):
+    scenario = Scenario(
+        algorithm=algorithm,
+        n=6,
+        t=2,
+        init_values=(0, 1, 0, 1, 0, 1),
+        seed=13,
+        network=NetworkSpec(
+            delay=DelaySpec("skewed", (0.5, 1.5), slow_pids=(0, 1), factor=6.0),
+            partitions=(
+                PartitionSpec(3.0, 9.0, ((0, 1), (2, 3, 4, 5))),
+                PartitionSpec(15.0, 20.0, ((0, 1, 2), (3, 4, 5))),
+            ),
+        ),
+        crashes=(CrashSpec(5, at_time=4.0, restart_at=11.0),),
+        max_rounds=50,
+        max_time=2_000.0,
+    )
+    outcome = run_scenario(scenario)
+    assert outcome.status != VIOLATION, outcome.violation
+
+
+def test_phase_king_survives_byzantine_king_sweep():
+    # The sync sweep's byzantine-reshuffle mutation puts Byzantine pids on
+    # the early kings — the placement the fixed-round rule must survive.
+    report = explore("phase-king", schedules=60, meta_seed=5, mutation_rate=0.6)
+    assert report.violation_count == 0, [
+        (s.to_json(), v.kind, v.message) for s, v in report.violations
+    ]
+    assert any(k.startswith("byzantine:") for k in report.coverage)

@@ -61,7 +61,7 @@ def test_consensus_invariants_hold_with_crashes(system, data):
         if data.draw(st.booleans()):
             plans.append(CrashPlan(victim, at_time=data.draw(st.floats(0.1, 20.0))))
         else:
-            plans.append(CrashPlan(victim, after_sends=data.draw(st.integers(0, 30))))
+            plans.append(CrashPlan(victim, after_sends=data.draw(st.integers(1, 30))))
     processes = [ben_or_template_consensus() for _ in range(n)]
     runtime = AsyncRuntime(
         processes, init_values=inits, t=t, seed=seed, crash_plans=plans,

@@ -34,6 +34,26 @@ class TestCrashPlanValidation:
         with pytest.raises(ValueError):
             CrashPlan(0, after_sends=-1)
 
+    def test_zero_after_sends_rejected(self):
+        # after_sends is 1-based: the smallest meaningful plan crashes the
+        # victim right after its first send.
+        with pytest.raises(ValueError):
+            CrashPlan(0, after_sends=0)
+
+    def test_negative_at_time_rejected(self):
+        with pytest.raises(ValueError):
+            CrashPlan(0, at_time=-1.0)
+
+    def test_restart_must_be_positive_with_after_sends(self):
+        with pytest.raises(ValueError):
+            CrashPlan(0, after_sends=2, restart_at=0.0)
+        with pytest.raises(ValueError):
+            CrashPlan(0, after_sends=2, restart_at=-3.0)
+
+    def test_restart_with_after_sends_accepts_positive_times(self):
+        plan = CrashPlan(0, after_sends=2, restart_at=10.0)
+        assert plan.restart_at == 10.0
+
     def test_unknown_pid_rejected(self):
         def proto(api):
             yield Decide(1)
@@ -108,7 +128,7 @@ class TestSendCountCrash:
         assert result.trace.crashed_pids() == [0]
         assert 0 not in result.decisions
 
-    def test_crash_after_zero_sends_is_immediate_on_first_send(self):
+    def test_crash_after_first_send_prevents_later_steps(self):
         def proto(api):
             yield Send(1, "x")
             yield Decide("never")
@@ -119,7 +139,7 @@ class TestSendCountCrash:
 
         result = run(
             [proto, sink],
-            crash_plans=[CrashPlan(0, after_sends=0)],
+            crash_plans=[CrashPlan(0, after_sends=1)],
             stop_when="queue_empty",
         )
         assert 0 not in result.decisions
