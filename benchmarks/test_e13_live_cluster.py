@@ -1,0 +1,99 @@
+"""E13 — wall-clock numbers: the live Raft-backed KV service.
+
+Unlike E1-E12 these are *real-time* measurements, not virtual-time
+simulation counts: the replicated KV service (`repro.live.kv`) running on
+localhost TCP, driven closed-loop (saturation throughput at fixed
+concurrency) and open-loop (latency at a fixed arrival rate).  Results —
+throughput plus commit-latency percentiles for 3- and 5-node clusters —
+are printed as a table and written to ``BENCH_live.json``.
+
+Numbers move with the host, so the table is descriptive rather than a
+regression gate; the assertions only check sanity (acks, no errors,
+ordering of percentiles).
+"""
+
+import asyncio
+import json
+import os
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.experiments import format_table
+from repro.live import LiveKVCluster, run_closed_loop, run_open_loop
+
+FAST = dict(election_timeout=(0.15, 0.3), heartbeat_interval=0.05)
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_live.json")
+
+
+def run(coro, timeout=300.0):
+    return asyncio.run(asyncio.wait_for(coro, timeout))
+
+
+async def _bench_cluster(n, *, closed_ops, closed_concurrency, open_rate,
+                         open_duration, seed):
+    cluster = LiveKVCluster(n, seed=seed, **FAST)
+    await cluster.start()
+    try:
+        await cluster.wait_for_leader(timeout=20.0)
+        closed = await run_closed_loop(
+            cluster.cluster, ops=closed_ops, concurrency=closed_concurrency,
+            seed=seed,
+        )
+        open_ = await run_open_loop(
+            cluster.cluster, rate=open_rate, duration=open_duration, seed=seed,
+        )
+    finally:
+        await cluster.stop()
+    return closed, open_
+
+
+def _check(report):
+    assert report.errors == 0, report.summary()
+    lat = report.latency
+    assert 0 < lat["p50"] <= lat["p95"] <= lat["p99"] <= lat["max"]
+
+
+def test_e13_live_cluster_benchmark():
+    results = {}
+    rows = []
+    for n in (3, 5):
+        closed, open_ = run(_bench_cluster(
+            n,
+            closed_ops=400,
+            closed_concurrency=8,
+            open_rate=150.0,
+            open_duration=2.0,
+            seed=40 + n,
+        ))
+        _check(closed)
+        _check(open_)
+        results[f"{n}-node"] = {
+            "closed_loop": closed.to_dict(),
+            "open_loop": open_.to_dict(),
+        }
+        for mode, report in (("closed", closed), ("open", open_)):
+            lat = report.latency
+            rows.append([
+                f"{n}", mode, f"{report.ops}",
+                f"{report.throughput:.0f}",
+                f"{lat['p50'] * 1e3:.1f}",
+                f"{lat['p95'] * 1e3:.1f}",
+                f"{lat['p99'] * 1e3:.1f}",
+            ])
+
+    emit(
+        "E13 — live KV cluster (localhost TCP, wall clock)",
+        format_table(
+            ["n", "mode", "ops", "ops/s", "p50 ms", "p95 ms", "p99 ms"], rows
+        ),
+    )
+    with open(RESULTS_PATH, "w") as fh:
+        json.dump(results, fh, indent=2)
+        fh.write("\n")
+
+    # 5-node commit needs a 3-node majority instead of 2: latency must not
+    # collapse, and both cluster sizes must sustain real throughput.
+    assert results["3-node"]["closed_loop"]["throughput_ops_s"] > 20
+    assert results["5-node"]["closed_loop"]["throughput_ops_s"] > 20

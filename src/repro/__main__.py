@@ -13,11 +13,14 @@ Examples::
     python -m repro shared-memory --n 4
     python -m repro shared-coin --n 5
 
-Deterministic simulation testing (see ``docs/testing.md``) hangs off the
-same entry point::
+Deterministic simulation testing (see ``docs/testing.md``) and the live
+cluster runtime (see ``docs/live.md``) hang off the same entry point::
 
     python -m repro explore ben-or --schedules 1000
     python -m repro replay tests/regressions/corpus/<case>.json
+    python -m repro serve --pid 0 --peers 127.0.0.1:7400,127.0.0.1:7401,127.0.0.1:7402
+    python -m repro client --peers ... put greeting hello
+    python -m repro loadgen --peers ... --ops 500
 """
 
 from __future__ import annotations
@@ -47,19 +50,49 @@ ALGORITHMS = (
 def _parse_crash(spec: str) -> CrashPlan:
     """Parse ``pid@time`` or ``pid@time@restart`` into a CrashPlan."""
     parts = spec.split("@")
-    if len(parts) == 2:
-        return CrashPlan(int(parts[0]), at_time=float(parts[1]))
-    if len(parts) == 3:
-        return CrashPlan(
-            int(parts[0]), at_time=float(parts[1]), restart_at=float(parts[2])
+    if len(parts) not in (2, 3):
+        raise argparse.ArgumentTypeError(
+            f"bad crash spec {spec!r}: use pid@time[@restart]"
         )
-    raise argparse.ArgumentTypeError(f"bad crash spec {spec!r}: use pid@time[@restart]")
+    try:
+        pid = int(parts[0])
+        at_time = float(parts[1])
+        restart_at = float(parts[2]) if len(parts) == 3 else None
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad crash spec {spec!r}: pid must be an integer, times numeric"
+        )
+    if pid < 0:
+        raise argparse.ArgumentTypeError(
+            f"bad crash spec {spec!r}: pid must be non-negative"
+        )
+    if at_time < 0:
+        raise argparse.ArgumentTypeError(
+            f"bad crash spec {spec!r}: crash time must be non-negative"
+        )
+    if restart_at is not None and restart_at <= at_time:
+        raise argparse.ArgumentTypeError(
+            f"bad crash spec {spec!r}: restart time must come after the crash"
+        )
+    return CrashPlan(pid, at_time=at_time, restart_at=restart_at)
+
+
+EXTRA_COMMANDS_EPILOG = """\
+additional commands (dispatched before this parser):
+  explore ALGORITHM ...   deterministic schedule exploration (docs/testing.md)
+  replay CASE.json ...    replay a recorded failure case (docs/testing.md)
+  serve --pid N --peers ...    run one live replicated-KV node (docs/live.md)
+  client --peers ... OP        put/get/status against a live cluster
+  loadgen --peers ... ...      drive a live cluster, report latency percentiles
+"""
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Run one consensus execution and print what happened.",
+        epilog=EXTRA_COMMANDS_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument("algorithm", choices=ALGORITHMS)
     parser.add_argument("--n", type=int, default=5, help="number of processes")
@@ -112,6 +145,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.dst.cli import main as dst_main
 
         return dst_main(argv)
+    if argv and argv[0] in ("serve", "client", "loadgen"):
+        from repro.live.cli import main as live_main
+
+        return live_main(argv)
     args = build_parser().parse_args(argv)
     name = args.algorithm
 

@@ -88,6 +88,15 @@ class RaftLog:
         """A copy of the retained (post-snapshot) entries, first to last."""
         return list(self._entries)
 
+    def contains_command(self, command: Any) -> bool:
+        """Whether any retained entry carries ``command`` (no copy made).
+
+        Used by the leader's duplicate-proposal check; compacted entries
+        are not consulted (they are committed, so a retried proposal for
+        one is at worst a harmless re-append of an applied command).
+        """
+        return any(entry.command == command for entry in self._entries)
+
     def __len__(self) -> int:
         return len(self._entries)
 

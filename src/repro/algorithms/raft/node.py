@@ -129,6 +129,13 @@ class RaftNode(Process):
         self._votes: Set[Pid] = set()
         self._election_epoch = 0
         self._decided = False
+        #: Last known leader of the current term (``None`` during
+        #: elections) — the redirect hint live KV frontends serve clients.
+        self.leader_hint: Optional[Pid] = None
+        #: Proposal ids already accepted this incarnation (fast-path
+        #: duplicate check; the log scan below remains the backstop for
+        #: proposals first logged under an earlier leader or incarnation).
+        self._proposed_ids: Set[Any] = set()
 
     # ------------------------------------------------------------------
     # Main event loop
@@ -143,6 +150,8 @@ class RaftNode(Process):
         self.match_index = {}
         self._votes = set()
         self._decided = False
+        self.leader_hint = None
+        self._proposed_ids = set()
         if self.log.snapshot_index > 0:
             # Recover from the durable snapshot: the compacted prefix can
             # no longer be replayed entry by entry.
@@ -214,6 +223,7 @@ class RaftNode(Process):
         self.current_term += 1
         self.state = CANDIDATE
         self.voted_for = api.pid
+        self.leader_hint = None
         self._votes = {api.pid}
         value = self._current_value(api)
         yield Annotate("vac", (self.current_term, VACILLATE, value))
@@ -264,6 +274,7 @@ class RaftNode(Process):
     def _become_leader(self, api: ProcessAPI) -> ProtocolGenerator:
         """Election won: freeze the election timer, adopt, start replicating."""
         self.state = LEADER
+        self.leader_hint = api.pid
         self._election_epoch += 1  # "freeze timer T" (Algorithm 10)
         self.next_index = {
             pid: self.log.last_index + 1 for pid in self._members(api) if pid != api.pid
@@ -327,6 +338,7 @@ class RaftNode(Process):
         yield from self._maybe_step_down(api, msg.term)
         if self.state is CANDIDATE:
             self.state = FOLLOWER  # a leader of our own term exists
+        self.leader_hint = msg.leader_id
         yield self._arm_election_timer(api)
         ok = self.log.try_append(msg.prev_log_index, msg.prev_log_term, msg.entries)
         if not ok:
@@ -438,6 +450,7 @@ class RaftNode(Process):
         yield from self._maybe_step_down(api, msg.term)
         if self.state is CANDIDATE:
             self.state = FOLLOWER
+        self.leader_hint = msg.leader_id
         yield self._arm_election_timer(api)
         if msg.last_included_index > self.log.snapshot_index:
             self.log.install_snapshot(
@@ -483,10 +496,12 @@ class RaftNode(Process):
     ) -> ProtocolGenerator:
         if self.state is not LEADER:
             return
-        if any(
-            entry.command == msg.command for entry in self.log.as_list()
-        ):
-            return  # retried proposal already logged
+        if msg.proposal_id in self._proposed_ids:
+            return  # retried proposal, fast path
+        if self.log.contains_command(msg.command):
+            self._proposed_ids.add(msg.proposal_id)
+            return  # already logged (e.g. under a previous leader)
+        self._proposed_ids.add(msg.proposal_id)
         self.log.append_new(Entry(self.current_term, msg.command))
         yield from self._broadcast_append_entries(api)
         yield from self._advance_commit(api)  # n == 1 clusters commit at once

@@ -10,7 +10,9 @@ from repro.analysis.experiments import SummaryStats, format_table, run_trials, s
 from repro.analysis.metrics import (
     decision_latencies,
     decision_rounds,
+    latency_summary,
     outcome_histogram,
+    percentile,
     rounds_used,
 )
 from repro.analysis.report import (
@@ -28,7 +30,9 @@ __all__ = [
     "event_lanes",
     "exploration_summary",
     "format_table",
+    "latency_summary",
     "outcome_histogram",
+    "percentile",
     "round_table",
     "rounds_used",
     "run_trials",

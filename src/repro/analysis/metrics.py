@@ -51,6 +51,46 @@ def decision_latencies(trace: Trace) -> Dict[Pid, float]:
     return trace.decision_times()
 
 
+def percentile(values: Iterable[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) by linear interpolation.
+
+    Matches numpy's default ("linear") method; raises on an empty input.
+    """
+    data = sorted(values)
+    if not data:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile {q} outside [0, 100]")
+    if len(data) == 1:
+        return data[0]
+    rank = (len(data) - 1) * q / 100.0
+    low = int(rank)
+    frac = rank - low
+    if low + 1 >= len(data):
+        return data[-1]
+    return data[low] * (1 - frac) + data[low + 1] * frac
+
+
+def latency_summary(latencies: Iterable[float]) -> Dict[str, float]:
+    """Count/mean/percentile summary of a latency sample (seconds).
+
+    The shared shape used by the live load generator and the wall-clock
+    benchmarks: ``count``, ``mean``, ``p50``, ``p95``, ``p99``, ``max``.
+    """
+    data = sorted(latencies)
+    if not data:
+        return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0,
+                "p99": 0.0, "max": 0.0}
+    return {
+        "count": len(data),
+        "mean": sum(data) / len(data),
+        "p50": percentile(data, 50),
+        "p95": percentile(data, 95),
+        "p99": percentile(data, 99),
+        "max": data[-1],
+    }
+
+
 def outcome_histogram(
     trace: Trace, key: str = "vac", correct: Optional[Iterable[Pid]] = None
 ) -> Dict[int, Counter]:

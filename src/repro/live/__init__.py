@@ -1,0 +1,66 @@
+"""Live cluster runtime: the simulator's processes over real sockets.
+
+:class:`~repro.live.runtime.LiveRuntime` executes the *same* generator
+coroutines (``yield Send/Broadcast/Receive/SetTimer`` — see
+:mod:`repro.sim.ops`) that :class:`~repro.sim.async_runtime.AsyncRuntime`
+drives under virtual time, but over real asyncio TCP connections with
+wall-clock timers.  An algorithm written once runs unchanged in three
+regimes: deterministic simulation, schedule exploration (``repro.dst``),
+and a real localhost/network cluster.
+
+Layers, bottom up:
+
+* :mod:`repro.live.wire` — length-prefixed JSON framing.
+* :mod:`repro.live.codec` — registers every algorithm message with the
+  lossless wire codec in :mod:`repro.sim.serialize`.
+* :mod:`repro.live.transport` — per-peer connections, reconnect with
+  backoff, heartbeats.
+* :mod:`repro.live.runtime` — drives one process coroutine; emits the
+  same :class:`~repro.sim.trace.Trace` events as the simulator.
+* :mod:`repro.live.kv` / :mod:`repro.live.client` — a replicated KV
+  service on full Raft, and its redirect-following client.
+* :mod:`repro.live.harness` — in-process multi-node clusters for tests
+  and benchmarks.
+* :mod:`repro.live.loadgen` — closed- and open-loop load generation.
+* :mod:`repro.live.cli` — ``python -m repro serve|client|loadgen``.
+
+See ``docs/live.md`` for the architecture and wire protocol.
+"""
+
+from repro.live import codec as _codec  # registers wire types on import
+from repro.live.client import AsyncKVClient, ClusterUnavailableError
+from repro.live.config import ClusterConfig, NodeSpec
+from repro.live.harness import LiveCluster, LiveKVCluster, merge_traces
+from repro.live.kv import KVServer, KvBatch, NotLeaderError, TaggedPut
+from repro.live.loadgen import LoadReport, run_closed_loop, run_open_loop
+from repro.live.runtime import LiveRuntime, LiveRuntimeError, derive_process_seed
+from repro.live.transport import PeerTransport, TransportStats
+from repro.live.wire import MAX_FRAME_BYTES, FrameError, read_frame, write_frame
+
+del _codec
+
+__all__ = [
+    "AsyncKVClient",
+    "ClusterConfig",
+    "ClusterUnavailableError",
+    "FrameError",
+    "KVServer",
+    "KvBatch",
+    "LiveCluster",
+    "LiveKVCluster",
+    "LiveRuntime",
+    "LiveRuntimeError",
+    "LoadReport",
+    "MAX_FRAME_BYTES",
+    "NodeSpec",
+    "NotLeaderError",
+    "PeerTransport",
+    "TaggedPut",
+    "TransportStats",
+    "derive_process_seed",
+    "merge_traces",
+    "read_frame",
+    "run_closed_loop",
+    "run_open_loop",
+    "write_frame",
+]

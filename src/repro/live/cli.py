@@ -1,0 +1,260 @@
+"""``python -m repro serve | client | loadgen`` — the live-cluster CLI.
+
+``serve`` runs one :class:`~repro.live.kv.KVServer` in this OS process
+until SIGINT/SIGTERM; start one per node of the ``--peers`` list.
+``client`` issues a single ``put``/``get``/``status``.  ``loadgen``
+drives a running cluster closed-loop (``--ops``/``--concurrency``) or
+open-loop (``--rate``/``--duration``) and prints a latency summary.
+
+Example 3-node localhost cluster (three terminals + one more)::
+
+    python -m repro serve --pid 0 --peers 127.0.0.1:7400,127.0.0.1:7401,127.0.0.1:7402
+    python -m repro serve --pid 1 --peers 127.0.0.1:7400,127.0.0.1:7401,127.0.0.1:7402
+    python -m repro serve --pid 2 --peers 127.0.0.1:7400,127.0.0.1:7401,127.0.0.1:7402
+    python -m repro client --peers 127.0.0.1:7400,127.0.0.1:7401,127.0.0.1:7402 put greeting hello
+    python -m repro loadgen --peers 127.0.0.1:7400,127.0.0.1:7401,127.0.0.1:7402 --ops 500
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import signal
+import sys
+from typing import List, Optional, Tuple
+
+from repro.live.client import AsyncKVClient
+from repro.live.config import ClusterConfig
+from repro.live.kv import KVServer
+from repro.live.loadgen import run_closed_loop, run_open_loop
+
+
+def _parse_timeout_range(spec: str) -> Tuple[float, float]:
+    """Parse ``lo,hi`` (seconds) into an election-timeout range."""
+    try:
+        lo_text, hi_text = spec.split(",")
+        lo, hi = float(lo_text), float(hi_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad timeout range {spec!r}: use lo,hi (e.g. 0.3,0.6)"
+        )
+    if not 0 < lo <= hi:
+        raise argparse.ArgumentTypeError(
+            f"bad timeout range {spec!r}: need 0 < lo <= hi"
+        )
+    return lo, hi
+
+
+def _add_peers_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--peers",
+        required=True,
+        type=ClusterConfig.from_spec,
+        metavar="HOST:PORT[:CLIENTPORT],...",
+        help="full cluster membership, in pid order",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Live-cluster commands (see docs/live.md).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    serve = commands.add_parser(
+        "serve", help="run one replicated-KV node until interrupted"
+    )
+    _add_peers_argument(serve)
+    serve.add_argument("--pid", type=int, required=True, help="this node's pid")
+    serve.add_argument("--seed", type=int, default=0, help="run seed")
+    serve.add_argument(
+        "--election-timeout",
+        type=_parse_timeout_range,
+        default=(0.3, 0.6),
+        metavar="LO,HI",
+        help="election timer range in seconds (default 0.3,0.6)",
+    )
+    serve.add_argument(
+        "--heartbeat",
+        type=float,
+        default=0.06,
+        help="leader heartbeat interval in seconds (default 0.06)",
+    )
+    serve.add_argument(
+        "--snapshot-threshold",
+        type=int,
+        default=None,
+        help="compact the Raft log above this many entries",
+    )
+
+    client = commands.add_parser("client", help="issue one KV request")
+    _add_peers_argument(client)
+    sub = client.add_subparsers(dest="operation", required=True)
+    put = sub.add_parser("put", help="replicate KEY -> VALUE")
+    put.add_argument("key")
+    put.add_argument("value")
+    get = sub.add_parser("get", help="read KEY (local read, may be stale)")
+    get.add_argument("key")
+    sub.add_parser("status", help="print each node's role/term/indices")
+
+    loadgen = commands.add_parser(
+        "loadgen", help="drive a running cluster and report latency"
+    )
+    _add_peers_argument(loadgen)
+    loadgen.add_argument(
+        "--ops", type=int, default=200, help="closed-loop: total writes"
+    )
+    loadgen.add_argument(
+        "--concurrency", type=int, default=4, help="closed-loop: workers"
+    )
+    loadgen.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="open-loop: arrivals per second (switches mode)",
+    )
+    loadgen.add_argument(
+        "--duration",
+        type=float,
+        default=2.0,
+        help="open-loop: seconds to run (default 2.0)",
+    )
+    loadgen.add_argument(
+        "--value-size", type=int, default=16, help="bytes per value"
+    )
+    loadgen.add_argument(
+        "--key-space", type=int, default=128, help="distinct keys"
+    )
+    loadgen.add_argument("--seed", type=int, default=0, help="workload seed")
+    loadgen.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the report as JSON to PATH",
+    )
+    return parser
+
+
+async def _serve(args: argparse.Namespace) -> int:
+    if not 0 <= args.pid < args.peers.n:
+        print(
+            f"error: --pid {args.pid} outside cluster of {args.peers.n}",
+            file=sys.stderr,
+        )
+        return 2
+    server = KVServer(
+        args.peers,
+        args.pid,
+        seed=args.seed,
+        election_timeout=args.election_timeout,
+        heartbeat_interval=args.heartbeat,
+        snapshot_threshold=args.snapshot_threshold,
+    )
+    await server.start()
+    spec = args.peers[args.pid]
+    print(
+        f"node {args.pid}/{args.peers.n} serving: peers on {spec.peer_addr}, "
+        f"clients on {spec.client_addr}",
+        flush=True,
+    )
+    stopped = asyncio.get_event_loop().create_future()
+
+    def request_stop() -> None:
+        if not stopped.done():
+            stopped.set_result(None)
+
+    loop = asyncio.get_event_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, request_stop)
+        except NotImplementedError:  # pragma: no cover - non-unix
+            pass
+    try:
+        await stopped
+    finally:
+        await server.stop()
+    print(f"node {args.pid} stopped")
+    return 0
+
+
+async def _client(args: argparse.Namespace) -> int:
+    client = AsyncKVClient(args.peers)
+    try:
+        if args.operation == "put":
+            index = await client.put(args.key, args.value)
+            print(f"ok: {args.key!r} committed at index {index}")
+        elif args.operation == "get":
+            response = await client.get(args.key)
+            if response["found"]:
+                print(
+                    f"{args.key!r} = {response['value']!r} "
+                    f"(applied index {response['applied']})"
+                )
+            else:
+                print(f"{args.key!r} not found")
+                return 1
+        else:  # status
+            for pid in range(args.peers.n):
+                try:
+                    status = await client.status_of(pid)
+                except (ConnectionError, OSError, asyncio.TimeoutError,
+                        asyncio.IncompleteReadError):
+                    print(f"node {pid}: unreachable")
+                    continue
+                print(
+                    f"node {pid}: {status['role']} term={status['term']} "
+                    f"commit={status['commit_index']} "
+                    f"applied={status['applied']} leader={status['leader']}"
+                )
+    finally:
+        await client.close()
+    return 0
+
+
+async def _loadgen(args: argparse.Namespace) -> int:
+    if args.rate is not None:
+        report = await run_open_loop(
+            args.peers,
+            rate=args.rate,
+            duration=args.duration,
+            key_space=args.key_space,
+            value_size=args.value_size,
+            seed=args.seed,
+        )
+    else:
+        report = await run_closed_loop(
+            args.peers,
+            ops=args.ops,
+            concurrency=args.concurrency,
+            key_space=args.key_space,
+            value_size=args.value_size,
+            seed=args.seed,
+        )
+    print(report.summary())
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the live subcommands; returns the exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "serve":
+        runner = _serve(args)
+    elif args.command == "client":
+        runner = _client(args)
+    else:
+        runner = _loadgen(args)
+    try:
+        return asyncio.run(runner)
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        return 130
+
+
+if __name__ == "__main__":
+    sys.exit(main())

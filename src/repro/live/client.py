@@ -1,0 +1,190 @@
+"""Asyncio client for the live KV service.
+
+:class:`AsyncKVClient` keeps one connection to some cluster node, follows
+leader redirects, and retries over the remaining nodes (with a small
+delay) when connections fail or the cluster is mid-election.  Writes are
+at-least-once: a timed-out ``put`` is retried with the same ``op_id``, so
+the worst case is a duplicate apply of an idempotent put.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import uuid
+from typing import Any, Dict, Optional, Tuple
+
+from repro.live.config import ClusterConfig
+from repro.live.wire import enable_nodelay, read_frame, write_frame
+
+
+class ClusterUnavailableError(ConnectionError):
+    """No node answered within the attempt budget."""
+
+
+class AsyncKVClient:
+    """A redirect-following client for :class:`repro.live.kv.KVServer`.
+
+    Args:
+        cluster: the cluster membership (client ports are used).
+        request_timeout: per-request socket timeout.
+        max_attempts: total tries (across redirects and reconnects) before
+            an operation raises :class:`ClusterUnavailableError`.
+        retry_delay: pause between failed attempts (elections need a beat).
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterConfig,
+        *,
+        request_timeout: float = 5.0,
+        max_attempts: int = 30,
+        retry_delay: float = 0.1,
+    ):
+        self.cluster = cluster
+        self.request_timeout = request_timeout
+        self.max_attempts = max_attempts
+        self.retry_delay = retry_delay
+        self._conn: Optional[Tuple[asyncio.StreamReader, asyncio.StreamWriter]] = None
+        self._target: Optional[Tuple[str, int]] = None
+        self._rotation = itertools.cycle(range(cluster.n))
+        self._ops = 0
+        # One request in flight per connection: concurrent users of a
+        # shared client serialize here instead of interleaving frames.
+        self._lock: Optional[asyncio.Lock] = None
+
+    # ------------------------------------------------------------------
+    # Public operations
+    # ------------------------------------------------------------------
+
+    async def put(self, key: Any, value: Any, op_id: Optional[str] = None) -> int:
+        """Replicate ``key -> value``; returns the commit log index."""
+        if op_id is None:
+            self._ops += 1
+            op_id = f"{uuid.uuid4().hex[:12]}-{self._ops}"
+        response = await self._request(
+            {"type": "put", "id": op_id, "key": key, "value": value},
+            want="ok",
+        )
+        return response["index"]
+
+    async def get(self, key: Any) -> Dict[str, Any]:
+        """Read ``key`` from whichever node we are connected to.
+
+        Returns the raw response dict: ``found``, ``value``, ``applied``
+        (the serving node's applied index — reads are local and may lag).
+        """
+        return await self._request({"type": "get", "key": key}, want="value")
+
+    async def status(self) -> Dict[str, Any]:
+        """Status of the currently connected node."""
+        return await self._request({"type": "status"}, want="status")
+
+    async def status_of(self, pid: int) -> Dict[str, Any]:
+        """Status of one specific node (dedicated short-lived connection)."""
+        spec = self.cluster[pid]
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(*spec.client_addr),
+            timeout=self.request_timeout,
+        )
+        enable_nodelay(writer)
+        try:
+            await write_frame(writer, {"type": "status"})
+            return await asyncio.wait_for(
+                read_frame(reader), timeout=self.request_timeout
+            )
+        finally:
+            writer.close()
+
+    async def find_leader(self) -> Optional[int]:
+        """Poll every reachable node once; returns the leader pid if any."""
+        for pid in range(self.cluster.n):
+            try:
+                status = await self.status_of(pid)
+            except (ConnectionError, OSError, asyncio.TimeoutError,
+                    asyncio.IncompleteReadError):
+                continue
+            if status.get("role") == "leader":
+                return status.get("pid")
+        return None
+
+    async def close(self) -> None:
+        if self._conn is not None:
+            self._conn[1].close()
+            self._conn = None
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+
+    async def _request(
+        self, request: Dict[str, Any], *, want: str
+    ) -> Dict[str, Any]:
+        if self._lock is None:
+            self._lock = asyncio.Lock()
+        async with self._lock:
+            return await self._request_locked(request, want=want)
+
+    async def _request_locked(
+        self, request: Dict[str, Any], *, want: str
+    ) -> Dict[str, Any]:
+        last_error: Optional[Exception] = None
+        for _attempt in range(self.max_attempts):
+            try:
+                reader, writer = await self._connect()
+                await write_frame(writer, request)
+                response = await asyncio.wait_for(
+                    read_frame(reader), timeout=self.request_timeout
+                )
+            except (ConnectionError, OSError, asyncio.TimeoutError,
+                    asyncio.IncompleteReadError) as exc:
+                last_error = exc
+                self._drop_connection(rotate=True)
+                await asyncio.sleep(self.retry_delay)
+                continue
+            kind = response.get("type") if isinstance(response, dict) else None
+            if kind == want:
+                return response
+            if kind == "redirect":
+                if response.get("leader") is not None:
+                    self._drop_connection(
+                        target=(response["host"], response["port"])
+                    )
+                else:
+                    self._drop_connection(rotate=True)
+                    await asyncio.sleep(self.retry_delay)
+                continue
+            # "error" (commit timeout mid-election, bad request, ...):
+            # retry the same idempotent request.
+            last_error = RuntimeError(f"server said {response!r}")
+            await asyncio.sleep(self.retry_delay)
+        raise ClusterUnavailableError(
+            f"no answer after {self.max_attempts} attempts: {last_error!r}"
+        )
+
+    async def _connect(self) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        if self._conn is not None:
+            return self._conn
+        if self._target is None:
+            self._target = self.cluster[next(self._rotation)].client_addr
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(*self._target),
+            timeout=self.request_timeout,
+        )
+        enable_nodelay(writer)
+        self._conn = (reader, writer)
+        return self._conn
+
+    def _drop_connection(
+        self,
+        *,
+        rotate: bool = False,
+        target: Optional[Tuple[str, int]] = None,
+    ) -> None:
+        if self._conn is not None:
+            self._conn[1].close()
+            self._conn = None
+        if target is not None:
+            self._target = target
+        elif rotate:
+            self._target = None

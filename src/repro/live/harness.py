@@ -1,0 +1,223 @@
+"""In-process harnesses that boot whole localhost clusters.
+
+Tests, benchmarks and the CI smoke job run every node inside one asyncio
+event loop: the sockets, framing, reconnect and timer paths are exactly
+those of a multi-process deployment (the bytes really traverse localhost
+TCP), only the scheduling is shared.  ``python -m repro serve`` runs the
+same :class:`~repro.live.kv.KVServer` one-per-OS-process instead.
+
+All nodes share a single monotonic ``epoch``, so per-node traces can be
+merged (:func:`merge_traces`) onto one time axis and fed to the existing
+property checkers and metrics unchanged.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.live.config import ClusterConfig
+from repro.live.kv import KVServer
+from repro.live.runtime import LiveRuntime
+from repro.sim.process import Process
+from repro.sim.trace import Trace
+
+
+def merge_traces(traces: Sequence[Trace]) -> Trace:
+    """Merge per-node traces into one, ordered by shared-epoch time.
+
+    The sort is stable, so each node's own events keep their relative
+    order even when wall-clock timestamps tie.
+    """
+    merged = Trace()
+    for event in sorted(
+        (e for trace in traces for e in trace.events), key=lambda e: e.time
+    ):
+        merged.record(event.time, event.kind, event.pid, event.detail)
+    return merged
+
+
+class LiveCluster:
+    """Run arbitrary simulator processes as a live localhost cluster.
+
+    Args:
+        processes: one :class:`~repro.sim.process.Process` per node.
+        init_values: per-process consensus inputs.
+        t: resilience parameter (default ``(n - 1) // 2``).
+        seed: run seed (same RNG derivation as the simulator).
+        cluster: explicit topology; defaults to fresh localhost ports.
+        transport_options: forwarded to every node's transport.
+    """
+
+    def __init__(
+        self,
+        processes: Sequence[Process],
+        *,
+        init_values: Optional[Sequence[Any]] = None,
+        t: Optional[int] = None,
+        seed: int = 0,
+        cluster: Optional[ClusterConfig] = None,
+        transport_options: Optional[Dict[str, Any]] = None,
+    ):
+        n = len(processes)
+        if n == 0:
+            raise ValueError("need at least one process")
+        if init_values is None:
+            init_values = [None] * n
+        if len(init_values) != n:
+            raise ValueError("init_values length must match processes")
+        self.cluster = cluster or ClusterConfig.localhost(n)
+        self.epoch = time.monotonic()
+        self.runtimes: List[Optional[LiveRuntime]] = []
+        self._processes = list(processes)
+        self._args = dict(
+            t=t, seed=seed, transport_options=transport_options or {}
+        )
+        self._init_values = list(init_values)
+        self._traces: List[Trace] = []
+        for pid, process in enumerate(self._processes):
+            self.runtimes.append(self._build(pid))
+
+    def _build(self, pid: int) -> LiveRuntime:
+        runtime = LiveRuntime(
+            self._processes[pid],
+            self.cluster,
+            pid,
+            init_value=self._init_values[pid],
+            t=self._args["t"],
+            seed=self._args["seed"],
+            epoch=self.epoch,
+            transport_options=dict(self._args["transport_options"]),
+        )
+        self._traces.append(runtime.trace)
+        return runtime
+
+    async def start(self) -> None:
+        for runtime in self.runtimes:
+            if runtime is not None:
+                await runtime.start()
+
+    async def stop(self) -> None:
+        for runtime in self.runtimes:
+            if runtime is not None:
+                await runtime.stop()
+
+    async def kill(self, pid: int) -> None:
+        """Abruptly stop node ``pid`` (records a CRASH in its trace)."""
+        runtime = self.runtimes[pid]
+        if runtime is not None:
+            await runtime.stop(crash=True)
+            self.runtimes[pid] = None
+
+    async def restart(self, pid: int) -> LiveRuntime:
+        """Restart a killed node: same Process object, fresh runtime.
+
+        Mirrors the simulator's crash-restart semantics — state on the
+        process's ``self`` survives, generator-local state is lost.
+        """
+        runtime = self._build(pid)
+        self.runtimes[pid] = runtime
+        await runtime.start(restart=True)
+        return runtime
+
+    async def await_decisions(
+        self, timeout: float, pids: Optional[Sequence[int]] = None
+    ) -> Dict[int, Any]:
+        """Wait until the given (default: all live) nodes decide."""
+        if pids is None:
+            pids = [p for p, r in enumerate(self.runtimes) if r is not None]
+        deadline = time.monotonic() + timeout
+        out: Dict[int, Any] = {}
+        for pid in pids:
+            runtime = self.runtimes[pid]
+            assert runtime is not None
+            remaining = max(0.01, deadline - time.monotonic())
+            out[pid] = await runtime.wait_decided(timeout=remaining)
+        return out
+
+    def merged_trace(self) -> Trace:
+        """All nodes' events (including killed nodes') on one time axis."""
+        return merge_traces(self._traces)
+
+
+class LiveKVCluster:
+    """Boot ``n`` :class:`~repro.live.kv.KVServer` nodes on localhost.
+
+    Keyword args are forwarded to every ``KVServer`` (election timeouts,
+    batching knobs, ...).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        seed: int = 0,
+        cluster: Optional[ClusterConfig] = None,
+        election_timeout: Tuple[float, float] = (0.3, 0.6),
+        heartbeat_interval: float = 0.06,
+        **server_options: Any,
+    ):
+        self.cluster = cluster or ClusterConfig.localhost(n)
+        self.epoch = time.monotonic()
+        self.servers: List[Optional[KVServer]] = []
+        self._traces: List[Trace] = []
+        for pid in range(n):
+            server = KVServer(
+                self.cluster,
+                pid,
+                seed=seed,
+                election_timeout=election_timeout,
+                heartbeat_interval=heartbeat_interval,
+                epoch=self.epoch,
+                **server_options,
+            )
+            self.servers.append(server)
+            self._traces.append(server.runtime.trace)
+
+    async def start(self) -> None:
+        for server in self.servers:
+            if server is not None:
+                await server.start()
+
+    async def stop(self) -> None:
+        for server in self.servers:
+            if server is not None:
+                await server.stop()
+
+    async def kill(self, pid: int) -> None:
+        """Abrupt node death: peer and client sockets just disappear."""
+        server = self.servers[pid]
+        if server is not None:
+            await server.stop(crash=True)
+            self.servers[pid] = None
+
+    def leader_pid(self) -> Optional[int]:
+        """The current leader among live nodes (in-process inspection)."""
+        leaders = [
+            server.pid
+            for server in self.servers
+            if server is not None and server.is_leader
+        ]
+        return leaders[-1] if leaders else None
+
+    async def wait_for_leader(
+        self, timeout: float = 10.0, *, exclude: Sequence[int] = ()
+    ) -> int:
+        """Poll until some live node (not in ``exclude``) leads.
+
+        A node also must have *committed* in its term (applied barrier)
+        before it counts, so the returned leader is actually serviceable.
+        """
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            for server in self.servers:
+                if server is None or server.pid in exclude:
+                    continue
+                if server.is_leader:
+                    return server.pid
+            await asyncio.sleep(0.02)
+        raise TimeoutError(f"no leader within {timeout}s")
+
+    def merged_trace(self) -> Trace:
+        return merge_traces(self._traces)

@@ -1,0 +1,390 @@
+"""A replicated key-value service on top of the live Raft cluster.
+
+Each :class:`KVServer` runs one full :class:`~repro.algorithms.raft.node.RaftNode`
+(the paper's VAC + reconciliator decomposition of Raft) under a
+:class:`~repro.live.runtime.LiveRuntime`, plus a client-facing TCP frontend
+speaking the same length-prefixed wire protocol.
+
+Write path
+----------
+Client ``put`` requests reaching the leader are *batched*: requests
+arriving within ``batch_window`` (or until ``max_batch``) are folded into
+one :class:`KvBatch` log command and proposed as a single
+:class:`~repro.algorithms.raft.messages.ClientPropose`, so one
+replication round-trip commits many client writes.  A request is
+acknowledged only once the leader *applies* the batch — i.e. after the
+entry is committed on a majority — so every acknowledged write survives
+any minority of crashes, including the leader's.  Requests reaching a
+follower are answered with a redirect to the last known leader.
+
+On winning an election a server proposes an empty barrier batch — the
+classic leader no-op — so the new leader's commit index advances (and
+reads become current) without waiting for client traffic.
+
+Read path
+---------
+``get`` serves from the local state machine: reads are *local and may be
+stale* (bounded by replication lag).  The response carries the node's
+applied index so clients needing read-your-writes can retry until it
+reaches their last acknowledged write's index.
+
+Delivery semantics are at-least-once: a client that times out and retries
+a ``put`` may apply it twice; puts are idempotent per (key, value), and
+the ``op_id`` carried by :class:`TaggedPut` keeps retries from being
+deduplicated *against other clients'* writes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.algorithms.raft.messages import ClientPropose
+from repro.algorithms.raft.node import LEADER, RaftNode
+from repro.algorithms.raft.state_machine import KeyValueStateMachine, Put
+from repro.live.config import ClusterConfig
+from repro.live.runtime import LiveRuntime
+from repro.live.wire import enable_nodelay, read_frame, write_frame
+from repro.sim import trace as tr
+from repro.sim.serialize import register_wire_type
+
+
+@dataclass(frozen=True)
+class TaggedPut(Put):
+    """A ``Put`` carrying the client's unique operation id.
+
+    The id makes two same-valued writes from different requests distinct
+    commands, so the leader's duplicate-proposal check never conflates
+    them, while :class:`~repro.algorithms.raft.state_machine.KeyValueStateMachine`
+    applies it like any other ``Put``.
+    """
+
+    op_id: str = ""
+
+
+@dataclass(frozen=True)
+class KvBatch:
+    """One log entry holding a whole batch of client writes.
+
+    ``batch_id`` keeps batches unique commands even when ``ops`` is empty
+    (the leader-change barrier no-op).
+    """
+
+    ops: Tuple[TaggedPut, ...]
+    batch_id: Any = None
+
+
+register_wire_type(TaggedPut)
+register_wire_type(KvBatch)
+
+
+class KVCommandMachine(KeyValueStateMachine):
+    """A KV machine that also unpacks :class:`KvBatch` commands."""
+
+    def apply(self, index: int, command: Any) -> Any:
+        if isinstance(command, KvBatch):
+            for op in command.ops:
+                super().apply(index, op)
+            return len(command.ops)
+        return super().apply(index, command)
+
+
+class NotLeaderError(Exception):
+    """This node lost (or never had) leadership; client should redirect."""
+
+
+class KVServer:
+    """One cluster member: Raft node + live runtime + client frontend.
+
+    Args:
+        cluster: full membership.
+        pid: this node's pid.
+        seed: run seed (election randomness derives from it).
+        election_timeout: randomized election timer range, in seconds.
+        heartbeat_interval: leader heartbeat period, in seconds.
+        batch_window: how long the leader waits to fold concurrent client
+            writes into one proposal.
+        max_batch: flush a batch early at this many writes.
+        max_inflight: hold new proposals while this many log entries are
+            uncommitted.  Group commit: writes arriving while the pipeline
+            is full coalesce into the next batch, which is flushed as soon
+            as a commit frees a slot — so the entry rate self-clocks to
+            the commit rate and batch size adapts to load.  Keeping the
+            window small also bounds replication traffic (the node resends
+            the whole unacked suffix on every proposal, which is quadratic
+            in the window).
+        commit_timeout: how long a client ``put`` may wait for commit
+            before the server answers with an error (client retries).
+        snapshot_threshold: forwarded to the Raft node (log compaction).
+        epoch: shared trace-time origin (see :class:`LiveRuntime`).
+        observers: extra trace listeners for the node's runtime.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterConfig,
+        pid: int,
+        *,
+        seed: int = 0,
+        election_timeout: Tuple[float, float] = (0.3, 0.6),
+        heartbeat_interval: float = 0.06,
+        batch_window: float = 0.005,
+        max_batch: int = 64,
+        max_inflight: int = 2,
+        commit_timeout: float = 5.0,
+        snapshot_threshold: Optional[int] = None,
+        epoch: Optional[float] = None,
+        observers: Tuple = (),
+        transport_options: Optional[Dict[str, Any]] = None,
+    ):
+        self.cluster = cluster
+        self.pid = pid
+        self.batch_window = batch_window
+        self.max_batch = max_batch
+        self.max_inflight = max_inflight
+        self.commit_timeout = commit_timeout
+        self.node = RaftNode(
+            election_timeout=election_timeout,
+            heartbeat_interval=heartbeat_interval,
+            state_machine_factory=KVCommandMachine,
+            propose_on_leadership=False,
+            snapshot_threshold=snapshot_threshold,
+            cluster_size=cluster.n,
+        )
+        self.runtime = LiveRuntime(
+            self.node,
+            cluster,
+            pid,
+            seed=seed,
+            observers=observers,
+            epoch=epoch,
+            transport_options=transport_options,
+        )
+        self.runtime.trace.subscribe(self._on_trace)
+        self._pending: Dict[str, asyncio.Future] = {}
+        self._batch: List[TaggedPut] = []
+        self._flush_handle: Optional[asyncio.TimerHandle] = None
+        self._batch_counter = 0
+        self._client_server: Optional[asyncio.AbstractServer] = None
+        self._client_writers: List[asyncio.StreamWriter] = []
+        self._watchdog: Optional[asyncio.Task] = None
+        self._barrier_terms: set = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self, *, restart: bool = False) -> None:
+        spec = self.cluster[self.pid]
+        self._client_server = await asyncio.start_server(
+            self._handle_client, spec.host, spec.client_port
+        )
+        await self.runtime.start(restart=restart)
+        self._watchdog = asyncio.ensure_future(self._watch_leadership())
+
+    async def stop(self, *, crash: bool = False) -> None:
+        if self._watchdog is not None:
+            self._watchdog.cancel()
+            try:
+                await self._watchdog
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._watchdog = None
+        if self._client_server is not None:
+            self._client_server.close()
+            await self._client_server.wait_closed()
+            self._client_server = None
+        for writer in list(self._client_writers):
+            writer.close()
+        self._client_writers.clear()
+        self._fail_pending()
+        await self.runtime.stop(crash=crash)
+
+    @property
+    def is_leader(self) -> bool:
+        return self.node.state is LEADER
+
+    # ------------------------------------------------------------------
+    # Raft-side plumbing
+    # ------------------------------------------------------------------
+
+    def _on_trace(self, event) -> None:
+        if event.kind != tr.ANNOTATE:
+            return
+        key, value = event.detail
+        if key == "applied":
+            _index, _term, command = value
+            if isinstance(command, KvBatch):
+                for op in command.ops:
+                    future = self._pending.pop(op.op_id, None)
+                    if future is not None and not future.done():
+                        future.set_result(_index)
+            # Group commit: a commit freed pipeline room, so flush writes
+            # that accumulated while it was full without waiting for the
+            # batch-window timer.
+            if (
+                self._batch
+                and self.node.log.last_index - self.node.commit_index
+                < self.max_inflight
+            ):
+                if self._flush_handle is not None:
+                    self._flush_handle.cancel()
+                    self._flush_handle = None
+                asyncio.get_event_loop().call_soon(self._flush_batch)
+        elif key == "leader" and value[1] == self.pid:
+            term = value[0]
+            if term not in self._barrier_terms:
+                self._barrier_terms.add(term)
+                # Listener context: schedule the injection, don't recurse
+                # into the runtime from inside its own driver.
+                asyncio.get_event_loop().call_soon(self._propose_barrier, term)
+
+    def _propose_barrier(self, term: int) -> None:
+        if self.node.state is not LEADER or self.node.current_term != term:
+            return
+        batch = KvBatch((), batch_id=("barrier", self.pid, term))
+        self.runtime.inject(ClientPropose(batch.batch_id, batch))
+
+    def _flush_batch(self) -> None:
+        self._flush_handle = None
+        if not self._batch:
+            return
+        if self.node.state is not LEADER:
+            for op in self._batch:
+                future = self._pending.pop(op.op_id, None)
+                if future is not None and not future.done():
+                    future.set_exception(NotLeaderError())
+            self._batch.clear()
+            return
+        if (
+            self.node.log.last_index - self.node.commit_index
+            >= self.max_inflight
+        ):
+            # Pipeline full: every proposal makes the node resend the whole
+            # uncommitted suffix to every follower, so pushing more now
+            # costs quadratic bytes.  Hold the batch until commits catch up
+            # (waiters are still bounded by commit_timeout).
+            self._flush_handle = asyncio.get_event_loop().call_later(
+                self.batch_window, self._flush_batch
+            )
+            return
+        ops = tuple(self._batch[: self.max_batch])
+        del self._batch[: len(ops)]
+        self._batch_counter += 1
+        batch = KvBatch(ops, batch_id=(self.pid, self._batch_counter))
+        self.runtime.inject(ClientPropose(batch.batch_id, batch))
+        if self._batch:
+            self._flush_handle = asyncio.get_event_loop().call_later(
+                self.batch_window, self._flush_batch
+            )
+
+    def _fail_pending(self) -> None:
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(NotLeaderError())
+        self._pending.clear()
+        self._batch.clear()
+
+    async def _watch_leadership(self) -> None:
+        """Fail pending writes promptly when leadership is lost."""
+        while True:
+            await asyncio.sleep(0.1)
+            if self._pending and self.node.state is not LEADER:
+                self._fail_pending()
+
+    # ------------------------------------------------------------------
+    # Client frontend
+    # ------------------------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._client_writers.append(writer)
+        enable_nodelay(writer)
+        try:
+            while True:
+                request = await read_frame(reader)
+                if not isinstance(request, dict):
+                    await write_frame(
+                        writer, {"type": "error", "reason": "bad request"}
+                    )
+                    continue
+                response = await self._serve(request)
+                await write_frame(writer, response)
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            if writer in self._client_writers:
+                self._client_writers.remove(writer)
+
+    async def _serve(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        kind = request.get("type")
+        if kind == "put":
+            return await self._serve_put(request)
+        if kind == "get":
+            key = request.get("key")
+            machine = self.node.machine
+            return {
+                "type": "value",
+                "key": key,
+                "found": key in machine.data,
+                "value": machine.data.get(key),
+                "applied": self.node.last_applied,
+                "leader": self.node.leader_hint,
+            }
+        if kind == "status":
+            return {
+                "type": "status",
+                "pid": self.pid,
+                "n": self.cluster.n,
+                "role": self.node.state,
+                "term": self.node.current_term,
+                "commit_index": self.node.commit_index,
+                "applied": self.node.last_applied,
+                "leader": self.node.leader_hint,
+            }
+        return {"type": "error", "reason": f"unknown request type {kind!r}"}
+
+    async def _serve_put(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        op_id = request.get("id")
+        if not isinstance(op_id, str) or not op_id:
+            return {"type": "error", "reason": "put needs a string id"}
+        if self.node.state is not LEADER:
+            return self._redirect()
+        future: asyncio.Future = asyncio.get_event_loop().create_future()
+        self._pending[op_id] = future
+        self._batch.append(
+            TaggedPut(request.get("key"), request.get("value"), op_id)
+        )
+        if len(self._batch) >= self.max_batch:
+            if self._flush_handle is not None:
+                self._flush_handle.cancel()
+                self._flush_handle = None
+            self._flush_batch()
+        elif self._flush_handle is None:
+            self._flush_handle = asyncio.get_event_loop().call_later(
+                self.batch_window, self._flush_batch
+            )
+        try:
+            index = await asyncio.wait_for(future, timeout=self.commit_timeout)
+            return {"type": "ok", "id": op_id, "index": index}
+        except NotLeaderError:
+            return self._redirect()
+        except asyncio.TimeoutError:
+            return {"type": "error", "reason": "commit timeout", "id": op_id}
+        finally:
+            self._pending.pop(op_id, None)
+
+    def _redirect(self) -> Dict[str, Any]:
+        leader = self.node.leader_hint
+        if leader is None or leader == self.pid:
+            return {"type": "redirect", "leader": None, "host": None, "port": None}
+        spec = self.cluster[leader]
+        return {
+            "type": "redirect",
+            "leader": leader,
+            "host": spec.host,
+            "port": spec.client_port,
+        }

@@ -1,0 +1,290 @@
+"""Peer-to-peer TCP transport for one live cluster node.
+
+Connection model
+----------------
+Each node runs one listening socket (its peer port) and one *outbound*
+connection per peer, used only for sending; inbound connections are used
+only for receiving.  A pair of nodes therefore shares two sockets, one per
+direction — wasteful by a socket, but it makes connection ownership trivial
+and reconnection races impossible.
+
+Outbound connections identify themselves with a ``hello`` frame carrying
+the sender's pid, then carry ``msg`` frames (a wire-encoded payload plus
+the sender's send timestamp) and ``ping`` heartbeats whenever the link has
+been idle for a heartbeat interval.  Lost connections are re-dialed with
+exponential backoff plus jitter; messages queued while a peer is down are
+buffered up to ``max_queue`` and the oldest are dropped beyond that —
+matching the asynchronous model's lossy-link assumption, which every
+algorithm in the library already tolerates.
+
+The transport never inspects payloads; loss, duplication (none today) and
+reordering semantics are exactly those of the underlying TCP streams plus
+the drop-oldest overflow rule.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.live.config import ClusterConfig
+from repro.live.wire import FrameError, enable_nodelay, read_frame, write_frame
+
+#: on_message(src_pid, payload, sender_elapsed_time_or_None)
+MessageHandler = Callable[[int, Any, Optional[float]], None]
+#: on_event("connect" | "disconnect", peer_pid)
+EventHandler = Callable[[str, int], None]
+
+_RECOVERABLE = (ConnectionError, OSError, asyncio.IncompleteReadError, FrameError)
+
+
+class TransportStats:
+    """Counters exposed for benchmarks and debugging."""
+
+    __slots__ = ("sent", "received", "dropped", "reconnects", "pings")
+
+    def __init__(self) -> None:
+        self.sent = 0
+        self.received = 0
+        self.dropped = 0
+        self.reconnects = 0
+        self.pings = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class PeerTransport:
+    """Manage all peer links of node ``pid`` in cluster ``cluster``.
+
+    Args:
+        cluster: full membership (this node's listen address included).
+        pid: this node's pid.
+        on_message: called on the event loop for every received payload.
+        on_event: optional connect/disconnect notifications (the live
+            runtime records them into the trace).
+        heartbeat_interval: idle time after which a ``ping`` frame is sent
+            on an outbound link.
+        idle_timeout: receiving side drops a connection silent for this
+            long (the peer's writer will re-dial).  Defaults to eight
+            heartbeat intervals; ``0`` disables the check.
+        connect_timeout: per-dial timeout.
+        reconnect_base / reconnect_max: exponential-backoff bounds.
+        max_queue: per-peer buffer of undelivered payloads.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterConfig,
+        pid: int,
+        on_message: MessageHandler,
+        *,
+        on_event: Optional[EventHandler] = None,
+        heartbeat_interval: float = 0.5,
+        idle_timeout: Optional[float] = None,
+        connect_timeout: float = 1.0,
+        reconnect_base: float = 0.05,
+        reconnect_max: float = 2.0,
+        max_queue: int = 10_000,
+        jitter_seed: Optional[int] = None,
+    ):
+        self.cluster = cluster
+        self.pid = pid
+        self.on_message = on_message
+        self.on_event = on_event
+        self.heartbeat_interval = heartbeat_interval
+        self.idle_timeout = (
+            8 * heartbeat_interval if idle_timeout is None else idle_timeout
+        )
+        self.connect_timeout = connect_timeout
+        self.reconnect_base = reconnect_base
+        self.reconnect_max = reconnect_max
+        self.max_queue = max_queue
+        self.stats = TransportStats()
+        self._rng = random.Random(jitter_seed)
+        self._queues: Dict[int, Deque[Tuple[Any, Optional[float]]]] = {}
+        self._queue_events: Dict[int, asyncio.Event] = {}
+        self._tasks: List[asyncio.Task] = []
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._inbound_tasks: List[asyncio.Task] = []
+        self._inbound_writers: List[asyncio.StreamWriter] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        spec = self.cluster[self.pid]
+        self._server = await asyncio.start_server(
+            self._handle_inbound, spec.host, spec.port
+        )
+        for peer in range(self.cluster.n):
+            if peer == self.pid:
+                continue
+            self._queues[peer] = deque()
+            self._queue_events[peer] = asyncio.Event()
+            self._tasks.append(asyncio.ensure_future(self._outbound_loop(peer)))
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop dialing, close every socket."""
+        self._closed = True
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._tasks.clear()
+        if self._server is not None:
+            self._server.close()
+        # End inbound handlers before wait_closed(): newer Pythons block
+        # there until every connection handler has finished.
+        for writer in list(self._inbound_writers):
+            writer.close()
+        for task in list(self._inbound_tasks):
+            task.cancel()
+        for task in list(self._inbound_tasks):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._inbound_tasks.clear()
+        self._inbound_writers.clear()
+        if self._server is not None:
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    def send(self, dst: int, payload: Any, send_time: Optional[float] = None) -> None:
+        """Queue ``payload`` for delivery to ``dst`` (fire-and-forget)."""
+        if self._closed:
+            return
+        queue = self._queues.get(dst)
+        if queue is None:
+            raise ValueError(f"unknown peer {dst}")
+        if len(queue) >= self.max_queue:
+            queue.popleft()
+            self.stats.dropped += 1
+        queue.append((payload, send_time))
+        self._queue_events[dst].set()
+
+    async def _outbound_loop(self, peer: int) -> None:
+        spec = self.cluster[peer]
+        queue = self._queues[peer]
+        event = self._queue_events[peer]
+        attempt = 0
+        while not self._closed:
+            writer = None
+            try:
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(spec.host, spec.port),
+                    timeout=self.connect_timeout,
+                )
+                enable_nodelay(writer)
+                await write_frame(writer, {"type": "hello", "pid": self.pid})
+                attempt = 0
+                self._notify("connect", peer)
+                await self._pump(queue, event, writer)
+            except asyncio.CancelledError:
+                raise
+            except _RECOVERABLE:
+                pass
+            finally:
+                if writer is not None:
+                    self._notify("disconnect", peer)
+                    writer.close()
+            if self._closed:
+                return
+            self.stats.reconnects += 1
+            # Exponential backoff with jitter in [0.5x, 1.5x].
+            delay = min(self.reconnect_max, self.reconnect_base * 2**attempt)
+            await asyncio.sleep(delay * (0.5 + self._rng.random()))
+            attempt += 1
+
+    async def _pump(
+        self,
+        queue: Deque[Tuple[Any, Optional[float]]],
+        event: asyncio.Event,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Drain the queue onto one live connection; ping when idle."""
+        # Checked every iteration rather than relying on cancellation:
+        # ``wait_for`` can swallow a cancel that races with the awaited
+        # future completing, leaving this task alive after ``stop()``.
+        while not self._closed:
+            if not queue:
+                event.clear()
+                try:
+                    await asyncio.wait_for(
+                        event.wait(), timeout=self.heartbeat_interval
+                    )
+                except asyncio.TimeoutError:
+                    await write_frame(writer, {"type": "ping"})
+                    self.stats.pings += 1
+                    continue
+            payload, send_time = queue.popleft()
+            await write_frame(
+                writer, {"type": "msg", "payload": payload, "ts": send_time}
+            )
+            self.stats.sent += 1
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+
+    async def _handle_inbound(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._inbound_tasks.append(task)
+        self._inbound_writers.append(writer)
+        enable_nodelay(writer)
+        src: Optional[int] = None
+        try:
+            hello = await asyncio.wait_for(
+                read_frame(reader), timeout=self.connect_timeout * 4
+            )
+            if not (isinstance(hello, dict) and hello.get("type") == "hello"):
+                return
+            src = hello.get("pid")
+            if not isinstance(src, int):
+                return
+            while not self._closed:
+                if self.idle_timeout:
+                    frame = await asyncio.wait_for(
+                        read_frame(reader), timeout=self.idle_timeout
+                    )
+                else:
+                    frame = await read_frame(reader)
+                if not isinstance(frame, dict):
+                    continue
+                if frame.get("type") == "msg":
+                    self.stats.received += 1
+                    self.on_message(src, frame.get("payload"), frame.get("ts"))
+        except asyncio.CancelledError:
+            # End quietly: asyncio's stream protocol logs handler tasks
+            # that finish in the cancelled state.
+            pass
+        except (asyncio.TimeoutError, *_RECOVERABLE):
+            pass
+        finally:
+            writer.close()
+            if writer in self._inbound_writers:
+                self._inbound_writers.remove(writer)
+            if task is not None and task in self._inbound_tasks:
+                self._inbound_tasks.remove(task)
+
+    def _notify(self, kind: str, peer: int) -> None:
+        if self.on_event is not None:
+            try:
+                self.on_event(kind, peer)
+            except Exception:  # pragma: no cover - observer bugs stay local
+                pass

@@ -46,6 +46,7 @@ from repro.sim.ops import (
     Send,
     SetTimer,
     TimerFired,
+    match_mailbox,
 )
 from repro.sim.process import Process, ProcessAPI
 
@@ -338,20 +339,7 @@ class AsyncRuntime:
         """Extract ``pending.count`` matching envelopes from the mailbox."""
         receive = state.pending
         assert receive is not None
-        predicate = receive.predicate
-        matches: List[int] = []
-        for idx, envelope in enumerate(state.mailbox):
-            if predicate is None or predicate(envelope):
-                matches.append(idx)
-                if len(matches) == receive.count:
-                    break
-        if len(matches) < receive.count:
-            return None
-        result = [state.mailbox[i] for i in matches]
-        if receive.consume:
-            for i in reversed(matches):
-                del state.mailbox[i]
-        return result
+        return match_mailbox(state.mailbox, receive)
 
     def _resume(self, state: _ProcState, value: Any) -> None:
         """Drive one process until it blocks, halts, or crashes."""

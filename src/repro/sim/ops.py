@@ -15,12 +15,19 @@ Two operation families exist:
   per-round barrier.
 
 :class:`Decide`, :class:`Annotate` and :class:`Halt` are common to both.
+
+The asynchronous family is also understood by the live cluster runtime
+(:class:`repro.live.runtime.LiveRuntime`), which performs the same
+operations over real asyncio TCP connections — the same process generator
+runs unmodified on either substrate.  :func:`match_mailbox` is the single
+shared implementation of :class:`Receive` matching, so blocking semantics
+are identical in simulation and live execution.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.sim.messages import Envelope, Pid
 
@@ -175,3 +182,31 @@ class Annotate(Op):
 @dataclass(frozen=True)
 class Halt(Op):
     """Stop this process immediately.  The generator is not resumed again."""
+
+
+def match_mailbox(
+    mailbox: List[Envelope], receive: "Receive"
+) -> Optional[List[Envelope]]:
+    """Try to satisfy ``receive`` against ``mailbox``.
+
+    Returns ``receive.count`` matching envelopes in delivery order, removing
+    them from the mailbox when ``receive.consume`` is set — or ``None`` when
+    fewer than ``count`` entries match (the caller stays blocked).  Both the
+    virtual-time and the live runtimes route every ``Receive`` through this
+    function, so message-selection semantics cannot drift between
+    substrates.
+    """
+    predicate = receive.predicate
+    matches: List[int] = []
+    for idx, envelope in enumerate(mailbox):
+        if predicate is None or predicate(envelope):
+            matches.append(idx)
+            if len(matches) == receive.count:
+                break
+    if len(matches) < receive.count:
+        return None
+    result = [mailbox[i] for i in matches]
+    if receive.consume:
+        for i in reversed(matches):
+            del mailbox[i]
+    return result

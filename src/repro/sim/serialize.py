@@ -1,16 +1,35 @@
-"""Trace serialization for offline analysis.
+"""Trace serialization for offline analysis, plus the lossless wire codec.
 
-Traces hold arbitrary Python payloads; serialization flattens each event to
-a JSON-friendly record — structured fields where the kind defines them
-(decide values, annotations, message routes) and ``repr`` strings for
-payload bodies.  The format is append-only JSON Lines, convenient for
-jq/pandas-style post-processing of big seed batteries.
+Two formats live here:
+
+* **Analysis records** (:func:`event_to_record`, :func:`dump_jsonl`):
+  traces hold arbitrary Python payloads; serialization flattens each event
+  to a JSON-friendly record — structured fields where the kind defines them
+  (decide values, annotations, message routes) and ``repr`` strings for
+  payload bodies.  The format is append-only JSON Lines, convenient for
+  jq/pandas-style post-processing of big seed batteries.  It is *lossy* by
+  design.
+
+* **The wire codec** (:func:`to_wire`, :func:`from_wire`,
+  :func:`wire_dumps`, :func:`wire_loads`): a *lossless* JSON encoding of
+  algorithm message payloads, used by :mod:`repro.live` to ship the exact
+  dataclasses the simulators pass by reference over real TCP connections.
+  Dataclass and enum types must be registered
+  (:func:`register_wire_type`, :func:`register_wire_enum`); the built-in
+  algorithm message types are registered by importing
+  :mod:`repro.live.codec`.  Scalars, lists, tuples, dicts (with arbitrary
+  hashable encodable keys) and bytes round-trip exactly, so a payload
+  decoded on the receiving node is ``==`` to the one that was sent and
+  ``isinstance`` predicates keep working.
 """
 
 from __future__ import annotations
 
+import base64
+import enum
 import json
-from typing import Any, Dict, Iterator, List
+from dataclasses import fields, is_dataclass
+from typing import Any, Dict, Iterator, List, Optional, Type
 
 from repro.sim import trace as tr
 from repro.sim.messages import Envelope
@@ -77,3 +96,131 @@ def load_jsonl(path: str) -> List[Dict[str, Any]]:
     """
     with open(path) as handle:
         return [json.loads(line) for line in handle if line.strip()]
+
+
+# ----------------------------------------------------------------------
+# The lossless wire codec (used by repro.live)
+# ----------------------------------------------------------------------
+#
+# Encoded forms ("!" is the type tag, reserved at the top level of every
+# encoded dict):
+#
+#   scalars                  -> themselves (None, bool, int, float, str)
+#   list                     -> JSON array of encoded items
+#   tuple                    -> {"!": "t", "v": [...]}
+#   dict                     -> {"!": "d", "v": [[key, value], ...]}
+#   bytes                    -> {"!": "b", "v": "<base64>"}
+#   registered dataclass     -> {"!": "c", "t": "<name>", "f": {field: ...}}
+#   registered enum member   -> {"!": "e", "t": "<name>", "v": "<member>"}
+
+_WIRE_DATACLASSES: Dict[str, type] = {}
+_WIRE_ENUMS: Dict[str, Type[enum.Enum]] = {}
+
+
+class WireError(ValueError):
+    """An object cannot be encoded to (or decoded from) the wire format."""
+
+
+def _wire_name(cls: type) -> str:
+    return f"{cls.__module__}:{cls.__qualname__}"
+
+
+def register_wire_type(cls: type, name: Optional[str] = None) -> type:
+    """Register a dataclass for lossless wire encoding.
+
+    The registered name defaults to ``module:QualName`` — stable across
+    processes as long as both ends import the same code.  Usable as a class
+    decorator.  Re-registering the same class is a no-op; registering a
+    *different* class under an existing name raises.
+    """
+    if not is_dataclass(cls) or not isinstance(cls, type):
+        raise WireError(f"{cls!r} is not a dataclass type")
+    key = name or _wire_name(cls)
+    existing = _WIRE_DATACLASSES.get(key)
+    if existing is not None and existing is not cls:
+        raise WireError(f"wire name {key!r} already registered to {existing!r}")
+    _WIRE_DATACLASSES[key] = cls
+    return cls
+
+
+def register_wire_enum(cls: Type[enum.Enum], name: Optional[str] = None) -> type:
+    """Register an enum for lossless wire encoding (by member name)."""
+    if not (isinstance(cls, type) and issubclass(cls, enum.Enum)):
+        raise WireError(f"{cls!r} is not an Enum type")
+    key = name or _wire_name(cls)
+    existing = _WIRE_ENUMS.get(key)
+    if existing is not None and existing is not cls:
+        raise WireError(f"wire name {key!r} already registered to {existing!r}")
+    _WIRE_ENUMS[key] = cls
+    return cls
+
+
+def to_wire(value: Any) -> Any:
+    """Encode ``value`` into the JSON-safe wire form (lossless)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, list):
+        return [to_wire(v) for v in value]
+    if isinstance(value, tuple):
+        return {"!": "t", "v": [to_wire(v) for v in value]}
+    if isinstance(value, dict):
+        return {"!": "d", "v": [[to_wire(k), to_wire(v)] for k, v in value.items()]}
+    if isinstance(value, bytes):
+        return {"!": "b", "v": base64.b64encode(value).decode("ascii")}
+    if isinstance(value, enum.Enum):
+        key = _wire_name(type(value))
+        if key not in _WIRE_ENUMS:
+            raise WireError(f"enum {key!r} is not wire-registered")
+        return {"!": "e", "t": key, "v": value.name}
+    if is_dataclass(value) and not isinstance(value, type):
+        key = _wire_name(type(value))
+        if key not in _WIRE_DATACLASSES:
+            raise WireError(
+                f"dataclass {key!r} is not wire-registered; call "
+                f"register_wire_type (repro.live.codec registers the "
+                f"built-in algorithm messages)"
+            )
+        return {
+            "!": "c",
+            "t": key,
+            "f": {f.name: to_wire(getattr(value, f.name)) for f in fields(value)},
+        }
+    raise WireError(f"cannot wire-encode {type(value).__name__}: {value!r}")
+
+
+def from_wire(value: Any) -> Any:
+    """Decode the wire form produced by :func:`to_wire`."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, list):
+        return [from_wire(v) for v in value]
+    if isinstance(value, dict):
+        tag = value.get("!")
+        if tag == "t":
+            return tuple(from_wire(v) for v in value["v"])
+        if tag == "d":
+            return {from_wire(k): from_wire(v) for k, v in value["v"]}
+        if tag == "b":
+            return base64.b64decode(value["v"])
+        if tag == "e":
+            cls = _WIRE_ENUMS.get(value["t"])
+            if cls is None:
+                raise WireError(f"unknown wire enum {value['t']!r}")
+            return cls[value["v"]]
+        if tag == "c":
+            dc = _WIRE_DATACLASSES.get(value["t"])
+            if dc is None:
+                raise WireError(f"unknown wire dataclass {value['t']!r}")
+            return dc(**{k: from_wire(v) for k, v in value["f"].items()})
+        raise WireError(f"malformed wire dict (tag {tag!r}): {value!r}")
+    raise WireError(f"cannot wire-decode {type(value).__name__}: {value!r}")
+
+
+def wire_dumps(value: Any) -> bytes:
+    """Encode ``value`` to compact UTF-8 JSON bytes (the frame body)."""
+    return json.dumps(to_wire(value), separators=(",", ":")).encode("utf-8")
+
+
+def wire_loads(data: bytes) -> Any:
+    """Decode frame-body bytes produced by :func:`wire_dumps`."""
+    return from_wire(json.loads(data.decode("utf-8")))

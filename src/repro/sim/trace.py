@@ -32,6 +32,12 @@ RESTART = "restart"
 TIMER = "timer"
 HALT = "halt"
 DROP = "drop"
+#: Live-transport kinds (recorded only by :mod:`repro.live`): a peer
+#: connection was established / lost.  ``detail`` is the peer pid.  The
+#: property checkers and metrics ignore kinds they do not know, so traces
+#: carrying these remain valid inputs to the whole analysis layer.
+CONNECT = "connect"
+DISCONNECT = "disconnect"
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,151 @@
+"""Longer live-cluster soaks — opt in with ``pytest -m live``.
+
+These run minutes of wall-clock traffic and repeated failovers; the quick
+versions of the same scenarios live in ``test_kv_cluster.py`` and run in
+the default suite.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.algorithms.ben_or import ben_or_template_consensus
+from repro.core.properties import check_agreement, check_validity
+from repro.live import (
+    AsyncKVClient,
+    LiveCluster,
+    LiveKVCluster,
+    run_closed_loop,
+    run_open_loop,
+)
+
+pytestmark = pytest.mark.live
+
+FAST = dict(election_timeout=(0.15, 0.3), heartbeat_interval=0.05)
+
+
+def run(coro, timeout=600.0):
+    return asyncio.run(asyncio.wait_for(coro, timeout))
+
+
+class TestConsensusSoak:
+    def test_ben_or_many_seeds(self):
+        """Live Ben-Or decides across many seeds and split inputs."""
+        async def one(seed):
+            inits = [seed % 2, (seed + 1) % 2, seed % 2]
+            cluster = LiveCluster(
+                [ben_or_template_consensus() for _ in range(3)],
+                init_values=inits, seed=seed,
+            )
+            await cluster.start()
+            try:
+                decisions = await cluster.await_decisions(timeout=60.0)
+            finally:
+                await cluster.stop()
+            check_agreement(decisions)
+            check_validity(decisions, inits)
+
+        async def scenario():
+            for seed in range(10):
+                await one(seed)
+
+        run(scenario())
+
+    def test_five_node_ben_or(self):
+        async def scenario():
+            inits = [0, 1, 0, 1, 1]
+            cluster = LiveCluster(
+                [ben_or_template_consensus() for _ in range(5)],
+                init_values=inits, seed=9,
+            )
+            await cluster.start()
+            try:
+                decisions = await cluster.await_decisions(timeout=120.0)
+            finally:
+                await cluster.stop()
+            check_agreement(decisions)
+            check_validity(decisions, inits)
+
+        run(scenario())
+
+
+class TestKVSoak:
+    def test_repeated_failover_preserves_every_acked_write(self):
+        """Kill the leader twice under continuous writes.
+
+        Two kills is the most a five-node cluster can absorb: a third
+        would drop the survivors below quorum and no leader could ever
+        be elected again (nodes do not persist state across restarts).
+        """
+        async def scenario():
+            cluster = LiveKVCluster(5, seed=31, **FAST)
+            await cluster.start()
+            try:
+                client = AsyncKVClient(cluster.cluster, max_attempts=60)
+                acked = {}
+                killed = []
+                sequence = 0
+                for round_no in range(2):
+                    leader = await cluster.wait_for_leader(
+                        timeout=30.0, exclude=tuple(killed)
+                    )
+                    for _ in range(40):
+                        key = f"k{sequence % 25}"
+                        await client.put(key, f"v{sequence}")
+                        acked[key] = f"v{sequence}"
+                        sequence += 1
+                    await cluster.kill(leader)
+                    killed.append(leader)
+
+                survivor = await cluster.wait_for_leader(
+                    timeout=30.0, exclude=tuple(killed)
+                )
+                probe = AsyncKVClient(cluster.cluster)
+                probe._target = cluster.cluster[survivor].client_addr
+                lost = []
+                for key, value in acked.items():
+                    response = await probe.get(key)
+                    if not response["found"] or response["value"] != value:
+                        lost.append((key, value))
+                assert not lost, f"lost {len(lost)} acked writes: {lost[:5]}"
+                await probe.close()
+                await client.close()
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+    def test_sustained_open_loop_latency(self):
+        """An open-loop minute at moderate rate keeps tail latency sane."""
+        async def scenario():
+            cluster = LiveKVCluster(3, seed=32, **FAST)
+            await cluster.start()
+            try:
+                await cluster.wait_for_leader(timeout=15.0)
+                report = await run_open_loop(
+                    cluster.cluster, rate=100.0, duration=30.0, seed=5
+                )
+                assert report.ops > 0
+                # Shedding a few arrivals is fine; losing most is not.
+                assert report.errors < report.ops / 10
+                assert report.latency["p99"] < 5.0
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+    def test_closed_loop_sustained_throughput(self):
+        async def scenario():
+            cluster = LiveKVCluster(3, seed=33, **FAST)
+            await cluster.start()
+            try:
+                await cluster.wait_for_leader(timeout=15.0)
+                report = await run_closed_loop(
+                    cluster.cluster, ops=2000, concurrency=8, seed=6
+                )
+                assert report.ops == 2000 and report.errors == 0
+                assert report.throughput > 50
+            finally:
+                await cluster.stop()
+
+        run(scenario())
