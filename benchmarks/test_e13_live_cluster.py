@@ -31,12 +31,25 @@ def run(coro, timeout=300.0):
     return asyncio.run(asyncio.wait_for(coro, timeout))
 
 
+def _replication_totals(cluster):
+    """(bytes sent over peer links, max commit index) across live nodes."""
+    total_bytes = 0
+    commit = 0
+    for server in cluster.servers:
+        if server is None:
+            continue
+        total_bytes += server.runtime.transport.stats.bytes_sent
+        commit = max(commit, server.node.commit_index)
+    return total_bytes, commit
+
+
 async def _bench_cluster(n, *, closed_ops, closed_concurrency, open_rate,
                          open_duration, seed):
     cluster = LiveKVCluster(n, seed=seed, **FAST)
     await cluster.start()
     try:
         await cluster.wait_for_leader(timeout=20.0)
+        bytes_before, commit_before = _replication_totals(cluster)
         closed = await run_closed_loop(
             cluster.cluster, ops=closed_ops, concurrency=closed_concurrency,
             seed=seed,
@@ -44,9 +57,16 @@ async def _bench_cluster(n, *, closed_ops, closed_concurrency, open_rate,
         open_ = await run_open_loop(
             cluster.cluster, rate=open_rate, duration=open_duration, seed=seed,
         )
+        bytes_after, commit_after = _replication_totals(cluster)
     finally:
         await cluster.stop()
-    return closed, open_
+    entries = max(1, commit_after - commit_before)
+    replication = {
+        "bytes_sent": bytes_after - bytes_before,
+        "committed_entries": commit_after - commit_before,
+        "bytes_per_committed_entry": (bytes_after - bytes_before) / entries,
+    }
+    return closed, open_, replication
 
 
 def _check(report):
@@ -59,7 +79,7 @@ def test_e13_live_cluster_benchmark():
     results = {}
     rows = []
     for n in (3, 5):
-        closed, open_ = run(_bench_cluster(
+        closed, open_, replication = run(_bench_cluster(
             n,
             closed_ops=400,
             closed_concurrency=8,
@@ -69,9 +89,11 @@ def test_e13_live_cluster_benchmark():
         ))
         _check(closed)
         _check(open_)
+        assert replication["committed_entries"] > 0
         results[f"{n}-node"] = {
             "closed_loop": closed.to_dict(),
             "open_loop": open_.to_dict(),
+            "replication": replication,
         }
         for mode, report in (("closed", closed), ("open", open_)):
             lat = report.latency

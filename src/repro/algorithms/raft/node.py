@@ -10,6 +10,17 @@ asynchronous runtime.  It implements the full protocol:
 * AppendEntries with the ``prevLogIndex`` / ``prevLogTerm`` consistency
   check, conflict-suffix deletion, and the NextIndex decrement-and-retry
   repair loop (Algorithm 8's false-ack branch);
+* *delta replication*: per-follower ``next_index``/``match_index`` cursors
+  plus a ``sent_index`` pipeline cursor, so each AppendEntries carries only
+  the entries the follower has not already been sent — replication bytes
+  are linear in new entries regardless of how many proposals are in
+  flight (the Raft paper's nextIndex design, pipelined).  The repair loop
+  rewinds ``sent_index`` on rejection, so the optimistic stream always
+  restarts from a confirmed point;
+* *ack coalescing*: a follower suppresses success replies to empty
+  heartbeats that repeat an already-acknowledged ``(term, leader, match,
+  commit)`` state — with a bounded backstop (it re-acks at least every
+  few suppressions), so a lost ack still cannot stall commit advancement;
 * the leader commit rule: advance ``commitIndex`` to ``N`` only when a
   majority matches ``N`` *and* ``log[N].term == currentTerm``;
 * heartbeats carrying ``leaderCommit`` (the paper's second-kind
@@ -126,6 +137,10 @@ class RaftNode(Process):
         self.last_applied = 0
         self.next_index: Dict[Pid, int] = {}
         self.match_index: Dict[Pid, int] = {}
+        #: Pipeline cursor: highest log index already *sent* to each
+        #: follower (acknowledged or still in flight).  Deltas start at
+        #: ``sent_index + 1``; rejections rewind it to ``next_index - 1``.
+        self.sent_index: Dict[Pid, int] = {}
         self._votes: Set[Pid] = set()
         self._election_epoch = 0
         self._decided = False
@@ -136,6 +151,15 @@ class RaftNode(Process):
         #: duplicate check; the log scan below remains the backstop for
         #: proposals first logged under an earlier leader or incarnation).
         self._proposed_ids: Set[Any] = set()
+        # Follower-side ack coalescing (volatile): the last success-ack
+        # state sent, and how many redundant heartbeat acks were skipped
+        # since.  A backstop re-ack fires every ``ACK_REACK_EVERY``
+        # suppressions so a lost ack cannot stall the leader's commit rule.
+        self._last_ack: Optional[Tuple[int, Pid, int, int]] = None
+        self._ack_skips = 0
+
+    #: Re-ack at least every this-many suppressed redundant heartbeats.
+    ACK_REACK_EVERY = 3
 
     # ------------------------------------------------------------------
     # Main event loop
@@ -148,10 +172,13 @@ class RaftNode(Process):
         self.machine.reset()
         self.next_index = {}
         self.match_index = {}
+        self.sent_index = {}
         self._votes = set()
         self._decided = False
         self.leader_hint = None
         self._proposed_ids = set()
+        self._last_ack = None
+        self._ack_skips = 0
         if self.log.snapshot_index > 0:
             # Recover from the durable snapshot: the compacted prefix can
             # no longer be replayed entry by entry.
@@ -280,6 +307,10 @@ class RaftNode(Process):
             pid: self.log.last_index + 1 for pid in self._members(api) if pid != api.pid
         }
         self.match_index = {pid: 0 for pid in self._members(api) if pid != api.pid}
+        # Nothing from this incarnation is in flight yet: the pipeline
+        # cursor starts at the optimistic floor, so the first AppendEntries
+        # of the term carries exactly the (possibly empty) new suffix.
+        self.sent_index = {pid: index - 1 for pid, index in self.next_index.items()}
         value = self._current_value(api)
         if self.propose_on_leadership:
             self.log.append_new(Entry(self.current_term, DecideAndStop(value)))
@@ -299,7 +330,17 @@ class RaftNode(Process):
                 yield from self._send_append_entries(api, pid)
 
     def _send_append_entries(self, api: ProcessAPI, dst: Pid) -> ProtocolGenerator:
-        prev_index = self.next_index[dst] - 1
+        # Delta replication: everything up to ``sent_index`` is already in
+        # flight (or acknowledged), so this message carries only the new
+        # suffix beyond it — linear bytes per entry no matter how many
+        # proposals are pipelined.  ``next_index`` stays the repair floor:
+        # a rejection rewinds ``sent_index`` back to it and the classic
+        # decrement-and-retry loop takes over with full consistency checks.
+        start = self.next_index[dst]
+        sent = self.sent_index.get(dst, start - 1)
+        if sent + 1 > start:
+            start = sent + 1
+        prev_index = start - 1
         if prev_index < self.log.snapshot_index:
             # The suffix this follower needs was compacted: ship the
             # snapshot instead of entries.
@@ -313,6 +354,7 @@ class RaftNode(Process):
                     machine_state=self.machine_snapshot,
                 ),
             )
+            self.sent_index[dst] = self.log.snapshot_index
             return
         yield Send(
             dst,
@@ -321,10 +363,11 @@ class RaftNode(Process):
                 leader_id=api.pid,
                 prev_log_index=prev_index,
                 prev_log_term=self.log.term_at(prev_index),
-                entries=self.log.entries_from(prev_index + 1),
+                entries=self.log.entries_from(start),
                 leader_commit=self.commit_index,
             ),
         )
+        self.sent_index[dst] = self.log.last_index
 
     def _on_append_entries(
         self, api: ProcessAPI, msg: AppendEntries
@@ -355,6 +398,20 @@ class RaftNode(Process):
         if msg.leader_commit > self.commit_index:
             self.commit_index = max(self.commit_index, min(msg.leader_commit, match))
             yield from self._apply_committed(api)
+        # Ack coalescing: an empty heartbeat that confirms the exact state
+        # the leader already heard carries no information — skip the reply,
+        # but re-ack every few suppressions so a lost ack is always
+        # retransmitted eventually (commit liveness under message loss).
+        ack = (self.current_term, msg.leader_id, match, self.commit_index)
+        if (
+            not msg.entries
+            and ack == self._last_ack
+            and self._ack_skips < self.ACK_REACK_EVERY
+        ):
+            self._ack_skips += 1
+            return
+        self._last_ack = ack
+        self._ack_skips = 0
         yield Send(
             msg.leader_id,
             AppendEntriesReply(self.current_term, True, api.pid, match),
@@ -368,15 +425,20 @@ class RaftNode(Process):
             return
         follower = msg.follower_id
         if msg.success:
-            self.match_index[follower] = max(
-                self.match_index.get(follower, 0), msg.match_index
-            )
-            self.next_index[follower] = self.match_index[follower] + 1
+            match = max(self.match_index.get(follower, 0), msg.match_index)
+            self.match_index[follower] = match
+            self.next_index[follower] = match + 1
+            if self.sent_index.get(follower, 0) < match:
+                self.sent_index[follower] = match
             yield from self._advance_commit(api)
-            if self.next_index[follower] <= self.log.last_index:
+            if self.sent_index.get(follower, 0) < self.log.last_index:
+                # Entries appended since the last send: ship just the delta.
                 yield from self._send_append_entries(api, follower)
         else:
             self.next_index[follower] = max(1, self.next_index[follower] - 1)
+            # The optimistic stream is broken — rewind the pipeline cursor
+            # so repair restarts from the confirmed floor.
+            self.sent_index[follower] = self.next_index[follower] - 1
             yield from self._send_append_entries(api, follower)
 
     def _advance_commit(self, api: ProcessAPI) -> ProtocolGenerator:
@@ -484,7 +546,9 @@ class RaftNode(Process):
                 self.match_index.get(follower, 0), msg.last_included_index
             )
             self.next_index[follower] = self.match_index[follower] + 1
-            if self.next_index[follower] <= self.log.last_index:
+            if self.sent_index.get(follower, 0) < self.match_index[follower]:
+                self.sent_index[follower] = self.match_index[follower]
+            if self.sent_index.get(follower, 0) < self.log.last_index:
                 yield from self._send_append_entries(api, follower)
 
     # ------------------------------------------------------------------

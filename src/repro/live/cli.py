@@ -25,9 +25,27 @@ import sys
 from typing import List, Optional, Tuple
 
 from repro.live.client import AsyncKVClient
-from repro.live.config import ClusterConfig
+from repro.live.config import DEFAULT_MAX_INFLIGHT, ClusterConfig, TuningConfig
 from repro.live.kv import KVServer
 from repro.live.loadgen import run_closed_loop, run_open_loop
+
+
+def _parse_max_inflight(text: str) -> int:
+    try:
+        tuning = TuningConfig(max_inflight=int(text))
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    return tuning.max_inflight
+
+
+def _add_codec_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--codec",
+        choices=("binary", "json"),
+        default="binary",
+        help="wire codec: binary (default) or json for debugging / "
+        "cross-version runs; receivers auto-detect per frame",
+    )
 
 
 def _parse_timeout_range(spec: str) -> Tuple[float, float]:
@@ -88,9 +106,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="compact the Raft log above this many entries",
     )
+    serve.add_argument(
+        "--max-inflight",
+        type=_parse_max_inflight,
+        default=DEFAULT_MAX_INFLIGHT,
+        metavar="N",
+        help="replication pipeline depth: hold new proposals while this "
+        f"many entries are uncommitted (>= 1, default {DEFAULT_MAX_INFLIGHT})",
+    )
+    _add_codec_argument(serve)
 
     client = commands.add_parser("client", help="issue one KV request")
     _add_peers_argument(client)
+    _add_codec_argument(client)
     sub = client.add_subparsers(dest="operation", required=True)
     put = sub.add_parser("put", help="replicate KEY -> VALUE")
     put.add_argument("key")
@@ -128,6 +156,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--key-space", type=int, default=128, help="distinct keys"
     )
     loadgen.add_argument("--seed", type=int, default=0, help="workload seed")
+    _add_codec_argument(loadgen)
     loadgen.add_argument(
         "--json",
         metavar="PATH",
@@ -151,6 +180,8 @@ async def _serve(args: argparse.Namespace) -> int:
         election_timeout=args.election_timeout,
         heartbeat_interval=args.heartbeat,
         snapshot_threshold=args.snapshot_threshold,
+        max_inflight=args.max_inflight,
+        transport_options={"codec": args.codec},
     )
     await server.start()
     spec = args.peers[args.pid]
@@ -180,7 +211,7 @@ async def _serve(args: argparse.Namespace) -> int:
 
 
 async def _client(args: argparse.Namespace) -> int:
-    client = AsyncKVClient(args.peers)
+    client = AsyncKVClient(args.peers, codec=args.codec)
     try:
         if args.operation == "put":
             index = await client.put(args.key, args.value)
@@ -222,6 +253,7 @@ async def _loadgen(args: argparse.Namespace) -> int:
             key_space=args.key_space,
             value_size=args.value_size,
             seed=args.seed,
+            codec=args.codec,
         )
     else:
         report = await run_closed_loop(
@@ -231,6 +263,7 @@ async def _loadgen(args: argparse.Namespace) -> int:
             key_space=args.key_space,
             value_size=args.value_size,
             seed=args.seed,
+            codec=args.codec,
         )
     print(report.summary())
     if args.json:

@@ -15,7 +15,7 @@ import uuid
 from typing import Any, Dict, Optional, Tuple
 
 from repro.live.config import ClusterConfig
-from repro.live.wire import enable_nodelay, read_frame, write_frame
+from repro.live.wire import enable_nodelay, frame_bytes, get_codec, read_frame
 
 
 class ClusterUnavailableError(ConnectionError):
@@ -31,6 +31,9 @@ class AsyncKVClient:
         max_attempts: total tries (across redirects and reconnects) before
             an operation raises :class:`ClusterUnavailableError`.
         retry_delay: pause between failed attempts (elections need a beat).
+        codec: wire codec for requests (``"binary"`` default, ``"json"``
+            for debugging).  Servers answer in the request's codec, so
+            this needs no coordination with the cluster.
     """
 
     def __init__(
@@ -40,8 +43,10 @@ class AsyncKVClient:
         request_timeout: float = 5.0,
         max_attempts: int = 30,
         retry_delay: float = 0.1,
+        codec: Any = None,
     ):
         self.cluster = cluster
+        self.codec = get_codec(codec)
         self.request_timeout = request_timeout
         self.max_attempts = max_attempts
         self.retry_delay = retry_delay
@@ -89,7 +94,8 @@ class AsyncKVClient:
         )
         enable_nodelay(writer)
         try:
-            await write_frame(writer, {"type": "status"})
+            writer.write(frame_bytes({"type": "status"}, self.codec))
+            await writer.drain()
             return await asyncio.wait_for(
                 read_frame(reader), timeout=self.request_timeout
             )
@@ -132,7 +138,8 @@ class AsyncKVClient:
         for _attempt in range(self.max_attempts):
             try:
                 reader, writer = await self._connect()
-                await write_frame(writer, request)
+                writer.write(frame_bytes(request, self.codec))
+                await writer.drain()
                 response = await asyncio.wait_for(
                     read_frame(reader), timeout=self.request_timeout
                 )

@@ -17,6 +17,44 @@ from typing import List, Sequence, Tuple
 #: Default client port = peer port + this offset (CLI convention).
 CLIENT_PORT_OFFSET = 1000
 
+#: Default replication pipeline depth.  Delta replication (per-follower
+#: cursors, see :mod:`repro.algorithms.raft.node`) makes each in-flight
+#: entry cost linear bytes, so a deep pipeline is safe; the cap bounds
+#: commit latency and uncommitted-log memory, not wire traffic.
+DEFAULT_MAX_INFLIGHT = 16
+
+
+def validate_max_inflight(value: int) -> int:
+    """Check a pipeline-depth setting (CLI / config shared validation)."""
+    if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+        raise ValueError(f"max_inflight must be an integer >= 1, got {value!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class TuningConfig:
+    """Hot-path knobs exposed on the ``serve``/``loadgen`` CLIs.
+
+    Args:
+        max_inflight: replication pipeline depth (entries proposed but not
+            yet committed before the KV frontend holds new batches).
+        codec: wire codec name — ``"binary"`` (default) or ``"json"`` for
+            debugging and cross-version runs.  Receivers auto-detect per
+            frame, so nodes with different codecs interoperate.
+    """
+
+    max_inflight: int = DEFAULT_MAX_INFLIGHT
+    codec: str = "binary"
+
+    def __post_init__(self) -> None:
+        validate_max_inflight(self.max_inflight)
+        from repro.live.wire import CODECS
+
+        if self.codec not in CODECS:
+            raise ValueError(
+                f"unknown codec {self.codec!r} (choose from {sorted(CODECS)})"
+            )
+
 
 @dataclass(frozen=True)
 class NodeSpec:

@@ -43,11 +43,17 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.algorithms.raft.messages import ClientPropose
 from repro.algorithms.raft.node import LEADER, RaftNode
 from repro.algorithms.raft.state_machine import KeyValueStateMachine, Put
-from repro.live.config import ClusterConfig
+from repro.live.config import DEFAULT_MAX_INFLIGHT, ClusterConfig, validate_max_inflight
 from repro.live.runtime import LiveRuntime
-from repro.live.wire import enable_nodelay, read_frame, write_frame
+from repro.live.wire import (
+    decode_body,
+    detect_codec,
+    enable_nodelay,
+    frame_bytes,
+    read_frame_bytes,
+)
 from repro.sim import trace as tr
-from repro.sim.serialize import register_wire_type
+from repro.sim.serialize import WireError, register_wire_type
 
 
 @dataclass(frozen=True)
@@ -110,10 +116,11 @@ class KVServer:
             uncommitted.  Group commit: writes arriving while the pipeline
             is full coalesce into the next batch, which is flushed as soon
             as a commit frees a slot — so the entry rate self-clocks to
-            the commit rate and batch size adapts to load.  Keeping the
-            window small also bounds replication traffic (the node resends
-            the whole unacked suffix on every proposal, which is quadratic
-            in the window).
+            the commit rate and batch size adapts to load.  Delta
+            replication (per-follower cursors in the Raft node) makes each
+            in-flight entry cost linear wire bytes, so the default is a
+            deep pipeline; the cap bounds commit latency and uncommitted
+            log memory, not replication traffic.
         commit_timeout: how long a client ``put`` may wait for commit
             before the server answers with an error (client retries).
         snapshot_threshold: forwarded to the Raft node (log compaction).
@@ -131,7 +138,7 @@ class KVServer:
         heartbeat_interval: float = 0.06,
         batch_window: float = 0.005,
         max_batch: int = 64,
-        max_inflight: int = 2,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
         commit_timeout: float = 5.0,
         snapshot_threshold: Optional[int] = None,
         epoch: Optional[float] = None,
@@ -142,7 +149,7 @@ class KVServer:
         self.pid = pid
         self.batch_window = batch_window
         self.max_batch = max_batch
-        self.max_inflight = max_inflight
+        self.max_inflight = validate_max_inflight(max_inflight)
         self.commit_timeout = commit_timeout
         self.node = RaftNode(
             election_timeout=election_timeout,
@@ -261,10 +268,9 @@ class KVServer:
             self.node.log.last_index - self.node.commit_index
             >= self.max_inflight
         ):
-            # Pipeline full: every proposal makes the node resend the whole
-            # uncommitted suffix to every follower, so pushing more now
-            # costs quadratic bytes.  Hold the batch until commits catch up
-            # (waiters are still bounded by commit_timeout).
+            # Pipeline full: hold the batch until commits catch up so the
+            # uncommitted log (and commit latency) stays bounded.  Waiters
+            # are still bounded by commit_timeout.
             self._flush_handle = asyncio.get_event_loop().call_later(
                 self.batch_window, self._flush_batch
             )
@@ -304,15 +310,22 @@ class KVServer:
         enable_nodelay(writer)
         try:
             while True:
-                request = await read_frame(reader)
+                body = await read_frame_bytes(reader)
+                # Reply in the request's codec: binary clients get binary
+                # responses, JSON clients (older versions, humans with
+                # netcat) get JSON — no negotiation needed.
+                codec = detect_codec(body)
+                request = decode_body(body)
                 if not isinstance(request, dict):
-                    await write_frame(
-                        writer, {"type": "error", "reason": "bad request"}
+                    writer.write(
+                        frame_bytes({"type": "error", "reason": "bad request"}, codec)
                     )
+                    await writer.drain()
                     continue
                 response = await self._serve(request)
-                await write_frame(writer, response)
-        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+                writer.write(frame_bytes(response, codec))
+                await writer.drain()
+        except (ConnectionError, OSError, asyncio.IncompleteReadError, WireError):
             pass
         finally:
             writer.close()

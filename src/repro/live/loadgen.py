@@ -84,6 +84,7 @@ async def run_closed_loop(
     value_size: int = 16,
     seed: int = 0,
     request_timeout: float = 5.0,
+    codec: Any = None,
 ) -> LoadReport:
     """``concurrency`` workers each issue puts back-to-back, ``ops`` total."""
     latencies: List[float] = []
@@ -95,7 +96,7 @@ async def run_closed_loop(
     async def worker(worker_id: int) -> None:
         nonlocal errors
         rng = random.Random((seed << 8) | worker_id)
-        client = AsyncKVClient(cluster, request_timeout=request_timeout)
+        client = AsyncKVClient(cluster, request_timeout=request_timeout, codec=codec)
         try:
             while True:
                 async with lock:
@@ -140,6 +141,7 @@ async def run_open_loop(
     max_outstanding: int = 512,
     max_connections: int = 64,
     request_timeout: float = 5.0,
+    codec: Any = None,
 ) -> LoadReport:
     """Schedule arrivals at ``rate``/s for ``duration`` seconds.
 
@@ -167,7 +169,9 @@ async def run_open_loop(
         if not free.empty():
             return free.get_nowait()
         if len(pool) < max_connections:
-            client = AsyncKVClient(cluster, request_timeout=request_timeout)
+            client = AsyncKVClient(
+                cluster, request_timeout=request_timeout, codec=codec
+            )
             pool.append(client)
             return client
         return await free.get()

@@ -1,10 +1,28 @@
-"""Length-prefixed JSON framing over asyncio streams.
+"""Length-prefixed framing over asyncio streams, with pluggable codecs.
 
 Every frame on a live connection — peer protocol traffic and KV client
 requests alike — is a 4-byte big-endian length followed by that many bytes
-of UTF-8 JSON in the lossless wire encoding of
-:mod:`repro.sim.serialize`.  Frames are size-capped so a corrupt or
+of frame body.  The body is one of two self-describing encodings of
+:mod:`repro.sim.serialize`:
+
+* **binary** (the default): struct-packed type-tagged values
+  (:func:`~repro.sim.serialize.binary_dumps`).  Every tag byte is below
+  ``0x20``.
+* **json**: the debug-friendly lossless JSON encoding
+  (:func:`~repro.sim.serialize.wire_dumps`).  JSON bodies always start
+  with printable ASCII (``>= 0x20``).
+
+Because the two namespaces are disjoint at the first body byte, a receiver
+decodes each frame by inspection — no codec handshake, and a cluster can
+run mixed codecs during a rollout (``--codec json`` keeps a node readable
+by ``tcpdump``/older peers).  Frames are size-capped so a corrupt or
 malicious length prefix cannot make a node allocate unbounded memory.
+
+Peer links additionally use *compact frames* (:func:`encode_peer_frame` /
+:func:`parse_peer_frame`): a message is the tuple ``("m", ts, payload)``
+instead of a ``{"type": "msg", ...}`` dict, saving the per-message key
+strings on the hot replication path.  The dict form remains accepted
+forever — it is what JSON-codec and older nodes send.
 """
 
 from __future__ import annotations
@@ -12,9 +30,14 @@ from __future__ import annotations
 import asyncio
 import socket
 import struct
-from typing import Any
+from typing import Any, Optional, Tuple
 
-from repro.sim.serialize import wire_dumps, wire_loads
+from repro.sim.serialize import (
+    binary_dumps,
+    binary_loads,
+    wire_dumps,
+    wire_loads,
+)
 
 #: Hard cap on one frame's body (a full InstallSnapshot fits comfortably).
 MAX_FRAME_BYTES = 16 * 1024 * 1024
@@ -24,6 +47,56 @@ _LEN = struct.Struct(">I")
 
 class FrameError(ConnectionError):
     """The stream violated the framing protocol (oversized or truncated)."""
+
+
+class WireCodec:
+    """One frame-body encoding: a name plus dumps/loads functions."""
+
+    __slots__ = ("name", "dumps", "loads")
+
+    def __init__(self, name, dumps, loads):
+        self.name = name
+        self.dumps = dumps
+        self.loads = loads
+
+    def __repr__(self) -> str:
+        return f"WireCodec({self.name!r})"
+
+
+JSON_CODEC = WireCodec("json", wire_dumps, wire_loads)
+BINARY_CODEC = WireCodec("binary", binary_dumps, binary_loads)
+
+CODECS = {codec.name: codec for codec in (JSON_CODEC, BINARY_CODEC)}
+
+#: The default codec for live traffic.  JSON stays selectable via config
+#: (``--codec json``) for debugging and cross-version runs.
+DEFAULT_CODEC_NAME = "binary"
+
+
+def get_codec(codec: Any) -> WireCodec:
+    """Resolve ``codec`` (a name, ``None``, or a codec) to a :class:`WireCodec`."""
+    if codec is None:
+        return CODECS[DEFAULT_CODEC_NAME]
+    if isinstance(codec, WireCodec):
+        return codec
+    try:
+        return CODECS[codec]
+    except KeyError:
+        raise ValueError(
+            f"unknown wire codec {codec!r} (choose from {sorted(CODECS)})"
+        )
+
+
+def decode_body(body: bytes) -> Any:
+    """Decode one frame body, auto-detecting binary vs JSON."""
+    if body and body[0] < 0x20:
+        return binary_loads(body)
+    return wire_loads(body)
+
+
+def detect_codec(body: bytes) -> WireCodec:
+    """Which codec encoded ``body`` (so a server can reply in kind)."""
+    return BINARY_CODEC if body and body[0] < 0x20 else JSON_CODEC
 
 
 def enable_nodelay(writer: asyncio.StreamWriter) -> None:
@@ -41,24 +114,109 @@ def enable_nodelay(writer: asyncio.StreamWriter) -> None:
             pass
 
 
-async def write_frame(writer: asyncio.StreamWriter, value: Any) -> None:
-    """Encode ``value`` and write one frame, draining the transport."""
-    body = wire_dumps(value)
+def frame_bytes(value: Any, codec: Optional[WireCodec] = None) -> bytes:
+    """Encode ``value`` into one complete frame (length prefix included).
+
+    This is the building block for coalesced writes: callers concatenate
+    several frames and hand the transport one buffer.
+    """
+    body = (codec or CODECS[DEFAULT_CODEC_NAME]).dumps(value)
     if len(body) > MAX_FRAME_BYTES:
         raise FrameError(f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
-    writer.write(_LEN.pack(len(body)) + body)
+    return _LEN.pack(len(body)) + body
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter, value: Any, codec: Optional[WireCodec] = None
+) -> None:
+    """Encode ``value`` and write one frame, draining the transport.
+
+    ``codec=None`` keeps the historical JSON encoding: ad-hoc callers
+    (tests, debug scripts) stay readable, while the transport and KV paths
+    pass their configured codec explicitly.
+    """
+    writer.write(frame_bytes(value, codec or JSON_CODEC))
     await writer.drain()
 
 
-async def read_frame(reader: asyncio.StreamReader) -> Any:
-    """Read one frame and decode it.
-
-    Raises :class:`asyncio.IncompleteReadError` on clean EOF between frames
-    (connection closed), :class:`FrameError` on protocol violations.
-    """
+async def read_frame_bytes(reader: asyncio.StreamReader) -> bytes:
+    """Read one raw frame body (length-validated, not decoded)."""
     header = await reader.readexactly(_LEN.size)
     (length,) = _LEN.unpack(header)
     if length > MAX_FRAME_BYTES:
         raise FrameError(f"peer announced a {length}-byte frame (cap {MAX_FRAME_BYTES})")
-    body = await reader.readexactly(length)
-    return wire_loads(body)
+    return await reader.readexactly(length)
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Any:
+    """Read one frame and decode it (codec auto-detected per frame).
+
+    Raises :class:`asyncio.IncompleteReadError` on clean EOF between frames
+    (connection closed), :class:`FrameError` on protocol violations.
+    """
+    return decode_body(await read_frame_bytes(reader))
+
+
+# ----------------------------------------------------------------------
+# Compact peer frames
+# ----------------------------------------------------------------------
+
+def encode_peer_frame(
+    kind: str,
+    codec: WireCodec,
+    *,
+    payload: Any = None,
+    ts: Optional[float] = None,
+    pid: Optional[int] = None,
+) -> bytes:
+    """One complete peer-link frame (``hello`` / ``msg`` / ``ping``).
+
+    The JSON codec keeps the legacy self-describing dict shape; the binary
+    codec uses short tuples tagged by their first element.
+    """
+    if codec.name == "json":
+        if kind == "msg":
+            value: Any = {"type": "msg", "payload": payload, "ts": ts}
+        elif kind == "ping":
+            value = {"type": "ping"}
+        elif kind == "hello":
+            value = {"type": "hello", "pid": pid}
+        else:
+            raise ValueError(f"unknown peer frame kind {kind!r}")
+    else:
+        if kind == "msg":
+            value = ("m", ts, payload)
+        elif kind == "ping":
+            value = ("p",)
+        elif kind == "hello":
+            value = ("h", pid)
+        else:
+            raise ValueError(f"unknown peer frame kind {kind!r}")
+    return frame_bytes(value, codec)
+
+
+def parse_peer_frame(frame: Any) -> Tuple[Optional[str], Any, Any]:
+    """Normalize a decoded peer frame to ``(kind, field, field)``.
+
+    Returns ``("msg", payload, ts)``, ``("ping", None, None)``,
+    ``("hello", pid, None)``, or ``(None, None, None)`` for anything
+    unrecognized (the transport skips those, tolerating future kinds).
+    """
+    if isinstance(frame, dict):
+        kind = frame.get("type")
+        if kind == "msg":
+            return "msg", frame.get("payload"), frame.get("ts")
+        if kind == "ping":
+            return "ping", None, None
+        if kind == "hello":
+            return "hello", frame.get("pid"), None
+        return None, None, None
+    if isinstance(frame, tuple) and frame:
+        tag = frame[0]
+        if tag == "m" and len(frame) == 3:
+            return "msg", frame[2], frame[1]
+        if tag == "p":
+            return "ping", None, None
+        if tag == "h" and len(frame) == 2:
+            return "hello", frame[1], None
+    return None, None, None

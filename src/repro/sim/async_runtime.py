@@ -147,6 +147,10 @@ class AsyncRuntime:
             online invariant checkers of :mod:`repro.dst` plug in here.  An
             observer that raises aborts the run at the offending event; the
             prefix recorded so far stays available as ``runtime.trace``.
+        record_trace: with ``False`` the trace is a no-op sink — events are
+            not stored (observers still fire), which removes per-event
+            allocation from the kernel's hot path.  Scheduling is
+            unaffected: a run is byte-identical whether or not it records.
     """
 
     def __init__(
@@ -162,6 +166,7 @@ class AsyncRuntime:
         max_events: int = 2_000_000,
         stop_when: Union[str, Callable[["AsyncRuntime"], bool]] = "all_alive_decided",
         observers: Sequence[tr.TraceListener] = (),
+        record_trace: bool = True,
     ):
         n = len(processes)
         if n == 0:
@@ -177,7 +182,7 @@ class AsyncRuntime:
         self.max_time = max_time
         self.max_events = max_events
         self.stop_when = stop_when
-        self.trace = tr.Trace(tuple(observers))
+        self.trace = tr.Trace(tuple(observers), record=record_trace)
         self.now = 0.0
         self._queue = EventQueue()
         self._net_rng = random.Random(seed * 2654435761 % (2**63) + 1)
@@ -193,6 +198,12 @@ class AsyncRuntime:
         self._pending_restarts: set = set()
         self._events_processed = 0
         self._seq = 0
+        # The string stop conditions depend only on per-process liveness /
+        # decision state, so they are re-evaluated lazily: only after an
+        # event that could have changed the answer (decide, crash, restart,
+        # halt).  Callable ``stop_when`` predicates are opaque and keep
+        # being evaluated every iteration.
+        self._stop_dirty = True
 
     # ------------------------------------------------------------------
     # Public API
@@ -204,10 +215,17 @@ class AsyncRuntime:
         for state in self._states:
             self._start(state)
         reason = QUEUE_EMPTY
+        stop_is_callable = callable(self.stop_when)
         while True:
-            if self._stop_condition():
-                reason = STOP_CONDITION
-                break
+            if stop_is_callable:
+                if self._stop_condition():
+                    reason = STOP_CONDITION
+                    break
+            elif self._stop_dirty:
+                self._stop_dirty = False
+                if self._stop_condition():
+                    reason = STOP_CONDITION
+                    break
             if not self._queue:
                 reason = QUEUE_EMPTY
                 break
@@ -268,7 +286,7 @@ class AsyncRuntime:
 
     def _deliver(self, envelope: Envelope) -> None:
         state = self._states[envelope.dst]
-        if not state.runnable:
+        if not (state.alive and not state.halted):
             self.trace.record(self.now, tr.DROP, envelope.dst, envelope)
             return
         delivered = Envelope(
@@ -304,6 +322,7 @@ class AsyncRuntime:
         if state.gen is not None:
             state.gen.close()
             state.gen = None
+        self._stop_dirty = True
         self.trace.record(self.now, tr.CRASH, pid)
 
     def _restart(self, pid: Pid) -> None:
@@ -315,6 +334,7 @@ class AsyncRuntime:
         state.halted = False
         state.timer_gen.clear()
         state.crash_after_sends = None
+        self._stop_dirty = True
         state.process.on_restart(state.api)
         self.trace.record(self.now, tr.RESTART, pid)
         self._start(state)
@@ -350,6 +370,7 @@ class AsyncRuntime:
                 op = state.gen.send(value)
             except StopIteration:
                 state.halted = True
+                self._stop_dirty = True
                 self.trace.record(self.now, tr.HALT, state.api.pid)
                 return
             value = None
@@ -391,11 +412,13 @@ class AsyncRuntime:
                 )
             if state.decided is _UNDECIDED:
                 state.decided = op.value
+                self._stop_dirty = True
                 self.trace.record(self.now, tr.DECIDE, pid, op.value)
         elif isinstance(op, Annotate):
             self.trace.record(self.now, tr.ANNOTATE, pid, (op.key, op.value))
         elif isinstance(op, Halt):
             state.halted = True
+            self._stop_dirty = True
             self.trace.record(self.now, tr.HALT, pid)
         else:
             raise SimulationError(

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterator, Optional
 
 from repro.sim.messages import Envelope, Pid
@@ -50,34 +50,33 @@ class RestartProcess:
     pid: Pid
 
 
-@dataclass(order=True)
-class _QueueItem:
-    time: float
-    seq: int
-    event: Any = field(compare=False)
-
-
 class EventQueue:
-    """A deterministic time-ordered event queue."""
+    """A deterministic time-ordered event queue.
+
+    Entries are plain ``(time, seq, event)`` tuples: ``seq`` is unique, so
+    tuple comparison never reaches the (incomparable) event objects, and
+    heap operations stay on CPython's fast native-tuple comparison path —
+    this queue is on the kernel's hottest path.
+    """
 
     def __init__(self) -> None:
-        self._heap: list[_QueueItem] = []
+        self._heap: list = []
         self._counter = itertools.count()
 
     def push(self, time: float, event: Any) -> None:
         """Schedule ``event`` at virtual time ``time``."""
         if time < 0:
             raise ValueError(f"cannot schedule event at negative time {time}")
-        heapq.heappush(self._heap, _QueueItem(time, next(self._counter), event))
+        heapq.heappush(self._heap, (time, next(self._counter), event))
 
     def pop(self) -> "tuple[float, Any]":
         """Remove and return the earliest ``(time, event)`` pair."""
-        item = heapq.heappop(self._heap)
-        return item.time, item.event
+        time, _seq, event = heapq.heappop(self._heap)
+        return time, event
 
     def peek_time(self) -> Optional[float]:
         """Virtual time of the earliest pending event, or ``None`` if empty."""
-        return self._heap[0].time if self._heap else None
+        return self._heap[0][0] if self._heap else None
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -87,4 +86,4 @@ class EventQueue:
 
     def __iter__(self) -> Iterator[Any]:
         """Iterate over pending events in an unspecified order (debugging)."""
-        return (item.event for item in self._heap)
+        return (item[2] for item in self._heap)

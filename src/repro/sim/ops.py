@@ -196,7 +196,11 @@ def match_mailbox(
     function, so message-selection semantics cannot drift between
     substrates.
     """
+    if len(mailbox) < receive.count:
+        return None  # cannot possibly be satisfied; skip the scan
     predicate = receive.predicate
+    if predicate is None and receive.count == 1 and receive.consume:
+        return [mailbox.pop(0)]  # hottest shape: take the oldest envelope
     matches: List[int] = []
     for idx, envelope in enumerate(mailbox):
         if predicate is None or predicate(envelope):

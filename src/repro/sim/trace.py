@@ -73,20 +73,41 @@ class Trace:
         listeners: callbacks invoked (in order) with every event as it is
             recorded.  Listeners observe the run online; one that raises
             aborts the recording runtime at exactly that event.
+        record: with ``record=False`` the trace is a *no-op sink* — events
+            are not stored (``events`` stays empty) and, when no listeners
+            are attached either, :meth:`record` returns before even
+            constructing the :class:`TraceEvent`.  Listeners still see
+            every event, so online invariant checking composes with
+            storage-free runs.  ``active`` is the fast-path flag runtimes
+            may consult to skip recording work entirely.
     """
 
-    def __init__(self, listeners: Tuple[TraceListener, ...] = ()) -> None:
+    def __init__(
+        self, listeners: Tuple[TraceListener, ...] = (), *, record: bool = True
+    ) -> None:
         self.events: List[TraceEvent] = []
         self._listeners: List[TraceListener] = list(listeners)
+        self._recording = record
+        #: True when :meth:`record` has any effect (storing or listeners).
+        self.active = record or bool(self._listeners)
+
+    @property
+    def recording(self) -> bool:
+        """Whether recorded events are stored in ``events``."""
+        return self._recording
 
     def subscribe(self, listener: TraceListener) -> None:
         """Add a listener notified of every subsequently recorded event."""
         self._listeners.append(listener)
+        self.active = True
 
     def record(self, time: float, kind: str, pid: Pid, detail: Any = None) -> None:
         """Append one event and notify the listeners."""
+        if not self.active:
+            return
         event = TraceEvent(time, kind, pid, detail)
-        self.events.append(event)
+        if self._recording:
+            self.events.append(event)
         for listener in self._listeners:
             listener(event)
 
