@@ -4,9 +4,12 @@ Usage::
 
     python benchmarks/compare_baseline.py CURRENT BASELINE [--tolerance 0.30]
 
-Both files are flat ``{"metric": number}`` JSONs as written by
-``benchmarks/test_perf_regression.py``.  Every numeric metric present in
-the *baseline* is checked; metrics only in the current file are informational
+Both files are ``{"metric": number}`` JSONs as written by
+``benchmarks/test_perf_regression.py``; nested objects (as in
+``BENCH_live.json``) are flattened to dotted keys
+(``sharded.4-shard.throughput_ops_s``), so one gate serves flat and
+structured result files alike.  Every numeric metric present in the
+*baseline* is checked; metrics only in the current file are informational
 (so adding a metric does not break older baselines).
 
 Direction is inferred from the metric name: ``*_bytes`` metrics are
@@ -27,16 +30,23 @@ import sys
 from typing import Dict
 
 
+def _flatten(data: Dict, prefix: str = "") -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for key, value in data.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, dict):
+            out.update(_flatten(value, f"{name}."))
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            out[name] = float(value)
+    return out
+
+
 def load_metrics(path: str) -> Dict[str, float]:
     with open(path) as fh:
         data = json.load(fh)
     if not isinstance(data, dict):
-        raise SystemExit(f"{path}: expected a flat JSON object of metrics")
-    return {
-        key: float(value)
-        for key, value in data.items()
-        if isinstance(value, (int, float)) and not isinstance(value, bool)
-    }
+        raise SystemExit(f"{path}: expected a JSON object of metrics")
+    return _flatten(data)
 
 
 def compare(

@@ -111,9 +111,21 @@ def test_e13_live_cluster_benchmark():
             ["n", "mode", "ops", "ops/s", "p50 ms", "p95 ms", "p99 ms"], rows
         ),
     )
+    # Merge: BENCH_live.json is shared with E14's "sharded" section.
+    existing = {}
+    if os.path.exists(RESULTS_PATH):
+        try:
+            with open(RESULTS_PATH) as fh:
+                existing = json.load(fh)
+        except (OSError, ValueError):
+            existing = {}
+    if not isinstance(existing, dict):
+        existing = {}
+    existing.update(results)
     with open(RESULTS_PATH, "w") as fh:
-        json.dump(results, fh, indent=2)
+        json.dump(existing, fh, indent=2)
         fh.write("\n")
+    results = existing
 
     # 5-node commit needs a 3-node majority instead of 2: latency must not
     # collapse, and both cluster sizes must sustain real throughput.

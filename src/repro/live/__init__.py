@@ -17,8 +17,11 @@ Layers, bottom up:
   backoff, heartbeats.
 * :mod:`repro.live.runtime` — drives one process coroutine; emits the
   same :class:`~repro.sim.trace.Trace` events as the simulator.
+* :mod:`repro.live.sharding` — process-stable key->shard hashing,
+  staggered leader placement, and the client-side shard router.
 * :mod:`repro.live.kv` / :mod:`repro.live.client` — a replicated KV
-  service on full Raft, and its redirect-following client.
+  service on full Raft (``shards`` independent groups multiplexed over
+  the shared transport), and its shard-aware redirect-following client.
 * :mod:`repro.live.harness` — in-process multi-node clusters for tests
   and benchmarks.
 * :mod:`repro.live.loadgen` — closed- and open-loop load generation.
@@ -31,9 +34,21 @@ from repro.live import codec as _codec  # registers wire types on import
 from repro.live.client import AsyncKVClient, ClusterUnavailableError
 from repro.live.config import ClusterConfig, NodeSpec
 from repro.live.harness import LiveCluster, LiveKVCluster, merge_traces
-from repro.live.kv import KVServer, KvBatch, NotLeaderError, TaggedPut
-from repro.live.loadgen import LoadReport, run_closed_loop, run_open_loop
+from repro.live.kv import KVServer, KVShard, KvBatch, NotLeaderError, TaggedPut
+from repro.live.loadgen import (
+    LoadReport,
+    ZipfSampler,
+    make_key_sampler,
+    run_closed_loop,
+    run_open_loop,
+)
 from repro.live.runtime import LiveRuntime, LiveRuntimeError, derive_process_seed
+from repro.live.sharding import (
+    ShardRouter,
+    preferred_leader,
+    shard_of,
+    staggered_election_timeout,
+)
 from repro.live.transport import PeerTransport, TransportStats
 from repro.live.wire import MAX_FRAME_BYTES, FrameError, read_frame, write_frame
 
@@ -45,6 +60,7 @@ __all__ = [
     "ClusterUnavailableError",
     "FrameError",
     "KVServer",
+    "KVShard",
     "KvBatch",
     "LiveCluster",
     "LiveKVCluster",
@@ -55,12 +71,18 @@ __all__ = [
     "NodeSpec",
     "NotLeaderError",
     "PeerTransport",
+    "ShardRouter",
     "TaggedPut",
     "TransportStats",
+    "ZipfSampler",
     "derive_process_seed",
+    "make_key_sampler",
     "merge_traces",
+    "preferred_leader",
     "read_frame",
     "run_closed_loop",
     "run_open_loop",
+    "shard_of",
+    "staggered_election_timeout",
     "write_frame",
 ]

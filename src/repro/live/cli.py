@@ -25,9 +25,14 @@ import sys
 from typing import List, Optional, Tuple
 
 from repro.live.client import AsyncKVClient
-from repro.live.config import DEFAULT_MAX_INFLIGHT, ClusterConfig, TuningConfig
+from repro.live.config import (
+    DEFAULT_MAX_INFLIGHT,
+    ClusterConfig,
+    TuningConfig,
+    validate_shards,
+)
 from repro.live.kv import KVServer
-from repro.live.loadgen import run_closed_loop, run_open_loop
+from repro.live.loadgen import KEY_DISTRIBUTIONS, run_closed_loop, run_open_loop
 
 
 def _parse_max_inflight(text: str) -> int:
@@ -36,6 +41,24 @@ def _parse_max_inflight(text: str) -> int:
     except ValueError as exc:
         raise argparse.ArgumentTypeError(str(exc))
     return tuning.max_inflight
+
+
+def _parse_shards(text: str) -> int:
+    try:
+        return validate_shards(int(text))
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
+def _add_client_shards_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shards",
+        type=_parse_shards,
+        default=None,
+        metavar="S",
+        help="the cluster's shard count; omit to discover it from the "
+        "cluster (one status round trip)",
+    )
 
 
 def _add_codec_argument(parser: argparse.ArgumentParser) -> None:
@@ -88,6 +111,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--pid", type=int, required=True, help="this node's pid")
     serve.add_argument("--seed", type=int, default=0, help="run seed")
     serve.add_argument(
+        "--shards",
+        type=_parse_shards,
+        default=1,
+        metavar="S",
+        help="independent Raft groups hosted by this node; must match the "
+        "rest of the cluster (default 1, the pre-sharding behaviour)",
+    )
+    serve.add_argument(
         "--election-timeout",
         type=_parse_timeout_range,
         default=(0.3, 0.6),
@@ -119,6 +150,7 @@ def build_parser() -> argparse.ArgumentParser:
     client = commands.add_parser("client", help="issue one KV request")
     _add_peers_argument(client)
     _add_codec_argument(client)
+    _add_client_shards_argument(client)
     sub = client.add_subparsers(dest="operation", required=True)
     put = sub.add_parser("put", help="replicate KEY -> VALUE")
     put.add_argument("key")
@@ -156,7 +188,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--key-space", type=int, default=128, help="distinct keys"
     )
     loadgen.add_argument("--seed", type=int, default=0, help="workload seed")
+    loadgen.add_argument(
+        "--key-dist",
+        choices=KEY_DISTRIBUTIONS,
+        default="uniform",
+        help="key popularity: uniform (default) or zipf (hot-key skew)",
+    )
+    loadgen.add_argument(
+        "--zipf-s",
+        type=float,
+        default=1.1,
+        metavar="S",
+        help="zipf exponent; larger = more skew (default 1.1)",
+    )
     _add_codec_argument(loadgen)
+    _add_client_shards_argument(loadgen)
     loadgen.add_argument(
         "--json",
         metavar="PATH",
@@ -177,6 +223,7 @@ async def _serve(args: argparse.Namespace) -> int:
         args.peers,
         args.pid,
         seed=args.seed,
+        shards=args.shards,
         election_timeout=args.election_timeout,
         heartbeat_interval=args.heartbeat,
         snapshot_threshold=args.snapshot_threshold,
@@ -185,9 +232,10 @@ async def _serve(args: argparse.Namespace) -> int:
     )
     await server.start()
     spec = args.peers[args.pid]
+    groups = f", {args.shards} shards" if args.shards > 1 else ""
     print(
         f"node {args.pid}/{args.peers.n} serving: peers on {spec.peer_addr}, "
-        f"clients on {spec.client_addr}",
+        f"clients on {spec.client_addr}{groups}",
         flush=True,
     )
     stopped = asyncio.get_event_loop().create_future()
@@ -211,7 +259,7 @@ async def _serve(args: argparse.Namespace) -> int:
 
 
 async def _client(args: argparse.Namespace) -> int:
-    client = AsyncKVClient(args.peers, codec=args.codec)
+    client = AsyncKVClient(args.peers, codec=args.codec, shards=args.shards)
     try:
         if args.operation == "put":
             index = await client.put(args.key, args.value)
@@ -239,6 +287,12 @@ async def _client(args: argparse.Namespace) -> int:
                     f"commit={status['commit_index']} "
                     f"applied={status['applied']} leader={status['leader']}"
                 )
+                for group in status.get("groups", [])[1:]:
+                    print(
+                        f"  shard {group['shard']}: {group['role']} "
+                        f"term={group['term']} commit={group['commit_index']} "
+                        f"applied={group['applied']} leader={group['leader']}"
+                    )
     finally:
         await client.close()
     return 0
@@ -254,6 +308,9 @@ async def _loadgen(args: argparse.Namespace) -> int:
             value_size=args.value_size,
             seed=args.seed,
             codec=args.codec,
+            key_dist=args.key_dist,
+            zipf_s=args.zipf_s,
+            shards=args.shards,
         )
     else:
         report = await run_closed_loop(
@@ -264,6 +321,9 @@ async def _loadgen(args: argparse.Namespace) -> int:
             value_size=args.value_size,
             seed=args.seed,
             codec=args.codec,
+            key_dist=args.key_dist,
+            zipf_s=args.zipf_s,
+            shards=args.shards,
         )
     print(report.summary())
     if args.json:

@@ -1,10 +1,18 @@
 """Asyncio client for the live KV service.
 
-:class:`AsyncKVClient` keeps one connection to some cluster node, follows
-leader redirects, and retries over the remaining nodes (with a small
-delay) when connections fail or the cluster is mid-election.  Writes are
-at-least-once: a timed-out ``put`` is retried with the same ``op_id``, so
-the worst case is a duplicate apply of an idempotent put.
+:class:`AsyncKVClient` is *shard-aware*: it computes the target shard of
+every ``put`` locally (:func:`repro.live.sharding.shard_of` — the same
+hash the servers use), keeps a per-shard leader hint learned from
+redirects, and pools one connection per node so requests for different
+shards reuse sockets.  Writes are at-least-once: a timed-out ``put`` is
+retried with the same ``op_id``, so the worst case is a duplicate apply
+of an idempotent put.
+
+The shard count is discovered from the cluster on first use (the
+``status`` response carries it), so clients need no configuration and a
+pre-sharding server (no ``shards`` field) is treated as one group.
+Reads (``get``) are served from *any* node's local state machine — every
+node replicates every shard — so they follow no shard routing.
 """
 
 from __future__ import annotations
@@ -15,7 +23,10 @@ import uuid
 from typing import Any, Dict, Optional, Tuple
 
 from repro.live.config import ClusterConfig
+from repro.live.sharding import ShardRouter
 from repro.live.wire import enable_nodelay, frame_bytes, get_codec, read_frame
+
+Addr = Tuple[str, int]
 
 
 class ClusterUnavailableError(ConnectionError):
@@ -34,6 +45,8 @@ class AsyncKVClient:
         codec: wire codec for requests (``"binary"`` default, ``"json"``
             for debugging).  Servers answer in the request's codec, so
             this needs no coordination with the cluster.
+        shards: the cluster's shard count; ``None`` (the default)
+            discovers it with a ``status`` request on first use.
     """
 
     def __init__(
@@ -44,18 +57,23 @@ class AsyncKVClient:
         max_attempts: int = 30,
         retry_delay: float = 0.1,
         codec: Any = None,
+        shards: Optional[int] = None,
     ):
         self.cluster = cluster
         self.codec = get_codec(codec)
         self.request_timeout = request_timeout
         self.max_attempts = max_attempts
         self.retry_delay = retry_delay
-        self._conn: Optional[Tuple[asyncio.StreamReader, asyncio.StreamWriter]] = None
-        self._target: Optional[Tuple[str, int]] = None
+        self._router: Optional[ShardRouter] = (
+            ShardRouter(cluster, shards) if shards is not None else None
+        )
+        #: One pooled connection per node address, shared by all shards.
+        self._conns: Dict[Addr, Tuple[asyncio.StreamReader, asyncio.StreamWriter]] = {}
+        self._target: Optional[Addr] = None
         self._rotation = itertools.cycle(range(cluster.n))
         self._ops = 0
-        # One request in flight per connection: concurrent users of a
-        # shared client serialize here instead of interleaving frames.
+        # One request in flight per client: concurrent users of a shared
+        # client serialize here instead of interleaving frames.
         self._lock: Optional[asyncio.Lock] = None
 
     # ------------------------------------------------------------------
@@ -63,13 +81,22 @@ class AsyncKVClient:
     # ------------------------------------------------------------------
 
     async def put(self, key: Any, value: Any, op_id: Optional[str] = None) -> int:
-        """Replicate ``key -> value``; returns the commit log index."""
+        """Replicate ``key -> value``; returns the commit log index.
+
+        The index is local to the shard owning ``key`` — indices from
+        different shards are not comparable.
+        """
         if op_id is None:
             self._ops += 1
             op_id = f"{uuid.uuid4().hex[:12]}-{self._ops}"
+        router = await self._ensure_router()
+        # One group: fall back to the pre-sharding behaviour exactly
+        # (rotate over nodes, follow redirects on the shared target).
+        shard = router.shard_of(key) if router.shards > 1 else None
         response = await self._request(
             {"type": "put", "id": op_id, "key": key, "value": value},
             want="ok",
+            shard=shard,
         )
         return response["index"]
 
@@ -77,7 +104,8 @@ class AsyncKVClient:
         """Read ``key`` from whichever node we are connected to.
 
         Returns the raw response dict: ``found``, ``value``, ``applied``
-        (the serving node's applied index — reads are local and may lag).
+        (the owning shard's applied index on the serving node — reads are
+        local and may lag).
         """
         return await self._request({"type": "get", "key": key}, want="value")
 
@@ -102,42 +130,86 @@ class AsyncKVClient:
         finally:
             writer.close()
 
-    async def find_leader(self) -> Optional[int]:
-        """Poll every reachable node once; returns the leader pid if any."""
+    async def find_leader(self, shard: int = 0) -> Optional[int]:
+        """Poll every reachable node once; returns ``shard``'s leader pid."""
         for pid in range(self.cluster.n):
             try:
                 status = await self.status_of(pid)
             except (ConnectionError, OSError, asyncio.TimeoutError,
                     asyncio.IncompleteReadError):
                 continue
-            if status.get("role") == "leader":
+            groups = status.get("groups")
+            if isinstance(groups, list) and shard < len(groups):
+                if groups[shard].get("role") == "leader":
+                    return status.get("pid")
+            elif shard == 0 and status.get("role") == "leader":
                 return status.get("pid")
         return None
 
+    async def shard_count(self) -> int:
+        """The cluster's shard count (discovered once, then cached)."""
+        return (await self._ensure_router()).shards
+
     async def close(self) -> None:
-        if self._conn is not None:
-            self._conn[1].close()
-            self._conn = None
+        for _reader, writer in self._conns.values():
+            writer.close()
+        self._conns.clear()
 
     # ------------------------------------------------------------------
     # Connection management
     # ------------------------------------------------------------------
 
+    async def _ensure_router(self) -> ShardRouter:
+        if self._router is None:
+            status = await self._request({"type": "status"}, want="status")
+            shards = status.get("shards", 1)
+            if not isinstance(shards, int) or shards < 1:
+                shards = 1
+            self._router = ShardRouter(self.cluster, shards)
+        return self._router
+
     async def _request(
-        self, request: Dict[str, Any], *, want: str
+        self, request: Dict[str, Any], *, want: str, shard: Optional[int] = None
     ) -> Dict[str, Any]:
         if self._lock is None:
             self._lock = asyncio.Lock()
         async with self._lock:
-            return await self._request_locked(request, want=want)
+            return await self._request_locked(request, want=want, shard=shard)
+
+    def _addr_for(self, shard: Optional[int]) -> Addr:
+        """Where to send the next attempt of a request."""
+        if shard is not None and self._router is not None:
+            return self._router.target(shard)
+        if self._target is None:
+            self._target = self.cluster[next(self._rotation)].client_addr
+        return self._target
+
+    def _note_failure(self, shard: Optional[int], addr: Addr) -> None:
+        self._drop_connection(addr)
+        if shard is not None and self._router is not None:
+            self._router.note_failure(shard)
+        if self._target == addr:
+            self._target = None
+
+    def _note_leader(self, shard: Optional[int], addr: Addr) -> None:
+        if shard is not None and self._router is not None:
+            self._router.note_leader(shard, addr)
+            if self._router.shards == 1:
+                # One group: the shard leader IS the cluster leader, so
+                # un-routed requests (status/get) follow it too — exactly
+                # the pre-sharding client's behaviour.
+                self._target = addr
+        else:
+            self._target = addr
 
     async def _request_locked(
-        self, request: Dict[str, Any], *, want: str
+        self, request: Dict[str, Any], *, want: str, shard: Optional[int]
     ) -> Dict[str, Any]:
         last_error: Optional[Exception] = None
         for _attempt in range(self.max_attempts):
+            addr = self._addr_for(shard)
             try:
-                reader, writer = await self._connect()
+                reader, writer = await self._connect(addr)
                 writer.write(frame_bytes(request, self.codec))
                 await writer.drain()
                 response = await asyncio.wait_for(
@@ -146,19 +218,29 @@ class AsyncKVClient:
             except (ConnectionError, OSError, asyncio.TimeoutError,
                     asyncio.IncompleteReadError) as exc:
                 last_error = exc
-                self._drop_connection(rotate=True)
+                self._note_failure(shard, addr)
                 await asyncio.sleep(self.retry_delay)
                 continue
             kind = response.get("type") if isinstance(response, dict) else None
             if kind == want:
                 return response
             if kind == "redirect":
+                # The server names the shard it computed for the key;
+                # trust it over our own (it is authoritative) so hints
+                # stay correct even if our shard count is stale.
+                target_shard = response.get("shard", shard)
+                if not isinstance(target_shard, int):
+                    target_shard = shard
                 if response.get("leader") is not None:
-                    self._drop_connection(
-                        target=(response["host"], response["port"])
+                    self._note_leader(
+                        target_shard, (response["host"], response["port"])
                     )
                 else:
-                    self._drop_connection(rotate=True)
+                    # Mid-election: no known leader for this shard yet.
+                    if target_shard is not None and self._router is not None:
+                        self._router.note_failure(target_shard)
+                    if shard is None:
+                        self._target = None
                     await asyncio.sleep(self.retry_delay)
                 continue
             # "error" (commit timeout mid-election, bad request, ...):
@@ -169,29 +251,21 @@ class AsyncKVClient:
             f"no answer after {self.max_attempts} attempts: {last_error!r}"
         )
 
-    async def _connect(self) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
-        if self._conn is not None:
-            return self._conn
-        if self._target is None:
-            self._target = self.cluster[next(self._rotation)].client_addr
+    async def _connect(
+        self, addr: Addr
+    ) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        conn = self._conns.get(addr)
+        if conn is not None:
+            return conn
         reader, writer = await asyncio.wait_for(
-            asyncio.open_connection(*self._target),
+            asyncio.open_connection(*addr),
             timeout=self.request_timeout,
         )
         enable_nodelay(writer)
-        self._conn = (reader, writer)
-        return self._conn
+        self._conns[addr] = (reader, writer)
+        return self._conns[addr]
 
-    def _drop_connection(
-        self,
-        *,
-        rotate: bool = False,
-        target: Optional[Tuple[str, int]] = None,
-    ) -> None:
-        if self._conn is not None:
-            self._conn[1].close()
-            self._conn = None
-        if target is not None:
-            self._target = target
-        elif rotate:
-            self._target = None
+    def _drop_connection(self, addr: Addr) -> None:
+        conn = self._conns.pop(addr, None)
+        if conn is not None:
+            conn[1].close()

@@ -31,6 +31,21 @@ def validate_max_inflight(value: int) -> int:
     return value
 
 
+#: Sanity cap on Raft groups per cluster.  Each shard costs a full
+#: consensus instance per node (log, timers, heartbeats); hundreds of
+#: groups on one node set is a config error, not a deployment.
+MAX_SHARDS = 256
+
+
+def validate_shards(value: int) -> int:
+    """Check a shard-count setting (CLI / config / router shared)."""
+    if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+        raise ValueError(f"shards must be an integer >= 1, got {value!r}")
+    if value > MAX_SHARDS:
+        raise ValueError(f"shards must be <= {MAX_SHARDS}, got {value!r}")
+    return value
+
+
 @dataclass(frozen=True)
 class TuningConfig:
     """Hot-path knobs exposed on the ``serve``/``loadgen`` CLIs.
@@ -41,13 +56,20 @@ class TuningConfig:
         codec: wire codec name — ``"binary"`` (default) or ``"json"`` for
             debugging and cross-version runs.  Receivers auto-detect per
             frame, so nodes with different codecs interoperate.
+        shards: independent Raft groups hosted by every node.  Keys are
+            hash-partitioned across shards (:mod:`repro.live.sharding`),
+            so throughput scales with leaders instead of being capped by
+            one.  ``1`` (the default) is wire-compatible with pre-sharding
+            nodes.
     """
 
     max_inflight: int = DEFAULT_MAX_INFLIGHT
     codec: str = "binary"
+    shards: int = 1
 
     def __post_init__(self) -> None:
         validate_max_inflight(self.max_inflight)
+        validate_shards(self.shards)
         from repro.live.wire import CODECS
 
         if self.codec not in CODECS:
@@ -125,15 +147,26 @@ class ClusterConfig:
         the usual test-harness idiom; a racing process could steal one, so
         this is for tests and local experiments, not deployments.
         """
-        nodes = []
-        for pid in range(n):
-            nodes.append(
-                NodeSpec(pid, "127.0.0.1", _free_port(), _free_port())
-            )
+        ports = _free_ports(2 * n)
+        nodes = [
+            NodeSpec(pid, "127.0.0.1", ports[2 * pid], ports[2 * pid + 1])
+            for pid in range(n)
+        ]
         return cls(tuple(nodes))
 
 
-def _free_port() -> int:
-    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
-        sock.bind(("127.0.0.1", 0))
-        return sock.getsockname()[1]
+def _free_ports(count: int) -> List[int]:
+    # Hold every reservation open until all ports are picked: releasing
+    # a listen socket returns its port to the ephemeral pool immediately
+    # (no TIME_WAIT without a connection), so sequential bind-and-close
+    # can hand the same port out twice within one cluster.
+    sockets = []
+    try:
+        for _ in range(count):
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.bind(("127.0.0.1", 0))
+            sockets.append(sock)
+        return [sock.getsockname()[1] for sock in sockets]
+    finally:
+        for sock in sockets:
+            sock.close()

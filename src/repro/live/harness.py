@@ -145,7 +145,7 @@ class LiveKVCluster:
     """Boot ``n`` :class:`~repro.live.kv.KVServer` nodes on localhost.
 
     Keyword args are forwarded to every ``KVServer`` (election timeouts,
-    batching knobs, ...).
+    batching knobs, ``shards=S`` for a sharded cluster, ...).
     """
 
     def __init__(
@@ -173,7 +173,8 @@ class LiveKVCluster:
                 **server_options,
             )
             self.servers.append(server)
-            self._traces.append(server.runtime.trace)
+            self._traces.extend(shard.runtime.trace for shard in server.shards)
+        self.shard_count = self.servers[0].shard_count if n else 1
 
     async def start(self) -> None:
         for server in self.servers:
@@ -192,19 +193,23 @@ class LiveKVCluster:
             await server.stop(crash=True)
             self.servers[pid] = None
 
-    def leader_pid(self) -> Optional[int]:
-        """The current leader among live nodes (in-process inspection)."""
+    def leader_pid(self, shard: int = 0) -> Optional[int]:
+        """The shard's current leader among live nodes (in-process)."""
         leaders = [
             server.pid
             for server in self.servers
-            if server is not None and server.is_leader
+            if server is not None and server.shards[shard].is_leader
         ]
         return leaders[-1] if leaders else None
 
     async def wait_for_leader(
-        self, timeout: float = 10.0, *, exclude: Sequence[int] = ()
+        self,
+        timeout: float = 10.0,
+        *,
+        exclude: Sequence[int] = (),
+        shard: int = 0,
     ) -> int:
-        """Poll until some live node (not in ``exclude``) leads.
+        """Poll until some live node (not in ``exclude``) leads ``shard``.
 
         A node also must have *committed* in its term (applied barrier)
         before it counts, so the returned leader is actually serviceable.
@@ -214,10 +219,21 @@ class LiveKVCluster:
             for server in self.servers:
                 if server is None or server.pid in exclude:
                     continue
-                if server.is_leader:
+                if server.shards[shard].is_leader:
                     return server.pid
             await asyncio.sleep(0.02)
-        raise TimeoutError(f"no leader within {timeout}s")
+        raise TimeoutError(f"no leader for shard {shard} within {timeout}s")
+
+    async def wait_for_all_leaders(
+        self, timeout: float = 10.0
+    ) -> Dict[int, int]:
+        """Wait until every shard has a leader; returns shard -> pid."""
+        deadline = time.monotonic() + timeout
+        leaders: Dict[int, int] = {}
+        for shard in range(self.shard_count):
+            remaining = max(0.02, deadline - time.monotonic())
+            leaders[shard] = await self.wait_for_leader(remaining, shard=shard)
+        return leaders
 
     def merged_trace(self) -> Trace:
         return merge_traces(self._traces)

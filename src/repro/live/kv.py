@@ -1,32 +1,47 @@
 """A replicated key-value service on top of the live Raft cluster.
 
-Each :class:`KVServer` runs one full :class:`~repro.algorithms.raft.node.RaftNode`
-(the paper's VAC + reconciliator decomposition of Raft) under a
-:class:`~repro.live.runtime.LiveRuntime`, plus a client-facing TCP frontend
+Each :class:`KVServer` hosts one or more *shards* — independent full
+:class:`~repro.algorithms.raft.node.RaftNode` groups (the paper's VAC +
+reconciliator decomposition of Raft), each under its own
+:class:`~repro.live.runtime.LiveRuntime` — multiplexed over a single
+shared :class:`~repro.live.transport.PeerTransport` (shard-tagged wire
+frames, one socket pair per peer), plus a client-facing TCP frontend
 speaking the same length-prefixed wire protocol.
+
+Sharding
+--------
+Keys are hash-partitioned across shards (:func:`repro.live.sharding.shard_of`
+— deterministic across processes, so clients route locally), and every
+request touches exactly one shard.  Leader placement is staggered: shard
+``i`` prefers starting leadership on node ``i mod n``
+(:func:`~repro.live.sharding.staggered_election_timeout`), so the ``S``
+leaders — and therefore the replication fan-out and client write load —
+spread across the cluster instead of piling on one node.  With
+``shards=1`` (the default) the server is wire-compatible with pre-sharding
+nodes and clients.
 
 Write path
 ----------
-Client ``put`` requests reaching the leader are *batched*: requests
-arriving within ``batch_window`` (or until ``max_batch``) are folded into
-one :class:`KvBatch` log command and proposed as a single
+Client ``put`` requests reaching the owning shard's leader are *batched*:
+requests arriving within ``batch_window`` (or until ``max_batch``) are
+folded into one :class:`KvBatch` log command and proposed as a single
 :class:`~repro.algorithms.raft.messages.ClientPropose`, so one
 replication round-trip commits many client writes.  A request is
 acknowledged only once the leader *applies* the batch — i.e. after the
 entry is committed on a majority — so every acknowledged write survives
 any minority of crashes, including the leader's.  Requests reaching a
-follower are answered with a redirect to the last known leader.
+non-leader are answered with a redirect to the shard's last known leader.
 
-On winning an election a server proposes an empty barrier batch — the
-classic leader no-op — so the new leader's commit index advances (and
+On winning an election a shard leader proposes an empty barrier batch —
+the classic leader no-op — so the new leader's commit index advances (and
 reads become current) without waiting for client traffic.
 
 Read path
 ---------
-``get`` serves from the local state machine: reads are *local and may be
-stale* (bounded by replication lag).  The response carries the node's
-applied index so clients needing read-your-writes can retry until it
-reaches their last acknowledged write's index.
+``get`` serves from the owning shard's local state machine: reads are
+*local and may be stale* (bounded by replication lag).  The response
+carries the shard's applied index so clients needing read-your-writes can
+retry until it reaches their last acknowledged write's index.
 
 Delivery semantics are at-least-once: a client that times out and retries
 a ``put`` may apply it twice; puts are idempotent per (key, value), and
@@ -43,8 +58,15 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.algorithms.raft.messages import ClientPropose
 from repro.algorithms.raft.node import LEADER, RaftNode
 from repro.algorithms.raft.state_machine import KeyValueStateMachine, Put
-from repro.live.config import DEFAULT_MAX_INFLIGHT, ClusterConfig, validate_max_inflight
-from repro.live.runtime import LiveRuntime
+from repro.live.config import (
+    DEFAULT_MAX_INFLIGHT,
+    ClusterConfig,
+    validate_max_inflight,
+    validate_shards,
+)
+from repro.live.runtime import LiveRuntime, derive_process_seed
+from repro.live.sharding import shard_of, staggered_election_timeout
+from repro.live.transport import PeerTransport
 from repro.live.wire import (
     decode_body,
     detect_codec,
@@ -54,6 +76,11 @@ from repro.live.wire import (
 )
 from repro.sim import trace as tr
 from repro.sim.serialize import WireError, register_wire_type
+
+#: Seed offset between co-hosted shards, so each group draws distinct
+#: election/jitter randomness while shard 0 keeps the pre-sharding
+#: derivation exactly (a prime far above any realistic pid/seed reuse).
+SHARD_SEED_STRIDE = 7919
 
 
 @dataclass(frozen=True)
@@ -100,57 +127,37 @@ class NotLeaderError(Exception):
     """This node lost (or never had) leadership; client should redirect."""
 
 
-class KVServer:
-    """One cluster member: Raft node + live runtime + client frontend.
+class KVShard:
+    """One Raft group hosted by a :class:`KVServer`.
 
-    Args:
-        cluster: full membership.
-        pid: this node's pid.
-        seed: run seed (election randomness derives from it).
-        election_timeout: randomized election timer range, in seconds.
-        heartbeat_interval: leader heartbeat period, in seconds.
-        batch_window: how long the leader waits to fold concurrent client
-            writes into one proposal.
-        max_batch: flush a batch early at this many writes.
-        max_inflight: hold new proposals while this many log entries are
-            uncommitted.  Group commit: writes arriving while the pipeline
-            is full coalesce into the next batch, which is flushed as soon
-            as a commit frees a slot — so the entry rate self-clocks to
-            the commit rate and batch size adapts to load.  Delta
-            replication (per-follower cursors in the Raft node) makes each
-            in-flight entry cost linear wire bytes, so the default is a
-            deep pipeline; the cap bounds commit latency and uncommitted
-            log memory, not replication traffic.
-        commit_timeout: how long a client ``put`` may wait for commit
-            before the server answers with an error (client retries).
-        snapshot_threshold: forwarded to the Raft node (log compaction).
-        epoch: shared trace-time origin (see :class:`LiveRuntime`).
-        observers: extra trace listeners for the node's runtime.
+    Owns the group's :class:`RaftNode`, its :class:`LiveRuntime` (driving
+    the node over the server's shared transport, frames tagged with
+    ``shard_id``), and the write-batching state: pending client futures,
+    the open batch, and the group-commit flow control.
     """
 
     def __init__(
         self,
+        shard_id: int,
         cluster: ClusterConfig,
         pid: int,
+        transport: PeerTransport,
         *,
-        seed: int = 0,
-        election_timeout: Tuple[float, float] = (0.3, 0.6),
-        heartbeat_interval: float = 0.06,
-        batch_window: float = 0.005,
-        max_batch: int = 64,
-        max_inflight: int = DEFAULT_MAX_INFLIGHT,
-        commit_timeout: float = 5.0,
-        snapshot_threshold: Optional[int] = None,
-        epoch: Optional[float] = None,
+        seed: int,
+        election_timeout: Tuple[float, float],
+        heartbeat_interval: float,
+        batch_window: float,
+        max_batch: int,
+        max_inflight: int,
+        snapshot_threshold: Optional[int],
+        epoch: Optional[float],
         observers: Tuple = (),
-        transport_options: Optional[Dict[str, Any]] = None,
     ):
-        self.cluster = cluster
+        self.shard_id = shard_id
         self.pid = pid
         self.batch_window = batch_window
         self.max_batch = max_batch
-        self.max_inflight = validate_max_inflight(max_inflight)
-        self.commit_timeout = commit_timeout
+        self.max_inflight = max_inflight
         self.node = RaftNode(
             election_timeout=election_timeout,
             heartbeat_interval=heartbeat_interval,
@@ -166,55 +173,50 @@ class KVServer:
             seed=seed,
             observers=observers,
             epoch=epoch,
-            transport_options=transport_options,
+            transport=transport,
+            shard=shard_id,
         )
         self.runtime.trace.subscribe(self._on_trace)
         self._pending: Dict[str, asyncio.Future] = {}
         self._batch: List[TaggedPut] = []
         self._flush_handle: Optional[asyncio.TimerHandle] = None
         self._batch_counter = 0
-        self._client_server: Optional[asyncio.AbstractServer] = None
-        self._client_writers: List[asyncio.StreamWriter] = []
-        self._watchdog: Optional[asyncio.Task] = None
         self._barrier_terms: set = set()
-
-    # ------------------------------------------------------------------
-    # Lifecycle
-    # ------------------------------------------------------------------
-
-    async def start(self, *, restart: bool = False) -> None:
-        spec = self.cluster[self.pid]
-        self._client_server = await asyncio.start_server(
-            self._handle_client, spec.host, spec.client_port
-        )
-        await self.runtime.start(restart=restart)
-        self._watchdog = asyncio.ensure_future(self._watch_leadership())
-
-    async def stop(self, *, crash: bool = False) -> None:
-        if self._watchdog is not None:
-            self._watchdog.cancel()
-            try:
-                await self._watchdog
-            except (asyncio.CancelledError, Exception):
-                pass
-            self._watchdog = None
-        if self._client_server is not None:
-            self._client_server.close()
-            await self._client_server.wait_closed()
-            self._client_server = None
-        for writer in list(self._client_writers):
-            writer.close()
-        self._client_writers.clear()
-        self._fail_pending()
-        await self.runtime.stop(crash=crash)
 
     @property
     def is_leader(self) -> bool:
         return self.node.state is LEADER
 
+    @property
+    def leader_hint(self) -> Optional[int]:
+        return self.node.leader_hint
+
+    def has_pending(self) -> bool:
+        return bool(self._pending)
+
     # ------------------------------------------------------------------
-    # Raft-side plumbing
+    # Write path
     # ------------------------------------------------------------------
+
+    def enqueue(self, op: TaggedPut) -> asyncio.Future:
+        """Register ``op`` for the next batch; resolves at apply time."""
+        future: asyncio.Future = asyncio.get_event_loop().create_future()
+        self._pending[op.op_id] = future
+        self._batch.append(op)
+        if len(self._batch) >= self.max_batch:
+            if self._flush_handle is not None:
+                self._flush_handle.cancel()
+                self._flush_handle = None
+            self._flush_batch()
+        elif self._flush_handle is None:
+            self._flush_handle = asyncio.get_event_loop().call_later(
+                self.batch_window, self._flush_batch
+            )
+        return future
+
+    def forget(self, op_id: str) -> None:
+        """Drop a pending waiter (the frontend timed the request out)."""
+        self._pending.pop(op_id, None)
 
     def _on_trace(self, event) -> None:
         if event.kind != tr.ANNOTATE:
@@ -285,19 +287,187 @@ class KVServer:
                 self.batch_window, self._flush_batch
             )
 
-    def _fail_pending(self) -> None:
+    def fail_pending(self) -> None:
         for future in self._pending.values():
             if not future.done():
                 future.set_exception(NotLeaderError())
         self._pending.clear()
         self._batch.clear()
 
+
+class KVServer:
+    """One cluster member: ``shards`` Raft groups + shared transport +
+    client frontend.
+
+    Args:
+        cluster: full membership.
+        pid: this node's pid.
+        shards: independent Raft groups hosted by every node.  Keys are
+            hash-partitioned across them; ``1`` (the default) preserves
+            the pre-sharding wire behaviour exactly.
+        seed: run seed (election randomness derives from it; each shard
+            offsets it by :data:`SHARD_SEED_STRIDE` so co-hosted groups
+            draw distinct randomness).
+        election_timeout: randomized election timer range, in seconds.
+            With several shards this is the *preferred* node's range
+            (node ``i mod n`` for shard ``i``); the other nodes get a
+            strictly later range so leaders spread across the cluster.
+        heartbeat_interval: leader heartbeat period, in seconds.
+        batch_window: how long a shard leader waits to fold concurrent
+            client writes into one proposal.
+        max_batch: flush a batch early at this many writes.
+        max_inflight: per shard, hold new proposals while this many log
+            entries are uncommitted.  Group commit: writes arriving while
+            the pipeline is full coalesce into the next batch, which is
+            flushed as soon as a commit frees a slot — so the entry rate
+            self-clocks to the commit rate and batch size adapts to load.
+            Delta replication (per-follower cursors in the Raft node)
+            makes each in-flight entry cost linear wire bytes, so the
+            default is a deep pipeline; the cap bounds commit latency and
+            uncommitted log memory, not replication traffic.
+        commit_timeout: how long a client ``put`` may wait for commit
+            before the server answers with an error (client retries).
+        snapshot_threshold: forwarded to each Raft node (log compaction).
+        epoch: shared trace-time origin (see :class:`LiveRuntime`).
+        observers: extra trace listeners for every shard's runtime.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterConfig,
+        pid: int,
+        *,
+        shards: int = 1,
+        seed: int = 0,
+        election_timeout: Tuple[float, float] = (0.3, 0.6),
+        heartbeat_interval: float = 0.06,
+        batch_window: float = 0.005,
+        max_batch: int = 64,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        commit_timeout: float = 5.0,
+        snapshot_threshold: Optional[int] = None,
+        epoch: Optional[float] = None,
+        observers: Tuple = (),
+        transport_options: Optional[Dict[str, Any]] = None,
+    ):
+        self.cluster = cluster
+        self.pid = pid
+        self.shard_count = validate_shards(shards)
+        self.batch_window = batch_window
+        self.max_batch = max_batch
+        self.max_inflight = validate_max_inflight(max_inflight)
+        self.commit_timeout = commit_timeout
+        options = dict(transport_options or {})
+        options.setdefault(
+            "jitter_seed", derive_process_seed(seed, pid, cluster.n) ^ 1
+        )
+        self.transport = PeerTransport(
+            cluster, pid, on_event=self._on_transport_event, **options
+        )
+        self.shards: List[KVShard] = []
+        for shard_id in range(self.shard_count):
+            timeout = election_timeout
+            if self.shard_count > 1:
+                # Stagger first elections so shard i's leadership starts
+                # on node i mod n and load spreads across the cluster.
+                timeout = staggered_election_timeout(
+                    election_timeout, shard_id, pid, cluster.n
+                )
+            self.shards.append(
+                KVShard(
+                    shard_id,
+                    cluster,
+                    pid,
+                    self.transport,
+                    seed=seed + SHARD_SEED_STRIDE * shard_id,
+                    election_timeout=timeout,
+                    heartbeat_interval=heartbeat_interval,
+                    batch_window=batch_window,
+                    max_batch=max_batch,
+                    max_inflight=self.max_inflight,
+                    snapshot_threshold=snapshot_threshold,
+                    epoch=epoch,
+                    observers=observers,
+                )
+            )
+        self._client_server: Optional[asyncio.AbstractServer] = None
+        self._client_writers: List[asyncio.StreamWriter] = []
+        self._watchdog: Optional[asyncio.Task] = None
+
+    # ------------------------------------------------------------------
+    # Single-group compatibility surface (shard 0)
+    # ------------------------------------------------------------------
+
+    @property
+    def node(self) -> RaftNode:
+        """Shard 0's Raft node (the whole node when ``shards == 1``)."""
+        return self.shards[0].node
+
+    @property
+    def runtime(self) -> LiveRuntime:
+        """Shard 0's runtime (its ``transport`` is the shared one)."""
+        return self.shards[0].runtime
+
+    @property
+    def is_leader(self) -> bool:
+        return self.shards[0].is_leader
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self, *, restart: bool = False) -> None:
+        spec = self.cluster[self.pid]
+        self._client_server = await asyncio.start_server(
+            self._handle_client, spec.host, spec.client_port
+        )
+        await self.transport.start()
+        for shard in self.shards:
+            await shard.runtime.start(restart=restart)
+        self._watchdog = asyncio.ensure_future(self._watch_leadership())
+
+    async def stop(self, *, crash: bool = False) -> None:
+        if self._watchdog is not None:
+            self._watchdog.cancel()
+            try:
+                await self._watchdog
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._watchdog = None
+        if self._client_server is not None:
+            self._client_server.close()
+            await self._client_server.wait_closed()
+            self._client_server = None
+        for writer in list(self._client_writers):
+            writer.close()
+        self._client_writers.clear()
+        for shard in self.shards:
+            shard.fail_pending()
+            await shard.runtime.stop(crash=crash)
+        await self.transport.stop()
+
+    def _on_transport_event(self, kind: str, peer: int) -> None:
+        # One shared link per peer: record connect/disconnect once, into
+        # shard 0's trace (the compatibility trace of the whole node).
+        runtime = self.shards[0].runtime
+        runtime.trace.record(
+            runtime.now,
+            tr.CONNECT if kind == "connect" else tr.DISCONNECT,
+            self.pid,
+            peer,
+        )
+
+    def shard_for_key(self, key: Any) -> int:
+        """The shard owning ``key`` (the same hash clients compute)."""
+        return shard_of(key, self.shard_count)
+
     async def _watch_leadership(self) -> None:
-        """Fail pending writes promptly when leadership is lost."""
+        """Fail pending writes promptly when a shard loses leadership."""
         while True:
             await asyncio.sleep(0.1)
-            if self._pending and self.node.state is not LEADER:
-                self._fail_pending()
+            for shard in self.shards:
+                if shard.has_pending() and not shard.is_leader:
+                    shard.fail_pending()
 
     # ------------------------------------------------------------------
     # Client frontend
@@ -338,25 +508,40 @@ class KVServer:
             return await self._serve_put(request)
         if kind == "get":
             key = request.get("key")
-            machine = self.node.machine
+            shard = self.shards[self.shard_for_key(key)]
+            machine = shard.node.machine
             return {
                 "type": "value",
                 "key": key,
                 "found": key in machine.data,
                 "value": machine.data.get(key),
-                "applied": self.node.last_applied,
-                "leader": self.node.leader_hint,
+                "applied": shard.node.last_applied,
+                "leader": shard.leader_hint,
+                "shard": shard.shard_id,
             }
         if kind == "status":
+            head = self.shards[0]
             return {
                 "type": "status",
                 "pid": self.pid,
                 "n": self.cluster.n,
-                "role": self.node.state,
-                "term": self.node.current_term,
-                "commit_index": self.node.commit_index,
-                "applied": self.node.last_applied,
-                "leader": self.node.leader_hint,
+                "shards": self.shard_count,
+                "role": head.node.state,
+                "term": head.node.current_term,
+                "commit_index": head.node.commit_index,
+                "applied": head.node.last_applied,
+                "leader": head.leader_hint,
+                "groups": [
+                    {
+                        "shard": shard.shard_id,
+                        "role": shard.node.state,
+                        "term": shard.node.current_term,
+                        "commit_index": shard.node.commit_index,
+                        "applied": shard.node.last_applied,
+                        "leader": shard.leader_hint,
+                    }
+                    for shard in self.shards
+                ],
             }
         return {"type": "error", "reason": f"unknown request type {kind!r}"}
 
@@ -364,40 +549,36 @@ class KVServer:
         op_id = request.get("id")
         if not isinstance(op_id, str) or not op_id:
             return {"type": "error", "reason": "put needs a string id"}
-        if self.node.state is not LEADER:
-            return self._redirect()
-        future: asyncio.Future = asyncio.get_event_loop().create_future()
-        self._pending[op_id] = future
-        self._batch.append(
-            TaggedPut(request.get("key"), request.get("value"), op_id)
-        )
-        if len(self._batch) >= self.max_batch:
-            if self._flush_handle is not None:
-                self._flush_handle.cancel()
-                self._flush_handle = None
-            self._flush_batch()
-        elif self._flush_handle is None:
-            self._flush_handle = asyncio.get_event_loop().call_later(
-                self.batch_window, self._flush_batch
-            )
+        key = request.get("key")
+        shard = self.shards[self.shard_for_key(key)]
+        if not shard.is_leader:
+            return self._redirect(shard)
+        future = shard.enqueue(TaggedPut(key, request.get("value"), op_id))
         try:
             index = await asyncio.wait_for(future, timeout=self.commit_timeout)
-            return {"type": "ok", "id": op_id, "index": index}
+            return {
+                "type": "ok", "id": op_id, "index": index,
+                "shard": shard.shard_id,
+            }
         except NotLeaderError:
-            return self._redirect()
+            return self._redirect(shard)
         except asyncio.TimeoutError:
             return {"type": "error", "reason": "commit timeout", "id": op_id}
         finally:
-            self._pending.pop(op_id, None)
+            shard.forget(op_id)
 
-    def _redirect(self) -> Dict[str, Any]:
-        leader = self.node.leader_hint
+    def _redirect(self, shard: KVShard) -> Dict[str, Any]:
+        leader = shard.leader_hint
         if leader is None or leader == self.pid:
-            return {"type": "redirect", "leader": None, "host": None, "port": None}
+            return {
+                "type": "redirect", "leader": None, "host": None,
+                "port": None, "shard": shard.shard_id,
+            }
         spec = self.cluster[leader]
         return {
             "type": "redirect",
             "leader": leader,
             "host": spec.host,
             "port": spec.client_port,
+            "shard": shard.shard_id,
         }

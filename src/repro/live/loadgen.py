@@ -10,6 +10,17 @@
   hides latency spikes by slowing its own arrival rate (coordinated
   omission).
 
+Both are *shard-aware*: each worker's :class:`AsyncKVClient` routes every
+put to the shard owning its key, so against a sharded cluster the load
+spreads across all shard leaders.  The shard count is discovered once
+(one ``status`` round trip) and handed to every worker client.
+
+Key distributions: ``uniform`` (the default) draws keys uniformly from
+the keyspace; ``zipf`` draws rank ``k`` with probability proportional to
+``1 / k**s`` (:class:`ZipfSampler`), the standard model for hot-key
+skew — with sharding it concentrates load on the hot keys' shards, which
+is exactly the behaviour worth measuring.
+
 Both return a :class:`LoadReport` with throughput and commit-latency
 percentiles computed by :func:`repro.analysis.metrics.latency_summary`,
 so live numbers live in the same shape the simulation benchmarks use.
@@ -18,14 +29,64 @@ so live numbers live in the same shape the simulation benchmarks use.
 from __future__ import annotations
 
 import asyncio
+import bisect
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.analysis.metrics import latency_summary
 from repro.live.client import AsyncKVClient, ClusterUnavailableError
 from repro.live.config import ClusterConfig
+
+KEY_DISTRIBUTIONS = ("uniform", "zipf")
+
+
+class ZipfSampler:
+    """Zipf(s) ranks over ``0 .. n-1``: ``P(k) ∝ 1 / (k + 1)**s``.
+
+    Rank 0 is the hottest key.  Sampling is inverse-CDF over a
+    precomputed table (O(log n) per draw, exact — no rejection), driven
+    by the caller's ``random.Random`` so runs stay seed-deterministic.
+    """
+
+    def __init__(self, n: int, s: float = 1.1):
+        if n < 1:
+            raise ValueError(f"need at least one rank, got n={n}")
+        if s <= 0:
+            raise ValueError(f"zipf exponent must be > 0, got s={s}")
+        self.n = n
+        self.s = s
+        cdf: List[float] = []
+        total = 0.0
+        for rank in range(1, n + 1):
+            total += 1.0 / rank**s
+            cdf.append(total)
+        self._cdf = cdf
+        self._total = total
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one rank in ``0 .. n-1``."""
+        return bisect.bisect_left(self._cdf, rng.random() * self._total)
+
+    def probability(self, rank: int) -> float:
+        """The exact probability of ``rank`` (for tests and reports)."""
+        return (1.0 / (rank + 1) ** self.s) / self._total
+
+
+def make_key_sampler(
+    key_dist: str, key_space: int, zipf_s: float = 1.1
+) -> Callable[[random.Random], str]:
+    """A ``rng -> key`` function for the named distribution."""
+    if key_dist == "uniform":
+        return lambda rng: f"k{rng.randrange(key_space)}"
+    if key_dist == "zipf":
+        sampler = ZipfSampler(key_space, zipf_s)
+        return lambda rng: f"k{sampler.sample(rng)}"
+    raise ValueError(
+        f"unknown key distribution {key_dist!r} "
+        f"(choose from {KEY_DISTRIBUTIONS})"
+    )
 
 
 @dataclass
@@ -40,6 +101,8 @@ class LoadReport:
     target_rate: Optional[float] = None
     latency: Dict[str, float] = field(default_factory=dict)
     acked: Dict[Any, Any] = field(default_factory=dict)
+    key_dist: str = "uniform"
+    shards: int = 1
 
     @property
     def throughput(self) -> float:
@@ -56,6 +119,8 @@ class LoadReport:
             "target_rate": self.target_rate,
             "throughput_ops_s": self.throughput,
             "latency_s": self.latency,
+            "key_dist": self.key_dist,
+            "shards": self.shards,
         }
 
     def summary(self) -> str:
@@ -69,10 +134,25 @@ class LoadReport:
         )
 
 
-def _payload(rng: random.Random, i: int, key_space: int, value_size: int):
-    key = f"k{rng.randrange(key_space)}"
-    value = f"{i}-" + "x" * max(0, value_size - len(str(i)) - 1)
-    return key, value
+def _value(i: int, value_size: int) -> str:
+    return f"{i}-" + "x" * max(0, value_size - len(str(i)) - 1)
+
+
+async def _discover_shards(
+    cluster: ClusterConfig,
+    shards: Optional[int],
+    *,
+    codec: Any,
+    request_timeout: float,
+) -> int:
+    """Resolve the shard count once so every worker client skips discovery."""
+    if shards is not None:
+        return shards
+    probe = AsyncKVClient(cluster, request_timeout=request_timeout, codec=codec)
+    try:
+        return await probe.shard_count()
+    finally:
+        await probe.close()
 
 
 async def run_closed_loop(
@@ -85,8 +165,15 @@ async def run_closed_loop(
     seed: int = 0,
     request_timeout: float = 5.0,
     codec: Any = None,
+    key_dist: str = "uniform",
+    zipf_s: float = 1.1,
+    shards: Optional[int] = None,
 ) -> LoadReport:
     """``concurrency`` workers each issue puts back-to-back, ``ops`` total."""
+    sample_key = make_key_sampler(key_dist, key_space, zipf_s)
+    shard_count = await _discover_shards(
+        cluster, shards, codec=codec, request_timeout=request_timeout
+    )
     latencies: List[float] = []
     acked: Dict[Any, Any] = {}
     errors = 0
@@ -96,7 +183,10 @@ async def run_closed_loop(
     async def worker(worker_id: int) -> None:
         nonlocal errors
         rng = random.Random((seed << 8) | worker_id)
-        client = AsyncKVClient(cluster, request_timeout=request_timeout, codec=codec)
+        client = AsyncKVClient(
+            cluster, request_timeout=request_timeout, codec=codec,
+            shards=shard_count,
+        )
         try:
             while True:
                 async with lock:
@@ -104,7 +194,7 @@ async def run_closed_loop(
                         i = next(counter)
                     except StopIteration:
                         return
-                key, value = _payload(rng, i, key_space, value_size)
+                key, value = sample_key(rng), _value(i, value_size)
                 begin = time.monotonic()
                 try:
                     await client.put(key, value)
@@ -127,6 +217,8 @@ async def run_closed_loop(
         concurrency=concurrency,
         latency=latency_summary(latencies),
         acked=acked,
+        key_dist=key_dist,
+        shards=shard_count,
     )
 
 
@@ -142,6 +234,9 @@ async def run_open_loop(
     max_connections: int = 64,
     request_timeout: float = 5.0,
     codec: Any = None,
+    key_dist: str = "uniform",
+    zipf_s: float = 1.1,
+    shards: Optional[int] = None,
 ) -> LoadReport:
     """Schedule arrivals at ``rate``/s for ``duration`` seconds.
 
@@ -151,6 +246,10 @@ async def run_open_loop(
     """
     if rate <= 0:
         raise ValueError("rate must be positive")
+    sample_key = make_key_sampler(key_dist, key_space, zipf_s)
+    shard_count = await _discover_shards(
+        cluster, shards, codec=codec, request_timeout=request_timeout
+    )
     latencies: List[float] = []
     acked: Dict[Any, Any] = {}
     errors = 0
@@ -170,7 +269,8 @@ async def run_open_loop(
             return free.get_nowait()
         if len(pool) < max_connections:
             client = AsyncKVClient(
-                cluster, request_timeout=request_timeout, codec=codec
+                cluster, request_timeout=request_timeout, codec=codec,
+                shards=shard_count,
             )
             pool.append(client)
             return client
@@ -178,7 +278,7 @@ async def run_open_loop(
 
     async def one(i: int) -> None:
         nonlocal errors, outstanding
-        key, value = _payload(rng, i, key_space, value_size)
+        key, value = sample_key(rng), _value(i, value_size)
         begin = time.monotonic()
         client = await acquire()
         try:
@@ -222,4 +322,6 @@ async def run_open_loop(
         target_rate=rate,
         latency=latency_summary(latencies),
         acked=acked,
+        key_dist=key_dist,
+        shards=shard_count,
     )

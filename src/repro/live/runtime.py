@@ -96,9 +96,14 @@ class LiveRuntime:
             exactly as on the simulated runtimes).
         epoch: ``time.monotonic()`` origin for trace timestamps; pass one
             shared value to every node so merged traces are on one axis.
-        transport: pre-built :class:`PeerTransport` (the KV server shares
-            one); by default the runtime owns its own.
+        transport: pre-built :class:`PeerTransport` (the sharded KV server
+            shares one across all its groups); by default the runtime owns
+            its own.
         transport_options: kwargs forwarded to the default transport.
+        shard: this runtime's Raft-group id when several groups share one
+            transport.  Outbound frames are tagged with it and inbound
+            frames for it are routed here; shard 0 (the default) is the
+            pre-sharding wire encoding.
     """
 
     def __init__(
@@ -114,6 +119,7 @@ class LiveRuntime:
         epoch: Optional[float] = None,
         transport: Optional[PeerTransport] = None,
         transport_options: Optional[Dict[str, Any]] = None,
+        shard: int = 0,
     ):
         n = cluster.n
         if not 0 <= pid < n:
@@ -130,12 +136,16 @@ class LiveRuntime:
             pid, n, self.t, init_value,
             random.Random(derive_process_seed(seed, pid, n)),
         )
+        if shard < 0:
+            raise ValueError(f"shard must be >= 0, got {shard}")
+        self.shard = shard
         options = dict(transport_options or {})
         options.setdefault("jitter_seed", derive_process_seed(seed, pid, n) ^ 1)
         self.transport = transport or PeerTransport(
-            cluster, pid, self._on_peer_message,
+            cluster, pid,
             on_event=self._on_transport_event, **options,
         )
+        self.transport.add_handler(shard, self._on_peer_message)
         self._owns_transport = transport is None
         self._mailbox: list = []
         self._mail_event = asyncio.Event()
@@ -383,7 +393,7 @@ class LiveRuntime:
             self._mailbox.append(envelope)
             self._mail_event.set()
         else:
-            self.transport.send(dst, payload, now)
+            self.transport.send(dst, payload, now, shard=self.shard)
 
     def _next_seq(self) -> int:
         self._seq += 1

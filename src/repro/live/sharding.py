@@ -1,0 +1,137 @@
+"""Key→shard routing for multi-group (sharded) KV clusters.
+
+A sharded cluster runs ``S`` independent Raft groups on the same node set,
+multiplexed over one peer connection per node pair (shard-tagged frames,
+see :mod:`repro.live.wire`).  The keyspace is hash-partitioned: every key
+deterministically belongs to exactly one shard, so a ``put``/``get`` never
+crosses groups and ``S`` leaders commit in parallel.
+
+The hash is computed identically by servers and clients — and must be
+*stable across processes and Python versions*, which rules out the
+builtin ``hash()`` (salted per process for strings).  :func:`shard_of`
+therefore hashes a canonical byte encoding of the key with BLAKE2b.
+
+Leader placement is *staggered*: shard ``i`` prefers starting leadership
+on node ``i mod n`` (the preferred node gets the configured election
+timeout range; the others get a strictly later range), so the ``S``
+leaders spread across the cluster instead of piling onto whichever node's
+timer fires first.  This is a preference, not a constraint — after a
+crash any node can win the shard's election, exactly as in plain Raft.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from typing import Any, Dict, Optional, Tuple
+
+from repro.live.config import ClusterConfig, validate_shards
+
+__all__ = [
+    "ShardRouter",
+    "preferred_leader",
+    "shard_of",
+    "staggered_election_timeout",
+]
+
+
+def _key_bytes(key: Any) -> bytes:
+    """A canonical, process-independent byte encoding of a KV key.
+
+    Distinct leading type tags keep ``"1"`` and ``1`` (and ``b"x"`` and
+    ``"x"``) from colliding by construction.
+    """
+    if isinstance(key, str):
+        return b"s" + key.encode("utf-8")
+    if isinstance(key, bytes):
+        return b"b" + key
+    if isinstance(key, bool):
+        return b"?1" if key else b"?0"
+    if isinstance(key, int):
+        return b"i" + str(key).encode("ascii")
+    return b"r" + repr(key).encode("utf-8")
+
+
+def shard_of(key: Any, shards: int) -> int:
+    """The shard owning ``key`` in a ``shards``-group cluster.
+
+    Deterministic across processes, machines and Python versions — the
+    router on a client must agree with every server forever.
+    """
+    if shards <= 1:
+        return 0
+    digest = hashlib.blake2b(_key_bytes(key), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % shards
+
+
+def preferred_leader(shard: int, n: int) -> int:
+    """The node on which ``shard`` prefers to start leadership."""
+    return shard % n
+
+
+def staggered_election_timeout(
+    base: Tuple[float, float], shard: int, pid: int, n: int
+) -> Tuple[float, float]:
+    """Election-timeout range for ``pid`` in ``shard``'s group.
+
+    The preferred node keeps the configured range; every other node gets
+    a strictly later, equally wide range, so on a clean start the
+    preferred node times out first and wins the shard's first election.
+    Liveness is unaffected: if the preferred node is down, the others
+    still time out and elect among themselves.
+    """
+    lo, hi = base
+    if pid == preferred_leader(shard, n):
+        return base
+    return (lo + hi, 2 * hi)
+
+
+class ShardRouter:
+    """Client-side routing state: key→shard plus per-shard leader hints.
+
+    Args:
+        cluster: the cluster membership (client addresses are used).
+        shards: number of Raft groups the cluster runs.
+
+    The router starts each shard's hint at its preferred leader's address
+    (right on a cleanly started cluster), then learns from redirects
+    (:meth:`note_leader`) and connection failures (:meth:`note_failure`,
+    which rotates that shard — and only that shard — to another node).
+    """
+
+    def __init__(self, cluster: ClusterConfig, shards: int):
+        self.cluster = cluster
+        self.shards = validate_shards(shards)
+        self._hints: Dict[int, Tuple[str, int]] = {}
+        self._rotation = itertools.cycle(range(cluster.n))
+
+    def shard_of(self, key: Any) -> int:
+        """The shard owning ``key``."""
+        return shard_of(key, self.shards)
+
+    def target(self, shard: int) -> Tuple[str, int]:
+        """The client address to try next for ``shard``."""
+        hint = self._hints.get(shard)
+        if hint is not None:
+            return hint
+        spec = self.cluster[preferred_leader(shard, self.cluster.n)]
+        return spec.client_addr
+
+    def note_leader(self, shard: int, addr: Tuple[str, int]) -> None:
+        """A redirect named ``addr`` as ``shard``'s leader."""
+        if 0 <= shard < self.shards:
+            self._hints[shard] = addr
+
+    def note_failure(self, shard: int) -> None:
+        """``shard``'s target failed: rotate it to some other node."""
+        failed = self.target(shard)
+        for _ in range(self.cluster.n):
+            candidate = self.cluster[next(self._rotation)].client_addr
+            if candidate != failed:
+                self._hints[shard] = candidate
+                return
+        self._hints.pop(shard, None)
+
+    def hint(self, shard: int) -> Optional[Tuple[str, int]]:
+        """The learned hint for ``shard`` (``None`` if still the default)."""
+        return self._hints.get(shard)

@@ -20,6 +20,16 @@ algorithm in the library already tolerates.
 The transport never inspects payloads; loss, duplication (none today) and
 reordering semantics are exactly those of the underlying TCP streams plus
 the drop-oldest overflow rule.
+
+Sharding
+--------
+One transport (one socket pair per peer) carries every Raft group a node
+hosts: each ``msg`` frame is tagged with its shard id (shard 0 uses the
+untagged legacy encoding — see :mod:`repro.live.wire`) and inbound frames
+are demultiplexed to the handler registered for that shard via
+:meth:`PeerTransport.add_handler`.  Frames for a shard with no handler
+are counted (``stats.unrouted``) and dropped, which is just message loss
+to the algorithms.
 """
 
 from __future__ import annotations
@@ -66,6 +76,7 @@ class TransportStats:
         "bytes_sent",
         "bytes_received",
         "writes",
+        "unrouted",
     )
 
     def __init__(self) -> None:
@@ -77,6 +88,7 @@ class TransportStats:
         self.bytes_sent = 0
         self.bytes_received = 0
         self.writes = 0
+        self.unrouted = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}
@@ -88,7 +100,9 @@ class PeerTransport:
     Args:
         cluster: full membership (this node's listen address included).
         pid: this node's pid.
-        on_message: called on the event loop for every received payload.
+        on_message: called on the event loop for every received shard-0
+            payload (``None`` when handlers are registered later with
+            :meth:`add_handler` — the sharded KV server does this).
         on_event: optional connect/disconnect notifications (the live
             runtime records them into the trace).
         heartbeat_interval: idle time after which a ``ping`` frame is sent
@@ -107,13 +121,19 @@ class PeerTransport:
         max_coalesce_bytes: outbound frames queued behind one another are
             packed into a single socket write up to this many bytes (one
             syscall and one drain for a whole replication burst).
+        link_delay: artificial one-way latency, in seconds, added to every
+            received peer frame before it is dispatched (netem-style WAN
+            emulation for benchmarks — localhost RTTs hide pipeline
+            effects that dominate real deployments).  Per-link frame
+            order is preserved; ``0`` (the default) adds no code to the
+            hot path.
     """
 
     def __init__(
         self,
         cluster: ClusterConfig,
         pid: int,
-        on_message: MessageHandler,
+        on_message: Optional[MessageHandler] = None,
         *,
         on_event: Optional[EventHandler] = None,
         heartbeat_interval: float = 0.5,
@@ -125,10 +145,16 @@ class PeerTransport:
         jitter_seed: Optional[int] = None,
         codec: Any = None,
         max_coalesce_bytes: int = 256 * 1024,
+        link_delay: float = 0.0,
     ):
         self.cluster = cluster
         self.pid = pid
+        #: Shard-0 handler; kept as a plain attribute (not an entry in
+        #: ``_handlers``) so existing single-group users can read and
+        #: swap it directly.
         self.on_message = on_message
+        #: Handlers for shards >= 1 (see :meth:`add_handler`).
+        self._handlers: Dict[int, MessageHandler] = {}
         self.on_event = on_event
         self.codec: WireCodec = get_codec(codec)
         self.max_coalesce_bytes = max_coalesce_bytes
@@ -140,9 +166,12 @@ class PeerTransport:
         self.reconnect_base = reconnect_base
         self.reconnect_max = reconnect_max
         self.max_queue = max_queue
+        if link_delay < 0:
+            raise ValueError(f"link_delay must be >= 0, got {link_delay}")
+        self.link_delay = link_delay
         self.stats = TransportStats()
         self._rng = random.Random(jitter_seed)
-        self._queues: Dict[int, Deque[Tuple[Any, Optional[float]]]] = {}
+        self._queues: Dict[int, Deque[Tuple[Any, Optional[float], int]]] = {}
         self._queue_events: Dict[int, asyncio.Event] = {}
         self._tasks: List[asyncio.Task] = []
         self._server: Optional[asyncio.AbstractServer] = None
@@ -197,10 +226,34 @@ class PeerTransport:
             self._server = None
 
     # ------------------------------------------------------------------
+    # Shard demultiplexing
+    # ------------------------------------------------------------------
+
+    def add_handler(self, shard: int, handler: MessageHandler) -> None:
+        """Register ``handler`` for inbound frames tagged with ``shard``.
+
+        Shard 0 is the :attr:`on_message` attribute (the pre-sharding
+        interface); registering it here just assigns that attribute.
+        """
+        if shard < 0:
+            raise ValueError(f"shard must be >= 0, got {shard}")
+        if shard == 0:
+            self.on_message = handler
+        else:
+            self._handlers[shard] = handler
+
+    # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------
 
-    def send(self, dst: int, payload: Any, send_time: Optional[float] = None) -> None:
+    def send(
+        self,
+        dst: int,
+        payload: Any,
+        send_time: Optional[float] = None,
+        *,
+        shard: int = 0,
+    ) -> None:
         """Queue ``payload`` for delivery to ``dst`` (fire-and-forget)."""
         if self._closed:
             return
@@ -210,7 +263,7 @@ class PeerTransport:
         if len(queue) >= self.max_queue:
             queue.popleft()
             self.stats.dropped += 1
-        queue.append((payload, send_time))
+        queue.append((payload, send_time, shard))
         self._queue_events[dst].set()
 
     async def _outbound_loop(self, peer: int) -> None:
@@ -251,7 +304,7 @@ class PeerTransport:
 
     async def _pump(
         self,
-        queue: Deque[Tuple[Any, Optional[float]]],
+        queue: Deque[Tuple[Any, Optional[float], int]],
         event: asyncio.Event,
         writer: asyncio.StreamWriter,
     ) -> None:
@@ -284,9 +337,9 @@ class PeerTransport:
                     continue
             buffer = bytearray()
             while queue and len(buffer) < self.max_coalesce_bytes:
-                payload, send_time = queue.popleft()
+                payload, send_time, shard = queue.popleft()
                 buffer += encode_peer_frame(
-                    "msg", codec, payload=payload, ts=send_time
+                    "msg", codec, payload=payload, ts=send_time, shard=shard
                 )
                 stats.sent += 1
             writer.write(bytes(buffer))
@@ -312,7 +365,7 @@ class PeerTransport:
                 read_frame_bytes(reader), timeout=self.connect_timeout * 4
             )
             self.stats.bytes_received += len(body) + 4
-            kind, src, _ = parse_peer_frame(decode_body(body))
+            kind, src, _, _ = parse_peer_frame(decode_body(body))
             if kind != "hello" or not isinstance(src, int):
                 return
             while not self._closed:
@@ -323,10 +376,23 @@ class PeerTransport:
                 else:
                     body = await read_frame_bytes(reader)
                 self.stats.bytes_received += len(body) + 4
-                kind, payload, ts = parse_peer_frame(decode_body(body))
+                kind, payload, ts, shard = parse_peer_frame(decode_body(body))
                 if kind == "msg":
                     self.stats.received += 1
-                    self.on_message(src, payload, ts)
+                    handler = (
+                        self.on_message if shard == 0
+                        else self._handlers.get(shard)
+                    )
+                    if handler is None:
+                        self.stats.unrouted += 1
+                    elif self.link_delay:
+                        # call_later is FIFO at equal delays, so per-link
+                        # frame order survives the emulated latency.
+                        asyncio.get_event_loop().call_later(
+                            self.link_delay, handler, src, payload, ts
+                        )
+                    else:
+                        handler(src, payload, ts)
         except asyncio.CancelledError:
             # End quietly: asyncio's stream protocol logs handler tasks
             # that finish in the cancelled state.

@@ -23,6 +23,13 @@ Peer links additionally use *compact frames* (:func:`encode_peer_frame` /
 instead of a ``{"type": "msg", ...}`` dict, saving the per-message key
 strings on the hot replication path.  The dict form remains accepted
 forever — it is what JSON-codec and older nodes send.
+
+Sharded clusters multiplex several Raft groups over one connection by
+tagging ``msg`` frames with a shard id: ``("m", ts, payload, shard)`` in
+binary, a ``"shard"`` key in JSON.  Shard 0 always uses the *untagged*
+legacy encoding, so a 1-shard cluster is byte-identical on the wire to a
+pre-sharding one and mixed-version clusters interoperate; receivers treat
+a missing tag as shard 0.
 """
 
 from __future__ import annotations
@@ -168,15 +175,23 @@ def encode_peer_frame(
     payload: Any = None,
     ts: Optional[float] = None,
     pid: Optional[int] = None,
+    shard: int = 0,
 ) -> bytes:
     """One complete peer-link frame (``hello`` / ``msg`` / ``ping``).
 
     The JSON codec keeps the legacy self-describing dict shape; the binary
-    codec uses short tuples tagged by their first element.
+    codec uses short tuples tagged by their first element.  ``msg`` frames
+    for shard 0 use the untagged legacy encoding — byte-identical to a
+    pre-sharding node — while other shards append the shard id.
     """
     if codec.name == "json":
         if kind == "msg":
-            value: Any = {"type": "msg", "payload": payload, "ts": ts}
+            if shard:
+                value: Any = {
+                    "type": "msg", "payload": payload, "ts": ts, "shard": shard,
+                }
+            else:
+                value = {"type": "msg", "payload": payload, "ts": ts}
         elif kind == "ping":
             value = {"type": "ping"}
         elif kind == "hello":
@@ -185,7 +200,7 @@ def encode_peer_frame(
             raise ValueError(f"unknown peer frame kind {kind!r}")
     else:
         if kind == "msg":
-            value = ("m", ts, payload)
+            value = ("m", ts, payload, shard) if shard else ("m", ts, payload)
         elif kind == "ping":
             value = ("p",)
         elif kind == "hello":
@@ -195,28 +210,39 @@ def encode_peer_frame(
     return frame_bytes(value, codec)
 
 
-def parse_peer_frame(frame: Any) -> Tuple[Optional[str], Any, Any]:
-    """Normalize a decoded peer frame to ``(kind, field, field)``.
+def parse_peer_frame(frame: Any) -> Tuple[Optional[str], Any, Any, int]:
+    """Normalize a decoded peer frame to ``(kind, field, field, shard)``.
 
-    Returns ``("msg", payload, ts)``, ``("ping", None, None)``,
-    ``("hello", pid, None)``, or ``(None, None, None)`` for anything
+    Returns ``("msg", payload, ts, shard)``, ``("ping", None, None, 0)``,
+    ``("hello", pid, None, 0)``, or ``(None, None, None, 0)`` for anything
     unrecognized (the transport skips those, tolerating future kinds).
+    An absent shard tag means shard 0 — what pre-sharding nodes send — and
+    a malformed shard tag (non-int or negative) marks the whole frame
+    unrecognized rather than misrouting it.
     """
     if isinstance(frame, dict):
         kind = frame.get("type")
         if kind == "msg":
-            return "msg", frame.get("payload"), frame.get("ts")
+            shard = frame.get("shard", 0)
+            if not isinstance(shard, int) or isinstance(shard, bool) or shard < 0:
+                return None, None, None, 0
+            return "msg", frame.get("payload"), frame.get("ts"), shard
         if kind == "ping":
-            return "ping", None, None
+            return "ping", None, None, 0
         if kind == "hello":
-            return "hello", frame.get("pid"), None
-        return None, None, None
+            return "hello", frame.get("pid"), None, 0
+        return None, None, None, 0
     if isinstance(frame, tuple) and frame:
         tag = frame[0]
         if tag == "m" and len(frame) == 3:
-            return "msg", frame[2], frame[1]
+            return "msg", frame[2], frame[1], 0
+        if tag == "m" and len(frame) == 4:
+            shard = frame[3]
+            if not isinstance(shard, int) or isinstance(shard, bool) or shard < 0:
+                return None, None, None, 0
+            return "msg", frame[2], frame[1], shard
         if tag == "p":
-            return "ping", None, None
+            return "ping", None, None, 0
         if tag == "h" and len(frame) == 2:
-            return "hello", frame[1], None
-    return None, None, None
+            return "hello", frame[1], None, 0
+    return None, None, None, 0

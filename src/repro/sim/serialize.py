@@ -351,8 +351,21 @@ def wire_dumps(value: Any) -> bytes:
 
 
 def wire_loads(data: bytes) -> Any:
-    """Decode frame-body bytes produced by :func:`wire_dumps`."""
-    return from_wire(json.loads(data.decode("utf-8")))
+    """Decode frame-body bytes produced by :func:`wire_dumps`.
+
+    Any malformed input — invalid UTF-8 or JSON, a structurally broken
+    wire dict (missing ``v``/``t``/``f`` slots, bad base64, wrong field
+    names) — raises :class:`WireError`, matching the binary codec: a
+    corrupt frame from the network must never escape as an arbitrary
+    exception.
+    """
+    try:
+        return from_wire(json.loads(data.decode("utf-8")))
+    except WireError:
+        raise
+    except (ValueError, KeyError, TypeError) as exc:
+        # ValueError covers bad JSON, bad UTF-8 and bad base64 alike.
+        raise WireError(f"malformed JSON frame: {exc}") from None
 
 
 # ----------------------------------------------------------------------

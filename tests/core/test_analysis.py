@@ -90,10 +90,31 @@ class TestSummarize:
         assert "±" in text
 
 
+def _seeded_trial(seed):
+    """Module-level (hence picklable) trial: a seeded pseudo-experiment."""
+    import random
+
+    rng = random.Random(seed)
+    return {"seed": seed, "draws": tuple(rng.random() for _ in range(16))}
+
+
 class TestHarness:
     def test_run_trials_passes_seeds(self):
         results = run_trials(lambda seed: seed * 2, [1, 2, 3])
         assert results == [2, 4, 6]
+
+    def test_run_trials_jobs_one_stays_serial(self):
+        # jobs<=1 takes the in-process path: closures stay legal.
+        assert run_trials(lambda s: s + 1, [5, 6], jobs=1) == [6, 7]
+
+    def test_parallel_trials_identical_to_serial(self):
+        # Parallelism must change wall-clock time only: same seeds, same
+        # per-seed results, same order — byte-identical to serial.
+        seeds = list(range(12))
+        serial = run_trials(_seeded_trial, seeds)
+        parallel = run_trials(_seeded_trial, seeds, jobs=2)
+        assert parallel == serial
+        assert [r["seed"] for r in parallel] == seeds
 
     def test_format_table_aligns_columns(self):
         table = format_table(["name", "n"], [["a", 1], ["long-name", 100]])

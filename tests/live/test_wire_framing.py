@@ -12,6 +12,13 @@ from repro.live import (
     read_frame,
     write_frame,
 )
+from repro.live.wire import (
+    BINARY_CODEC,
+    JSON_CODEC,
+    decode_body,
+    encode_peer_frame,
+    parse_peer_frame,
+)
 from repro.algorithms.raft.messages import RequestVote
 
 
@@ -116,6 +123,158 @@ class TestClusterConfig:
     def test_bad_spec_rejected(self):
         with pytest.raises(ValueError):
             ClusterConfig.from_spec("no-port")
+
+
+class TestShardedPeerFrames:
+    """Shard-tagged frames: round trips, legacy compatibility, demux."""
+
+    @staticmethod
+    def _round_trip(codec, shard):
+        frame = encode_peer_frame(
+            "msg", codec, payload=RequestVote(2, 1, 0, 0), ts=1.5, shard=shard
+        )
+        return parse_peer_frame(decode_body(frame[4:]))
+
+    def test_round_trip_both_codecs_all_shards(self):
+        for codec in (BINARY_CODEC, JSON_CODEC):
+            for shard in (0, 1, 2, 7, 255):
+                kind, payload, ts, got = self._round_trip(codec, shard)
+                assert kind == "msg"
+                assert payload == RequestVote(2, 1, 0, 0)
+                assert ts == 1.5
+                assert got == shard
+
+    def test_shard_zero_is_byte_identical_to_legacy(self):
+        # A 1-shard cluster must emit exactly the pre-sharding bytes.
+        for codec in (BINARY_CODEC, JSON_CODEC):
+            tagged = encode_peer_frame(
+                "msg", codec, payload={"x": 1}, ts=2.0, shard=0
+            )
+            legacy = encode_peer_frame("msg", codec, payload={"x": 1}, ts=2.0)
+            assert tagged == legacy
+        body = decode_body(
+            encode_peer_frame("msg", BINARY_CODEC, payload=None, ts=0.0)[4:]
+        )
+        assert len(body) == 3  # no shard slot at all on the legacy shape
+
+    def test_untagged_frames_parse_as_shard_zero(self):
+        assert parse_peer_frame(("m", 1.0, "p")) == ("msg", "p", 1.0, 0)
+        assert parse_peer_frame(
+            {"type": "msg", "payload": "p", "ts": 1.0}
+        ) == ("msg", "p", 1.0, 0)
+
+    def test_malformed_shard_tags_rejected_not_misrouted(self):
+        bad_shards = (-1, "3", 1.5, None, True, [2])
+        for bad in bad_shards:
+            assert parse_peer_frame(("m", 1.0, "p", bad))[0] is None
+            assert parse_peer_frame(
+                {"type": "msg", "payload": "p", "ts": 1.0, "shard": bad}
+            )[0] is None
+
+    def test_unknown_frame_shapes_skipped(self):
+        for frame in ((), ("m",), ("m", 1.0), ("m", 1.0, "p", 2, 3),
+                      ("z", 1), {"type": "future"}, "junk", 7, None):
+            assert parse_peer_frame(frame) == (None, None, None, 0)
+
+
+class TestShardDemux:
+    """One socket pair carries every shard; handlers pick their traffic."""
+
+    def test_transport_routes_by_shard(self):
+        async def scenario():
+            cluster = ClusterConfig.localhost(2)
+            by_shard = {0: [], 1: []}
+            got_all = asyncio.Event()
+
+            def make_handler(shard):
+                def handler(src, payload, ts):
+                    by_shard[shard].append(payload["n"])
+                    if sum(len(v) for v in by_shard.values()) >= 4:
+                        got_all.set()
+                return handler
+
+            a = PeerTransport(cluster, 0, lambda *args: None,
+                              heartbeat_interval=0.1, connect_timeout=0.5)
+            b = PeerTransport(cluster, 1, make_handler(0),
+                              heartbeat_interval=0.1, connect_timeout=0.5)
+            b.add_handler(1, make_handler(1))
+            await b.start()
+            await a.start()
+            a.send(1, {"n": 1})
+            a.send(1, {"n": 2}, shard=1)
+            a.send(1, {"n": 3}, shard=1)
+            a.send(1, {"n": 4})
+            await asyncio.wait_for(got_all.wait(), 10.0)
+            assert by_shard == {0: [1, 4], 1: [2, 3]}
+            await a.stop()
+            await b.stop()
+
+        run(scenario())
+
+    def test_link_delay_defers_but_preserves_order(self):
+        async def scenario():
+            import time
+
+            cluster = ClusterConfig.localhost(2)
+            inbox = []
+            got_all = asyncio.Event()
+
+            def on_message(src, payload, ts):
+                inbox.append((payload["n"], time.monotonic()))
+                if len(inbox) >= 3:
+                    got_all.set()
+
+            a = PeerTransport(cluster, 0, lambda *args: None,
+                              heartbeat_interval=0.1, connect_timeout=0.5)
+            b = PeerTransport(cluster, 1, on_message,
+                              heartbeat_interval=0.1, connect_timeout=0.5,
+                              link_delay=0.05)
+            await b.start()
+            await a.start()
+            start = time.monotonic()
+            for n in (1, 2, 3):
+                a.send(1, {"n": n})
+            await asyncio.wait_for(got_all.wait(), 10.0)
+            assert [n for n, _t in inbox] == [1, 2, 3]
+            # Every delivery waited out the emulated one-way latency.
+            assert all(t - start >= 0.05 for _n, t in inbox)
+            await a.stop()
+            await b.stop()
+
+        run(scenario())
+
+    def test_negative_link_delay_rejected(self):
+        cluster = ClusterConfig.localhost(2)
+        with pytest.raises(ValueError):
+            PeerTransport(cluster, 0, lambda *args: None, link_delay=-0.1)
+
+    def test_unrouted_shard_counted_and_dropped(self):
+        async def scenario():
+            cluster = ClusterConfig.localhost(2)
+            inbox = []
+            got_marker = asyncio.Event()
+
+            def on_message(src, payload, ts):
+                inbox.append(payload["n"])
+                got_marker.set()
+
+            a = PeerTransport(cluster, 0, lambda *args: None,
+                              heartbeat_interval=0.1, connect_timeout=0.5)
+            b = PeerTransport(cluster, 1, on_message,
+                              heartbeat_interval=0.1, connect_timeout=0.5)
+            await b.start()
+            await a.start()
+            # Shard 5 has no handler on b: the frame is dropped (counted),
+            # like message loss — never delivered to the wrong group.
+            a.send(1, {"n": 1}, shard=5)
+            a.send(1, {"n": 2})  # marker on shard 0 orders the assertion
+            await asyncio.wait_for(got_marker.wait(), 10.0)
+            assert inbox == [2]
+            assert b.stats.unrouted == 1
+            await a.stop()
+            await b.stop()
+
+        run(scenario())
 
 
 class TestTransport:

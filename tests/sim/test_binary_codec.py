@@ -216,6 +216,71 @@ class TestMalformedFrames:
                 pass
 
 
+class TestShardTaggedFrameFuzz:
+    """Shard-tagged peer frames survive the same hostility as plain ones."""
+
+    @staticmethod
+    def _frames():
+        from repro.live.wire import BINARY_CODEC, JSON_CODEC, encode_peer_frame
+
+        message = AppendEntries(3, 0, 2, 1, (Entry(2, Put("k", "v")),), 1)
+        out = []
+        for codec in (BINARY_CODEC, JSON_CODEC):
+            for shard in (0, 1, 5, 200):
+                out.append(
+                    encode_peer_frame(
+                        "msg", codec, payload=message, ts=0.25, shard=shard
+                    )[4:]  # body only; length prefix is the stream's job
+                )
+        return out
+
+    def test_tagged_frames_round_trip(self):
+        from repro.live.wire import decode_body, parse_peer_frame
+
+        for body in self._frames():
+            kind, payload, ts, shard = parse_peer_frame(decode_body(body))
+            assert kind == "msg"
+            assert isinstance(payload, AppendEntries)
+            assert ts == 0.25
+            assert isinstance(shard, int) and shard >= 0
+
+    def test_byte_flip_fuzz_never_escapes_or_misroutes(self):
+        # Decoding a mangled tagged frame must yield WireError or a parse
+        # that either rejects the frame (kind None) or reports a sane
+        # shard — never an exception, never a negative/typed-wrong shard.
+        from repro.live.wire import decode_body, parse_peer_frame
+
+        for body in self._frames():
+            for i in range(len(body)):
+                for flip in (0x01, 0x1F, 0xFF):
+                    mangled = body[:i] + bytes([body[i] ^ flip]) + body[i + 1:]
+                    try:
+                        frame = decode_body(mangled)
+                    except WireError:
+                        continue
+                    kind, _payload, _ts, shard = parse_peer_frame(frame)
+                    assert isinstance(shard, int) and not isinstance(shard, bool)
+                    assert shard >= 0
+                    assert kind in (None, "msg", "ping", "hello")
+
+    def test_random_bytes_fuzz_never_escapes(self):
+        from repro.live.wire import parse_peer_frame
+        from repro.sim.serialize import binary_loads as loads
+
+        rng = random.Random(0x5A4D)
+        for _ in range(2000):
+            data = bytes(
+                rng.randrange(256) for _ in range(rng.randrange(1, 48))
+            )
+            try:
+                frame = loads(data)
+            except WireError:
+                continue
+            kind, _payload, _ts, shard = parse_peer_frame(frame)
+            assert isinstance(shard, int) and shard >= 0
+            assert kind in (None, "msg", "ping", "hello")
+
+
 class TestJsonInterop:
     """Both codecs share one registry and one value model."""
 
