@@ -21,6 +21,7 @@ cluster runtime (see ``docs/live.md``) hang off the same entry point::
     python -m repro serve --pid 0 --peers 127.0.0.1:7400,127.0.0.1:7401,127.0.0.1:7402
     python -m repro client --peers ... put greeting hello
     python -m repro loadgen --peers ... --ops 500
+    python -m repro chaos --nodes 5 --shards 2 --seed 7
 """
 
 from __future__ import annotations
@@ -84,6 +85,8 @@ additional commands (dispatched before this parser):
   serve --pid N --peers ...    run one live replicated-KV node (docs/live.md)
   client --peers ... OP        put/get/status against a live cluster
   loadgen --peers ... ...      drive a live cluster, report latency percentiles
+  chaos --seed N ...           fault-inject a cluster, check linearizability
+                               (docs/chaos.md)
 """
 
 
@@ -149,6 +152,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.live.cli import main as live_main
 
         return live_main(argv)
+    if argv and argv[0] == "chaos":
+        from repro.chaos.cli import main as chaos_main
+
+        return chaos_main(argv[1:])
     args = build_parser().parse_args(argv)
     name = args.algorithm
 

@@ -1,0 +1,211 @@
+"""``python -m repro chaos`` — run a seeded chaos campaign end to end.
+
+Boots an in-process localhost cluster (:class:`~repro.live.harness.LiveKVCluster`),
+runs a recorded client workload while a :class:`~repro.chaos.nemesis.Nemesis`
+executes a seeded fault plan, then heals, lets the cluster quiesce, and
+checks the recorded history for linearizability.  Exit status: ``0`` if
+the history is linearizable, ``1`` on a violation (the minimal witness is
+printed), ``2`` if the checker's time budget ran out before a verdict.
+
+Examples::
+
+    python -m repro chaos --nodes 5 --shards 2 --seed 7 --duration 20
+    python -m repro chaos --seed 3 --inject-bug stale-reads   # exits 1
+    python -m repro chaos --seed 1 --html campaign.html --json history.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from typing import List, Optional
+
+from repro.chaos.checker import check_history
+from repro.chaos.history import History
+from repro.chaos.nemesis import (
+    DEFAULT_KINDS,
+    FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    Nemesis,
+)
+from repro.chaos.timeline import render_html, render_text
+from repro.chaos.workload import close_clients, make_clients, run_workload
+from repro.live.harness import LiveKVCluster
+
+#: Fast-failover timings for campaigns: elections resolve in ~a second,
+#: so a 20-second campaign sees many leadership changes.
+CAMPAIGN_TIMINGS = dict(election_timeout=(0.3, 0.6), heartbeat_interval=0.06)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description="Fault-inject a live KV cluster and check the recorded "
+        "client history for linearizability.",
+    )
+    parser.add_argument("--nodes", type=int, default=5, help="cluster size")
+    parser.add_argument("--shards", type=int, default=2, help="Raft groups")
+    parser.add_argument("--seed", type=int, default=0, help="campaign seed")
+    parser.add_argument(
+        "--duration", type=float, default=20.0,
+        help="workload/nemesis duration in seconds",
+    )
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument(
+        "--read-fraction", type=float, default=0.5, metavar="F",
+        help="fraction of ops that are linearizable reads",
+    )
+    parser.add_argument(
+        "--key-space", type=int, default=4, metavar="K",
+        help="number of distinct keys (small = high contention)",
+    )
+    parser.add_argument(
+        "--readonly-clients", type=int, default=1, metavar="R",
+        help="how many clients never write (readers are what catch "
+        "deposed-leader stale reads)",
+    )
+    parser.add_argument(
+        "--op-pause", type=float, default=0.005, metavar="SECS",
+        help="per-client pause between ops (bounds history size so the "
+        "checker finishes within its budget)",
+    )
+    parser.add_argument(
+        "--fault-period", type=float, default=3.0, metavar="SECS",
+        help="seconds between injected faults",
+    )
+    parser.add_argument(
+        "--kinds", default=",".join(DEFAULT_KINDS), metavar="K1,K2,...",
+        help=f"fault kinds to draw from (choose from {', '.join(FAULT_KINDS)})",
+    )
+    parser.add_argument(
+        "--time-budget", type=float, default=30.0, metavar="SECS",
+        help="linearizability checker wall-clock budget",
+    )
+    parser.add_argument(
+        "--grace", type=float, default=3.0, metavar="SECS",
+        help="post-heal quiesce time before the final reads",
+    )
+    parser.add_argument(
+        "--html", metavar="FILE", default=None,
+        help="write an HTML timeline of the campaign",
+    )
+    parser.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write the recorded history as JSON lines",
+    )
+    parser.add_argument(
+        "--inject-bug", choices=("stale-reads",), default=None,
+        help="deliberately break the cluster (stale-reads: nodes that "
+        "believe they lead serve lin reads from local state) — the "
+        "campaign should then FAIL the check",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="print only the verdict"
+    )
+    return parser
+
+
+async def run_campaign(args: argparse.Namespace) -> int:
+    kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
+    plan = FaultPlan.random_campaign(
+        args.seed,
+        duration=args.duration,
+        period=args.fault_period,
+        kinds=kinds,
+    )
+    cluster = LiveKVCluster(
+        args.nodes,
+        seed=args.seed,
+        shards=args.shards,
+        unsafe_lin_reads=(args.inject_bug == "stale-reads"),
+        **CAMPAIGN_TIMINGS,
+    )
+    history = History()
+    clients = make_clients(
+        cluster.cluster, history, args.clients, shards=args.shards
+    )
+    say = (lambda *_a, **_k: None) if args.quiet else print
+    say(
+        f"campaign: {args.nodes} nodes / {args.shards} shards, seed "
+        f"{args.seed}, {len(plan.events)} fault events over "
+        f"{args.duration:.0f}s"
+    )
+    try:
+        await cluster.start()
+        await cluster.wait_for_all_leaders(15.0)
+        nemesis = Nemesis(cluster, plan)
+        workload = asyncio.ensure_future(
+            run_workload(
+                clients,
+                duration=args.duration,
+                seed=args.seed,
+                key_space=args.key_space,
+                read_fraction=args.read_fraction,
+                readonly_clients=args.readonly_clients,
+                pause=args.op_pause,
+            )
+        )
+        await nemesis.run()
+        stats = await workload
+        # Heal everything, revive everyone, and give the cluster a grace
+        # period so the final reads land on a converged system.
+        await nemesis.apply(FaultEvent(0.0, "heal"))
+        await nemesis.apply(FaultEvent(0.0, "restart"))
+        await cluster.wait_for_all_leaders(15.0)
+        if args.grace > 0:
+            await run_workload(
+                clients,
+                duration=args.grace,
+                seed=args.seed + 1,
+                key_space=args.key_space,
+                read_fraction=1.0,
+                readonly_clients=len(clients),
+                pause=args.op_pause,
+            )
+        for action in nemesis.log:
+            say(f"  t={action.at:6.2f}s  {action.kind:<15} {action.detail}")
+        say(
+            f"workload: {stats['ok']} ok, {stats['ambiguous']} ambiguous, "
+            f"{stats['failed']} failed; history of {len(history)} ops"
+        )
+    finally:
+        await close_clients(clients)
+        await cluster.stop()
+
+    report = check_history(history, time_budget=args.time_budget)
+    print(report.summary())
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(history.to_jsonl())
+        say(f"history written to {args.json}")
+    if args.html:
+        witness = report.violations[0].witness if report.violations else None
+        with open(args.html, "w") as fh:
+            fh.write(
+                render_html(
+                    history.ops,
+                    title=f"chaos seed {args.seed}"
+                    + (" — NOT linearizable" if report.ok is False else ""),
+                    faults=[(a.at, a.kind) for a in nemesis.log],
+                    highlight=witness,
+                )
+            )
+        say(f"timeline written to {args.html}")
+    if report.ok is False:
+        for violation in report.violations:
+            print()
+            print(f"witness for key {violation.key!r}:")
+            print(render_text(violation.witness))
+        return 1
+    return 0 if report.ok else 2
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return asyncio.run(run_campaign(args))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,452 @@
+"""The nemesis: timed fault campaigns against a live KV cluster.
+
+A :class:`FaultPlan` is a declarative, seed-reproducible schedule of
+:class:`FaultEvent`\\ s — *when* to do *what* — and :class:`Nemesis`
+executes one against a running
+:class:`~repro.live.harness.LiveKVCluster`, using the harness for
+process faults (kill/restart) and the transport fault hooks
+(:meth:`~repro.live.transport.PeerTransport.set_link_fault`) for network
+faults.  Everything the nemesis does is appended to ``log`` with a
+wall-clock timestamp, so campaign timelines can overlay faults on the
+recorded client history.
+
+Fault kinds
+-----------
+``kill-leader``       kill shard 0's current leader (crash, no warning)
+``kill-random``       kill a random live node (never breaking majority)
+``restart``           restart every killed node
+``partition``         symmetric split: a random minority is black-holed
+                      from the rest, both directions, every live node
+``partition-leader``  isolate a shard's current leader from all peers —
+                      the deposed-leader scenario that exposes stale-read
+                      bugs (the majority elects a new leader; the old
+                      one, alone, still believes it leads)
+``asym-partition``    one-way black-hole: a random node stops *sending*
+                      (its peers still reach it) — the asymmetric case
+                      that breaks naive failure detectors
+``drop``              probabilistic loss on every link of one random node
+``delay``             extra one-way latency on every link of one node
+``timeout-skew``      scale one node's election-timeout range (a slow or
+                      hasty clock), restored on ``heal``
+``heal``              clear every link fault and timeout skew
+
+The nemesis never kills more than a strict minority, so a correct cluster
+must keep committing through the whole campaign — which is exactly what
+the availability benchmark (E15) measures and the linearizability checker
+verifies.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.live.harness import LiveKVCluster
+
+#: Every fault kind a plan may schedule.
+FAULT_KINDS = (
+    "kill-leader",
+    "kill-random",
+    "restart",
+    "partition",
+    "partition-leader",
+    "asym-partition",
+    "drop",
+    "delay",
+    "timeout-skew",
+    "heal",
+)
+
+#: The default campaign mix: each cycle injects one disruptive fault,
+#: lets it bite, then heals/restarts so the cluster must re-converge.
+DEFAULT_KINDS = (
+    "kill-leader",
+    "partition",
+    "partition-leader",
+    "kill-random",
+    "asym-partition",
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled nemesis action at ``at`` seconds into the campaign."""
+
+    at: float
+    kind: str
+    args: Tuple[Tuple[str, Any], ...] = ()
+
+    def arg(self, name: str, default: Any = None) -> Any:
+        return dict(self.args).get(name, default)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A validated, time-ordered schedule of fault events."""
+
+    events: Tuple[FaultEvent, ...]
+    seed: Optional[int] = None
+
+    def __post_init__(self):
+        last = -1.0
+        for event in self.events:
+            if event.kind not in FAULT_KINDS:
+                raise ValueError(
+                    f"unknown fault kind {event.kind!r} "
+                    f"(choose from {FAULT_KINDS})"
+                )
+            if event.at < 0:
+                raise ValueError(f"fault time must be >= 0, got {event.at}")
+            if event.at < last:
+                raise ValueError("fault events must be time-ordered")
+            last = event.at
+
+    @property
+    def duration(self) -> float:
+        return self.events[-1].at if self.events else 0.0
+
+    @classmethod
+    def random_campaign(
+        cls,
+        seed: int,
+        *,
+        duration: float = 30.0,
+        period: float = 3.0,
+        kinds: Sequence[str] = DEFAULT_KINDS,
+        heal_fraction: float = 0.6,
+        drop_prob: float = 0.4,
+        delay: float = 0.05,
+        skew_factor: float = 3.0,
+    ) -> "FaultPlan":
+        """A seeded disrupt→heal cycle schedule.
+
+        Deterministic: the same ``(seed, parameters)`` always yields the
+        identical plan (the determinism test pins this).  Each ``period``
+        starts one randomly chosen disruption; ``heal_fraction`` of the
+        way through the period the damage is repaired (``heal`` plus
+        ``restart``), so the cluster alternates between surviving a fault
+        and recovering from it.
+        """
+        if not kinds:
+            raise ValueError("need at least one fault kind")
+        for kind in kinds:
+            if kind not in FAULT_KINDS:
+                raise ValueError(f"unknown fault kind {kind!r}")
+        if period <= 0:
+            raise ValueError("period must be positive")
+        rng = random.Random(seed)
+        events: List[FaultEvent] = []
+        at = period
+        while at < duration:
+            kind = kinds[rng.randrange(len(kinds))]
+            args: Tuple[Tuple[str, Any], ...] = ()
+            if kind == "drop":
+                args = (("prob", drop_prob),)
+            elif kind == "delay":
+                args = (("delay", delay),)
+            elif kind == "timeout-skew":
+                args = (("factor", skew_factor),)
+            # One random draw reserved per event for victim selection, so
+            # inserting new kinds upstream never shifts later victims.
+            victim_roll = rng.random()
+            events.append(
+                FaultEvent(round(at, 6), kind, args + (("roll", victim_roll),))
+            )
+            heal_at = at + heal_fraction * period
+            if heal_at < duration:
+                events.append(FaultEvent(round(heal_at, 6), "heal"))
+                events.append(FaultEvent(round(heal_at, 6), "restart"))
+            at += period
+        return cls(tuple(events), seed=seed)
+
+
+@dataclass
+class NemesisAction:
+    """What the nemesis actually did (for logs and timeline overlays)."""
+
+    at: float
+    kind: str
+    detail: str
+
+
+class Nemesis:
+    """Execute a :class:`FaultPlan` against a live cluster harness.
+
+    Args:
+        cluster: the running harness (nodes may already be missing).
+        plan: the schedule to execute.
+        seed: randomness for victim selection beyond the plan's
+            pre-rolled choices (defaults to the plan's own seed).
+    """
+
+    def __init__(
+        self,
+        cluster: LiveKVCluster,
+        plan: FaultPlan,
+        *,
+        seed: Optional[int] = None,
+    ):
+        self.cluster = cluster
+        self.plan = plan
+        self.rng = random.Random(plan.seed if seed is None else seed)
+        self.log: List[NemesisAction] = []
+        self._skewed: Dict[int, Tuple[float, float]] = {}
+        self._epoch: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Campaign loop
+    # ------------------------------------------------------------------
+
+    async def run(self) -> List[NemesisAction]:
+        """Execute the whole plan; returns the action log.
+
+        Sleeps are relative to the campaign start, so event times in the
+        log line up with history timestamps recorded on the same loop.
+        """
+        loop = asyncio.get_event_loop()
+        start = loop.time()
+        self._epoch = start
+        for event in self.plan.events:
+            delay = start + event.at - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            await self.apply(event)
+        return self.log
+
+    async def apply(self, event: FaultEvent) -> None:
+        """Apply one event now (dispatch by kind)."""
+        handler = {
+            "kill-leader": self._kill_leader,
+            "kill-random": self._kill_random,
+            "restart": self._restart_all,
+            "partition": self._partition,
+            "partition-leader": self._partition_leader,
+            "asym-partition": self._asym_partition,
+            "drop": self._drop,
+            "delay": self._delay,
+            "timeout-skew": self._timeout_skew,
+            "heal": self._heal,
+        }[event.kind]
+        await handler(event)
+
+    def _note(self, kind: str, detail: str) -> None:
+        loop = asyncio.get_event_loop()
+        at = loop.time() - self._epoch if self._epoch is not None else 0.0
+        self.log.append(NemesisAction(at, kind, detail))
+
+    # ------------------------------------------------------------------
+    # Victim selection
+    # ------------------------------------------------------------------
+
+    def _alive(self) -> List[int]:
+        return self.cluster.alive()
+
+    def _may_kill(self) -> bool:
+        n = len(self.cluster.servers)
+        dead = n - len(self._alive())
+        return dead + 1 <= (n - 1) // 2
+
+    def _pick(self, candidates: Sequence[int], event: FaultEvent) -> int:
+        roll = event.arg("roll")
+        if roll is None:
+            roll = self.rng.random()
+        return candidates[int(roll * len(candidates)) % len(candidates)]
+
+    # ------------------------------------------------------------------
+    # Process faults
+    # ------------------------------------------------------------------
+
+    async def _kill_leader(self, event: FaultEvent) -> None:
+        if not self._may_kill():
+            self._note("kill-leader", "skipped: would break majority")
+            return
+        shard = event.arg("shard", 0)
+        leader = self.cluster.leader_pid(shard)
+        if leader is None:
+            self._note("kill-leader", f"skipped: shard {shard} has no leader")
+            return
+        await self.cluster.kill(leader)
+        self._note("kill-leader", f"killed node {leader} (shard {shard} leader)")
+
+    async def _kill_random(self, event: FaultEvent) -> None:
+        if not self._may_kill():
+            self._note("kill-random", "skipped: would break majority")
+            return
+        alive = self._alive()
+        if not alive:
+            self._note("kill-random", "skipped: nothing alive")
+            return
+        victim = self._pick(alive, event)
+        await self.cluster.kill(victim)
+        self._note("kill-random", f"killed node {victim}")
+
+    async def _restart_all(self, event: FaultEvent) -> None:
+        revived = []
+        for pid, server in enumerate(self.cluster.servers):
+            if server is None:
+                await self.cluster.restart(pid)
+                revived.append(pid)
+        self._note(
+            "restart",
+            f"restarted nodes {revived}" if revived else "nothing to restart",
+        )
+
+    # ------------------------------------------------------------------
+    # Network faults (transport hooks)
+    # ------------------------------------------------------------------
+
+    def _transports(self):
+        for server in self.cluster.servers:
+            if server is not None:
+                yield server.pid, server.transport
+
+    def _split(self, kind: str, alive: List[int], minority: set) -> None:
+        """Black-hole every link between ``minority`` and the rest."""
+        majority = [pid for pid in alive if pid not in minority]
+        for pid, transport in self._transports():
+            others = minority if pid not in minority else majority
+            for peer in others:
+                if peer != pid:
+                    transport.set_link_fault(peer, blackhole=True)
+        self._note(kind, f"split {sorted(minority)} | {sorted(majority)}")
+
+    async def _partition(self, event: FaultEvent) -> None:
+        """Symmetric split: a random strict minority vs the rest."""
+        alive = self._alive()
+        if len(alive) < 2:
+            self._note("partition", "skipped: fewer than two nodes alive")
+            return
+        n = len(self.cluster.servers)
+        minority_size = max(1, (n - 1) // 2)
+        seed_pid = self._pick(alive, event)
+        rotation = alive[alive.index(seed_pid):] + alive[:alive.index(seed_pid)]
+        self._split("partition", alive, set(rotation[:minority_size]))
+
+    async def _partition_leader(self, event: FaultEvent) -> None:
+        """Isolate a shard's current leader from every peer, alone.
+
+        With no minority partner to outvote it and no check-quorum, the
+        old leader keeps believing it leads for the whole partition while
+        the majority elects a replacement and commits past it — the
+        deposed-leader scenario where only committed (read-as-log-entry)
+        lin reads stay safe, and where ``unsafe_lin_reads`` produces the
+        stale reads the checker must catch.
+        """
+        alive = self._alive()
+        if len(alive) < 2:
+            self._note(
+                "partition-leader", "skipped: fewer than two nodes alive"
+            )
+            return
+        shards = self.cluster.shard_count
+        roll = event.arg("roll")
+        shard = (
+            int(roll * shards) % shards if roll is not None
+            else self.rng.randrange(shards)
+        )
+        leader = self.cluster.leader_pid(shard)
+        if leader is None or leader not in alive:
+            self._note(
+                "partition-leader", f"skipped: shard {shard} has no live leader"
+            )
+            return
+        self._split("partition-leader", alive, {leader})
+
+    async def _asym_partition(self, event: FaultEvent) -> None:
+        """One node's outbound links go dark; inbound still works."""
+        alive = self._alive()
+        if len(alive) < 2:
+            self._note("asym-partition", "skipped: fewer than two nodes alive")
+            return
+        victim = self._pick(alive, event)
+        server = self.cluster.servers[victim]
+        for peer in alive:
+            if peer != victim:
+                server.transport.set_link_fault(
+                    peer, blackhole=True, direction="out"
+                )
+        self._note("asym-partition", f"node {victim} sends into the void")
+
+    async def _drop(self, event: FaultEvent) -> None:
+        alive = self._alive()
+        if len(alive) < 2:
+            self._note("drop", "skipped: fewer than two nodes alive")
+            return
+        prob = float(event.arg("prob", 0.4))
+        victim = self._pick(alive, event)
+        server = self.cluster.servers[victim]
+        for peer in alive:
+            if peer != victim:
+                server.transport.set_link_fault(peer, drop=prob)
+        self._note("drop", f"node {victim} loses {prob:.0%} of frames")
+
+    async def _delay(self, event: FaultEvent) -> None:
+        alive = self._alive()
+        if len(alive) < 2:
+            self._note("delay", "skipped: fewer than two nodes alive")
+            return
+        extra = float(event.arg("delay", 0.05))
+        victim = self._pick(alive, event)
+        server = self.cluster.servers[victim]
+        for peer in alive:
+            if peer != victim:
+                server.transport.set_link_fault(peer, delay=extra)
+        self._note("delay", f"node {victim} links +{extra * 1e3:.0f}ms")
+
+    async def _timeout_skew(self, event: FaultEvent) -> None:
+        alive = self._alive()
+        if not alive:
+            self._note("timeout-skew", "skipped: nothing alive")
+            return
+        factor = float(event.arg("factor", 3.0))
+        victim = self._pick(alive, event)
+        server = self.cluster.servers[victim]
+        if victim not in self._skewed:
+            self._skewed[victim] = server.shards[0].node.election_timeout
+        lo, hi = self._skewed[victim]
+        for shard in server.shards:
+            shard.node.election_timeout = (lo * factor, hi * factor)
+        self._note(
+            "timeout-skew", f"node {victim} election timeout x{factor:g}"
+        )
+
+    async def _heal(self, event: FaultEvent) -> None:
+        for _pid, transport in self._transports():
+            transport.heal_link()
+        for pid, base in list(self._skewed.items()):
+            server = self.cluster.servers[pid]
+            if server is not None:
+                for shard in server.shards:
+                    shard.node.election_timeout = base
+            del self._skewed[pid]
+        self._note("heal", "all link faults cleared, timeouts restored")
+
+
+def partition_cluster(
+    cluster: LiveKVCluster, side_a: Sequence[int], side_b: Sequence[int]
+) -> None:
+    """Black-hole every link between ``side_a`` and ``side_b`` (both
+    directions on both sides — also usable directly from tests)."""
+    for pid in side_a:
+        server = cluster.servers[pid]
+        if server is None:
+            continue
+        for peer in side_b:
+            if peer != pid:
+                server.transport.set_link_fault(peer, blackhole=True)
+    for pid in side_b:
+        server = cluster.servers[pid]
+        if server is None:
+            continue
+        for peer in side_a:
+            if peer != pid:
+                server.transport.set_link_fault(peer, blackhole=True)
+
+
+def heal_cluster(cluster: LiveKVCluster) -> None:
+    """Clear every link fault on every live node."""
+    for server in cluster.servers:
+        if server is not None:
+            server.transport.heal_link()

@@ -1,0 +1,160 @@
+"""Render recorded histories (and witnesses) as timelines for debugging.
+
+Two renderers over the same :class:`~repro.chaos.history.OpRecord` lists:
+
+* :func:`render_text` — fixed-width ASCII, one lane per client, operation
+  windows drawn as ``[=====]`` bars.  Fits in a terminal and in pytest
+  failure output, which is where witnesses are usually read first.
+* :func:`render_html` — a self-contained HTML file (no external assets)
+  with absolutely-positioned bars, hover titles carrying the full op
+  detail, and nemesis fault events drawn as vertical rules.  Open it in a
+  browser to see exactly which reads overlapped which partition.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.chaos.history import GET, OpRecord
+
+
+def _bounds(ops: Sequence[OpRecord]) -> Tuple[float, float]:
+    start = min(op.inv for op in ops)
+    end = max(
+        max((op.ret for op in ops if op.ret is not None), default=start),
+        max(op.inv for op in ops),
+    )
+    return start, max(end, start + 1e-6)
+
+
+def _label(op: OpRecord) -> str:
+    if op.kind == GET:
+        if op.open or op.ok is False:
+            return f"get({op.key!r})?"
+        seen = repr(op.value) if op.found else "∅"
+        return f"get({op.key!r})={seen}"
+    suffix = "?" if op.open else ""
+    return f"put({op.key!r},{op.value!r}){suffix}"
+
+
+def render_text(ops: Sequence[OpRecord], *, width: int = 72) -> str:
+    """One lane per client; ``[===]`` completed, ``[--->`` open-ended."""
+    if not ops:
+        return "(empty history)"
+    start, end = _bounds(ops)
+    span = end - start
+    scale = (width - 1) / span
+
+    def col(t: float) -> int:
+        return min(width - 1, max(0, int((t - start) * scale)))
+
+    lanes: Dict[int, List[OpRecord]] = {}
+    for op in sorted(ops, key=lambda o: o.inv):
+        lanes.setdefault(op.client, []).append(op)
+    lines = [
+        f"time {start:.3f}s .. {end:.3f}s  ({span:.3f}s across {width} cols)"
+    ]
+    for client in sorted(lanes):
+        for op in lanes[client]:
+            a = col(op.inv)
+            b = col(op.ret) if op.ret is not None else width - 1
+            bar = [" "] * width
+            bar[a] = "["
+            for i in range(a + 1, b):
+                bar[i] = "=" if not op.open else "-"
+            if b > a:
+                bar[b] = "]" if not op.open else ">"
+            lines.append(f"c{client:<3}|{''.join(bar)}| {_label(op)}")
+    return "\n".join(lines)
+
+
+_HTML_HEAD = """<!doctype html>
+<meta charset="utf-8">
+<title>{title}</title>
+<style>
+  body {{ font: 13px/1.4 system-ui, sans-serif; margin: 1.5rem; }}
+  .lane {{ position: relative; height: 22px; border-bottom: 1px solid #eee; }}
+  .lane .who {{ position: absolute; left: 0; width: 4rem; color: #555; }}
+  .track {{ position: absolute; left: 4.5rem; right: 0; top: 0; bottom: 0; }}
+  .op {{ position: absolute; height: 14px; top: 3px; border-radius: 3px;
+        background: #7aa6d6; min-width: 3px; }}
+  .op.get {{ background: #86c58f; }}
+  .op.open {{ background: repeating-linear-gradient(45deg, #d6a77a,
+        #d6a77a 4px, #f2d5bb 4px, #f2d5bb 8px); }}
+  .op.bad {{ outline: 2px solid #d64545; }}
+  .fault {{ position: absolute; top: 0; bottom: 0; width: 0;
+        border-left: 2px dashed #c55; }}
+  .fault span {{ position: absolute; top: -1.1em; left: 2px; color: #c55;
+        white-space: nowrap; font-size: 11px; }}
+  .axis {{ color: #777; margin: .4rem 0 .8rem 4.5rem; }}
+</style>
+<h1>{title}</h1>
+<div class="axis">{axis}</div>
+"""
+
+
+def render_html(
+    ops: Sequence[OpRecord],
+    *,
+    title: str = "chaos history",
+    faults: Optional[Sequence[Tuple[float, str]]] = None,
+    highlight: Optional[Sequence[OpRecord]] = None,
+) -> str:
+    """A self-contained HTML timeline (one lane per client).
+
+    ``faults`` is a list of ``(time, label)`` nemesis events drawn as
+    dashed rules; ``highlight`` ops (a violation witness) get a red
+    outline.
+    """
+    if not ops:
+        return _HTML_HEAD.format(
+            title=html.escape(title), axis="(empty history)"
+        )
+    start, end = _bounds(ops)
+    span = end - start
+    flagged = {id(op) for op in (highlight or ())}
+
+    def pct(t: float) -> float:
+        return 100.0 * (t - start) / span
+
+    lanes: Dict[int, List[OpRecord]] = {}
+    for op in sorted(ops, key=lambda o: o.inv):
+        lanes.setdefault(op.client, []).append(op)
+
+    out = [_HTML_HEAD.format(
+        title=html.escape(title),
+        axis=f"{start:.3f}s &rarr; {end:.3f}s ({span:.3f}s)",
+    )]
+    fault_divs = "".join(
+        f'<div class="fault" style="left:{pct(at):.2f}%">'
+        f"<span>{html.escape(label)}</span></div>"
+        for at, label in (faults or ())
+        if start <= at <= end
+    )
+    for client in sorted(lanes):
+        bars = []
+        for op in lanes[client]:
+            left = pct(op.inv)
+            right = pct(op.ret) if op.ret is not None else 100.0
+            classes = ["op"]
+            if op.kind == GET:
+                classes.append("get")
+            if op.open:
+                classes.append("open")
+            if id(op) in flagged:
+                classes.append("bad")
+            tip = html.escape(
+                f"{_label(op)}  inv={op.inv:.4f}"
+                + (f" ret={op.ret:.4f}" if op.ret is not None else " (open)")
+            )
+            bars.append(
+                f'<div class="{" ".join(classes)}" title="{tip}" '
+                f'style="left:{left:.2f}%;width:{max(right - left, 0.15):.2f}%">'
+                f"</div>"
+            )
+        out.append(
+            f'<div class="lane"><span class="who">client {client}</span>'
+            f'<div class="track">{fault_divs}{"".join(bars)}</div></div>'
+        )
+    return "".join(out)

@@ -1,0 +1,110 @@
+"""The recorded client workload that runs alongside the nemesis.
+
+:func:`run_workload` drives ``clients`` concurrent
+:class:`~repro.chaos.history.HistoryClient`\\ s against a cluster for a
+fixed duration: each loop iteration flips a seeded coin between a ``put``
+of a fresh value and a linearizable ``get``, over a deliberately small
+``key_space`` so operations on the same key overlap often — contention is
+what gives the linearizability checker something to reject.
+
+Values are ``"c<client>-<n>"`` strings, unique per (client, op): a read
+observing a value identifies exactly which write produced it, which keeps
+the checker's per-key register model unambiguous.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Any, Dict, List, Optional
+
+from repro.chaos.history import History, HistoryClient
+from repro.live.client import AsyncKVClient
+from repro.live.config import ClusterConfig
+
+
+def make_clients(
+    cluster: ClusterConfig,
+    history: History,
+    count: int,
+    *,
+    shards: Optional[int] = None,
+    request_timeout: float = 1.0,
+    max_attempts: int = 8,
+    retry_delay: float = 0.1,
+) -> List[HistoryClient]:
+    """Build ``count`` recording clients sharing one history.
+
+    The timeouts are deliberately tight compared with the benchmark
+    clients: under a nemesis the interesting outcome of an unreachable
+    node is a quick failover (or an *ambiguous* op in the history), not a
+    client that blocks half the campaign waiting on a black hole — a
+    writer stuck on an isolated leader commits nothing anywhere, and
+    commits are what give the checker contradictions to find.
+    """
+    return [
+        HistoryClient(
+            client=AsyncKVClient(
+                cluster,
+                request_timeout=request_timeout,
+                max_attempts=max_attempts,
+                retry_delay=retry_delay,
+                shards=shards,
+            ),
+            history=history,
+            client_id=cid,
+        )
+        for cid in range(count)
+    ]
+
+
+async def run_workload(
+    clients: List[HistoryClient],
+    *,
+    duration: float,
+    seed: int = 0,
+    key_space: int = 4,
+    read_fraction: float = 0.5,
+    readonly_clients: int = 1,
+    pause: float = 0.0,
+) -> Dict[str, int]:
+    """Run all clients concurrently for ``duration`` seconds.
+
+    Returns merged client stats (``ok`` / ``ambiguous`` / ``failed``).
+    Each client gets its own derived RNG, so the op mix is reproducible
+    per seed regardless of interleaving.
+
+    The first ``readonly_clients`` clients never write.  That matters for
+    bug-finding: a writer that hits an isolated stale leader stalls on its
+    put, fails over, and never looks back — only a reader whose leader
+    hint is still being *answered* keeps going back to a deposed leader
+    long enough to observe values the majority has already overwritten.
+    """
+
+    async def one_client(hc: HistoryClient) -> None:
+        rng = random.Random((seed << 8) ^ hc.client_id)
+        readonly = hc.client_id < readonly_clients
+        loop = asyncio.get_event_loop()
+        deadline = loop.time() + duration
+        n = 0
+        while loop.time() < deadline:
+            key = f"k{rng.randrange(key_space)}"
+            if readonly or rng.random() < read_fraction:
+                await hc.get(key)
+            else:
+                n += 1
+                await hc.put(key, f"c{hc.client_id}-{n}")
+            if pause > 0:
+                await asyncio.sleep(pause)
+
+    await asyncio.gather(*(one_client(hc) for hc in clients))
+    totals = {"ok": 0, "ambiguous": 0, "failed": 0}
+    for hc in clients:
+        for k, v in hc.stats.items():
+            totals[k] += v
+    return totals
+
+
+async def close_clients(clients: List[HistoryClient]) -> None:
+    for hc in clients:
+        await hc.close()

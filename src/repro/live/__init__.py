@@ -34,7 +34,14 @@ from repro.live import codec as _codec  # registers wire types on import
 from repro.live.client import AsyncKVClient, ClusterUnavailableError
 from repro.live.config import ClusterConfig, NodeSpec
 from repro.live.harness import LiveCluster, LiveKVCluster, merge_traces
-from repro.live.kv import KVServer, KVShard, KvBatch, NotLeaderError, TaggedPut
+from repro.live.kv import (
+    KVServer,
+    KVShard,
+    KvBatch,
+    KvRead,
+    NotLeaderError,
+    TaggedPut,
+)
 from repro.live.loadgen import (
     LoadReport,
     ZipfSampler,
@@ -49,7 +56,7 @@ from repro.live.sharding import (
     shard_of,
     staggered_election_timeout,
 )
-from repro.live.transport import PeerTransport, TransportStats
+from repro.live.transport import LinkFault, PeerTransport, TransportStats
 from repro.live.wire import MAX_FRAME_BYTES, FrameError, read_frame, write_frame
 
 del _codec
@@ -62,6 +69,8 @@ __all__ = [
     "KVServer",
     "KVShard",
     "KvBatch",
+    "KvRead",
+    "LinkFault",
     "LiveCluster",
     "LiveKVCluster",
     "LiveRuntime",

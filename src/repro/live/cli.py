@@ -20,6 +20,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
 import signal
 import sys
 from typing import List, Optional, Tuple
@@ -347,6 +348,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return asyncio.run(runner)
     except KeyboardInterrupt:  # pragma: no cover - interactive only
         return 130
+    except BrokenPipeError:
+        # stdout went away mid-print (`... | head`): exit quietly the
+        # way well-behaved CLIs do, not with a traceback.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

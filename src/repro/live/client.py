@@ -100,14 +100,34 @@ class AsyncKVClient:
         )
         return response["index"]
 
-    async def get(self, key: Any) -> Dict[str, Any]:
+    async def get(
+        self, key: Any, *, linearizable: bool = False,
+        op_id: Optional[str] = None,
+    ) -> Dict[str, Any]:
         """Read ``key`` from whichever node we are connected to.
 
         Returns the raw response dict: ``found``, ``value``, ``applied``
         (the owning shard's applied index on the serving node — reads are
         local and may lag).
+
+        With ``linearizable=True`` the read is routed to the owning
+        shard's leader (redirect-following, like a put) and served as a
+        committed :class:`~repro.live.kv.KvRead` log marker, so it is
+        linearizable with respect to every put.  Reads are idempotent, so
+        retrying a timed-out linearizable get is always safe.
         """
-        return await self._request({"type": "get", "key": key}, want="value")
+        if not linearizable:
+            return await self._request({"type": "get", "key": key}, want="value")
+        if op_id is None:
+            self._ops += 1
+            op_id = f"{uuid.uuid4().hex[:12]}-{self._ops}"
+        router = await self._ensure_router()
+        shard = router.shard_of(key) if router.shards > 1 else None
+        return await self._request(
+            {"type": "get", "key": key, "lin": True, "id": op_id},
+            want="value",
+            shard=shard,
+        )
 
     async def status(self) -> Dict[str, Any]:
         """Status of the currently connected node."""
@@ -186,8 +206,13 @@ class AsyncKVClient:
 
     def _note_failure(self, shard: Optional[int], addr: Addr) -> None:
         self._drop_connection(addr)
-        if shard is not None and self._router is not None:
-            self._router.note_failure(shard)
+        if self._router is not None:
+            # The connection reset invalidates every shard hint naming
+            # this address (a restarted node lost all its leaderships),
+            # not just the shard whose request hit the reset.
+            self._router.invalidate_addr(addr)
+            if shard is not None:
+                self._router.note_failure(shard, addr)
         if self._target == addr:
             self._target = None
 

@@ -160,21 +160,32 @@ class LiveKVCluster:
     ):
         self.cluster = cluster or ClusterConfig.localhost(n)
         self.epoch = time.monotonic()
+        self._server_options = dict(
+            seed=seed,
+            election_timeout=election_timeout,
+            heartbeat_interval=heartbeat_interval,
+            **server_options,
+        )
         self.servers: List[Optional[KVServer]] = []
         self._traces: List[Trace] = []
         for pid in range(n):
-            server = KVServer(
-                self.cluster,
-                pid,
-                seed=seed,
-                election_timeout=election_timeout,
-                heartbeat_interval=heartbeat_interval,
-                epoch=self.epoch,
-                **server_options,
-            )
-            self.servers.append(server)
-            self._traces.extend(shard.runtime.trace for shard in server.shards)
+            self.servers.append(self._build(pid))
         self.shard_count = self.servers[0].shard_count if n else 1
+
+    def _build(self, pid: int) -> KVServer:
+        options = dict(self._server_options)
+        transport_options = options.pop("transport_options", None)
+        server = KVServer(
+            self.cluster,
+            pid,
+            epoch=self.epoch,
+            transport_options=(
+                dict(transport_options) if transport_options else None
+            ),
+            **options,
+        )
+        self._traces.extend(shard.runtime.trace for shard in server.shards)
+        return server
 
     async def start(self) -> None:
         for server in self.servers:
@@ -192,6 +203,26 @@ class LiveKVCluster:
         if server is not None:
             await server.stop(crash=True)
             self.servers[pid] = None
+
+    async def restart(self, pid: int) -> KVServer:
+        """Bring a killed node back with a fresh :class:`KVServer`.
+
+        The new server starts from an empty log — the live analogue of a
+        node rejoining after losing its disk — and catches up through the
+        leader's snapshot/replication path.  No-op (returns the running
+        server) if the node is alive.
+        """
+        server = self.servers[pid]
+        if server is not None:
+            return server
+        server = self._build(pid)
+        self.servers[pid] = server
+        await server.start(restart=True)
+        return server
+
+    def alive(self) -> List[int]:
+        """The pids of currently running nodes."""
+        return [pid for pid, s in enumerate(self.servers) if s is not None]
 
     def leader_pid(self, shard: int = 0) -> Optional[int]:
         """The shard's current leader among live nodes (in-process)."""

@@ -43,6 +43,17 @@ Read path
 carries the shard's applied index so clients needing read-your-writes can
 retry until it reaches their last acknowledged write's index.
 
+A ``get`` with ``"lin": true`` is instead **linearizable**: the leader
+folds a :class:`KvRead` marker into the write batch pipeline and answers
+with the key's value *at the moment the marker commits and applies* — a
+read-as-log-entry, trivially linearizable because reads order exactly
+like writes.  A deposed leader cannot serve one (its marker never
+commits), which is precisely the property the chaos linearizability
+checker (:mod:`repro.chaos`) verifies.  ``unsafe_lin_reads=True`` breaks
+it on purpose — any node that *believes* it is leader answers ``lin``
+reads straight from local state — giving the checker a known consistency
+bug (stale reads from a deposed leader during partitions) to catch.
+
 Delivery semantics are at-least-once: a client that times out and retries
 a ``put`` may apply it twice; puts are idempotent per (key, value), and
 the ``op_id`` carried by :class:`TaggedPut` keeps retries from being
@@ -97,18 +108,33 @@ class TaggedPut(Put):
 
 
 @dataclass(frozen=True)
+class KvRead:
+    """A linearizable-read marker riding the write batch pipeline.
+
+    Commits like a write but applies as a no-op; the shard resolves the
+    waiting client with the key's value at apply time, so the read's
+    linearization point is the marker's position in the log.
+    """
+
+    key: Any = None
+    op_id: str = ""
+
+
+@dataclass(frozen=True)
 class KvBatch:
     """One log entry holding a whole batch of client writes.
 
     ``batch_id`` keeps batches unique commands even when ``ops`` is empty
-    (the leader-change barrier no-op).
+    (the leader-change barrier no-op).  ``ops`` may also contain
+    :class:`KvRead` markers (linearizable reads share the pipeline).
     """
 
-    ops: Tuple[TaggedPut, ...]
+    ops: Tuple[Any, ...]
     batch_id: Any = None
 
 
 register_wire_type(TaggedPut)
+register_wire_type(KvRead)
 register_wire_type(KvBatch)
 
 
@@ -117,9 +143,13 @@ class KVCommandMachine(KeyValueStateMachine):
 
     def apply(self, index: int, command: Any) -> Any:
         if isinstance(command, KvBatch):
+            applied = 0
             for op in command.ops:
+                if isinstance(op, KvRead):
+                    continue  # reads don't mutate state
                 super().apply(index, op)
-            return len(command.ops)
+                applied += 1
+            return applied
         return super().apply(index, command)
 
 
@@ -198,8 +228,11 @@ class KVShard:
     # Write path
     # ------------------------------------------------------------------
 
-    def enqueue(self, op: TaggedPut) -> asyncio.Future:
-        """Register ``op`` for the next batch; resolves at apply time."""
+    def enqueue(self, op: Any) -> asyncio.Future:
+        """Register ``op`` (:class:`TaggedPut` or :class:`KvRead`) for the
+        next batch; the future resolves at apply time — with the commit
+        index for a put, with a ``(index, found, value)`` tuple for a
+        read."""
         future: asyncio.Future = asyncio.get_event_loop().create_future()
         self._pending[op.op_id] = future
         self._batch.append(op)
@@ -228,7 +261,16 @@ class KVShard:
                 for op in command.ops:
                     future = self._pending.pop(op.op_id, None)
                     if future is not None and not future.done():
-                        future.set_result(_index)
+                        if isinstance(op, KvRead):
+                            # The machine just applied this very batch, so
+                            # its state *is* the read's linearization
+                            # point.
+                            data = self.node.machine.data
+                            future.set_result(
+                                (_index, op.key in data, data.get(op.key))
+                            )
+                        else:
+                            future.set_result(_index)
             # Group commit: a commit freed pipeline room, so flush writes
             # that accumulated while it was full without waiting for the
             # batch-window timer.
@@ -330,6 +372,12 @@ class KVServer:
         snapshot_threshold: forwarded to each Raft node (log compaction).
         epoch: shared trace-time origin (see :class:`LiveRuntime`).
         observers: extra trace listeners for every shard's runtime.
+        unsafe_lin_reads: **deliberately broken** linearizable reads —
+            a node that believes it leads a shard answers ``lin`` gets
+            from local state without committing a read marker, so a
+            deposed leader serves stale values.  Exists only so the chaos
+            checker has a real consistency bug to catch; never enable it
+            outside tests.
     """
 
     def __init__(
@@ -349,6 +397,7 @@ class KVServer:
         epoch: Optional[float] = None,
         observers: Tuple = (),
         transport_options: Optional[Dict[str, Any]] = None,
+        unsafe_lin_reads: bool = False,
     ):
         self.cluster = cluster
         self.pid = pid
@@ -357,6 +406,7 @@ class KVServer:
         self.max_batch = max_batch
         self.max_inflight = validate_max_inflight(max_inflight)
         self.commit_timeout = commit_timeout
+        self.unsafe_lin_reads = unsafe_lin_reads
         options = dict(transport_options or {})
         options.setdefault(
             "jitter_seed", derive_process_seed(seed, pid, cluster.n) ^ 1
@@ -509,6 +559,8 @@ class KVServer:
         if kind == "get":
             key = request.get("key")
             shard = self.shards[self.shard_for_key(key)]
+            if request.get("lin"):
+                return await self._serve_lin_get(request, shard)
             machine = shard.node.machine
             return {
                 "type": "value",
@@ -564,6 +616,50 @@ class KVServer:
             return self._redirect(shard)
         except asyncio.TimeoutError:
             return {"type": "error", "reason": "commit timeout", "id": op_id}
+        finally:
+            shard.forget(op_id)
+
+    async def _serve_lin_get(
+        self, request: Dict[str, Any], shard: KVShard
+    ) -> Dict[str, Any]:
+        """A linearizable read: a :class:`KvRead` through the log.
+
+        Redirects unless this node leads the owning shard; times out (the
+        client retries) if the marker cannot commit — which is exactly
+        what happens on a deposed leader, keeping stale values unservable.
+        """
+        key = request.get("key")
+        op_id = request.get("id")
+        if not isinstance(op_id, str) or not op_id:
+            return {"type": "error", "reason": "lin get needs a string id"}
+        if not shard.is_leader:
+            return self._redirect(shard)
+        if self.unsafe_lin_reads:
+            # The injectable bug: answer from local state on mere belief
+            # of leadership — no commit round, no deposition check.
+            machine = shard.node.machine
+            return {
+                "type": "value", "key": key,
+                "found": key in machine.data,
+                "value": machine.data.get(key),
+                "applied": shard.node.last_applied,
+                "leader": shard.leader_hint,
+                "shard": shard.shard_id, "lin": True,
+            }
+        future = shard.enqueue(KvRead(key, op_id))
+        try:
+            index, found, value = await asyncio.wait_for(
+                future, timeout=self.commit_timeout
+            )
+            return {
+                "type": "value", "key": key, "found": found, "value": value,
+                "applied": index, "leader": shard.leader_hint,
+                "shard": shard.shard_id, "lin": True,
+            }
+        except NotLeaderError:
+            return self._redirect(shard)
+        except asyncio.TimeoutError:
+            return {"type": "error", "reason": "read timeout", "id": op_id}
         finally:
             shard.forget(op_id)
 

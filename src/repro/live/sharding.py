@@ -122,15 +122,38 @@ class ShardRouter:
         if 0 <= shard < self.shards:
             self._hints[shard] = addr
 
-    def note_failure(self, shard: int) -> None:
-        """``shard``'s target failed: rotate it to some other node."""
-        failed = self.target(shard)
+    def note_failure(
+        self, shard: int, failed: Optional[Tuple[str, int]] = None
+    ) -> None:
+        """``shard``'s target failed: rotate it to some other node.
+
+        Pass the address that actually failed as ``failed`` when the
+        shard's hint may already have been cleared (say, by
+        :meth:`invalidate_addr`) — otherwise the rotation computes the
+        failed address from the *fallback* target and can land the shard
+        right back on the dead node.
+        """
+        if failed is None:
+            failed = self.target(shard)
         for _ in range(self.cluster.n):
             candidate = self.cluster[next(self._rotation)].client_addr
             if candidate != failed:
                 self._hints[shard] = candidate
                 return
         self._hints.pop(shard, None)
+
+    def invalidate_addr(self, addr: Tuple[str, int]) -> None:
+        """Forget every hint naming ``addr`` (its connection just reset).
+
+        A node restart invalidates *all* leaderships it held, not only the
+        shard whose request happened to hit the reset — without this, a
+        shard whose hint still names the restarted node keeps retrying a
+        deposed (or freshly rebooted, follower) server until its own
+        request fails too, leaking one stale hint per shard.
+        """
+        stale = [shard for shard, hint in self._hints.items() if hint == addr]
+        for shard in stale:
+            del self._hints[shard]
 
     def hint(self, shard: int) -> Optional[Tuple[str, int]]:
         """The learned hint for ``shard`` (``None`` if still the default)."""

@@ -21,6 +21,20 @@ The transport never inspects payloads; loss, duplication (none today) and
 reordering semantics are exactly those of the underlying TCP streams plus
 the drop-oldest overflow rule.
 
+Fault injection
+---------------
+Chaos tests (:mod:`repro.chaos`) inject link faults *at this layer*, so a
+partition looks to the algorithms exactly like loss on an otherwise
+healthy TCP stream.  :meth:`PeerTransport.set_link_fault` installs a
+per-link :class:`LinkFault` — probabilistic drop, total black-hole, or
+extra one-way delay — in either direction (``out`` applies where this
+node sends, ``in`` where it receives), and :meth:`PeerTransport.heal_link`
+clears it.  Setting a fault is idempotent (the new fault replaces the
+old), per-link delay is order-preserving (constant-delay ``call_later``
+dispatch, FIFO at equal deadlines), and dropped frames are counted in
+``stats.faulted``.  Heartbeats are subject to faults like any other
+frame, so a black-holed link also goes idle-dead — exactly a partition.
+
 Sharding
 --------
 One transport (one socket pair per peer) carries every Raft group a node
@@ -58,6 +72,47 @@ EventHandler = Callable[[str, int], None]
 
 _RECOVERABLE = (ConnectionError, OSError, asyncio.IncompleteReadError, FrameError)
 
+#: Valid ``direction`` values for :meth:`PeerTransport.set_link_fault`.
+FAULT_DIRECTIONS = ("both", "in", "out")
+
+
+class LinkFault:
+    """One direction of one peer link's injected misbehaviour.
+
+    Args:
+        drop: probability in ``[0, 1]`` that any one frame is discarded.
+        blackhole: discard *every* frame (a partition; implies ``drop=1``).
+        delay: extra one-way latency, in seconds, added to received frames
+            (applied on the inbound side only — outbound frames are
+            coalesced into shared socket writes, so delaying them would
+            stall innocent traffic behind the fault).
+    """
+
+    __slots__ = ("drop", "blackhole", "delay")
+
+    def __init__(
+        self, *, drop: float = 0.0, blackhole: bool = False, delay: float = 0.0
+    ):
+        if not 0.0 <= drop <= 1.0:
+            raise ValueError(f"drop must be in [0, 1], got {drop}")
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        self.drop = drop
+        self.blackhole = blackhole
+        self.delay = delay
+
+    def discards(self, rng: random.Random) -> bool:
+        """Whether this fault discards the next frame."""
+        if self.blackhole:
+            return True
+        return self.drop > 0.0 and rng.random() < self.drop
+
+    def __repr__(self) -> str:
+        return (
+            f"LinkFault(drop={self.drop}, blackhole={self.blackhole}, "
+            f"delay={self.delay})"
+        )
+
 
 class TransportStats:
     """Counters exposed for benchmarks and debugging.
@@ -77,6 +132,7 @@ class TransportStats:
         "bytes_received",
         "writes",
         "unrouted",
+        "faulted",
     )
 
     def __init__(self) -> None:
@@ -89,6 +145,7 @@ class TransportStats:
         self.bytes_received = 0
         self.writes = 0
         self.unrouted = 0
+        self.faulted = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}
@@ -171,6 +228,13 @@ class PeerTransport:
         self.link_delay = link_delay
         self.stats = TransportStats()
         self._rng = random.Random(jitter_seed)
+        # Dedicated RNG for fault sampling, so injecting faults never
+        # perturbs the reconnect-jitter stream (and vice versa).
+        self._fault_rng = random.Random(
+            None if jitter_seed is None else jitter_seed ^ 0x6E656D
+        )
+        self._send_faults: Dict[int, LinkFault] = {}
+        self._recv_faults: Dict[int, LinkFault] = {}
         self._queues: Dict[int, Deque[Tuple[Any, Optional[float], int]]] = {}
         self._queue_events: Dict[int, asyncio.Event] = {}
         self._tasks: List[asyncio.Task] = []
@@ -243,6 +307,56 @@ class PeerTransport:
             self._handlers[shard] = handler
 
     # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+
+    def set_link_fault(
+        self,
+        peer: int,
+        *,
+        drop: float = 0.0,
+        blackhole: bool = False,
+        delay: float = 0.0,
+        direction: str = "both",
+    ) -> None:
+        """Install (replacing any existing) fault on the link to ``peer``.
+
+        ``direction="out"`` affects frames this node *sends* to ``peer``,
+        ``"in"`` frames it *receives* from ``peer``, ``"both"`` (default)
+        both — so an asymmetric partition is one ``"out"`` black-hole.
+        ``delay`` is enforced only on the inbound side (outbound frames
+        coalesce into shared writes; see :class:`LinkFault`), so an
+        ``"out"``-only delay is inert.  Idempotent: installing the same
+        fault twice is one fault.
+        """
+        if direction not in FAULT_DIRECTIONS:
+            raise ValueError(
+                f"direction must be one of {FAULT_DIRECTIONS}, got {direction!r}"
+            )
+        fault = LinkFault(drop=drop, blackhole=blackhole, delay=delay)
+        if direction in ("both", "out"):
+            self._send_faults[peer] = fault
+        if direction in ("both", "in"):
+            self._recv_faults[peer] = fault
+
+    def heal_link(self, peer: Optional[int] = None) -> None:
+        """Clear faults on the link to ``peer`` (or every link).
+
+        Idempotent: healing a healthy link is a no-op.  Frames already
+        scheduled with an extra delay still arrive at their delayed time.
+        """
+        if peer is None:
+            self._send_faults.clear()
+            self._recv_faults.clear()
+        else:
+            self._send_faults.pop(peer, None)
+            self._recv_faults.pop(peer, None)
+
+    def link_faults(self) -> Dict[str, Dict[int, LinkFault]]:
+        """The currently installed faults (for assertions and debugging)."""
+        return {"out": dict(self._send_faults), "in": dict(self._recv_faults)}
+
+    # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------
 
@@ -256,6 +370,10 @@ class PeerTransport:
     ) -> None:
         """Queue ``payload`` for delivery to ``dst`` (fire-and-forget)."""
         if self._closed:
+            return
+        fault = self._send_faults.get(dst)
+        if fault is not None and fault.discards(self._fault_rng):
+            self.stats.faulted += 1
             return
         queue = self._queues.get(dst)
         if queue is None:
@@ -285,7 +403,7 @@ class PeerTransport:
                 await writer.drain()
                 attempt = 0
                 self._notify("connect", peer)
-                await self._pump(queue, event, writer)
+                await self._pump(peer, queue, event, writer)
             except asyncio.CancelledError:
                 raise
             except _RECOVERABLE:
@@ -304,6 +422,7 @@ class PeerTransport:
 
     async def _pump(
         self,
+        peer: int,
         queue: Deque[Tuple[Any, Optional[float], int]],
         event: asyncio.Event,
         writer: asyncio.StreamWriter,
@@ -328,6 +447,13 @@ class PeerTransport:
                         event.wait(), timeout=self.heartbeat_interval
                     )
                 except asyncio.TimeoutError:
+                    fault = self._send_faults.get(peer)
+                    if fault is not None and fault.discards(self._fault_rng):
+                        # A black-holed link loses its heartbeats too, so
+                        # the peer's idle timeout really fires — the link
+                        # looks dead, exactly like a partition.
+                        self.stats.faulted += 1
+                        continue
                     ping = encode_peer_frame("ping", codec)
                     writer.write(ping)
                     stats.pings += 1
@@ -379,17 +505,25 @@ class PeerTransport:
                 kind, payload, ts, shard = parse_peer_frame(decode_body(body))
                 if kind == "msg":
                     self.stats.received += 1
+                    fault = self._recv_faults.get(src)
+                    if fault is not None and fault.discards(self._fault_rng):
+                        self.stats.faulted += 1
+                        continue
                     handler = (
                         self.on_message if shard == 0
                         else self._handlers.get(shard)
                     )
+                    delay = self.link_delay + (
+                        fault.delay if fault is not None else 0.0
+                    )
                     if handler is None:
                         self.stats.unrouted += 1
-                    elif self.link_delay:
+                    elif delay:
                         # call_later is FIFO at equal delays, so per-link
-                        # frame order survives the emulated latency.
+                        # frame order survives the emulated (and injected)
+                        # latency as long as the delay stays constant.
                         asyncio.get_event_loop().call_later(
-                            self.link_delay, handler, src, payload, ts
+                            delay, handler, src, payload, ts
                         )
                     else:
                         handler(src, payload, ts)

@@ -1,0 +1,91 @@
+"""Fault-plan generation: validation, determinism, and structure."""
+
+import pytest
+
+from repro.chaos import FaultEvent, FaultPlan
+from repro.chaos.nemesis import DEFAULT_KINDS, FAULT_KINDS
+
+
+class TestFaultPlanValidation:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            FaultPlan((FaultEvent(1.0, "meteor-strike"),))
+
+    def test_rejects_out_of_order_events(self):
+        with pytest.raises(ValueError):
+            FaultPlan((FaultEvent(2.0, "heal"), FaultEvent(1.0, "heal")))
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            FaultPlan((FaultEvent(-1.0, "heal"),))
+
+    def test_event_args_accessor(self):
+        event = FaultEvent(1.0, "drop", (("prob", 0.4),))
+        assert event.arg("prob") == 0.4
+        assert event.arg("missing", "default") == "default"
+
+    def test_duration(self):
+        assert FaultPlan(()).duration == 0.0
+        plan = FaultPlan((FaultEvent(1.0, "heal"), FaultEvent(4.5, "heal")))
+        assert plan.duration == 4.5
+
+
+class TestSeededGeneration:
+    def test_same_seed_same_plan(self):
+        """The satellite guarantee: seed ⇒ identical fault schedule."""
+        a = FaultPlan.random_campaign(42, duration=30.0, period=3.0)
+        b = FaultPlan.random_campaign(42, duration=30.0, period=3.0)
+        assert a == b
+        assert a.events == b.events
+
+    def test_different_seed_different_plan(self):
+        a = FaultPlan.random_campaign(1, duration=30.0, period=3.0)
+        b = FaultPlan.random_campaign(2, duration=30.0, period=3.0)
+        assert a != b
+
+    def test_plan_is_valid_and_time_ordered(self):
+        plan = FaultPlan.random_campaign(7, duration=60.0, period=2.0)
+        times = [event.at for event in plan.events]
+        assert times == sorted(times)
+        assert all(event.kind in FAULT_KINDS for event in plan.events)
+        assert plan.duration < 60.0
+
+    def test_disruptions_are_healed(self):
+        plan = FaultPlan.random_campaign(3, duration=30.0, period=3.0)
+        disruptive = [
+            e for e in plan.events if e.kind not in ("heal", "restart")
+        ]
+        heals = [e for e in plan.events if e.kind == "heal"]
+        assert disruptive, "campaign must disrupt something"
+        # Every disruption before the tail gets a heal after it.
+        assert len(heals) >= len(disruptive) - 1
+
+    def test_kind_restriction(self):
+        plan = FaultPlan.random_campaign(
+            5, duration=30.0, period=3.0, kinds=("kill-leader",)
+        )
+        kinds = {e.kind for e in plan.events}
+        assert kinds <= {"kill-leader", "heal", "restart"}
+
+    def test_rejects_empty_or_bad_kinds(self):
+        with pytest.raises(ValueError):
+            FaultPlan.random_campaign(1, kinds=())
+        with pytest.raises(ValueError):
+            FaultPlan.random_campaign(1, kinds=("nope",))
+        with pytest.raises(ValueError):
+            FaultPlan.random_campaign(1, period=0.0)
+
+    def test_victim_rolls_are_reproducible(self):
+        """Victim choice is pre-rolled into the plan, not drawn live, so
+        executing the same plan twice picks the same victims (given the
+        same cluster state)."""
+        plan = FaultPlan.random_campaign(9, duration=20.0, period=2.0)
+        rolls = [
+            e.arg("roll")
+            for e in plan.events
+            if e.kind not in ("heal", "restart")
+        ]
+        assert all(isinstance(r, float) and 0.0 <= r < 1.0 for r in rolls)
+
+    def test_default_kinds_are_valid(self):
+        assert set(DEFAULT_KINDS) <= set(FAULT_KINDS)

@@ -1,0 +1,285 @@
+"""Transport fault hooks: unit semantics plus a live partition test.
+
+Units exercise :class:`~repro.live.transport.LinkFault` and the per-link
+install/heal API over real localhost sockets; the ``chaos``-marked
+integration test partitions a real KV cluster and checks the Raft-level
+consequences (majority commits, minority stalls, heal converges).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.live import ClusterConfig, LinkFault, LiveKVCluster, PeerTransport
+from repro.chaos import heal_cluster, partition_cluster
+
+FAST = dict(election_timeout=(0.15, 0.3), heartbeat_interval=0.05)
+
+
+def run(coro, timeout=120.0):
+    return asyncio.run(asyncio.wait_for(coro, timeout))
+
+
+class TestLinkFaultValidation:
+    def test_rejects_bad_drop(self):
+        with pytest.raises(ValueError):
+            LinkFault(drop=1.5)
+        with pytest.raises(ValueError):
+            LinkFault(drop=-0.1)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            LinkFault(delay=-0.01)
+
+    def test_blackhole_discards_everything(self):
+        class NeverRandom:
+            def random(self):  # pragma: no cover - must not be consulted
+                raise AssertionError("blackhole must not sample")
+
+        assert LinkFault(blackhole=True).discards(NeverRandom())
+
+    def test_drop_probability_uses_rng(self):
+        class FixedRandom:
+            def __init__(self, value):
+                self.value = value
+
+            def random(self):
+                return self.value
+
+        fault = LinkFault(drop=0.5)
+        assert fault.discards(FixedRandom(0.4))
+        assert not fault.discards(FixedRandom(0.6))
+
+
+class TestFaultInstallation:
+    def _transport(self):
+        return PeerTransport(ClusterConfig.localhost(3), 0)
+
+    def test_direction_routing(self):
+        transport = self._transport()
+        transport.set_link_fault(1, blackhole=True, direction="out")
+        transport.set_link_fault(2, drop=0.3, direction="in")
+        faults = transport.link_faults()
+        assert 1 in faults["out"] and 1 not in faults["in"]
+        assert 2 in faults["in"] and 2 not in faults["out"]
+        transport.set_link_fault(1, delay=0.1, direction="both")
+        faults = transport.link_faults()
+        assert faults["out"][1].delay == faults["in"][1].delay == 0.1
+
+    def test_install_is_replace_not_stack(self):
+        transport = self._transport()
+        transport.set_link_fault(1, drop=0.9)
+        transport.set_link_fault(1, drop=0.1)
+        faults = transport.link_faults()
+        assert faults["out"][1].drop == 0.1
+        assert len(faults["out"]) == 1
+
+    def test_heal_is_idempotent(self):
+        transport = self._transport()
+        transport.set_link_fault(1, blackhole=True)
+        transport.heal_link(1)
+        transport.heal_link(1)  # healing a healthy link: no-op
+        transport.heal_link()  # healing everything on no faults: no-op
+        assert transport.link_faults() == {"out": {}, "in": {}}
+
+    def test_heal_one_link_leaves_others(self):
+        transport = self._transport()
+        transport.set_link_fault(1, blackhole=True)
+        transport.set_link_fault(2, blackhole=True)
+        transport.heal_link(1)
+        faults = transport.link_faults()
+        assert 1 not in faults["out"] and 2 in faults["out"]
+
+    def test_rejects_unknown_direction(self):
+        with pytest.raises(ValueError):
+            self._transport().set_link_fault(1, drop=0.5, direction="sideways")
+
+
+async def _pair(cluster_size=2, **options):
+    """Two connected transports; returns (a, b, inbox_a, inbox_b)."""
+    cluster = ClusterConfig.localhost(cluster_size)
+    inboxes = ([], [])
+    transports = []
+    for pid in range(2):
+        inbox = inboxes[pid]
+
+        def handler(src, payload, elapsed, _inbox=inbox):
+            _inbox.append((src, payload))
+
+        transports.append(
+            PeerTransport(cluster, pid, handler, jitter_seed=pid, **options)
+        )
+    for transport in transports:
+        await transport.start()
+    return transports[0], transports[1], inboxes[0], inboxes[1]
+
+
+async def _eventually(predicate, timeout=5.0, interval=0.01):
+    deadline = asyncio.get_event_loop().time() + timeout
+    while asyncio.get_event_loop().time() < deadline:
+        if predicate():
+            return True
+        await asyncio.sleep(interval)
+    return predicate()
+
+
+class TestFaultsOnTheWire:
+    def test_outbound_blackhole_drops_then_heal_delivers(self):
+        async def scenario():
+            a, b, _, inbox_b = await _pair()
+            try:
+                a.send(1, "before")
+                assert await _eventually(lambda: len(inbox_b) == 1)
+                a.set_link_fault(1, blackhole=True, direction="out")
+                faulted_before = a.stats.faulted
+                a.send(1, "lost")
+                await asyncio.sleep(0.2)
+                assert len(inbox_b) == 1  # nothing new arrived
+                assert a.stats.faulted > faulted_before
+                a.heal_link(1)
+                a.send(1, "after")
+                assert await _eventually(lambda: len(inbox_b) == 2)
+                assert [m for _, m in inbox_b] == ["before", "after"]
+            finally:
+                await a.stop()
+                await b.stop()
+
+        run(scenario())
+
+    def test_inbound_blackhole_drops_at_receiver(self):
+        async def scenario():
+            a, b, _, inbox_b = await _pair()
+            try:
+                b.set_link_fault(0, blackhole=True, direction="in")
+                a.send(1, "suppressed")
+                await asyncio.sleep(0.2)
+                assert inbox_b == []
+                assert b.stats.faulted >= 1
+                b.heal_link(0)
+                a.send(1, "visible")
+                assert await _eventually(lambda: len(inbox_b) == 1)
+            finally:
+                await a.stop()
+                await b.stop()
+
+        run(scenario())
+
+    def test_asymmetric_fault_leaves_reverse_path(self):
+        async def scenario():
+            a, b, inbox_a, inbox_b = await _pair()
+            try:
+                a.set_link_fault(1, blackhole=True, direction="out")
+                a.send(1, "into the void")
+                b.send(0, "still heard")
+                assert await _eventually(lambda: len(inbox_a) == 1)
+                await asyncio.sleep(0.1)
+                assert inbox_b == []
+            finally:
+                await a.stop()
+                await b.stop()
+
+        run(scenario())
+
+    def test_extra_delay_preserves_order(self):
+        async def scenario():
+            a, b, _, inbox_b = await _pair()
+            try:
+                loop = asyncio.get_event_loop()
+                # Delay is enforced on the receiving side of the link.
+                b.set_link_fault(0, delay=0.15, direction="in")
+                start = loop.time()
+                for i in range(20):
+                    a.send(1, i)
+                assert await _eventually(lambda: len(inbox_b) == 20)
+                elapsed = loop.time() - start
+                assert elapsed >= 0.15
+                assert [m for _, m in inbox_b] == list(range(20))
+            finally:
+                await a.stop()
+                await b.stop()
+
+        run(scenario())
+
+    def test_drop_probability_loses_some_not_all(self):
+        async def scenario():
+            a, b, _, inbox_b = await _pair()
+            try:
+                a.set_link_fault(1, drop=0.5, direction="out")
+                for i in range(200):
+                    a.send(1, i)
+                await _eventually(lambda: a.stats.faulted > 0, timeout=2.0)
+                await asyncio.sleep(0.5)
+                received = len(inbox_b)
+                assert 0 < received < 200
+                assert a.stats.faulted == 200 - received
+                # Survivors keep their relative order.
+                values = [m for _, m in inbox_b]
+                assert values == sorted(values)
+            finally:
+                await a.stop()
+                await b.stop()
+
+        run(scenario())
+
+
+@pytest.mark.chaos
+class TestLivePartition:
+    def test_majority_commits_minority_stalls_heal_converges(self):
+        async def scenario():
+            from repro.live import AsyncKVClient
+
+            cluster = LiveKVCluster(5, seed=21, **FAST)
+            await cluster.start()
+            client = AsyncKVClient(cluster.cluster, request_timeout=1.0)
+            try:
+                await cluster.wait_for_leader(timeout=15.0)
+                await client.put("pre", "partition")
+
+                minority = [0, 1]
+                majority = [2, 3, 4]
+                partition_cluster(cluster, minority, majority)
+                # The majority must elect (if needed) and keep committing.
+                leader = None
+                deadline = asyncio.get_event_loop().time() + 15.0
+                while asyncio.get_event_loop().time() < deadline:
+                    leader = cluster.leader_pid(0)
+                    if leader in majority:
+                        break
+                    await asyncio.sleep(0.05)
+                assert leader in majority
+                for i in range(5):
+                    await client.put(f"during-{i}", i)
+                majority_applied = max(
+                    cluster.servers[p].node.last_applied for p in majority
+                )
+                minority_applied = max(
+                    cluster.servers[p].node.last_applied for p in minority
+                )
+                assert majority_applied > minority_applied
+
+                heal_cluster(cluster)
+                # Healed minority must catch up to the same applied state.
+                async def converged():
+                    target = max(
+                        cluster.servers[p].node.last_applied
+                        for p in majority
+                    )
+                    return all(
+                        cluster.servers[p].node.last_applied >= target
+                        for p in minority
+                    )
+
+                deadline = asyncio.get_event_loop().time() + 20.0
+                while asyncio.get_event_loop().time() < deadline:
+                    if await converged():
+                        break
+                    await asyncio.sleep(0.1)
+                assert await converged()
+                for p in minority:
+                    machine = cluster.servers[p].node.machine
+                    assert machine.data.get("during-4") == 4
+            finally:
+                await client.close()
+                await cluster.stop()
+
+        run(scenario())

@@ -1,0 +1,113 @@
+"""Client leader-hint maintenance across failures and restarts.
+
+Regression territory: a restarted node loses every leadership it held,
+so a connection reset must invalidate *all* shard hints naming that
+address — not only the shard whose request happened to hit the reset.
+Before the fix, other shards kept retrying the rebooted follower until
+their own requests also failed, one avoidable stall per shard.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.live import AsyncKVClient, ClusterConfig, LiveKVCluster, ShardRouter
+
+FAST = dict(election_timeout=(0.15, 0.3), heartbeat_interval=0.05)
+
+
+def run(coro, timeout=120.0):
+    return asyncio.run(asyncio.wait_for(coro, timeout))
+
+
+class TestShardRouterInvalidation:
+    def _router(self, n=3, shards=4):
+        return ShardRouter(ClusterConfig.localhost(n), shards)
+
+    def test_invalidate_addr_clears_every_matching_hint(self):
+        router = self._router()
+        addr = router.cluster[1].client_addr
+        other = router.cluster[2].client_addr
+        router.note_leader(0, addr)
+        router.note_leader(1, addr)
+        router.note_leader(2, other)
+        router.invalidate_addr(addr)
+        assert router.hint(0) is None
+        assert router.hint(1) is None
+        assert router.hint(2) == other  # untouched: different node
+
+    def test_invalidate_unknown_addr_is_noop(self):
+        router = self._router()
+        addr = router.cluster[0].client_addr
+        router.note_leader(0, addr)
+        router.invalidate_addr(("198.51.100.9", 1))
+        assert router.hint(0) == addr
+
+    def test_invalidated_shard_falls_back_to_preferred(self):
+        router = self._router()
+        addr = router.cluster[2].client_addr
+        router.note_leader(0, addr)
+        router.invalidate_addr(addr)
+        preferred = router.cluster[0].client_addr
+        assert router.target(0) == preferred
+
+    def test_client_failure_invalidates_sibling_shard_hints(self):
+        """The client-level wiring: one reset clears the other shards'
+        hints to the same node (the regression this file pins)."""
+        cluster = ClusterConfig.localhost(3)
+        client = AsyncKVClient(cluster, shards=4)
+        router = client._router
+        dead = cluster[1].client_addr
+        for shard in range(4):
+            router.note_leader(shard, dead)
+        client._note_failure(0, dead)
+        assert all(router.hint(shard) != dead for shard in range(4))
+
+
+@pytest.mark.live
+class TestRestartHintRecovery:
+    def test_restarted_leader_does_not_trap_other_shards(self):
+        """Kill+restart a node leading multiple shards: the first failed
+        request must steer every shard off the rebooted node, so
+        subsequent writes to *other* shards do not stall retrying it."""
+
+        async def scenario():
+            cluster = LiveKVCluster(3, seed=31, shards=2, **FAST)
+            await cluster.start()
+            client = AsyncKVClient(
+                cluster.cluster, shards=2, request_timeout=1.0
+            )
+            try:
+                leaders = await cluster.wait_for_all_leaders(20.0)
+                # Find keys for both shards and write through them so the
+                # client learns real leader hints for every shard.
+                keys = {}
+                i = 0
+                while len(keys) < 2:
+                    key = f"key-{i}"
+                    keys.setdefault(client._router.shard_of(key), key)
+                    i += 1
+                for key in keys.values():
+                    await client.put(key, "before")
+
+                victim = leaders[0]
+                await cluster.kill(victim)
+                await cluster.restart(victim)
+                await cluster.wait_for_all_leaders(20.0)
+
+                # Every shard must make progress promptly after restart.
+                for shard, key in keys.items():
+                    index = await client.put(key, "after")
+                    assert index >= 1
+                dead_addr = cluster.cluster[victim].client_addr
+                # And no shard hint may still name a non-leader restartee
+                # (it may legitimately name it again if it re-won).
+                for shard in keys:
+                    hint = client._router.hint(shard)
+                    if hint == dead_addr:
+                        assert cluster.leader_pid(shard) == victim
+            finally:
+                await client.close()
+                await cluster.stop()
+
+        run(scenario())

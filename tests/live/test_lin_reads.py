@@ -1,0 +1,132 @@
+"""Linearizable reads: the read-as-log-entry path.
+
+A ``get(..., linearizable=True)`` is folded into the write batch pipeline
+as a :class:`~repro.live.kv.KvRead` marker and answered at apply time, so
+it reflects every write committed before it — unlike the default local
+read, which may lag on a follower.
+"""
+
+import asyncio
+
+from repro.live import AsyncKVClient, LiveKVCluster
+
+FAST = dict(election_timeout=(0.15, 0.3), heartbeat_interval=0.05)
+
+
+def run(coro, timeout=120.0):
+    return asyncio.run(asyncio.wait_for(coro, timeout))
+
+
+class TestLinearizableReads:
+    def test_lin_read_sees_every_acked_write(self):
+        async def scenario():
+            cluster = LiveKVCluster(3, seed=41, **FAST)
+            await cluster.start()
+            client = AsyncKVClient(cluster.cluster)
+            try:
+                await cluster.wait_for_leader(timeout=15.0)
+                for i in range(5):
+                    await client.put("counter", i)
+                    response = await client.get("counter", linearizable=True)
+                    assert response["found"] and response["value"] == i
+                    assert response.get("lin") is True
+            finally:
+                await client.close()
+                await cluster.stop()
+
+        run(scenario())
+
+    def test_lin_read_of_missing_key(self):
+        async def scenario():
+            cluster = LiveKVCluster(3, seed=42, **FAST)
+            await cluster.start()
+            client = AsyncKVClient(cluster.cluster)
+            try:
+                await cluster.wait_for_leader(timeout=15.0)
+                await client.put("exists", 1)  # commit something first
+                response = await client.get("missing", linearizable=True)
+                assert response["found"] is False
+                assert response["value"] is None
+            finally:
+                await client.close()
+                await cluster.stop()
+
+        run(scenario())
+
+    def test_lin_read_routes_to_owning_shard_leader(self):
+        async def scenario():
+            cluster = LiveKVCluster(3, seed=43, shards=2, **FAST)
+            await cluster.start()
+            client = AsyncKVClient(cluster.cluster, shards=2)
+            try:
+                await cluster.wait_for_all_leaders(20.0)
+                for i in range(6):
+                    key = f"spread-{i}"  # keys land on both shards
+                    await client.put(key, i)
+                    response = await client.get(key, linearizable=True)
+                    assert response["value"] == i
+                    assert response["shard"] == client._router.shard_of(key)
+            finally:
+                await client.close()
+                await cluster.stop()
+
+        run(scenario())
+
+    def test_lin_read_requires_op_id_at_server(self):
+        async def scenario():
+            cluster = LiveKVCluster(3, seed=44, **FAST)
+            await cluster.start()
+            try:
+                leader = await cluster.wait_for_leader(timeout=15.0)
+                server = cluster.servers[leader]
+                response = await server._serve(
+                    {"type": "get", "key": "k", "lin": True}
+                )
+                assert response["type"] == "error"
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+    def test_kv_read_marker_is_a_noop_for_the_machine(self):
+        async def scenario():
+            cluster = LiveKVCluster(3, seed=45, **FAST)
+            await cluster.start()
+            client = AsyncKVClient(cluster.cluster)
+            try:
+                leader = await cluster.wait_for_leader(timeout=15.0)
+                await client.put("k", "v")
+                before = dict(cluster.servers[leader].node.machine.data)
+                await client.get("k", linearizable=True)
+                after = dict(cluster.servers[leader].node.machine.data)
+                assert before == after  # the marker wrote nothing
+            finally:
+                await client.close()
+                await cluster.stop()
+
+        run(scenario())
+
+    def test_unsafe_mode_answers_without_commit(self):
+        """The injectable bug: local answer on mere belief of leadership.
+        (Correct content on a healthy cluster — the *danger* is that a
+        deposed leader would answer too; the chaos campaign pins that.)"""
+
+        async def scenario():
+            cluster = LiveKVCluster(3, seed=46, unsafe_lin_reads=True, **FAST)
+            await cluster.start()
+            client = AsyncKVClient(cluster.cluster)
+            try:
+                leader = await cluster.wait_for_leader(timeout=15.0)
+                await client.put("k", "v")
+                commit_before = cluster.servers[leader].node.commit_index
+                response = await client.get("k", linearizable=True)
+                assert response["value"] == "v"
+                # No KvRead marker was committed for the read.
+                assert (
+                    cluster.servers[leader].node.commit_index == commit_before
+                )
+            finally:
+                await client.close()
+                await cluster.stop()
+
+        run(scenario())
