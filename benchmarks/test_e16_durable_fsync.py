@@ -1,0 +1,160 @@
+"""E16 — the durable write path: group-fsync batching under load.
+
+The WAL's sync barrier makes every acknowledged write crash-safe, and
+group commit is what makes that affordable: all records journalled since
+the previous barrier share one ``fsync``.  This experiment drives a
+3-node cluster persisting to real data directories with a closed-loop
+client workload and measures what durability costs — throughput and
+commit-latency percentiles — plus the amortization itself,
+``ops_per_fsync``: acknowledged client ops per per-node ``fsync``.
+Batching happens at the proposal layer (a ``KvBatch`` of concurrent
+puts becomes one WAL record, hence one fsync per node), so 1.0 would
+mean every op paid its own fsync on every node — no group commit.  A
+diskless run of the same workload is recorded alongside as the overhead
+reference.
+
+Results land in ``BENCH_live.json`` under ``"durable"``; the committed
+baseline gates ``throughput_ops_s`` and ``ops_per_fsync`` via
+``benchmarks/compare_baseline.py``, so a regression that silently turns
+group commit into fsync-per-op fails CI.
+"""
+
+import asyncio
+import json
+import os
+import tempfile
+
+from benchmarks.conftest import emit
+from repro.analysis.experiments import format_table
+from repro.live import LiveKVCluster, run_closed_loop
+
+FAST = dict(election_timeout=(0.15, 0.3), heartbeat_interval=0.05)
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_live.json")
+
+NODES = 3
+OPS = 400
+CONCURRENCY = 8
+SEED = 16
+
+
+def run(coro, timeout=300.0):
+    return asyncio.run(asyncio.wait_for(coro, timeout))
+
+
+def _wal_totals(cluster):
+    """Cluster-wide WAL counters: (appends, fsyncs, bytes written)."""
+    appends = syncs = written = 0
+    for server in cluster.servers:
+        if server is None:
+            continue
+        for shard in server.shards:
+            if shard.storage is None:
+                continue
+            stats = shard.storage.stats
+            appends += stats.appends
+            syncs += stats.syncs
+            written += stats.bytes_written
+    return appends, syncs, written
+
+
+async def _bench(data_dir):
+    cluster = LiveKVCluster(NODES, seed=SEED, data_dir=data_dir, **FAST)
+    await cluster.start()
+    try:
+        await cluster.wait_for_leader(timeout=20.0)
+        appends0, syncs0, written0 = _wal_totals(cluster)
+        report = await run_closed_loop(
+            cluster.cluster, ops=OPS, concurrency=CONCURRENCY, seed=SEED
+        )
+        appends1, syncs1, written1 = _wal_totals(cluster)
+    finally:
+        await cluster.stop()
+    return report, (appends1 - appends0, syncs1 - syncs0, written1 - written0)
+
+
+async def _bench_diskless():
+    cluster = LiveKVCluster(NODES, seed=SEED, **FAST)
+    await cluster.start()
+    try:
+        await cluster.wait_for_leader(timeout=20.0)
+        return await run_closed_loop(
+            cluster.cluster, ops=OPS, concurrency=CONCURRENCY, seed=SEED
+        )
+    finally:
+        await cluster.stop()
+
+
+def test_e16_durable_fsync_batching():
+    with tempfile.TemporaryDirectory(prefix="repro-e16-") as data_dir:
+        durable, (appends, syncs, written) = run(_bench(data_dir))
+    diskless = run(_bench_diskless())
+
+    assert durable.errors == 0, durable.summary()
+    lat = durable.latency
+    assert 0 < lat["p50"] <= lat["p95"] <= lat["p99"] <= lat["max"]
+    assert syncs > 0, "durable run never fsynced — barrier not wired"
+
+    # Each node fsyncs independently, so normalize the cluster-wide sync
+    # count to per-node: acked client ops per fsync a node performed.
+    ops_per_fsync = OPS / (syncs / NODES)
+    section = {
+        "throughput_ops_s": durable.throughput,
+        "ops_per_fsync": ops_per_fsync,
+        "wal_appends": float(appends),
+        "wal_fsyncs": float(syncs),
+        "wal_bytes_written": float(written),
+        "latency_s": {
+            "p50": lat["p50"],
+            "p95": lat["p95"],
+            "p99": lat["p99"],
+        },
+        "diskless_throughput_ops_s": diskless.throughput,
+    }
+
+    emit(
+        "E16 — durable write path (3 nodes, WAL + group fsync)",
+        format_table(
+            ["mode", "ops/s", "p50 ms", "p95 ms", "ops/fsync"],
+            [
+                [
+                    "durable",
+                    f"{durable.throughput:.0f}",
+                    f"{lat['p50'] * 1e3:.1f}",
+                    f"{lat['p95'] * 1e3:.1f}",
+                    f"{ops_per_fsync:.2f}",
+                ],
+                [
+                    "diskless",
+                    f"{diskless.throughput:.0f}",
+                    f"{diskless.latency['p50'] * 1e3:.1f}",
+                    f"{diskless.latency['p95'] * 1e3:.1f}",
+                    "-",
+                ],
+            ],
+        ),
+    )
+    _merge_results(section)
+
+    # Sanity bars (the committed baseline holds the regression gate):
+    # real throughput, and group commit actually amortizing — multiple
+    # WAL records per fsync, not fsync-per-record.
+    assert durable.throughput > 20, section
+    assert ops_per_fsync > 1.0, section
+
+
+def _merge_results(section):
+    """Update BENCH_live.json in place, keeping other experiments' keys."""
+    existing = {}
+    if os.path.exists(RESULTS_PATH):
+        try:
+            with open(RESULTS_PATH) as fh:
+                existing = json.load(fh)
+        except (OSError, ValueError):
+            existing = {}
+    if not isinstance(existing, dict):
+        existing = {}
+    existing["durable"] = section
+    with open(RESULTS_PATH, "w") as fh:
+        json.dump(existing, fh, indent=2)
+        fh.write("\n")

@@ -107,6 +107,23 @@ class RaftLog:
         )
 
     # ------------------------------------------------------------------
+    # Persistence hooks
+    # ------------------------------------------------------------------
+    #
+    # Every mutation funnels through these two notifications, so a durable
+    # subclass (``repro.storage.engine.DurableRaftLog``) can journal the
+    # exact change to a write-ahead log without re-deriving it.  The base
+    # class persists nothing.
+
+    def _record_append(self, index: int, entry: Entry) -> None:
+        """Called after ``entry`` was written at ``index`` (any local
+        suffix from ``index`` on was discarded first)."""
+
+    def _record_compact(self, index: int, term: int) -> None:
+        """Called after the log's snapshot point moved to ``(index, term)``
+        — by leader-side compaction or follower-side InstallSnapshot."""
+
+    # ------------------------------------------------------------------
     # Compaction
     # ------------------------------------------------------------------
 
@@ -124,6 +141,7 @@ class RaftLog:
         del self._entries[: index - self.snapshot_index]
         self.snapshot_index = index
         self.snapshot_term = term
+        self._record_compact(index, term)
 
     def install_snapshot(self, index: int, term: int) -> None:
         """Follower-side InstallSnapshot: reset the log to a snapshot point.
@@ -145,6 +163,7 @@ class RaftLog:
         self._entries = keep
         self.snapshot_index = index
         self.snapshot_term = term
+        self._record_compact(index, term)
 
     # ------------------------------------------------------------------
     # Mutation
@@ -153,6 +172,7 @@ class RaftLog:
     def append_new(self, entry: Entry) -> int:
         """Leader-side append of a brand-new entry; returns its index."""
         self._entries.append(entry)
+        self._record_append(self.last_index, entry)
         return self.last_index
 
     def try_append(
@@ -187,9 +207,11 @@ class RaftLog:
                 if self.term_at(index) != entry.term:
                     del self._entries[index - self.snapshot_index - 1 :]
                     self._entries.append(entry)
+                    self._record_append(index, entry)
                 # else: identical entry already present, keep it
             else:
                 self._entries.append(entry)
+                self._record_append(index, entry)
         return True
 
     # ------------------------------------------------------------------

@@ -515,10 +515,12 @@ class RaftNode(Process):
         self.leader_hint = msg.leader_id
         yield self._arm_election_timer(api)
         if msg.last_included_index > self.log.snapshot_index:
+            # Adopt the machine state before moving the log's snapshot
+            # point: the log's compaction hook may persist the snapshot.
+            self.machine_snapshot = msg.machine_state
             self.log.install_snapshot(
                 msg.last_included_index, msg.last_included_term
             )
-            self.machine_snapshot = msg.machine_state
             self.machine.restore(msg.machine_state)
             self.commit_index = max(self.commit_index, msg.last_included_index)
             self.last_applied = max(self.last_applied, msg.last_included_index)

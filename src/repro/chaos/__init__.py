@@ -20,6 +20,7 @@ is the guide.
 from repro.chaos.checker import CheckReport, KeyResult, check_history
 from repro.chaos.history import GET, PUT, History, HistoryClient, OpRecord
 from repro.chaos.nemesis import (
+    DURABILITY_KINDS,
     FAULT_KINDS,
     FaultEvent,
     FaultPlan,
@@ -33,6 +34,7 @@ from repro.chaos.workload import close_clients, make_clients, run_workload
 __all__ = [
     "GET",
     "PUT",
+    "DURABILITY_KINDS",
     "FAULT_KINDS",
     "CheckReport",
     "FaultEvent",

@@ -12,6 +12,17 @@ Examples::
     python -m repro chaos --nodes 5 --shards 2 --seed 7 --duration 20
     python -m repro chaos --seed 3 --inject-bug stale-reads   # exits 1
     python -m repro chaos --seed 1 --html campaign.html --json history.jsonl
+
+Power-failure campaigns (durable storage)::
+
+    python -m repro chaos --seed 5 --kinds power-fail,torn-tail,bit-flip
+    python -m repro chaos --seed 5 --kinds power-fail-all --inject-bug lost-ack
+
+Durability fault kinds give every node a data directory (a temporary one
+unless ``--data-dir`` is set), so kills are power failures and restarts
+are WAL crash recovery.  ``--inject-bug lost-ack`` skips every fsync —
+acked writes then vanish in a ``power-fail-all``, which the checker must
+reject.
 """
 
 from __future__ import annotations
@@ -19,12 +30,14 @@ from __future__ import annotations
 import argparse
 import asyncio
 import sys
+import tempfile
 from typing import List, Optional
 
 from repro.chaos.checker import check_history
 from repro.chaos.history import History
 from repro.chaos.nemesis import (
     DEFAULT_KINDS,
+    DURABILITY_KINDS,
     FAULT_KINDS,
     FaultEvent,
     FaultPlan,
@@ -96,10 +109,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the recorded history as JSON lines",
     )
     parser.add_argument(
-        "--inject-bug", choices=("stale-reads",), default=None,
+        "--data-dir", metavar="DIR", default=None,
+        help="persist each node's Raft state under DIR (power-failure "
+        "fault kinds and --inject-bug lost-ack use a temporary "
+        "directory when omitted)",
+    )
+    parser.add_argument(
+        "--inject-bug", choices=("stale-reads", "lost-ack"), default=None,
         help="deliberately break the cluster (stale-reads: nodes that "
-        "believe they lead serve lin reads from local state) — the "
-        "campaign should then FAIL the check",
+        "believe they lead serve lin reads from local state; lost-ack: "
+        "writes are acknowledged before fsync, so a power failure "
+        "forgets them) — the campaign should then FAIL the check",
     )
     parser.add_argument(
         "--quiet", action="store_true", help="print only the verdict"
@@ -115,11 +135,21 @@ async def run_campaign(args: argparse.Namespace) -> int:
         period=args.fault_period,
         kinds=kinds,
     )
+    data_dir = args.data_dir
+    tmp_dir = None
+    if data_dir is None and (
+        args.inject_bug == "lost-ack"
+        or any(kind in DURABILITY_KINDS for kind in kinds)
+    ):
+        tmp_dir = tempfile.TemporaryDirectory(prefix="repro-chaos-")
+        data_dir = tmp_dir.name
     cluster = LiveKVCluster(
         args.nodes,
         seed=args.seed,
         shards=args.shards,
         unsafe_lin_reads=(args.inject_bug == "stale-reads"),
+        data_dir=data_dir,
+        lost_ack_bug=(args.inject_bug == "lost-ack"),
         **CAMPAIGN_TIMINGS,
     )
     history = History()
@@ -173,6 +203,8 @@ async def run_campaign(args: argparse.Namespace) -> int:
     finally:
         await close_clients(clients)
         await cluster.stop()
+        if tmp_dir is not None:
+            tmp_dir.cleanup()
 
     report = check_history(history, time_budget=args.time_budget)
     print(report.summary())

@@ -29,23 +29,42 @@ Fault kinds
 ``timeout-skew``      scale one node's election-timeout range (a slow or
                       hasty clock), restored on ``heal``
 ``heal``              clear every link fault and timeout skew
+``power-fail``        cut one node's power: an abrupt kill where WAL
+                      state not yet fsynced is really lost; ``restart``
+                      later cold-starts it from its data directory
+``power-fail-all``    cut the *whole cluster's* power at once — the one
+                      fault that deliberately bypasses the majority
+                      guard, because with durable storage even a full
+                      outage must preserve every acknowledged write
+                      (requires a cluster ``data_dir``)
+``torn-tail``         power-fail one node mid-write: a strict prefix of
+                      its last WAL frame lands on disk, so recovery must
+                      truncate the torn tail
+``bit-flip``          power-fail one node and flip a bit inside its WAL
+                      segment body (silent disk corruption); recovery
+                      truncates from the damage or quarantines the
+                      directory and the node rejoins empty
 
-The nemesis never kills more than a strict minority, so a correct cluster
-must keep committing through the whole campaign — which is exactly what
-the availability benchmark (E15) measures and the linearizability checker
-verifies.
+The nemesis never kills more than a strict minority (``power-fail-all``
+excepted, by design), so a correct cluster must keep committing through
+the whole campaign — which is exactly what the availability benchmark
+(E15) measures and the linearizability checker verifies.
 """
 
 from __future__ import annotations
 
 import asyncio
+import os
 import random
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.live.harness import LiveKVCluster
+from repro.storage.wal import flip_bit
 
-#: Every fault kind a plan may schedule.
+#: Every fault kind a plan may schedule.  New kinds are appended at the
+#: end: :meth:`FaultPlan.random_campaign` draws are position-sensitive,
+#: and seeded plans must stay reproducible across versions.
 FAULT_KINDS = (
     "kill-leader",
     "kill-random",
@@ -57,6 +76,10 @@ FAULT_KINDS = (
     "delay",
     "timeout-skew",
     "heal",
+    "power-fail",
+    "power-fail-all",
+    "torn-tail",
+    "bit-flip",
 )
 
 #: The default campaign mix: each cycle injects one disruptive fault,
@@ -67,6 +90,15 @@ DEFAULT_KINDS = (
     "partition-leader",
     "kill-random",
     "asym-partition",
+)
+
+#: The power-failure campaign mix for clusters with durable storage:
+#: every fault forces at least one node through WAL crash recovery.
+DURABILITY_KINDS = (
+    "power-fail",
+    "power-fail-all",
+    "torn-tail",
+    "bit-flip",
 )
 
 
@@ -228,6 +260,10 @@ class Nemesis:
             "delay": self._delay,
             "timeout-skew": self._timeout_skew,
             "heal": self._heal,
+            "power-fail": self._power_fail,
+            "power-fail-all": self._power_fail_all,
+            "torn-tail": self._torn_tail,
+            "bit-flip": self._bit_flip,
         }[event.kind]
         await handler(event)
 
@@ -291,6 +327,99 @@ class Nemesis:
         self._note(
             "restart",
             f"restarted nodes {revived}" if revived else "nothing to restart",
+        )
+
+    # ------------------------------------------------------------------
+    # Power-failure faults (durable storage + WAL recovery)
+    # ------------------------------------------------------------------
+
+    def _shard_dirs(self, pid: int) -> List[str]:
+        """Node ``pid``'s per-shard storage directories (may be empty)."""
+        base = self.cluster.node_data_dir(pid)
+        if base is None or not os.path.isdir(base):
+            return []
+        return sorted(
+            os.path.join(base, name)
+            for name in os.listdir(base)
+            if name.startswith("shard-")
+        )
+
+    async def _power_fail(self, event: FaultEvent) -> None:
+        if not self._may_kill():
+            self._note("power-fail", "skipped: would break majority")
+            return
+        alive = self._alive()
+        if not alive:
+            self._note("power-fail", "skipped: nothing alive")
+            return
+        victim = self._pick(alive, event)
+        await self.cluster.kill(victim)
+        self._note("power-fail", f"node {victim} lost power")
+
+    async def _power_fail_all(self, event: FaultEvent) -> None:
+        """Full-cluster outage — the durability acid test.
+
+        Deliberately bypasses the majority guard: with fsynced WALs a
+        simultaneous power loss of every node must still preserve every
+        acknowledged write, and with the ``lost-ack`` bug injected this
+        is the fault that makes acked-but-unsynced state vanish
+        *everywhere* so the checker can catch it.
+        """
+        if self.cluster.data_dir is None:
+            self._note(
+                "power-fail-all", "skipped: cluster has no data dir"
+            )
+            return
+        alive = self._alive()
+        if not alive:
+            self._note("power-fail-all", "skipped: nothing alive")
+            return
+        for pid in alive:
+            await self.cluster.kill(pid)
+        self._note(
+            "power-fail-all", f"whole cluster lost power: nodes {alive}"
+        )
+
+    async def _torn_tail(self, event: FaultEvent) -> None:
+        if self.cluster.data_dir is None:
+            self._note("torn-tail", "skipped: cluster has no data dir")
+            return
+        if not self._may_kill():
+            self._note("torn-tail", "skipped: would break majority")
+            return
+        alive = self._alive()
+        if not alive:
+            self._note("torn-tail", "skipped: nothing alive")
+            return
+        victim = self._pick(alive, event)
+        await self.cluster.kill(victim, torn=True)
+        self._note(
+            "torn-tail",
+            f"node {victim} lost power mid-write (torn last WAL frame)",
+        )
+
+    async def _bit_flip(self, event: FaultEvent) -> None:
+        if self.cluster.data_dir is None:
+            self._note("bit-flip", "skipped: cluster has no data dir")
+            return
+        if not self._may_kill():
+            self._note("bit-flip", "skipped: would break majority")
+            return
+        alive = self._alive()
+        if not alive:
+            self._note("bit-flip", "skipped: nothing alive")
+            return
+        victim = self._pick(alive, event)
+        await self.cluster.kill(victim)
+        damaged = [
+            os.path.basename(path)
+            for directory in self._shard_dirs(victim)
+            for path in [flip_bit(directory)]
+            if path is not None
+        ]
+        self._note(
+            "bit-flip",
+            f"node {victim} down, corrupted {damaged or 'no segments'}",
         )
 
     # ------------------------------------------------------------------

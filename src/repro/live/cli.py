@@ -139,6 +139,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="compact the Raft log above this many entries",
     )
     serve.add_argument(
+        "--data-dir",
+        default=None,
+        metavar="DIR",
+        help="persist Raft state (term, vote, log, snapshots) under DIR "
+        "and recover it on restart; omit for the in-memory behaviour",
+    )
+    serve.add_argument(
         "--max-inflight",
         type=_parse_max_inflight,
         default=DEFAULT_MAX_INFLIGHT,
@@ -229,6 +236,7 @@ async def _serve(args: argparse.Namespace) -> int:
         heartbeat_interval=args.heartbeat,
         snapshot_threshold=args.snapshot_threshold,
         max_inflight=args.max_inflight,
+        data_dir=args.data_dir,
         transport_options={"codec": args.codec},
     )
     await server.start()

@@ -14,6 +14,7 @@ property checkers and metrics unchanged.
 from __future__ import annotations
 
 import asyncio
+import os
 import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -146,6 +147,12 @@ class LiveKVCluster:
 
     Keyword args are forwarded to every ``KVServer`` (election timeouts,
     batching knobs, ``shards=S`` for a sharded cluster, ...).
+
+    With ``data_dir`` set, each node persists its Raft groups under
+    ``data_dir/node-<pid>`` and :meth:`restart` performs *real* crash
+    recovery: the replacement server reads its durable state back from
+    disk exactly as a re-executed ``repro serve --data-dir`` process
+    would.
     """
 
     def __init__(
@@ -156,10 +163,12 @@ class LiveKVCluster:
         cluster: Optional[ClusterConfig] = None,
         election_timeout: Tuple[float, float] = (0.3, 0.6),
         heartbeat_interval: float = 0.06,
+        data_dir: Optional[str] = None,
         **server_options: Any,
     ):
         self.cluster = cluster or ClusterConfig.localhost(n)
         self.epoch = time.monotonic()
+        self.data_dir = data_dir
         self._server_options = dict(
             seed=seed,
             election_timeout=election_timeout,
@@ -172,6 +181,12 @@ class LiveKVCluster:
             self.servers.append(self._build(pid))
         self.shard_count = self.servers[0].shard_count if n else 1
 
+    def node_data_dir(self, pid: int) -> Optional[str]:
+        """Node ``pid``'s durable-state directory (``None`` if diskless)."""
+        if self.data_dir is None:
+            return None
+        return os.path.join(self.data_dir, f"node-{pid}")
+
     def _build(self, pid: int) -> KVServer:
         options = dict(self._server_options)
         transport_options = options.pop("transport_options", None)
@@ -179,6 +194,7 @@ class LiveKVCluster:
             self.cluster,
             pid,
             epoch=self.epoch,
+            data_dir=self.node_data_dir(pid),
             transport_options=(
                 dict(transport_options) if transport_options else None
             ),
@@ -197,20 +213,28 @@ class LiveKVCluster:
             if server is not None:
                 await server.stop()
 
-    async def kill(self, pid: int) -> None:
-        """Abrupt node death: peer and client sockets just disappear."""
+    async def kill(self, pid: int, *, torn: bool = False) -> None:
+        """Abrupt node death: peer and client sockets just disappear.
+
+        For a node with a ``data_dir`` this is a **power failure**: WAL
+        state not yet fsynced is lost, and ``torn=True`` additionally
+        leaves a torn final frame on disk for recovery to truncate.
+        """
         server = self.servers[pid]
         if server is not None:
-            await server.stop(crash=True)
+            await server.stop(crash=True, torn=torn)
             self.servers[pid] = None
 
     async def restart(self, pid: int) -> KVServer:
         """Bring a killed node back with a fresh :class:`KVServer`.
 
-        The new server starts from an empty log — the live analogue of a
-        node rejoining after losing its disk — and catches up through the
-        leader's snapshot/replication path.  No-op (returns the running
-        server) if the node is alive.
+        With a ``data_dir`` the replacement goes through **real crash
+        recovery** — term, vote, log and snapshot are read back from the
+        node's directory, never from the old in-memory server object.
+        Without one it starts from an empty log (the live analogue of a
+        node rejoining after losing its disk) and catches up through
+        the leader's snapshot/replication path.  No-op (returns the
+        running server) if the node is alive.
         """
         server = self.servers[pid]
         if server is not None:

@@ -63,6 +63,7 @@ deduplicated *against other clients'* writes.
 from __future__ import annotations
 
 import asyncio
+import os
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -87,6 +88,7 @@ from repro.live.wire import (
 )
 from repro.sim import trace as tr
 from repro.sim.serialize import WireError, register_wire_type
+from repro.storage.engine import DurableRaftNode, RaftStorage
 
 #: Seed offset between co-hosted shards, so each group draws distinct
 #: election/jitter randomness while shard 0 keeps the pre-sharding
@@ -182,19 +184,26 @@ class KVShard:
         snapshot_threshold: Optional[int],
         epoch: Optional[float],
         observers: Tuple = (),
+        storage: Optional[RaftStorage] = None,
     ):
         self.shard_id = shard_id
         self.pid = pid
         self.batch_window = batch_window
         self.max_batch = max_batch
         self.max_inflight = max_inflight
-        self.node = RaftNode(
+        self.storage = storage
+        node_args = dict(
             election_timeout=election_timeout,
             heartbeat_interval=heartbeat_interval,
             state_machine_factory=KVCommandMachine,
             propose_on_leadership=False,
             snapshot_threshold=snapshot_threshold,
             cluster_size=cluster.n,
+        )
+        self.node = (
+            DurableRaftNode(storage=storage, **node_args)
+            if storage is not None
+            else RaftNode(**node_args)
         )
         self.runtime = LiveRuntime(
             self.node,
@@ -205,6 +214,7 @@ class KVShard:
             epoch=epoch,
             transport=transport,
             shard=shard_id,
+            storage=storage,
         )
         self.runtime.trace.subscribe(self._on_trace)
         self._pending: Dict[str, asyncio.Future] = {}
@@ -257,6 +267,12 @@ class KVShard:
         key, value = event.detail
         if key == "applied":
             _index, _term, command = value
+            if self.storage is not None and self.storage.dirty:
+                # Ack ⇒ durable, unconditionally: the replication sync
+                # barrier already covers any cluster with peers, but a
+                # single-node group commits without ever sending, so
+                # sync here before resolving client futures.
+                self.storage.sync()
             if isinstance(command, KvBatch):
                 for op in command.ops:
                     future = self._pending.pop(op.op_id, None)
@@ -378,6 +394,17 @@ class KVServer:
             deposed leader serves stale values.  Exists only so the chaos
             checker has a real consistency bug to catch; never enable it
             outside tests.
+        data_dir: this node's durable-state directory.  Each shard
+            persists its Raft group (term, vote, log, snapshots) under
+            ``data_dir/shard-<id>`` via :class:`repro.storage.engine.RaftStorage`
+            and recovers it on cold start.  ``None`` (the default) keeps
+            the pre-storage in-memory behaviour.
+        lost_ack_bug: **deliberately broken** durability — the WAL skips
+            every ``fsync``, so writes are acknowledged before they are
+            durable and a power failure silently forgets them.  Exists
+            only so the chaos checker has a real durability bug to
+            catch (``--inject-bug lost-ack``); never enable it outside
+            tests.
     """
 
     def __init__(
@@ -398,6 +425,8 @@ class KVServer:
         observers: Tuple = (),
         transport_options: Optional[Dict[str, Any]] = None,
         unsafe_lin_reads: bool = False,
+        data_dir: Optional[str] = None,
+        lost_ack_bug: bool = False,
     ):
         self.cluster = cluster
         self.pid = pid
@@ -407,6 +436,8 @@ class KVServer:
         self.max_inflight = validate_max_inflight(max_inflight)
         self.commit_timeout = commit_timeout
         self.unsafe_lin_reads = unsafe_lin_reads
+        self.data_dir = data_dir
+        self.lost_ack_bug = lost_ack_bug
         options = dict(transport_options or {})
         options.setdefault(
             "jitter_seed", derive_process_seed(seed, pid, cluster.n) ^ 1
@@ -423,6 +454,12 @@ class KVServer:
                 timeout = staggered_election_timeout(
                     election_timeout, shard_id, pid, cluster.n
                 )
+            storage = None
+            if data_dir is not None:
+                storage = RaftStorage(
+                    os.path.join(data_dir, f"shard-{shard_id}"),
+                    sync_policy="none" if lost_ack_bug else "fsync",
+                )
             self.shards.append(
                 KVShard(
                     shard_id,
@@ -438,6 +475,7 @@ class KVServer:
                     snapshot_threshold=snapshot_threshold,
                     epoch=epoch,
                     observers=observers,
+                    storage=storage,
                 )
             )
         self._client_server: Optional[asyncio.AbstractServer] = None
@@ -476,7 +514,13 @@ class KVServer:
             await shard.runtime.start(restart=restart)
         self._watchdog = asyncio.ensure_future(self._watch_leadership())
 
-    async def stop(self, *, crash: bool = False) -> None:
+    async def stop(self, *, crash: bool = False, torn: bool = False) -> None:
+        """Stop the node.
+
+        ``crash=True`` is a power failure for storage: un-synced WAL
+        state is lost (with ``torn=True`` a torn final frame is left on
+        disk); a graceful stop flushes and closes it instead.
+        """
         if self._watchdog is not None:
             self._watchdog.cancel()
             try:
@@ -494,6 +538,11 @@ class KVServer:
         for shard in self.shards:
             shard.fail_pending()
             await shard.runtime.stop(crash=crash)
+            if shard.storage is not None and not shard.storage.closed:
+                if crash:
+                    shard.storage.crash(torn=torn)
+                else:
+                    shard.storage.close()
         await self.transport.stop()
 
     def _on_transport_event(self, kind: str, peer: int) -> None:

@@ -104,6 +104,14 @@ class LiveRuntime:
             transport.  Outbound frames are tagged with it and inbound
             frames for it are routed here; shard 0 (the default) is the
             pre-sharding wire encoding.
+        storage: the process's durable storage
+            (:class:`repro.storage.engine.RaftStorage`), if any.  The
+            runtime is its **sync barrier**: before any message leaves
+            for a peer, dirty storage is synced — Raft's persist-before-
+            responding rule.  A leader therefore fsyncs its appended
+            entries before broadcasting them, a follower before acking
+            them, and a voter before granting a vote, while everything
+            journalled between barriers shares one fsync (group commit).
     """
 
     def __init__(
@@ -120,6 +128,7 @@ class LiveRuntime:
         transport: Optional[PeerTransport] = None,
         transport_options: Optional[Dict[str, Any]] = None,
         shard: int = 0,
+        storage: Optional[Any] = None,
     ):
         n = cluster.n
         if not 0 <= pid < n:
@@ -139,6 +148,7 @@ class LiveRuntime:
         if shard < 0:
             raise ValueError(f"shard must be >= 0, got {shard}")
         self.shard = shard
+        self._storage = storage
         options = dict(transport_options or {})
         options.setdefault("jitter_seed", derive_process_seed(seed, pid, n) ^ 1)
         self.transport = transport or PeerTransport(
@@ -393,6 +403,10 @@ class LiveRuntime:
             self._mailbox.append(envelope)
             self._mail_event.set()
         else:
+            # Sync barrier: nothing reaches a peer before the durable
+            # state backing it is on disk.
+            if self._storage is not None and self._storage.dirty:
+                self._storage.sync()
             self.transport.send(dst, payload, now, shard=self.shard)
 
     def _next_seq(self) -> int:

@@ -1,0 +1,359 @@
+"""Durable Raft state on top of the WAL: storage engine + node bindings.
+
+:class:`RaftStorage` owns one Raft group's directory — WAL segments plus
+snapshot files — and exposes the journalling API the durable node
+subclasses call.  Recovery happens in the constructor: a cold start
+replays the newest checkpointed segment (:func:`repro.storage.wal.recover_wal`)
+and the storage comes up already holding the pre-crash durable state,
+which :class:`DurableRaftNode` then adopts.
+
+The binding layer is deliberately thin:
+
+* :class:`DurableRaftLog` overrides the two persistence hooks
+  :class:`~repro.algorithms.raft.log.RaftLog` fires on every mutation,
+  journalling appends as :class:`~repro.storage.wal.WalEntry` records
+  and compactions as a snapshot file plus a fresh checkpointed segment;
+* :class:`DurableRaftNode` intercepts ``current_term``/``voted_for``
+  assignment with properties, journalling :class:`~repro.storage.wal.WalTerm`
+  records — the protocol code in :mod:`repro.algorithms.raft.node` is
+  completely unchanged.
+
+Journalled records buffer in the WAL until a **sync barrier**.  The live
+runtime provides the barrier: before any externally-visible message
+leaves the node (a vote, an append ack, a replication broadcast), dirty
+storage is synced — Raft's "persist before responding" rule — and the
+group-fsync makes every record since the previous barrier durable with
+one ``fsync``.
+
+Corruption beyond torn-tail recovery **quarantines** the directory: the
+damaged files are moved aside (``corrupt-NNNN/``) and the node rejoins
+as an empty follower, exactly as if its disk had been replaced.  That
+trades the vote ledger away for availability — the same disk-loss model
+the existing harness restart used for every restart; see docs/storage.md
+for the safety discussion.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.algorithms.raft.log import Entry, RaftLog
+from repro.algorithms.raft.node import RaftNode
+from repro.storage.wal import (
+    DEFAULT_SEGMENT_BYTES,
+    Recovery,
+    Wal,
+    WalCheckpoint,
+    WalCorruptionError,
+    WalEntry,
+    WalStats,
+    WalTerm,
+    read_snapshot,
+    recover_wal,
+    snapshot_files,
+    snapshot_path,
+    write_snapshot,
+)
+
+
+@dataclass
+class DurableState:
+    """The replayed Figure-2 state: scalars, snapshot point, entries."""
+
+    term: int = 0
+    voted_for: Optional[int] = None
+    snapshot_index: int = 0
+    snapshot_term: int = 0
+    entries: List[Entry] = field(default_factory=list)
+
+    @property
+    def last_index(self) -> int:
+        return self.snapshot_index + len(self.entries)
+
+
+def replay_records(records: Sequence[Any]) -> DurableState:
+    """Fold a recovered record run into the durable state.
+
+    A :class:`WalEntry` truncates from its index and appends — the same
+    semantics the journalling side records — so replay lands on exactly
+    the log the node held at its last sync.  Gaps are impossible under
+    those semantics, so one is evidence of corruption that slipped past
+    the frame checksums and raises :class:`WalCorruptionError`.
+    """
+    state = DurableState()
+    for record in records:
+        if isinstance(record, WalCheckpoint):
+            state = DurableState(
+                term=record.term,
+                voted_for=record.voted_for,
+                snapshot_index=record.snapshot_index,
+                snapshot_term=record.snapshot_term,
+            )
+        elif isinstance(record, WalTerm):
+            state.term = record.term
+            state.voted_for = record.voted_for
+        elif isinstance(record, WalEntry):
+            position = record.index - state.snapshot_index - 1
+            if position < 0 or position > len(state.entries):
+                raise WalCorruptionError(
+                    f"entry record at index {record.index} leaves a gap "
+                    f"(snapshot {state.snapshot_index}, "
+                    f"{len(state.entries)} entries)"
+                )
+            del state.entries[position:]
+            state.entries.append(Entry(record.term, record.command))
+        else:
+            raise WalCorruptionError(
+                f"unknown WAL record type {type(record).__name__}"
+            )
+    return state
+
+
+class RaftStorage:
+    """One Raft group's durable state: WAL + snapshot files in a dir.
+
+    Construction *is* recovery: the instance comes up holding the
+    durable state found on disk (empty for a fresh directory), starts a
+    fresh checkpointed segment restating it (so this incarnation never
+    appends to files it did not write), and is immediately ready for
+    journalling.
+
+    Attributes after construction (what recovery found):
+        term, voted_for, snapshot_index, snapshot_term, entries,
+        machine_snapshot: the recovered Figure-2 state.
+        torn_tail: a damaged tail was discarded (power failed mid-write).
+        quarantined: corruption forced a quarantine; the node restarts
+            empty and ``quarantine_reason`` says why.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        sync_policy: str = "fsync",
+    ):
+        os.makedirs(directory, exist_ok=True)
+        self.directory = directory
+        self.segment_bytes = segment_bytes
+        self.quarantined = False
+        self.quarantine_reason: Optional[str] = None
+        try:
+            recovery = recover_wal(directory)
+            state = replay_records(recovery.records)
+            machine_snapshot = (
+                read_snapshot(directory, state.snapshot_index)
+                if state.snapshot_index > 0
+                else None
+            )
+        except WalCorruptionError as exc:
+            self._quarantine(exc)
+            recovery = Recovery(next_segment=1)
+            state = DurableState()
+            machine_snapshot = None
+        self.term = state.term
+        self.voted_for = state.voted_for
+        self.snapshot_index = state.snapshot_index
+        self.snapshot_term = state.snapshot_term
+        self.entries: List[Entry] = list(state.entries)
+        self.machine_snapshot = machine_snapshot
+        self.torn_tail = recovery.torn_tail
+        self.torn_detail = recovery.torn_detail
+        self._wal = Wal(
+            directory,
+            start_segment=recovery.next_segment,
+            sync_policy=sync_policy,
+        )
+        self._checkpoint()
+
+    def _quarantine(self, exc: WalCorruptionError) -> None:
+        """Move damaged files aside; the group restarts from nothing."""
+        number = 0
+        while os.path.isdir(os.path.join(self.directory, f"corrupt-{number:04d}")):
+            number += 1
+        quarantine_dir = os.path.join(self.directory, f"corrupt-{number:04d}")
+        os.makedirs(quarantine_dir)
+        for name in os.listdir(self.directory):
+            path = os.path.join(self.directory, name)
+            if os.path.isfile(path) and (
+                name.startswith("wal-") or name.startswith("snap-")
+            ):
+                os.replace(path, os.path.join(quarantine_dir, name))
+        self.quarantined = True
+        self.quarantine_reason = str(exc)
+
+    def _checkpoint(self) -> None:
+        """Rotate to a fresh self-contained segment; GC stale snapshots."""
+        records: List[Any] = [
+            WalCheckpoint(
+                self.term, self.voted_for, self.snapshot_index, self.snapshot_term
+            )
+        ]
+        records.extend(
+            WalEntry(self.snapshot_index + 1 + i, entry.term, entry.command)
+            for i, entry in enumerate(self.entries)
+        )
+        self._wal.checkpoint(records)
+        current = snapshot_path(self.directory, self.snapshot_index)
+        for stale in snapshot_files(self.directory):
+            if stale != current:
+                os.unlink(stale)
+
+    # -- journalling API (called by the durable node bindings) ----------
+
+    def record_term(self, term: int, voted_for: Optional[int]) -> None:
+        """Journal a ``currentTerm``/``votedFor`` change."""
+        if term == self.term and voted_for == self.voted_for:
+            return
+        self.term = term
+        self.voted_for = voted_for
+        self._wal.append(WalTerm(term, voted_for))
+
+    def record_append(self, index: int, entry: Entry) -> None:
+        """Journal the entry written at ``index`` (suffix discarded)."""
+        position = index - self.snapshot_index - 1
+        if position < 0 or position > len(self.entries):
+            raise WalCorruptionError(
+                f"append at index {index} leaves a gap "
+                f"(snapshot {self.snapshot_index}, "
+                f"{len(self.entries)} entries)"
+            )
+        del self.entries[position:]
+        self.entries.append(entry)
+        self._wal.append(WalEntry(index, entry.term, entry.command))
+
+    def record_compact(
+        self,
+        index: int,
+        term: int,
+        machine_state: Any,
+        entries: Sequence[Entry],
+    ) -> None:
+        """Journal a compaction: snapshot file first, then a checkpoint.
+
+        The ordering is the durability protocol: the snapshot file is
+        fsynced and renamed into place *before* the checkpoint frame
+        that references it is written, so a checkpoint on disk always
+        points at a snapshot that exists.
+        """
+        write_snapshot(self.directory, index, machine_state)
+        self.machine_snapshot = machine_state
+        self.snapshot_index = index
+        self.snapshot_term = term
+        self.entries = list(entries)
+        self._checkpoint()
+
+    # -- barrier / lifecycle --------------------------------------------
+
+    @property
+    def dirty(self) -> bool:
+        """Whether journalled records still await :meth:`sync`."""
+        return self._wal.dirty
+
+    @property
+    def stats(self) -> WalStats:
+        return self._wal.stats
+
+    @property
+    def closed(self) -> bool:
+        return self._wal.closed
+
+    def sync(self) -> None:
+        """The sync barrier: make every journalled record durable.
+
+        Also rotates to a fresh checkpointed segment once the current
+        one outgrows ``segment_bytes`` — rotation happens *at* a
+        barrier, so no frame ever straddles segments.
+        """
+        self._wal.sync()
+        if self._wal.segment_size > self.segment_bytes:
+            self._checkpoint()
+
+    def crash(self, *, torn: bool = False) -> None:
+        """Simulated power failure (see :meth:`repro.storage.wal.Wal.crash`)."""
+        self._wal.crash(torn=torn)
+
+    def close(self) -> None:
+        self._wal.close()
+
+
+class DurableRaftLog(RaftLog):
+    """A :class:`RaftLog` whose mutations journal to a :class:`RaftStorage`.
+
+    Starts from the storage's recovered entries/snapshot point; the
+    ``machine_snapshot_fn`` callable supplies the owning node's current
+    machine snapshot when a compaction needs to persist it.
+    """
+
+    def __init__(
+        self,
+        storage: RaftStorage,
+        machine_snapshot_fn: Callable[[], Any],
+    ):
+        self._storage: Optional[RaftStorage] = None
+        super().__init__(storage.entries)
+        self.snapshot_index = storage.snapshot_index
+        self.snapshot_term = storage.snapshot_term
+        self._machine_snapshot_fn = machine_snapshot_fn
+        self._storage = storage
+
+    def _record_append(self, index: int, entry: Entry) -> None:
+        if self._storage is not None:
+            self._storage.record_append(index, entry)
+
+    def _record_compact(self, index: int, term: int) -> None:
+        if self._storage is not None:
+            self._storage.record_compact(
+                index, term, self._machine_snapshot_fn(), self.as_list()
+            )
+
+
+class DurableRaftNode(RaftNode):
+    """A :class:`RaftNode` persisting its Figure-2 state to storage.
+
+    Adopts the storage's recovered ``current_term``/``voted_for``/log/
+    machine snapshot at construction, then journals every subsequent
+    change: term and vote via the property setters below, the log via
+    :class:`DurableRaftLog`.  The protocol implementation is inherited
+    untouched — persistence is pure interception.
+    """
+
+    def __init__(self, *, storage: RaftStorage, **kwargs: Any):
+        # The base __init__ assigns current_term/voted_for through our
+        # property setters; keep storage detached until recovery state
+        # is adopted so those initial writes are not journalled.
+        self._storage: Optional[RaftStorage] = None
+        self._current_term = 0
+        self._voted_for: Optional[int] = None
+        super().__init__(**kwargs)
+        self._current_term = storage.term
+        self._voted_for = storage.voted_for
+        self.machine_snapshot = storage.machine_snapshot
+        self.log = DurableRaftLog(storage, lambda: self.machine_snapshot)
+        self._storage = storage
+
+    @property
+    def current_term(self) -> int:
+        return self._current_term
+
+    @current_term.setter
+    def current_term(self, value: int) -> None:
+        self._current_term = value
+        if self._storage is not None:
+            self._storage.record_term(value, self._voted_for)
+
+    @property
+    def voted_for(self) -> Optional[int]:
+        return self._voted_for
+
+    @voted_for.setter
+    def voted_for(self, value: Optional[int]) -> None:
+        self._voted_for = value
+        if self._storage is not None:
+            self._storage.record_term(self._current_term, value)
+
+    @property
+    def storage(self) -> Optional[RaftStorage]:
+        return self._storage
