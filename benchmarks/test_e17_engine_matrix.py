@@ -1,0 +1,191 @@
+"""E17 — the engine matrix: identical load + chaos on raft/paxos/ct.
+
+The paper's core claim is that a consensus protocol is an assembly of
+interchangeable objects.  PR 7 made that operational — one
+:class:`~repro.live.engine.ConsensusEngine` seam, three backends — and
+this experiment is the measurement behind the claim: the *same* 3-node
+cluster, the *same* seeded closed-loop workload, and the *same* seeded
+leader-kill fault, swapping only ``engine=``.
+
+Two phases per engine:
+
+* **load** — closed loop (16 workers, 300 puts) against a healthy
+  cluster: aggregate throughput and commit-latency percentiles;
+* **chaos** — recorded clients drive a mixed put/lin-get workload while
+  the shard leader is killed and later restarted; availability is the
+  fraction of client ops answered during the fault window and after the
+  heal, and the recorded history must pass the linearizability checker
+  for any of it to count.
+
+Results are merged into ``BENCH_live.json`` under ``"engines"`` (other
+experiments' sections are preserved) and gated in CI by
+``benchmarks/compare_baseline.py`` against conservative committed
+baselines — the gate pins "every engine still commits at a sane rate,
+recovers from a leader kill, and stays linearizable", not a horse race
+between backends on shared runners.
+"""
+
+import asyncio
+import json
+import os
+import time
+
+from benchmarks.conftest import emit
+from repro.analysis.experiments import format_table
+from repro.chaos import (
+    History,
+    check_history,
+    close_clients,
+    make_clients,
+    run_workload,
+)
+from repro.live import ENGINES, LiveKVCluster, run_closed_loop
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_live.json")
+
+ENGINE_NAMES = ("raft", "paxos", "ct")
+NODES = 3
+SEED = 17
+TIMINGS = dict(election_timeout=(0.3, 0.6), heartbeat_interval=0.06)
+LOAD_OPS = 300
+CONCURRENCY = 16
+FAULT_WINDOW = 6.0
+GRACE = 2.0
+
+
+def run(coro, timeout=600.0):
+    return asyncio.run(asyncio.wait_for(coro, timeout))
+
+
+def _availability(stats):
+    total = stats["ok"] + stats["ambiguous"] + stats["failed"]
+    return (stats["ok"] / total) if total else 0.0
+
+
+async def _load_phase(engine):
+    cluster = LiveKVCluster(NODES, seed=SEED, engine=engine, **TIMINGS)
+    await cluster.start()
+    try:
+        await cluster.wait_for_leader(30.0)
+        return await run_closed_loop(
+            cluster.cluster,
+            ops=LOAD_OPS,
+            concurrency=CONCURRENCY,
+            key_space=256,
+            seed=SEED,
+        )
+    finally:
+        await cluster.stop()
+
+
+async def _chaos_phase(engine):
+    cluster = LiveKVCluster(NODES, seed=SEED, engine=engine, **TIMINGS)
+    history = History()
+    recorders = make_clients(cluster.cluster, history, 4)
+    try:
+        await cluster.start()
+        leader = await cluster.wait_for_leader(30.0)
+        workload = asyncio.ensure_future(
+            run_workload(
+                recorders, duration=FAULT_WINDOW, seed=SEED, pause=0.005
+            )
+        )
+        await asyncio.sleep(FAULT_WINDOW / 3)
+        await cluster.kill(leader)
+        failover_started = time.monotonic()
+        await cluster.wait_for_leader(30.0, exclude=(leader,))
+        failover_s = time.monotonic() - failover_started
+        during = await workload
+        await cluster.restart(leader)
+        await cluster.wait_for_leader(30.0)
+        for recorder in recorders:  # fresh counters for the healed phase
+            recorder.stats = {"ok": 0, "ambiguous": 0, "failed": 0}
+        post = await run_workload(
+            recorders,
+            duration=GRACE,
+            seed=SEED + 1,
+            read_fraction=1.0,
+            readonly_clients=len(recorders),
+            pause=0.005,
+        )
+    finally:
+        await close_clients(recorders)
+        await cluster.stop()
+    report = check_history(history, time_budget=60.0)
+    return during, post, report, failover_s, len(history)
+
+
+def test_e17_engine_matrix():
+    assert set(ENGINE_NAMES) == set(ENGINES)
+    section, rows = {}, []
+    for engine in ENGINE_NAMES:
+        load = run(_load_phase(engine))
+        during, post, report, failover_s, history_ops = run(
+            _chaos_phase(engine)
+        )
+        latency = load.latency
+        section[engine] = {
+            "throughput_ops_s": load.throughput,
+            "latency_s": {
+                "p50": latency["p50"],
+                "p95": latency["p95"],
+                "p99": latency["p99"],
+            },
+            "load_errors": float(load.errors),
+            "availability_during_faults": _availability(during),
+            "availability_post_heal": _availability(post),
+            "failover_s": failover_s,
+            "linearizable": 1.0 if report.ok else 0.0,
+            "history_ops": float(history_ops),
+        }
+        rows.append(
+            [
+                engine,
+                f"{load.throughput:.0f}",
+                f"{latency['p50'] * 1e3:.1f}",
+                f"{latency['p95'] * 1e3:.1f}",
+                f"{_availability(during):.2%}",
+                f"{_availability(post):.2%}",
+                "yes" if report.ok else "NO",
+            ]
+        )
+
+    emit(
+        "E17 — engine matrix (3 nodes, identical load + leader kill)",
+        format_table(
+            [
+                "engine",
+                "ops/s",
+                "p50 ms",
+                "p95 ms",
+                "avail(fault)",
+                "avail(heal)",
+                "linearizable",
+            ],
+            rows,
+        ),
+    )
+    _merge_results(section)
+
+    for engine, metrics in section.items():
+        assert metrics["linearizable"] == 1.0, (engine, metrics)
+        assert metrics["load_errors"] == 0.0, (engine, metrics)
+        assert metrics["availability_post_heal"] >= 0.9, (engine, metrics)
+        assert metrics["throughput_ops_s"] > 50, (engine, metrics)
+
+
+def _merge_results(section):
+    """Update BENCH_live.json in place, keeping other experiments' keys."""
+    existing = {}
+    if os.path.exists(RESULTS_PATH):
+        try:
+            with open(RESULTS_PATH) as fh:
+                existing = json.load(fh)
+        except (OSError, ValueError):
+            existing = {}
+    if not isinstance(existing, dict):
+        existing = {}
+    existing["engines"] = section
+    with open(RESULTS_PATH, "w") as fh:
+        json.dump(existing, fh, indent=2)
+        fh.write("\n")

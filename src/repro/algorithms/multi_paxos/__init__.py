@@ -1,0 +1,23 @@
+"""Multi-Paxos replicated log: ballot mixer + randomized-timeout detector."""
+
+from repro.algorithms.multi_paxos.messages import (
+    PaxChain,
+    PaxChainAck,
+    PaxPrepare,
+    PaxPrepareNack,
+    PaxPromise,
+    PaxSnapshot,
+    PaxSnapshotAck,
+)
+from repro.algorithms.multi_paxos.node import MultiPaxosNode
+
+__all__ = [
+    "MultiPaxosNode",
+    "PaxPrepare",
+    "PaxPromise",
+    "PaxPrepareNack",
+    "PaxChain",
+    "PaxChainAck",
+    "PaxSnapshot",
+    "PaxSnapshotAck",
+]

@@ -45,6 +45,7 @@ from repro.chaos.nemesis import (
 )
 from repro.chaos.timeline import render_html, render_text
 from repro.chaos.workload import close_clients, make_clients, run_workload
+from repro.live.engine import DEFAULT_ENGINE, ENGINES, EngineError, parse_engine_spec
 from repro.live.harness import LiveKVCluster
 
 #: Fast-failover timings for campaigns: elections resolve in ~a second,
@@ -59,7 +60,15 @@ def build_parser() -> argparse.ArgumentParser:
         "client history for linearizability.",
     )
     parser.add_argument("--nodes", type=int, default=5, help="cluster size")
-    parser.add_argument("--shards", type=int, default=2, help="Raft groups")
+    parser.add_argument(
+        "--shards", type=int, default=2, help="consensus groups"
+    )
+    parser.add_argument(
+        "--engine", default=DEFAULT_ENGINE, metavar="SPEC",
+        help="consensus backend per shard: one of "
+        f"{'/'.join(sorted(ENGINES))} or a comma-separated per-shard "
+        f"list (default {DEFAULT_ENGINE})",
+    )
     parser.add_argument("--seed", type=int, default=0, help="campaign seed")
     parser.add_argument(
         "--duration", type=float, default=20.0,
@@ -128,6 +137,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 async def run_campaign(args: argparse.Namespace) -> int:
+    try:
+        parse_engine_spec(args.engine, args.shards)
+    except EngineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
     plan = FaultPlan.random_campaign(
         args.seed,
@@ -147,6 +161,7 @@ async def run_campaign(args: argparse.Namespace) -> int:
         args.nodes,
         seed=args.seed,
         shards=args.shards,
+        engine=args.engine,
         unsafe_lin_reads=(args.inject_bug == "stale-reads"),
         data_dir=data_dir,
         lost_ack_bug=(args.inject_bug == "lost-ack"),
@@ -158,9 +173,9 @@ async def run_campaign(args: argparse.Namespace) -> int:
     )
     say = (lambda *_a, **_k: None) if args.quiet else print
     say(
-        f"campaign: {args.nodes} nodes / {args.shards} shards, seed "
-        f"{args.seed}, {len(plan.events)} fault events over "
-        f"{args.duration:.0f}s"
+        f"campaign: {args.nodes} nodes / {args.shards} shards "
+        f"({args.engine}), seed {args.seed}, {len(plan.events)} fault "
+        f"events over {args.duration:.0f}s"
     )
     try:
         await cluster.start()

@@ -19,9 +19,14 @@ Layers, bottom up:
   same :class:`~repro.sim.trace.Trace` events as the simulator.
 * :mod:`repro.live.sharding` — process-stable key->shard hashing,
   staggered leader placement, and the client-side shard router.
+* :mod:`repro.live.detector` — heartbeat-based Ω/◇S failure detector
+  (suspect/trust events, adaptive per-link timeouts).
+* :mod:`repro.live.engine` — the pluggable :class:`ConsensusEngine`
+  seam: ``raft``/``paxos``/``ct`` backends behind one node contract.
 * :mod:`repro.live.kv` / :mod:`repro.live.client` — a replicated KV
-  service on full Raft (``shards`` independent groups multiplexed over
-  the shared transport), and its shard-aware redirect-following client.
+  service over any engine (``shards`` independent groups multiplexed
+  over the shared transport), and its shard-aware redirect-following
+  client.
 * :mod:`repro.live.harness` — in-process multi-node clusters for tests
   and benchmarks.
 * :mod:`repro.live.loadgen` — closed- and open-loop load generation.
@@ -33,6 +38,15 @@ See ``docs/live.md`` for the architecture and wire protocol.
 from repro.live import codec as _codec  # registers wire types on import
 from repro.live.client import AsyncKVClient, ClusterUnavailableError
 from repro.live.config import ClusterConfig, NodeSpec
+from repro.live.detector import FdEvent, FdHeartbeat, OmegaDetector
+from repro.live.engine import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    ConsensusEngine,
+    EngineError,
+    get_engine,
+    parse_engine_spec,
+)
 from repro.live.harness import LiveCluster, LiveKVCluster, merge_traces
 from repro.live.kv import (
     KVServer,
@@ -65,7 +79,16 @@ __all__ = [
     "AsyncKVClient",
     "ClusterConfig",
     "ClusterUnavailableError",
+    "ConsensusEngine",
+    "DEFAULT_ENGINE",
+    "ENGINES",
+    "EngineError",
+    "FdEvent",
+    "FdHeartbeat",
     "FrameError",
+    "get_engine",
+    "OmegaDetector",
+    "parse_engine_spec",
     "KVServer",
     "KVShard",
     "KvBatch",

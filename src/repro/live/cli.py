@@ -32,8 +32,10 @@ from repro.live.config import (
     TuningConfig,
     validate_shards,
 )
+from repro.live.engine import DEFAULT_ENGINE, ENGINES, EngineError, parse_engine_spec
 from repro.live.kv import KVServer
 from repro.live.loadgen import KEY_DISTRIBUTIONS, run_closed_loop, run_open_loop
+from repro.storage.engine import StorageQuarantineError
 
 
 def _parse_max_inflight(text: str) -> int:
@@ -60,6 +62,46 @@ def _add_client_shards_argument(parser: argparse.ArgumentParser) -> None:
         help="the cluster's shard count; omit to discover it from the "
         "cluster (one status round trip)",
     )
+
+
+def _add_engine_argument(parser: argparse.ArgumentParser, serve: bool) -> None:
+    if serve:
+        help_text = (
+            "consensus backend per shard: one of "
+            f"{'/'.join(sorted(ENGINES))}, or a comma-separated list with "
+            "one name per shard (e.g. raft,ct); must match the rest of "
+            f"the cluster (default {DEFAULT_ENGINE})"
+        )
+    else:
+        help_text = (
+            "the engine the cluster is expected to run; checked against "
+            "the servers' advertised engine and mismatches fail loudly "
+            "(omit to skip the check)"
+        )
+    parser.add_argument(
+        "--engine",
+        default=DEFAULT_ENGINE if serve else None,
+        metavar="SPEC",
+        help=help_text,
+    )
+
+
+async def _check_engine(client: AsyncKVClient, expected: str) -> None:
+    """Fail loudly when the cluster's engine differs from ``expected``."""
+    for pid in range(client.cluster.n):
+        try:
+            status = await client.status_of(pid)
+        except (ConnectionError, OSError, asyncio.TimeoutError,
+                asyncio.IncompleteReadError):
+            continue
+        advertised = status.get("engine", DEFAULT_ENGINE)
+        if advertised != expected:
+            raise EngineError(
+                f"cluster runs engine {advertised!r}, not {expected!r} "
+                f"(node {pid}); re-run with --engine {advertised}"
+            )
+        return
+    raise EngineError("no node reachable to confirm the cluster engine")
 
 
 def _add_codec_argument(parser: argparse.ArgumentParser) -> None:
@@ -116,9 +158,10 @@ def build_parser() -> argparse.ArgumentParser:
         type=_parse_shards,
         default=1,
         metavar="S",
-        help="independent Raft groups hosted by this node; must match the "
-        "rest of the cluster (default 1, the pre-sharding behaviour)",
+        help="independent consensus groups hosted by this node; must match "
+        "the rest of the cluster (default 1, the pre-sharding behaviour)",
     )
+    _add_engine_argument(serve, serve=True)
     serve.add_argument(
         "--election-timeout",
         type=_parse_timeout_range,
@@ -142,8 +185,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--data-dir",
         default=None,
         metavar="DIR",
-        help="persist Raft state (term, vote, log, snapshots) under DIR "
-        "and recover it on restart; omit for the in-memory behaviour",
+        help="persist consensus state (term, vote, log, snapshots) under "
+        "DIR and recover it on restart; omit for the in-memory behaviour",
+    )
+    serve.add_argument(
+        "--no-rejoin",
+        action="store_true",
+        help="strict quarantine: refuse to start when the durable state "
+        "under --data-dir is corrupt, instead of moving it aside and "
+        "rejoining as an empty follower (see docs/storage.md for the "
+        "trade-off)",
     )
     serve.add_argument(
         "--max-inflight",
@@ -159,6 +210,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_peers_argument(client)
     _add_codec_argument(client)
     _add_client_shards_argument(client)
+    _add_engine_argument(client, serve=False)
     sub = client.add_subparsers(dest="operation", required=True)
     put = sub.add_parser("put", help="replicate KEY -> VALUE")
     put.add_argument("key")
@@ -211,6 +263,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_codec_argument(loadgen)
     _add_client_shards_argument(loadgen)
+    _add_engine_argument(loadgen, serve=False)
     loadgen.add_argument(
         "--json",
         metavar="PATH",
@@ -227,24 +280,37 @@ async def _serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    server = KVServer(
-        args.peers,
-        args.pid,
-        seed=args.seed,
-        shards=args.shards,
-        election_timeout=args.election_timeout,
-        heartbeat_interval=args.heartbeat,
-        snapshot_threshold=args.snapshot_threshold,
-        max_inflight=args.max_inflight,
-        data_dir=args.data_dir,
-        transport_options={"codec": args.codec},
-    )
+    try:
+        parse_engine_spec(args.engine, args.shards)
+    except EngineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        server = KVServer(
+            args.peers,
+            args.pid,
+            seed=args.seed,
+            shards=args.shards,
+            engine=args.engine,
+            election_timeout=args.election_timeout,
+            heartbeat_interval=args.heartbeat,
+            snapshot_threshold=args.snapshot_threshold,
+            max_inflight=args.max_inflight,
+            data_dir=args.data_dir,
+            no_rejoin=args.no_rejoin,
+            transport_options={"codec": args.codec},
+        )
+    except StorageQuarantineError as exc:
+        # Strict mode: corrupt durable state must not silently become an
+        # empty-disk rejoin.  Exit distinctly so supervisors don't loop.
+        print(f"fatal: {exc}", file=sys.stderr)
+        return 3
     await server.start()
     spec = args.peers[args.pid]
     groups = f", {args.shards} shards" if args.shards > 1 else ""
     print(
-        f"node {args.pid}/{args.peers.n} serving: peers on {spec.peer_addr}, "
-        f"clients on {spec.client_addr}{groups}",
+        f"node {args.pid}/{args.peers.n} serving ({args.engine}): "
+        f"peers on {spec.peer_addr}, clients on {spec.client_addr}{groups}",
         flush=True,
     )
     stopped = asyncio.get_event_loop().create_future()
@@ -270,6 +336,12 @@ async def _serve(args: argparse.Namespace) -> int:
 async def _client(args: argparse.Namespace) -> int:
     client = AsyncKVClient(args.peers, codec=args.codec, shards=args.shards)
     try:
+        if args.engine is not None:
+            try:
+                await _check_engine(client, args.engine)
+            except EngineError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
         if args.operation == "put":
             index = await client.put(args.key, args.value)
             print(f"ok: {args.key!r} committed at index {index}")
@@ -292,7 +364,9 @@ async def _client(args: argparse.Namespace) -> int:
                     print(f"node {pid}: unreachable")
                     continue
                 print(
-                    f"node {pid}: {status['role']} term={status['term']} "
+                    f"node {pid}: {status['role']} "
+                    f"engine={status.get('engine', DEFAULT_ENGINE)} "
+                    f"term={status['term']} "
                     f"commit={status['commit_index']} "
                     f"applied={status['applied']} leader={status['leader']}"
                 )
@@ -308,6 +382,15 @@ async def _client(args: argparse.Namespace) -> int:
 
 
 async def _loadgen(args: argparse.Namespace) -> int:
+    if args.engine is not None:
+        probe = AsyncKVClient(args.peers, codec=args.codec, shards=args.shards)
+        try:
+            await _check_engine(probe, args.engine)
+        except EngineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        finally:
+            await probe.close()
     if args.rate is not None:
         report = await run_open_loop(
             args.peers,

@@ -20,6 +20,24 @@ from repro.algorithms.chandra_toueg.messages import (
     Estimate,
 )
 from repro.algorithms.chandra_toueg.messages import Nack as CtNack
+from repro.algorithms.chandra_toueg.replicated import (
+    CtChain,
+    CtChainAck,
+    CtPrepare,
+    CtPrepareNack,
+    CtPromise,
+    CtSnapshot,
+    CtSnapshotAck,
+)
+from repro.algorithms.multi_paxos.messages import (
+    PaxChain,
+    PaxChainAck,
+    PaxPrepare,
+    PaxPrepareNack,
+    PaxPromise,
+    PaxSnapshot,
+    PaxSnapshotAck,
+)
 from repro.algorithms.paxos.messages import (
     Accept,
     Accepted,
@@ -27,6 +45,7 @@ from repro.algorithms.paxos.messages import (
     Prepare,
     Promise,
 )
+from repro.algorithms.replica import Noop
 from repro.algorithms.raft.log import Entry
 from repro.algorithms.raft.messages import (
     AppendEntries,
@@ -40,6 +59,7 @@ from repro.algorithms.raft.messages import (
 from repro.algorithms.raft.state_machine import DecideAndStop, Put
 from repro.algorithms.shared_coin.conciliator import ConcInput
 from repro.core.confidence import Confidence
+from repro.live.detector import FdHeartbeat
 from repro.sim.ops import TimerFired
 from repro.sim.serialize import register_wire_enum, register_wire_type
 
@@ -53,12 +73,31 @@ _DATACLASSES = (
     Accept,
     Accepted,
     Nack,
-    # Chandra-Toueg
+    # Chandra-Toueg (one-shot)
     Estimate,
     CoordinatorProposal,
     Ack,
     CtNack,
     CtDecide,
+    # Multi-Paxos engine (replicated-log ballot mixer)
+    PaxPrepare,
+    PaxPromise,
+    PaxPrepareNack,
+    PaxChain,
+    PaxChainAck,
+    PaxSnapshot,
+    PaxSnapshotAck,
+    # Chandra-Toueg engine (replicated-log mixer + Ω detector)
+    CtPrepare,
+    CtPromise,
+    CtPrepareNack,
+    CtChain,
+    CtChainAck,
+    CtSnapshot,
+    CtSnapshotAck,
+    FdHeartbeat,
+    # Shared ballot-mixer gap filler (rides inside log entries)
+    Noop,
     # Raft (full stack, including log entries and commands)
     RequestVote,
     RequestVoteReply,

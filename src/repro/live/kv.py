@@ -1,12 +1,17 @@
-"""A replicated key-value service on top of the live Raft cluster.
+"""A replicated key-value service on top of the live consensus cluster.
 
-Each :class:`KVServer` hosts one or more *shards* — independent full
-:class:`~repro.algorithms.raft.node.RaftNode` groups (the paper's VAC +
-reconciliator decomposition of Raft), each under its own
+Each :class:`KVServer` hosts one or more *shards* — independent
+consensus groups, each built by a pluggable
+:class:`~repro.live.engine.ConsensusEngine` backend (Raft, Multi-Paxos,
+or Chandra-Toueg over a live Ω detector; ``--engine``, per-shard specs
+allowed) and each under its own
 :class:`~repro.live.runtime.LiveRuntime` — multiplexed over a single
 shared :class:`~repro.live.transport.PeerTransport` (shard-tagged wire
 frames, one socket pair per peer), plus a client-facing TCP frontend
-speaking the same length-prefixed wire protocol.
+speaking the same length-prefixed wire protocol.  The KV layer consumes
+only the engine seam's node contract (leadership state, commit/apply
+annotations, ``ClientPropose``) — nothing below this module names a
+concrete protocol.
 
 Sharding
 --------
@@ -68,7 +73,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.algorithms.raft.messages import ClientPropose
-from repro.algorithms.raft.node import LEADER, RaftNode
+from repro.algorithms.raft.node import LEADER
 from repro.algorithms.raft.state_machine import KeyValueStateMachine, Put
 from repro.live.config import (
     DEFAULT_MAX_INFLIGHT,
@@ -76,8 +81,9 @@ from repro.live.config import (
     validate_max_inflight,
     validate_shards,
 )
+from repro.live.engine import DEFAULT_ENGINE, ConsensusEngine, parse_engine_spec
 from repro.live.runtime import LiveRuntime, derive_process_seed
-from repro.live.sharding import shard_of, staggered_election_timeout
+from repro.live.sharding import shard_of
 from repro.live.transport import PeerTransport
 from repro.live.wire import (
     decode_body,
@@ -88,7 +94,7 @@ from repro.live.wire import (
 )
 from repro.sim import trace as tr
 from repro.sim.serialize import WireError, register_wire_type
-from repro.storage.engine import DurableRaftNode, RaftStorage
+from repro.storage.engine import RaftStorage
 
 #: Seed offset between co-hosted shards, so each group draws distinct
 #: election/jitter randomness while shard 0 keeps the pre-sharding
@@ -160,12 +166,14 @@ class NotLeaderError(Exception):
 
 
 class KVShard:
-    """One Raft group hosted by a :class:`KVServer`.
+    """One consensus group hosted by a :class:`KVServer`.
 
-    Owns the group's :class:`RaftNode`, its :class:`LiveRuntime` (driving
-    the node over the server's shared transport, frames tagged with
-    ``shard_id``), and the write-batching state: pending client futures,
-    the open batch, and the group-commit flow control.
+    Owns the group's protocol node (built by its ``engine`` — Raft by
+    default), its :class:`LiveRuntime` (driving the node over the
+    server's shared transport, frames tagged with ``shard_id`` and
+    filtered to the engine's own message family), and the
+    write-batching state: pending client futures, the open batch, and
+    the group-commit flow control.
     """
 
     def __init__(
@@ -175,6 +183,8 @@ class KVShard:
         pid: int,
         transport: PeerTransport,
         *,
+        engine: ConsensusEngine,
+        shard_count: int,
         seed: int,
         election_timeout: Tuple[float, float],
         heartbeat_interval: float,
@@ -188,22 +198,21 @@ class KVShard:
     ):
         self.shard_id = shard_id
         self.pid = pid
+        self.engine = engine
         self.batch_window = batch_window
         self.max_batch = max_batch
         self.max_inflight = max_inflight
         self.storage = storage
-        node_args = dict(
+        self.node = engine.build_node(
+            shard_id=shard_id,
+            shard_count=shard_count,
+            pid=pid,
+            n=cluster.n,
             election_timeout=election_timeout,
             heartbeat_interval=heartbeat_interval,
             state_machine_factory=KVCommandMachine,
-            propose_on_leadership=False,
             snapshot_threshold=snapshot_threshold,
-            cluster_size=cluster.n,
-        )
-        self.node = (
-            DurableRaftNode(storage=storage, **node_args)
-            if storage is not None
-            else RaftNode(**node_args)
+            storage=storage,
         )
         self.runtime = LiveRuntime(
             self.node,
@@ -215,6 +224,7 @@ class KVShard:
             transport=transport,
             shard=shard_id,
             storage=storage,
+            wire_filter=engine.accepts,
         )
         self.runtime.trace.subscribe(self._on_trace)
         self._pending: Dict[str, asyncio.Future] = {}
@@ -354,15 +364,22 @@ class KVShard:
 
 
 class KVServer:
-    """One cluster member: ``shards`` Raft groups + shared transport +
-    client frontend.
+    """One cluster member: ``shards`` consensus groups + shared transport
+    + client frontend.
 
     Args:
         cluster: full membership.
         pid: this node's pid.
-        shards: independent Raft groups hosted by every node.  Keys are
-            hash-partitioned across them; ``1`` (the default) preserves
-            the pre-sharding wire behaviour exactly.
+        shards: independent consensus groups hosted by every node.  Keys
+            are hash-partitioned across them; ``1`` (the default)
+            preserves the pre-sharding wire behaviour exactly.
+        engine: consensus-engine spec — one of
+            :data:`repro.live.engine.ENGINES` (``raft``, ``paxos``,
+            ``ct``), or a comma-separated list naming one engine per
+            shard.  Every node of a cluster must use the same spec; a
+            mismatch is rejected loudly at the wire (frames from a
+            foreign engine are counted and dropped, see ``status``'s
+            ``foreign_frames``).
         seed: run seed (election randomness derives from it; each shard
             offsets it by :data:`SHARD_SEED_STRIDE` so co-hosted groups
             draw distinct randomness).
@@ -405,6 +422,12 @@ class KVServer:
             only so the chaos checker has a real durability bug to
             catch (``--inject-bug lost-ack``); never enable it outside
             tests.
+        no_rejoin: strict quarantine — when any shard's durable state is
+            corrupt beyond torn-tail repair, raise
+            :class:`~repro.storage.engine.StorageQuarantineError` from
+            the constructor instead of moving the files aside and
+            rejoining as an empty follower.  See docs/storage.md for the
+            single-disk vs majority-disk-loss trade-off.
     """
 
     def __init__(
@@ -413,6 +436,7 @@ class KVServer:
         pid: int,
         *,
         shards: int = 1,
+        engine: str = DEFAULT_ENGINE,
         seed: int = 0,
         election_timeout: Tuple[float, float] = (0.3, 0.6),
         heartbeat_interval: float = 0.06,
@@ -427,10 +451,13 @@ class KVServer:
         unsafe_lin_reads: bool = False,
         data_dir: Optional[str] = None,
         lost_ack_bug: bool = False,
+        no_rejoin: bool = False,
     ):
         self.cluster = cluster
         self.pid = pid
         self.shard_count = validate_shards(shards)
+        self.engines = parse_engine_spec(engine, self.shard_count)
+        self.engine_spec = engine
         self.batch_window = batch_window
         self.max_batch = max_batch
         self.max_inflight = validate_max_inflight(max_inflight)
@@ -438,6 +465,7 @@ class KVServer:
         self.unsafe_lin_reads = unsafe_lin_reads
         self.data_dir = data_dir
         self.lost_ack_bug = lost_ack_bug
+        self.no_rejoin = no_rejoin
         options = dict(transport_options or {})
         options.setdefault(
             "jitter_seed", derive_process_seed(seed, pid, cluster.n) ^ 1
@@ -447,18 +475,12 @@ class KVServer:
         )
         self.shards: List[KVShard] = []
         for shard_id in range(self.shard_count):
-            timeout = election_timeout
-            if self.shard_count > 1:
-                # Stagger first elections so shard i's leadership starts
-                # on node i mod n and load spreads across the cluster.
-                timeout = staggered_election_timeout(
-                    election_timeout, shard_id, pid, cluster.n
-                )
             storage = None
             if data_dir is not None:
                 storage = RaftStorage(
                     os.path.join(data_dir, f"shard-{shard_id}"),
                     sync_policy="none" if lost_ack_bug else "fsync",
+                    no_rejoin=no_rejoin,
                 )
             self.shards.append(
                 KVShard(
@@ -466,8 +488,10 @@ class KVServer:
                     cluster,
                     pid,
                     self.transport,
+                    engine=self.engines[shard_id],
+                    shard_count=self.shard_count,
                     seed=seed + SHARD_SEED_STRIDE * shard_id,
-                    election_timeout=timeout,
+                    election_timeout=election_timeout,
                     heartbeat_interval=heartbeat_interval,
                     batch_window=batch_window,
                     max_batch=max_batch,
@@ -487,8 +511,8 @@ class KVServer:
     # ------------------------------------------------------------------
 
     @property
-    def node(self) -> RaftNode:
-        """Shard 0's Raft node (the whole node when ``shards == 1``)."""
+    def node(self):
+        """Shard 0's protocol node (the whole node when ``shards == 1``)."""
         return self.shards[0].node
 
     @property
@@ -627,6 +651,7 @@ class KVServer:
                 "pid": self.pid,
                 "n": self.cluster.n,
                 "shards": self.shard_count,
+                "engine": head.engine.name,
                 "role": head.node.state,
                 "term": head.node.current_term,
                 "commit_index": head.node.commit_index,
@@ -635,11 +660,13 @@ class KVServer:
                 "groups": [
                     {
                         "shard": shard.shard_id,
+                        "engine": shard.engine.name,
                         "role": shard.node.state,
                         "term": shard.node.current_term,
                         "commit_index": shard.node.commit_index,
                         "applied": shard.node.last_applied,
                         "leader": shard.leader_hint,
+                        "foreign_frames": shard.runtime.foreign_frames,
                     }
                     for shard in self.shards
                 ],

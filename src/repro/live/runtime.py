@@ -34,9 +34,10 @@ seconds instead of virtual time units.
 from __future__ import annotations
 
 import asyncio
+import logging
 import random
 import time
-from typing import Any, Dict, Optional, Sequence
+from typing import Any, Callable, Dict, Optional, Sequence
 
 from repro.live import codec  # noqa: F401  (registers the wire types)
 from repro.live.config import ClusterConfig
@@ -59,6 +60,8 @@ from repro.sim.ops import (
 from repro.sim.process import Process, ProcessAPI
 
 _UNDECIDED = object()
+
+logger = logging.getLogger("repro.live")
 
 
 class LiveRuntimeError(RuntimeError):
@@ -129,6 +132,7 @@ class LiveRuntime:
         transport_options: Optional[Dict[str, Any]] = None,
         shard: int = 0,
         storage: Optional[Any] = None,
+        wire_filter: Optional[Callable[[Any], bool]] = None,
     ):
         n = cluster.n
         if not 0 <= pid < n:
@@ -149,6 +153,12 @@ class LiveRuntime:
             raise ValueError(f"shard must be >= 0, got {shard}")
         self.shard = shard
         self._storage = storage
+        self._wire_filter = wire_filter
+        #: Peer frames rejected by ``wire_filter`` — a non-zero count
+        #: means a peer is speaking a different consensus engine (or a
+        #: foreign protocol) on this shard.  Exposed in KV ``status``.
+        self.foreign_frames = 0
+        self._foreign_seen: set = set()
         options = dict(transport_options or {})
         options.setdefault("jitter_seed", derive_process_seed(seed, pid, n) ^ 1)
         self.transport = transport or PeerTransport(
@@ -253,6 +263,21 @@ class LiveRuntime:
     def _on_peer_message(
         self, src: Pid, payload: Any, send_time: Optional[float]
     ) -> None:
+        if self._wire_filter is not None and not self._wire_filter(payload):
+            # A mixed-engine cluster: the frame decoded fine but belongs
+            # to a different consensus protocol.  Fail loudly — count,
+            # log once per (peer, type), and drop, so the misconfigured
+            # node visibly makes no progress instead of half-interoperating.
+            self.foreign_frames += 1
+            key = (src, type(payload).__name__)
+            if key not in self._foreign_seen:
+                self._foreign_seen.add(key)
+                logger.warning(
+                    "pid %d shard %d: rejecting foreign wire frame %s "
+                    "from peer %d — engine mismatch? (%d rejected so far)",
+                    self.pid, self.shard, key[1], src, self.foreign_frames,
+                )
+            return
         self._deliver(src, payload, send_time)
 
     def _deliver(self, src: Pid, payload: Any, send_time: Optional[float]) -> None:

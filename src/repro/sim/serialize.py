@@ -703,7 +703,12 @@ def _dec_pairs(data, pos, slots, count):
     for _ in range(count):
         key, pos = decode(data, pos, slots)
         item, pos = decode(data, pos, slots)
-        pairs[key] = item
+        try:
+            pairs[key] = item
+        except TypeError:
+            # A corrupt frame can decode an unhashable value into key
+            # position; that is malformed input, not a crash.
+            raise WireError(f"unhashable dict key of type {type(key).__name__}")
     return pairs, pos
 
 

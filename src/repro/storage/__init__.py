@@ -7,10 +7,12 @@ format, the fsync-batching barrier, and the recovery protocol.
 """
 
 from repro.storage.engine import (
+    DurableBallotMixin,
     DurableRaftLog,
     DurableRaftNode,
     DurableState,
     RaftStorage,
+    StorageQuarantineError,
     replay_records,
 )
 from repro.storage.wal import (
@@ -36,11 +38,13 @@ from repro.storage.wal import (
 
 __all__ = [
     "DEFAULT_SEGMENT_BYTES",
+    "DurableBallotMixin",
     "DurableRaftLog",
     "DurableRaftNode",
     "DurableState",
     "RaftStorage",
     "Recovery",
+    "StorageQuarantineError",
     "Wal",
     "WalCheckpoint",
     "WalCorruptionError",

@@ -29,8 +29,12 @@ Corruption beyond torn-tail recovery **quarantines** the directory: the
 damaged files are moved aside (``corrupt-NNNN/``) and the node rejoins
 as an empty follower, exactly as if its disk had been replaced.  That
 trades the vote ledger away for availability — the same disk-loss model
-the existing harness restart used for every restart; see docs/storage.md
-for the safety discussion.
+the existing harness restart used for every restart.  With
+``no_rejoin=True`` (``repro serve --no-rejoin``) the trade flips:
+corruption raises :class:`StorageQuarantineError` instead, the node
+refuses to start, and an operator must intervene — safe against
+correlated disk loss, at the cost of availability.  See docs/storage.md
+for the trade-off discussion.
 """
 
 from __future__ import annotations
@@ -111,6 +115,19 @@ def replay_records(records: Sequence[Any]) -> DurableState:
     return state
 
 
+class StorageQuarantineError(RuntimeError):
+    """Durable state is corrupt and ``no_rejoin`` forbids starting empty.
+
+    Raised from the :class:`RaftStorage` constructor when recovery hits
+    corruption beyond torn-tail repair and the storage was opened in
+    strict mode.  Nothing has been moved aside: the damaged files are
+    left in place for inspection, and the node must not join the
+    cluster until an operator either repairs the directory or
+    explicitly restarts without ``--no-rejoin`` (accepting the
+    empty-disk rejoin and its vote-ledger loss).
+    """
+
+
 class RaftStorage:
     """One Raft group's durable state: WAL + snapshot files in a dir.
 
@@ -134,10 +151,12 @@ class RaftStorage:
         *,
         segment_bytes: int = DEFAULT_SEGMENT_BYTES,
         sync_policy: str = "fsync",
+        no_rejoin: bool = False,
     ):
         os.makedirs(directory, exist_ok=True)
         self.directory = directory
         self.segment_bytes = segment_bytes
+        self.no_rejoin = no_rejoin
         self.quarantined = False
         self.quarantine_reason: Optional[str] = None
         try:
@@ -149,6 +168,13 @@ class RaftStorage:
                 else None
             )
         except WalCorruptionError as exc:
+            if no_rejoin:
+                raise StorageQuarantineError(
+                    f"durable state in {directory} is corrupt ({exc}); "
+                    "refusing to rejoin empty under --no-rejoin — repair "
+                    "or move the directory aside, or restart without "
+                    "--no-rejoin to accept the empty-disk rejoin"
+                ) from exc
             self._quarantine(exc)
             recovery = Recovery(next_segment=1)
             state = DurableState()
@@ -353,6 +379,54 @@ class DurableRaftNode(RaftNode):
         self._voted_for = value
         if self._storage is not None:
             self._storage.record_term(self._current_term, value)
+
+    @property
+    def storage(self) -> Optional[RaftStorage]:
+        return self._storage
+
+
+class DurableBallotMixin:
+    """Durability binding for :class:`~repro.algorithms.replica.BallotReplicaNode`
+    subclasses (the Multi-Paxos and Chandra-Toueg engines).
+
+    :class:`RaftStorage` is engine-neutral — its slots are (term, vote,
+    entries, snapshot), and a ballot engine's durable state maps onto
+    them directly: the promised ballot journals as a :class:`WalTerm`
+    with no vote (promising *is* the vote in ballot protocols), and the
+    ballot-tagged log reuses :class:`DurableRaftLog` unchanged.  So a
+    data directory is recovered by whichever binding matches the engine
+    that wrote it, and the WAL format stays one format.
+
+    Mix in *before* the node class::
+
+        class DurableMultiPaxosNode(DurableBallotMixin, MultiPaxosNode): ...
+
+    The base node assigns ``promised`` as a plain attribute; the property
+    below intercepts every assignment and journals it, exactly like
+    :class:`DurableRaftNode` does for ``current_term``/``voted_for``.
+    """
+
+    def __init__(self, *, storage: RaftStorage, **kwargs: Any):
+        # Base __init__ assigns ``promised`` through our setter; keep
+        # storage detached until recovery state is adopted so the
+        # initial zero write is not journalled.
+        self._storage: Optional[RaftStorage] = None
+        self._promised = 0
+        super().__init__(**kwargs)
+        self._promised = storage.term
+        self.machine_snapshot = storage.machine_snapshot
+        self.log = DurableRaftLog(storage, lambda: self.machine_snapshot)
+        self._storage = storage
+
+    @property
+    def promised(self) -> int:
+        return self._promised
+
+    @promised.setter
+    def promised(self, value: int) -> None:
+        self._promised = value
+        if self._storage is not None:
+            self._storage.record_term(value, None)
 
     @property
     def storage(self) -> Optional[RaftStorage]:

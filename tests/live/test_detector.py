@@ -1,0 +1,292 @@
+"""Unit suite for the Ω/◇S heartbeat failure detector.
+
+Two layers, both deterministic and tier-1:
+
+* pure-state tests drive :class:`~repro.live.detector.OmegaDetector`
+  directly with hand-picked clocks — thresholds, refutation doubling,
+  rank rotation;
+* cluster tests run :class:`~repro.live.detector.DetectorProcess` under
+  the deterministic simulator, where partitions, drops, crashes and
+  timeout skew come from the seeded network model, and pin the ◇S/Ω
+  stories: convergence, eventual accuracy, and *bounded* suspicion
+  oscillation after a heal.
+"""
+
+import pytest
+
+from repro.live.detector import (
+    DetectorProcess,
+    FdEvent,
+    OmegaDetector,
+    omega_converged,
+)
+from repro.sim.async_runtime import AsyncRuntime
+from repro.sim.failures import CrashPlan
+from repro.sim.network import (
+    NetworkConfig,
+    Partition,
+    SkewedDelay,
+    UniformDelay,
+)
+
+INTERVAL = 0.5
+
+
+def make_detector(n=3, pid=0, **kwargs):
+    fd = OmegaDetector(n, pid, interval=INTERVAL, **kwargs)
+    fd.start(0.0)
+    return fd
+
+
+class TestDetectorState:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OmegaDetector(0, 0)
+        with pytest.raises(ValueError):
+            OmegaDetector(3, 0, interval=0.0)
+        with pytest.raises(ValueError):
+            OmegaDetector(3, 0, factor=0.5)
+
+    def test_starts_trusting_everyone(self):
+        fd = make_detector(n=5, pid=2)
+        assert fd.suspects() == ()
+        assert fd.trusted() == (0, 1, 2, 3, 4)
+        assert fd.leader() == 0
+
+    def test_before_start_inputs_are_inert(self):
+        fd = OmegaDetector(3, 0, interval=INTERVAL)
+        assert fd.note_heartbeat(1, 1.0) == []
+        assert fd.check(100.0) == []
+
+    def test_heartbeat_seq_increases(self):
+        fd = make_detector()
+        beats = [fd.heartbeat() for _ in range(3)]
+        assert [b.seq for b in beats] == [1, 2, 3]
+        assert all(b.sender == 0 for b in beats)
+
+    def test_silence_beyond_threshold_suspects(self):
+        fd = make_detector()
+        threshold = fd.timeout_for(1)
+        assert fd.check(threshold) == []  # boundary: not yet
+        events = fd.check(threshold + 0.01)
+        assert {(e.kind, e.peer) for e in events} == {
+            ("suspect", 1),
+            ("suspect", 2),
+        }
+        assert fd.suspects() == (1, 2)
+        assert fd.check(threshold + 0.02) == []  # no repeat transitions
+
+    def test_refutation_restores_trust_and_doubles_margin(self):
+        fd = make_detector()
+        margin_before = fd.timeout_for(1) - fd.factor * INTERVAL
+        fd.check(fd.timeout_for(1) + 0.01)
+        assert fd.is_suspected(1)
+        events = fd.note_heartbeat(1, 3.0)
+        assert events == [FdEvent(3.0, "trust", 1)]
+        assert not fd.is_suspected(1)
+        margin_after = fd.timeout_for(1) - fd.factor * fd._ewma[1]
+        assert margin_after == pytest.approx(2.0 * margin_before)
+
+    def test_margin_doubling_caps_at_max(self):
+        fd = make_detector(max_margin=8.0 * INTERVAL)
+        now = 0.0
+        for _ in range(10):
+            now += fd.timeout_for(1) + 0.01
+            fd.check(now)
+            fd.note_heartbeat(1, now)
+        margin = fd._margin[1]
+        assert margin == pytest.approx(8.0 * INTERVAL)
+
+    def test_false_suspicions_are_logarithmically_bounded(self):
+        # A live-but-slow peer delivering every `gap` seconds can only be
+        # falsely suspected until the doubled margin exceeds the gap —
+        # O(log(gap / margin)) transitions, never an unbounded oscillation.
+        fd = make_detector()
+        gap = 16.0 * INTERVAL
+        now, false_suspicions = 0.0, 0
+        for _ in range(64):
+            now += gap
+            if fd.check(now):
+                false_suspicions += 1
+            fd.note_heartbeat(1, now)
+        assert 0 < false_suspicions <= 5  # log2(16/1) + slack, not 64
+        assert not fd.is_suspected(1)
+
+    def test_ewma_adapts_to_slow_links(self):
+        # Per-link skew tolerance: regular-but-slow arrivals raise the
+        # estimate until the threshold clears the real inter-arrival gap.
+        fd = make_detector(margin=0.1)
+        gap = 3.0 * INTERVAL
+        now = 0.0
+        for _ in range(40):
+            now += gap
+            fd.check(now)
+            fd.note_heartbeat(1, now)
+        assert fd._ewma[1] == pytest.approx(gap, rel=0.05)
+        assert fd.timeout_for(1) > gap
+        assert not fd.check(now + gap)  # steady slow cadence: no suspicion
+
+    def test_self_and_unknown_sources_ignored(self):
+        fd = make_detector(n=3, pid=1)
+        assert fd.note_heartbeat(1, 1.0) == []
+        assert fd.note_heartbeat(99, 1.0) == []
+
+    def test_leader_skips_suspected_and_rotates_rank(self):
+        fd = make_detector(n=5, pid=4, preferred=2)
+        assert fd.leader() == 2
+        fd.check(fd.timeout_for(2) + 100.0)  # everyone silent: suspect all
+        assert fd.leader() == 4  # self is always trusted
+        fd.note_heartbeat(3, 200.0)
+        assert fd.leader() == 3  # (3 - 2) % 5 beats (4 - 2) % 5
+
+    def test_transitions_since_filters_by_time(self):
+        fd = make_detector()
+        fd.check(fd.timeout_for(1) + 0.01)
+        fd.note_heartbeat(1, 50.0)
+        assert {e.kind for e in fd.transitions_since(0.0)} == {
+            "suspect",
+            "trust",
+        }
+        assert [e.kind for e in fd.transitions_since(50.0)] == ["trust"]
+
+
+def run_cluster(
+    n=5,
+    *,
+    seed=0,
+    max_time=60.0,
+    network=None,
+    crash_plans=(),
+    preferred=0,
+):
+    processes = [DetectorProcess(interval=INTERVAL, preferred=preferred) for _ in range(n)]
+    runtime = AsyncRuntime(
+        [p for p in processes],
+        network=network or NetworkConfig(delay_model=UniformDelay(0.01, 0.05)),
+        seed=seed,
+        crash_plans=list(crash_plans),
+        max_time=max_time,
+    )
+    result = runtime.run()
+    omegas = {}
+    for pid, time, leader in result.trace.annotations("omega"):
+        omegas.setdefault(pid, []).append((time, leader))
+    leaders = {pid: [l for _t, l in choices] for pid, choices in omegas.items()}
+    return result, processes, leaders, omegas
+
+
+class TestOmegaCluster:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_failure_free_convergence(self, seed):
+        _result, processes, leaders, _ = run_cluster(seed=seed, max_time=30.0)
+        assert omega_converged(leaders, live=range(5)) == 0
+        # Eventual strong accuracy held trivially: nobody was ever suspected.
+        assert all(p.detector.suspects() == () for p in processes)
+
+    @pytest.mark.parametrize("preferred", [0, 2, 4])
+    def test_preferred_rank_steers_omega(self, preferred):
+        _r, _p, leaders, _ = run_cluster(seed=1, max_time=30.0, preferred=preferred)
+        assert omega_converged(leaders, live=range(5)) == preferred
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_crash_moves_omega_to_next_rank(self, seed):
+        _r, processes, leaders, _ = run_cluster(
+            seed=seed,
+            max_time=60.0,
+            crash_plans=[CrashPlan(pid=0, at_time=20.0)],
+        )
+        assert omega_converged(leaders, live=[1, 2, 3, 4]) == 1
+        assert all(
+            processes[pid].detector.is_suspected(0) for pid in (1, 2, 3, 4)
+        )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_partition_and_heal_reconverge(self, seed):
+        # Isolate pid 0 for (20, 50): the majority side must converge to
+        # rank 1 during the cut and back to 0 after the heal.
+        network = NetworkConfig(
+            delay_model=UniformDelay(0.01, 0.05),
+            partitions=[Partition(20.0, 50.0, [[0], [1, 2, 3, 4]])],
+        )
+        _r, processes, leaders, omegas = run_cluster(
+            seed=seed, network=network, max_time=110.0
+        )
+        for pid in (1, 2, 3, 4):
+            during = [l for t, l in omegas[pid] if 30.0 < t < 50.0]
+            assert during and set(during) == {1}
+        assert omega_converged(leaders, live=range(5)) == 0
+        assert all(p.detector.suspects() == () for p in processes)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_oscillation_after_heal_is_bounded(self, seed):
+        network = NetworkConfig(
+            delay_model=UniformDelay(0.01, 0.05),
+            partitions=[Partition(20.0, 50.0, [[0], [1, 2, 3, 4]])],
+        )
+        _r, processes, _l, _o = run_cluster(
+            seed=seed, network=network, max_time=200.0
+        )
+        for pid in (1, 2, 3, 4):
+            fd = processes[pid].detector
+            # After the heal (plus one threshold of slack), pid 0's link
+            # must not keep flapping: refutation doubling bounds the
+            # post-heal transitions to a handful, not one per tick.
+            post_heal = [
+                e
+                for e in fd.transitions_since(50.0 + fd.timeout_for(0))
+                if e.peer == 0
+            ]
+            assert len(post_heal) <= 4, post_heal
+            assert not fd.is_suspected(0)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_converges_despite_message_drops(self, seed):
+        network = NetworkConfig(
+            delay_model=UniformDelay(0.01, 0.05), drop_rate=0.25
+        )
+        _r, processes, leaders, _ = run_cluster(
+            seed=seed, network=network, max_time=120.0
+        )
+        assert omega_converged(leaders, live=range(5)) == 0
+        # Lossy links may suspect transiently, but doubling margins make
+        # every live link quiescent well before the horizon.
+        for process in processes:
+            assert process.detector.suspects() == ()
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_timeout_skew_only_raises_the_slow_links(self, seed):
+        # Node 4's links run 6x slow (nemesis timeout-skew analogue).
+        # Peers must adapt that one link without unbounded flapping, and
+        # fast links between the others must stay clean.
+        network = NetworkConfig(
+            delay_model=SkewedDelay(UniformDelay(0.01, 0.05), slow_pids=[4], factor=6.0)
+        )
+        _r, processes, leaders, _ = run_cluster(
+            seed=seed, network=network, max_time=120.0
+        )
+        assert omega_converged(leaders, live=range(5)) == 0
+        for pid in range(4):
+            fd = processes[pid].detector
+            for fast_peer in range(4):
+                if fast_peer != pid:
+                    assert fd.suspect_counts[fast_peer] == 0
+            assert fd.suspect_counts[4] <= 6
+            assert not fd.is_suspected(4)
+
+    def test_seeded_determinism(self):
+        outcomes = []
+        for _ in range(2):
+            result, _p, _l, omegas = run_cluster(seed=7, max_time=40.0)
+            outcomes.append(
+                (
+                    len(result.trace),
+                    {pid: tuple(choices) for pid, choices in omegas.items()},
+                )
+            )
+        assert outcomes[0] == outcomes[1]
+
+    def test_different_seeds_differ(self):
+        first = run_cluster(seed=1, max_time=20.0)[0]
+        second = run_cluster(seed=2, max_time=20.0)[0]
+        times = lambda r: [e.time for e in r.trace.events][:200]
+        assert times(first) != times(second)

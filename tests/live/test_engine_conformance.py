@@ -1,0 +1,262 @@
+"""One conformance harness, every consensus engine.
+
+The engine seam (:mod:`repro.live.engine`) promises that ``raft``,
+``paxos`` and ``ct`` are interchangeable behind the node contract the KV
+layer consumes.  This suite is that promise, executable: every scenario
+— election, commit, duplicate proposals, follower redirect, crash +
+restart from a data directory — runs identically against all three
+backends via ``pytest.mark.parametrize``.  A new engine earns its place
+in :data:`repro.live.engine.ENGINES` by passing this file unmodified.
+"""
+
+import asyncio
+import itertools
+
+import pytest
+
+from repro.algorithms.raft.messages import ClientPropose
+from repro.live import (
+    ENGINES,
+    AsyncKVClient,
+    EngineError,
+    LiveKVCluster,
+    get_engine,
+    parse_engine_spec,
+)
+from repro.live.kv import KvBatch
+
+FAST = dict(election_timeout=(0.15, 0.3), heartbeat_interval=0.05)
+
+ENGINE_NAMES = sorted(ENGINES)  # ct, paxos, raft
+
+
+def run(coro, timeout=120.0):
+    return asyncio.run(asyncio.wait_for(coro, timeout))
+
+
+async def _get_via(cluster, pid, key):
+    probe = AsyncKVClient(cluster.cluster)
+    probe._target = cluster.cluster[pid].client_addr
+    try:
+        return await probe.get(key)
+    finally:
+        await probe.close()
+
+
+class TestEngineRegistry:
+    def test_wire_families_are_pairwise_disjoint(self):
+        # Self-describing frames rely on no message class being claimed
+        # by two engines.
+        for a, b in itertools.combinations(ENGINE_NAMES, 2):
+            overlap = ENGINES[a].wire_classes & ENGINES[b].wire_classes
+            assert not overlap, (a, b, overlap)
+
+    def test_accepts_matches_wire_family(self):
+        raft, paxos = get_engine("raft"), get_engine("paxos")
+        sample = next(iter(paxos.wire_classes))
+        assert not raft.accepts(sample.__new__(sample))
+        assert paxos.accepts(sample.__new__(sample))
+
+    def test_parse_spec_single_name_covers_all_shards(self):
+        engines = parse_engine_spec("ct", 3)
+        assert [e.name for e in engines] == ["ct", "ct", "ct"]
+
+    def test_parse_spec_per_shard_list(self):
+        engines = parse_engine_spec("raft,ct", 2)
+        assert [e.name for e in engines] == ["raft", "ct"]
+
+    def test_parse_spec_errors(self):
+        with pytest.raises(EngineError):
+            parse_engine_spec("raft,ct", 3)  # count mismatch
+        with pytest.raises(EngineError):
+            parse_engine_spec("zab", 1)  # unknown engine
+        with pytest.raises(EngineError):
+            parse_engine_spec("", 1)  # empty
+
+
+@pytest.mark.parametrize("engine", ENGINE_NAMES)
+class TestEngineConformance:
+    def test_elects_single_leader_and_commits(self, engine):
+        async def scenario():
+            cluster = LiveKVCluster(3, seed=31, engine=engine, **FAST)
+            await cluster.start()
+            try:
+                leader = await cluster.wait_for_leader(timeout=20.0)
+                believers = [
+                    s.pid for s in cluster.servers if s.shards[0].is_leader
+                ]
+                assert believers == [leader]
+                client = AsyncKVClient(cluster.cluster)
+                index = await client.put("alpha", "beta")
+                assert index >= 1
+                response = await client.get("alpha")
+                assert response["found"] and response["value"] == "beta"
+                lin = await client.get("alpha", linearizable=True)
+                assert lin["found"] and lin["value"] == "beta"
+                status = await client.status()
+                assert status["engine"] == engine
+                assert status["commit_index"] >= index
+                await client.close()
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+    def test_duplicate_proposal_applies_once(self, engine):
+        async def scenario():
+            cluster = LiveKVCluster(3, seed=32, engine=engine, **FAST)
+            await cluster.start()
+            try:
+                leader = await cluster.wait_for_leader(timeout=20.0)
+                shard = cluster.servers[leader].shards[0]
+                batch = KvBatch((), batch_id=("dup-test", 0))
+                proposal = ClientPropose(batch.batch_id, batch)
+                shard.runtime.inject(proposal)
+                shard.runtime.inject(proposal)  # client retry, same id
+                client = AsyncKVClient(cluster.cluster)
+                await client.put("after-dup", 1)  # forces commit progress
+                await client.close()
+                applied = [
+                    detail
+                    for _pid, _t, detail in shard.runtime.trace.annotations(
+                        "applied"
+                    )
+                    if getattr(detail[2], "batch_id", None) == batch.batch_id
+                ]
+                assert len(applied) == 1, applied
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+    def test_follower_redirects_to_leader(self, engine):
+        async def scenario():
+            cluster = LiveKVCluster(3, seed=33, engine=engine, **FAST)
+            await cluster.start()
+            try:
+                leader = await cluster.wait_for_leader(timeout=20.0)
+                follower = next(pid for pid in range(3) if pid != leader)
+                client = AsyncKVClient(cluster.cluster)
+                client._target = cluster.cluster[follower].client_addr
+                index = await client.put("via-follower", "ok")
+                assert index >= 1
+                status = await client.status()
+                assert status["pid"] == leader
+                await client.close()
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+    def test_leader_crash_keeps_acked_writes(self, engine):
+        async def scenario():
+            cluster = LiveKVCluster(3, seed=34, engine=engine, **FAST)
+            await cluster.start()
+            try:
+                leader = await cluster.wait_for_leader(timeout=20.0)
+                client = AsyncKVClient(cluster.cluster)
+                acked = {}
+                for i in range(20):
+                    key = f"k{i % 5}"
+                    await client.put(key, f"v{i}")
+                    acked[key] = f"v{i}"
+                await cluster.kill(leader)
+                new_leader = await cluster.wait_for_leader(
+                    timeout=30.0, exclude=(leader,)
+                )
+                assert new_leader != leader
+                for key, value in acked.items():
+                    response = await _get_via(cluster, new_leader, key)
+                    assert response["found"] and response["value"] == value
+                await client.close()
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+    def test_crash_restart_recovers_from_data_dir(self, engine, tmp_path):
+        async def scenario():
+            cluster = LiveKVCluster(
+                3, seed=35, engine=engine, data_dir=str(tmp_path), **FAST
+            )
+            await cluster.start()
+            try:
+                leader = await cluster.wait_for_leader(timeout=20.0)
+                client = AsyncKVClient(cluster.cluster)
+                for i in range(10):
+                    await client.put(f"d{i}", i)
+                await cluster.kill(leader)
+                await cluster.wait_for_leader(timeout=30.0, exclude=(leader,))
+                await client.put("post-crash", "yes")
+                restarted = await cluster.restart(leader)
+                # The replacement recovered its durable epoch from disk
+                # (non-zero before any new leadership contact is needed).
+                assert restarted.shards[0].node.current_term > 0
+                deadline = asyncio.get_event_loop().time() + 20.0
+                target = max(
+                    s.shards[0].node.last_applied
+                    for s in cluster.servers
+                    if s is not None and s.pid != leader
+                )
+                while asyncio.get_event_loop().time() < deadline:
+                    if restarted.shards[0].node.last_applied >= target:
+                        break
+                    await asyncio.sleep(0.05)
+                assert restarted.shards[0].node.last_applied >= target
+                response = await _get_via(cluster, leader, "d7")
+                assert response["found"] and response["value"] == 7
+                await client.close()
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+
+class TestWireIsolation:
+    def test_foreign_frames_are_counted_and_dropped(self):
+        async def scenario():
+            cluster = LiveKVCluster(3, seed=36, engine="raft", **FAST)
+            await cluster.start()
+            try:
+                leader = await cluster.wait_for_leader(timeout=20.0)
+                runtime = cluster.servers[leader].shards[0].runtime
+                foreign = get_engine("paxos")
+                sample_cls = next(iter(foreign.wire_classes))
+                frame = sample_cls.__new__(sample_cls)
+                before = runtime.foreign_frames
+                runtime._on_peer_message(1, frame, None)
+                runtime._on_peer_message(1, frame, None)
+                assert runtime.foreign_frames == before + 2
+                client = AsyncKVClient(cluster.cluster)
+                status = await client.status()
+                assert status["groups"][0]["foreign_frames"] >= 2
+                # The cluster shrugged it off: still serving.
+                await client.put("still-alive", 1)
+                await client.close()
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+    def test_mixed_per_shard_engines_serve(self):
+        async def scenario():
+            cluster = LiveKVCluster(
+                3, seed=37, shards=2, engine="raft,ct", **FAST
+            )
+            await cluster.start()
+            try:
+                await cluster.wait_for_all_leaders(timeout=30.0)
+                client = AsyncKVClient(cluster.cluster, shards=2)
+                for i in range(12):
+                    await client.put(f"mix{i}", i)
+                for i in range(12):
+                    response = await client.get(f"mix{i}")
+                    assert response["found"] and response["value"] == i
+                status = await client.status()
+                engines = {g["shard"]: g["engine"] for g in status["groups"]}
+                assert engines == {0: "raft", 1: "ct"}
+                await client.close()
+            finally:
+                await cluster.stop()
+
+        run(scenario())

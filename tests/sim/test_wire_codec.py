@@ -20,7 +20,26 @@ from repro.algorithms.chandra_toueg.messages import (
     Estimate,
 )
 from repro.algorithms.chandra_toueg.messages import Nack as CtNack
+from repro.algorithms.chandra_toueg.replicated import (
+    CtChain,
+    CtChainAck,
+    CtPrepare,
+    CtPrepareNack,
+    CtPromise,
+    CtSnapshot,
+    CtSnapshotAck,
+)
+from repro.algorithms.multi_paxos import (
+    PaxChain,
+    PaxChainAck,
+    PaxPrepare,
+    PaxPrepareNack,
+    PaxPromise,
+    PaxSnapshot,
+    PaxSnapshotAck,
+)
 from repro.algorithms.paxos.messages import Accept, Accepted, Nack, Prepare, Promise
+from repro.algorithms.replica import Noop
 from repro.algorithms.raft.log import Entry
 from repro.algorithms.raft.messages import (
     AppendEntries,
@@ -34,6 +53,7 @@ from repro.algorithms.raft.messages import (
 from repro.algorithms.raft.state_machine import DecideAndStop, Put
 from repro.algorithms.shared_coin.conciliator import ConcInput
 from repro.core.confidence import ADOPT, COMMIT, Confidence
+from repro.live.detector import FdHeartbeat
 from repro.live.kv import KvBatch, TaggedPut
 from repro.sim.ops import TimerFired
 from repro.sim.serialize import (
@@ -82,6 +102,33 @@ SAMPLE_MESSAGES = [
     Entry(3, Put("键", b"\x00\xffbytes")),
     DecideAndStop(1),
     Put("unicode-κλειδί", "🎯"),
+    # Multi-Paxos engine (ballots are stride-encoded ints).
+    PaxPrepare(8193, 4, 1),
+    PaxPromise(8193, 2, 0, 0, None, 4, ()),
+    PaxPromise(
+        8193, 2, 3, 4097, ({"k": "v"}, 3), 4,
+        (Entry(4097, Put("clé", "значение")),),
+    ),
+    PaxPrepareNack(8193, 12290, 0),
+    PaxChain(8193, 1, 4, 4097, (Entry(8193, Put("a", 1)),), 3),
+    PaxChain(8193, 1, 0, 0, (), 0),
+    PaxChainAck(8193, True, 2, 5),
+    PaxChainAck(8193, False, 2, 0),
+    PaxSnapshot(8193, 1, 10, 4097, ({"x": [1, 2]}, 10)),
+    PaxSnapshotAck(8193, 0, 10),
+    # Chandra-Toueg engine (same mixer shapes, disjoint wire names).
+    CtPrepare(12290, 1, 2),
+    CtPromise(12290, 0, 0, 0, None, 1, (Entry(8193, Put("k", "v")),)),
+    CtPrepareNack(12290, 16387, 1),
+    CtChain(12290, 2, 1, 8193, (Entry(12290, DecideAndStop("done")),), 1),
+    CtChainAck(12290, True, 0, 2),
+    CtSnapshot(12290, 2, 7, 8193, ({"s": True}, 7)),
+    CtSnapshotAck(12290, 1, 7),
+    # Failure-detector beacon + the mixer's gap filler.
+    FdHeartbeat(3, 41),
+    Noop(),
+    Noop("leadership"),
+    Entry(8193, Noop()),
     # KV service commands.
     TaggedPut("k", "v", "op-7"),
     KvBatch((TaggedPut("a", 1, "op-1"), TaggedPut("b", 2, "op-2")), (0, 5)),

@@ -15,6 +15,7 @@ from repro.sim.serialize import binary_dumps
 from repro.storage import (
     DurableRaftNode,
     RaftStorage,
+    StorageQuarantineError,
     Wal,
     WalCheckpoint,
     WalCorruptionError,
@@ -291,6 +292,64 @@ class TestRaftStorage:
         storage.sync()
         storage.crash()
         assert RaftStorage(str(tmp_path)).term == 1
+
+    def test_no_rejoin_cold_start_and_recovery_unaffected(self, tmp_path):
+        storage = RaftStorage(str(tmp_path), no_rejoin=True)
+        storage.record_term(3, 1)
+        storage.record_append(1, Entry(3, "a"))
+        storage.sync()
+        storage.crash()
+        recovered = RaftStorage(str(tmp_path), no_rejoin=True)
+        assert recovered.term == 3
+        assert [e.command for e in recovered.entries] == ["a"]
+
+    def test_no_rejoin_tolerates_torn_tail(self, tmp_path):
+        # A torn tail is a crash signature, not a failing disk: strict
+        # mode must still recover the valid prefix and start.
+        storage = RaftStorage(str(tmp_path))
+        for index in range(1, 6):
+            storage.record_append(index, Entry(1, f"v{index}" * 10))
+        storage.sync()
+        storage.close()
+        assert tear_tail(str(tmp_path)) is not None
+        recovered = RaftStorage(str(tmp_path), no_rejoin=True)
+        assert recovered.torn_tail
+        assert len(recovered.entries) == 4
+
+    def _corrupt_sealed_segment(self, tmp_path):
+        frames = [
+            encode_frame(WalCheckpoint(1, None, 0, 0)),
+            encode_frame(WalEntry(1, 1, "x" * 64)),
+        ]
+        sealed = bytearray(b"".join(frames))
+        sealed[len(frames[0]) + 12] ^= 0x01
+        with open(tmp_path / "wal-00000001.log", "wb") as fh:
+            fh.write(bytes(sealed))
+        with open(tmp_path / "wal-00000002.log", "wb") as fh:
+            fh.write(b"torn rotation tail")
+
+    def test_no_rejoin_refuses_corrupt_segment(self, tmp_path):
+        self._corrupt_sealed_segment(tmp_path)
+        before = sorted(os.listdir(tmp_path))
+        with pytest.raises(StorageQuarantineError):
+            RaftStorage(str(tmp_path), no_rejoin=True)
+        # Nothing moved aside: the evidence stays put for the operator.
+        assert sorted(os.listdir(tmp_path)) == before
+        assert not any(name.startswith("corrupt-") for name in before)
+        # Default mode on the same directory still self-heals.
+        storage = RaftStorage(str(tmp_path))
+        assert storage.quarantined
+
+    def test_no_rejoin_refuses_missing_snapshot(self, tmp_path):
+        storage = RaftStorage(str(tmp_path))
+        for index in range(1, 4):
+            storage.record_append(index, Entry(1, f"c{index}"))
+        storage.record_compact(2, 1, ({"k": 2}, 2), [Entry(1, "c3")])
+        storage.sync()
+        storage.close()
+        os.unlink(tmp_path / f"snap-{2:016d}.bin")
+        with pytest.raises(StorageQuarantineError):
+            RaftStorage(str(tmp_path), no_rejoin=True)
 
     def test_term_journalling_deduplicates(self, tmp_path):
         storage = RaftStorage(str(tmp_path))
