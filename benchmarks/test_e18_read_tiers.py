@@ -1,0 +1,150 @@
+"""E18 — the read-tier ladder: safe vs ReadIndex vs lease vs follower.
+
+PR 8 added a fast read path with three tiers behind the engine seam
+(docs/reads.md): ``safe`` commits every linearizable get as a log
+marker, ``readindex`` amortizes one leadership-probe round over a batch
+of reads, and ``lease`` answers locally with zero rounds while the
+clock-based leader lease is live.  This experiment measures what each
+tier buys under the workload the ladder exists for: a read-heavy
+(90% get) Zipf-skewed closed loop against a 3-node cluster — identical
+except for the serving tier.
+
+The ``follower`` row drives the same mix as bounded-stale reads fanned
+out across replicas (not linearizable, so it is reported but not part
+of the speedup gate).
+
+Results are merged into ``BENCH_live.json`` under ``"reads"`` (other
+experiments' sections are preserved) and gated in CI by
+``benchmarks/compare_baseline.py``.  The in-test assertions pin the
+PR's acceptance bar: ReadIndex at least 2x and leases at least 3x the
+safe tier's throughput.
+"""
+
+import asyncio
+import json
+import os
+
+from benchmarks.conftest import emit
+from repro.analysis.experiments import format_table
+from repro.live import AsyncKVClient, LiveKVCluster, run_closed_loop
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_live.json")
+
+NODES = 3
+SEED = 18
+TIMINGS = dict(election_timeout=(0.3, 0.6), heartbeat_interval=0.06)
+OPS = 400
+# Moderate multiprogramming: the safe tier's cost is *time* (batch
+# window + commit round), the fast tiers' cost is event-loop CPU, so an
+# in-process cluster driven too hard floors every tier at scheduler
+# latency and hides exactly the gap this experiment measures.
+CONCURRENCY = 4
+KEY_SPACE = 256
+READ_RATIO = 0.9
+
+#: tier name -> (server read_tier, per-request staleness bound or None)
+TIERS = (
+    ("safe", None),
+    ("readindex", None),
+    ("lease", None),
+    ("follower", 0.5),
+)
+
+
+def run(coro, timeout=600.0):
+    return asyncio.run(asyncio.wait_for(coro, timeout))
+
+
+async def _tier_phase(tier, staleness):
+    cluster = LiveKVCluster(
+        NODES, seed=SEED, engine="raft", read_tier=tier, **TIMINGS
+    )
+    await cluster.start()
+    try:
+        await cluster.wait_for_leader(30.0)
+        # Preload so the read side observes real values, not misses.
+        client = AsyncKVClient(cluster.cluster)
+        for i in range(0, KEY_SPACE, 4):
+            await client.put(f"k{i}", f"seed-{i}")
+        await client.close()
+        return await run_closed_loop(
+            cluster.cluster,
+            ops=OPS,
+            concurrency=CONCURRENCY,
+            key_space=KEY_SPACE,
+            seed=SEED,
+            key_dist="zipf",
+            read_ratio=READ_RATIO,
+            read_staleness=staleness,
+        )
+    finally:
+        await cluster.stop()
+
+
+def test_e18_read_tiers():
+    section, rows, reports = {}, [], {}
+    for tier, staleness in TIERS:
+        report = run(_tier_phase(tier, staleness))
+        reports[tier] = report
+        latency = report.latency
+        section[tier] = {
+            "throughput_ops_s": report.throughput,
+            "latency_s": {
+                "p50": latency["p50"],
+                "p95": latency["p95"],
+                "p99": latency["p99"],
+            },
+            "errors": float(report.errors),
+            "reads": float(report.reads),
+            "writes": float(report.writes),
+        }
+        rows.append(
+            [
+                tier,
+                f"{report.throughput:.0f}",
+                f"{latency['p50'] * 1e3:.1f}",
+                f"{latency['p95'] * 1e3:.1f}",
+                f"{report.reads}/{report.writes}",
+                f"{report.errors}",
+            ]
+        )
+
+    safe = reports["safe"].throughput
+    section["speedup_readindex"] = reports["readindex"].throughput / safe
+    section["speedup_lease"] = reports["lease"].throughput / safe
+
+    emit(
+        "E18 — read tiers (3 nodes, 90% reads, zipf keys, closed loop)",
+        format_table(
+            ["tier", "ops/s", "p50 ms", "p95 ms", "r/w", "errors"],
+            rows,
+        )
+        + f"\n  readindex speedup over safe: "
+        f"{section['speedup_readindex']:.2f}x"
+        + f"\n  lease speedup over safe:     "
+        f"{section['speedup_lease']:.2f}x",
+    )
+    _merge_results(section)
+
+    for tier, _ in TIERS:
+        assert section[tier]["errors"] == 0.0, (tier, section[tier])
+    # The acceptance bar: each rung of the ladder must actually pay.
+    assert section["speedup_readindex"] >= 2.0, section
+    assert section["speedup_lease"] >= 3.0, section
+
+
+def _merge_results(section):
+    """Update BENCH_live.json in place, keeping other experiments' keys."""
+    existing = {}
+    if os.path.exists(RESULTS_PATH):
+        try:
+            with open(RESULTS_PATH) as fh:
+                existing = json.load(fh)
+        except (OSError, ValueError):
+            existing = {}
+    if not isinstance(existing, dict):
+        existing = {}
+    existing["reads"] = section
+    with open(RESULTS_PATH, "w") as fh:
+        json.dump(existing, fh, indent=2)
+        fh.write("\n")

@@ -60,6 +60,14 @@ from repro.algorithms.raft.state_machine import (
     DecideStateMachine,
     StateMachine,
 )
+from repro.algorithms.readpath import (
+    ReadBarrier,
+    ReadConfig,
+    ReadFresh,
+    ReadLedger,
+    ReadProbe,
+    ReadProbeAck,
+)
 from repro.core.confidence import ADOPT, COMMIT, VACILLATE
 from repro.sim.messages import Pid
 from repro.sim.ops import Annotate, Broadcast, Decide, Receive, Send, SetTimer, TimerFired
@@ -110,6 +118,7 @@ class RaftNode(Process):
         propose_on_leadership: bool = True,
         snapshot_threshold: Optional[int] = None,
         cluster_size: Optional[int] = None,
+        read_config: Optional[ReadConfig] = None,
     ):
         low, high = election_timeout
         if not 0 < low <= high:
@@ -157,6 +166,11 @@ class RaftNode(Process):
         # suppressions so a lost ack cannot stall the leader's commit rule.
         self._last_ack: Optional[Tuple[int, Pid, int, int]] = None
         self._ack_skips = 0
+        #: Fast-read-path state: leader-contact stickiness, in-flight
+        #: ReadIndex probe rounds, the lease, follower freshness.  Inert
+        #: (zero behaviour change) unless a lease duration is configured
+        #: or a :class:`ReadBarrier` is injected.
+        self.reads = ReadLedger(read_config)
 
     #: Re-ack at least every this-many suppressed redundant heartbeats.
     ACK_REACK_EVERY = 3
@@ -179,6 +193,7 @@ class RaftNode(Process):
         self._proposed_ids = set()
         self._last_ack = None
         self._ack_skips = 0
+        self.reads.reset()
         if self.log.snapshot_index > 0:
             # Recover from the durable snapshot: the compacted prefix can
             # no longer be replayed entry by entry.
@@ -207,6 +222,14 @@ class RaftNode(Process):
                 yield from self._on_install_snapshot_reply(api, payload)
             elif isinstance(payload, ClientPropose):
                 yield from self._on_client_propose(api, payload, src)
+            elif isinstance(payload, ReadBarrier):
+                yield from self._on_read_barrier(api, payload)
+            elif isinstance(payload, ReadProbe):
+                yield from self._on_read_probe(api, payload)
+            elif isinstance(payload, ReadProbeAck):
+                yield from self._on_read_probe_ack(api, payload)
+            elif isinstance(payload, ReadFresh):
+                yield from self._on_read_fresh(api, payload)
             # Unknown payloads are ignored: the cluster may share the
             # network with other protocols.
 
@@ -271,6 +294,20 @@ class RaftNode(Process):
     # ------------------------------------------------------------------
 
     def _on_request_vote(self, api: ProcessAPI, msg: RequestVote) -> ProtocolGenerator:
+        # Lease stickiness: within ``lease_duration`` of hearing from the
+        # current leader we refuse challengers *without adopting their
+        # term* — this is the follower half of the leader lease.  The
+        # leader's lease expiry is ``round_start + lease_duration`` on its
+        # clock; any rival majority intersects the majority that acked
+        # that round at times >= round_start, and the intersection refuses
+        # here until the lease is over.  The known leader itself is exempt
+        # (only the lease holder may bypass its own lease).
+        if self.reads.sticky(api.now) and msg.candidate_id != self.leader_hint:
+            yield Send(
+                msg.candidate_id,
+                RequestVoteReply(self.current_term, False, api.pid),
+            )
+            return
         yield from self._maybe_step_down(api, msg.term)
         grant = (
             msg.term == self.current_term
@@ -382,6 +419,7 @@ class RaftNode(Process):
         if self.state is CANDIDATE:
             self.state = FOLLOWER  # a leader of our own term exists
         self.leader_hint = msg.leader_id
+        self.reads.note_leader_contact(api.now)
         yield self._arm_election_timer(api)
         ok = self.log.try_append(msg.prev_log_index, msg.prev_log_term, msg.entries)
         if not ok:
@@ -513,6 +551,7 @@ class RaftNode(Process):
         if self.state is CANDIDATE:
             self.state = FOLLOWER
         self.leader_hint = msg.leader_id
+        self.reads.note_leader_contact(api.now)
         yield self._arm_election_timer(api)
         if msg.last_included_index > self.log.snapshot_index:
             # Adopt the machine state before moving the log's snapshot
@@ -573,6 +612,91 @@ class RaftNode(Process):
         yield from self._advance_commit(api)  # n == 1 clusters commit at once
 
     # ------------------------------------------------------------------
+    # Fast read path (ReadIndex rounds, leases, follower freshness)
+    # ------------------------------------------------------------------
+
+    def _on_read_barrier(self, api: ProcessAPI, msg: ReadBarrier) -> ProtocolGenerator:
+        """Locally-injected: start a ReadIndex round for the current
+        commit index.  Refused (``read_ready`` with index ``-1``) unless
+        we are leader *and* have committed an entry of our own term —
+        a fresh leader's commit index may lag its predecessor's."""
+        if self.state is not LEADER or not self.reads.epoch_ready(
+            self.log, self.commit_index, self.current_term
+        ):
+            yield Annotate("read_ready", (msg.barrier_id, -1, False))
+            return
+        rnd = self.reads.begin_round(
+            msg.barrier_id,
+            self.current_term,
+            self.commit_index,
+            api.now,
+            self._majority(api),
+            api.pid,
+        )
+        if rnd is not None:  # single-node group: a self-ack is a majority
+            yield from self._finish_read_round(api, rnd)
+            return
+        yield Broadcast(
+            ReadProbe(self.current_term, api.pid, msg.barrier_id),
+            include_self=False,
+        )
+
+    def _on_read_probe(self, api: ProcessAPI, msg: ReadProbe) -> ProtocolGenerator:
+        """A probe is an empty heartbeat for read purposes: it proves the
+        sender's leadership to us, resets our election timer, and renews
+        our stickiness window."""
+        if msg.term < self.current_term:
+            yield Send(
+                msg.leader_id,
+                ReadProbeAck(self.current_term, api.pid, msg.probe_id, False),
+            )
+            return
+        yield from self._maybe_step_down(api, msg.term)
+        if self.state is CANDIDATE:
+            self.state = FOLLOWER
+        self.leader_hint = msg.leader_id
+        self.reads.note_leader_contact(api.now)
+        yield self._arm_election_timer(api)
+        yield Send(
+            msg.leader_id,
+            ReadProbeAck(self.current_term, api.pid, msg.probe_id, True),
+        )
+
+    def _on_read_probe_ack(
+        self, api: ProcessAPI, msg: ReadProbeAck
+    ) -> ProtocolGenerator:
+        yield from self._maybe_step_down(api, msg.term)
+        if self.state is not LEADER or msg.term != self.current_term or not msg.ok:
+            return
+        rnd = self.reads.record_ack(msg.probe_id, msg.voter_id, self.current_term)
+        if rnd is not None:
+            yield from self._finish_read_round(api, rnd)
+
+    def _finish_read_round(self, api: ProcessAPI, rnd) -> ProtocolGenerator:
+        """A probe round reached its majority: the lease extends to
+        ``round start + lease_duration``, queued reads are released at
+        the round's read index, and followers get a freshness proof —
+        only a *live* leader can complete rounds, so a deposed leader's
+        cohort stops receiving these the moment it is cut off."""
+        self.reads.extend_lease(rnd)
+        yield Annotate("read_ready", (rnd.probe_id, rnd.read_index, True))
+        yield Broadcast(
+            ReadFresh(self.current_term, api.pid, rnd.read_index),
+            include_self=False,
+        )
+
+    def _on_read_fresh(self, api: ProcessAPI, msg: ReadFresh) -> ProtocolGenerator:
+        if msg.term < self.current_term:
+            return
+        yield from self._maybe_step_down(api, msg.term)
+        if self.state is CANDIDATE:
+            self.state = FOLLOWER
+        self.leader_hint = msg.leader_id
+        self.reads.note_leader_contact(api.now)
+        if self.last_applied >= msg.read_index:
+            self.reads.note_fresh(api.now)
+
+    # ------------------------------------------------------------------
     # Term bookkeeping
     # ------------------------------------------------------------------
 
@@ -582,6 +706,7 @@ class RaftNode(Process):
             return
         self.current_term = term
         self.voted_for = None
+        self.reads.drop_rounds()
         if self.state is not FOLLOWER:
             self.state = FOLLOWER
             yield self._arm_election_timer(api)

@@ -1,0 +1,350 @@
+"""The shared fast-read path: ReadIndex rounds, leases, and freshness.
+
+Every consensus engine in this repo (raft, multi-paxos, chandra-toueg)
+answers linearizable reads the *slow* way by default: the read is a
+no-op command appended to the replicated log.  This module provides the
+engine-independent machinery for the three standard fast tiers:
+
+* **ReadIndex** — the leader records its commit index, confirms it is
+  still leader with one :class:`ReadProbe` round (a majority of
+  :class:`ReadProbeAck`), and answers every read that queued while the
+  round was in flight once the applied index catches up.  One round
+  amortized over a batch of reads; no log writes.
+* **Leases** — each completed probe round also *extends a lease*: for
+  ``lease_duration`` seconds measured from the round's **start**, no
+  other leader can exist, so reads are answered locally with zero
+  rounds.  The guarantee does not come from election timers; it comes
+  from *stickiness*: a replica that heard from a leader within
+  ``lease_duration`` refuses to vote for (or promise to) a challenger —
+  without adopting the challenger's term.  Any new leader needs a
+  majority of votes; that majority intersects the majority that acked
+  the round at times ``>= start``; the intersection refuses until
+  ``start + lease_duration``.  The argument is identical for Raft votes
+  and Paxos/CT prepares, which is why one module serves all engines.
+* **Freshness** — when a round completes, the leader broadcasts
+  :class:`ReadFresh` carrying the round's read index.  A follower whose
+  applied index has reached it marks its state *fresh as of now*; the
+  follower tier serves reads whose staleness bound exceeds the age of
+  the last such mark.  A deposed leader cannot complete rounds, so its
+  cohort's freshness stops advancing the moment it is partitioned.
+
+Clocks may drift.  :class:`DriftClock` models a clock running ``f``
+times slow (the nemesis sets ``f`` on a live cluster), and the lease is
+discounted by a configured ``drift_bound``: a leader whose clock runs at
+most ``f_max`` times slow stays safe iff
+
+    ``drift_bound >= lease_duration * (1 - 1 / f_max)``
+
+since over a window the leader measures as ``lease_duration`` the real
+clock advances up to ``lease_duration * f_max``.  See ``docs/reads.md``
+for the full safety argument and the chaos campaign that attacks it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.sim.serialize import register_wire_type
+
+__all__ = [
+    "READ_WIRE_CLASSES",
+    "DriftClock",
+    "ReadBarrier",
+    "ReadConfig",
+    "ReadFresh",
+    "ReadLedger",
+    "ReadProbe",
+    "ReadProbeAck",
+    "ReadRound",
+    "required_drift_bound",
+]
+
+
+# --------------------------------------------------------------------------
+# Wire messages.  ``term`` is the raft term or the ballot number — both are
+# totally ordered "epochs", which is all the read path needs.
+
+
+@dataclass(frozen=True)
+class ReadProbe:
+    """Leader -> all: "am I still leader for epoch ``term``?"."""
+
+    term: Any
+    leader_id: int
+    probe_id: Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class ReadProbeAck:
+    """Reply to :class:`ReadProbe`; ``ok`` iff the sender accepts the
+    probing leader's epoch as current."""
+
+    term: Any
+    voter_id: int
+    probe_id: Tuple[Any, ...]
+    ok: bool
+
+
+@dataclass(frozen=True)
+class ReadFresh:
+    """Leader -> all after a *completed* probe round: followers whose
+    ``last_applied >= read_index`` are fresh as of receipt."""
+
+    term: Any
+    leader_id: int
+    read_index: int
+
+
+@dataclass(frozen=True)
+class ReadBarrier:
+    """Locally-injected request (never sent between nodes): start a
+    ReadIndex round now.  The node answers with a ``read_ready``
+    annotation once the round completes (or immediately, refused)."""
+
+    barrier_id: Tuple[Any, ...]
+
+
+register_wire_type(ReadProbe, "read:P")
+register_wire_type(ReadProbeAck, "read:A")
+register_wire_type(ReadFresh, "read:F")
+register_wire_type(ReadBarrier, "read:B")
+
+#: Read-path messages every engine's transport must admit, in addition to
+#: the engine's own (pairwise-disjoint) wire family.
+READ_WIRE_CLASSES: FrozenSet[type] = frozenset(
+    {ReadProbe, ReadProbeAck, ReadFresh, ReadBarrier}
+)
+
+
+# --------------------------------------------------------------------------
+# Clock model.
+
+
+class DriftClock:
+    """A local clock running ``factor`` times *slow* relative to real time.
+
+    ``factor == 1.0`` is a perfect clock.  ``factor == 4.0`` means that
+    while real time advances 4 s the local clock advances 1 s — the
+    dangerous direction for a lease holder, which *under*-measures how
+    much real time its lease has consumed.  ``set_factor`` rebases so the
+    local clock never jumps, only changes rate (as real skew does).
+    """
+
+    def __init__(self, factor: float = 1.0):
+        if factor < 1.0:
+            raise ValueError(f"drift factor must be >= 1, got {factor}")
+        self.factor = factor
+        self._base_real: Optional[float] = None
+        self._base_local = 0.0
+
+    def now(self, real: float) -> float:
+        """The local clock reading at real time ``real``."""
+        if self._base_real is None:
+            self._base_real = real
+            self._base_local = real
+        return self._base_local + (real - self._base_real) / self.factor
+
+    def set_factor(self, factor: float, real: float) -> None:
+        """Change the drift rate at real time ``real`` (continuous)."""
+        if factor < 1.0:
+            raise ValueError(f"drift factor must be >= 1, got {factor}")
+        self._base_local = self.now(real)
+        self._base_real = real
+        self.factor = factor
+
+
+def required_drift_bound(lease_duration: float, max_factor: float) -> float:
+    """The minimum safe ``drift_bound`` for a clock up to ``max_factor``
+    times slow: ``lease_duration * (1 - 1/max_factor)``."""
+    if max_factor < 1.0:
+        raise ValueError(f"max_factor must be >= 1, got {max_factor}")
+    return lease_duration * (1.0 - 1.0 / max_factor)
+
+
+# --------------------------------------------------------------------------
+# Per-node read ledger.
+
+
+@dataclass(frozen=True)
+class ReadConfig:
+    """Read-path knobs handed to every node by the server layer.
+
+    ``lease_duration`` is the stickiness window W (seconds, on each
+    node's local clock): 0 disables the lease tier entirely (no
+    stickiness, no lease accounting — exactly the pre-read-path
+    behaviour).  ``drift_bound`` is subtracted from the lease the holder
+    computed, covering clocks up to ``1 / (1 - drift_bound/W)`` times
+    slow.
+    """
+
+    lease_duration: float = 0.0
+    drift_bound: float = 0.0
+
+
+@dataclass
+class ReadRound:
+    """One in-flight ReadIndex probe round."""
+
+    probe_id: Tuple[Any, ...]
+    epoch: Any
+    read_index: int
+    start_real: float
+    start_local: float
+    needed: int
+    acked: Set[int] = field(default_factory=set)
+
+    @property
+    def complete(self) -> bool:
+        return len(self.acked) >= self.needed
+
+
+class ReadLedger:
+    """A node's read-path state: leader-contact stickiness, in-flight
+    probe rounds, the lease, and follower freshness.
+
+    All methods take the *real* wall-clock time and convert through the
+    node's :class:`DriftClock`, so the nemesis can skew a node by mutating
+    ``clock`` alone.
+    """
+
+    def __init__(self, config: Optional[ReadConfig] = None):
+        self.config = config or ReadConfig()
+        self.clock = DriftClock()
+        self._last_contact: Optional[float] = None  # local clock
+        self._lease_expiry = 0.0  # local clock
+        self._last_fresh: Optional[float] = None  # local clock
+        self._rounds: Dict[Tuple[Any, ...], ReadRound] = {}
+
+    # -- stickiness (the lease's other half, enforced by *followers*) ----
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the lease tier (stickiness + lease accounting) is on."""
+        return self.config.lease_duration > 0.0
+
+    def note_leader_contact(self, real: float) -> None:
+        """An accepted frame from the current leader arrived now."""
+        if self.enabled:
+            self._last_contact = self.clock.now(real)
+
+    def sticky(self, real: float) -> bool:
+        """True while this node must refuse votes/promises to challengers:
+        within ``lease_duration`` (local clock) of the last leader contact."""
+        if not self.enabled or self._last_contact is None:
+            return False
+        return (
+            self.clock.now(real) - self._last_contact
+            < self.config.lease_duration
+        )
+
+    # -- probe rounds (leader side) --------------------------------------
+
+    def begin_round(
+        self,
+        probe_id: Tuple[Any, ...],
+        epoch: Any,
+        read_index: int,
+        real: float,
+        majority: int,
+        self_pid: int,
+    ) -> Optional[ReadRound]:
+        """Open a round (the leader acks itself).  Returns the round
+        immediately if a self-ack alone completes it (single-node group);
+        otherwise the caller broadcasts :class:`ReadProbe` and waits."""
+        stale = [
+            pid for pid, rnd in self._rounds.items() if rnd.epoch != epoch
+        ]
+        for pid in stale:
+            del self._rounds[pid]
+        rnd = ReadRound(
+            probe_id=probe_id,
+            epoch=epoch,
+            read_index=read_index,
+            start_real=real,
+            start_local=self.clock.now(real),
+            needed=majority,
+        )
+        rnd.acked.add(self_pid)
+        if rnd.complete:
+            return rnd
+        self._rounds[probe_id] = rnd
+        return None
+
+    def record_ack(
+        self, probe_id: Tuple[Any, ...], voter: int, epoch: Any
+    ) -> Optional[ReadRound]:
+        """Count one ack; returns (and retires) the round when it reaches
+        its majority, else ``None``."""
+        rnd = self._rounds.get(probe_id)
+        if rnd is None or rnd.epoch != epoch:
+            return None
+        rnd.acked.add(voter)
+        if rnd.complete:
+            del self._rounds[probe_id]
+            return rnd
+        return None
+
+    def drop_rounds(self) -> None:
+        """Abandon all in-flight rounds (leadership lost)."""
+        self._rounds.clear()
+
+    # -- lease (leader side) ---------------------------------------------
+
+    def extend_lease(self, rnd: ReadRound) -> None:
+        """A completed round proves no rival leader before
+        ``rnd.start_local + lease_duration`` (on this clock)."""
+        if self.enabled:
+            self._lease_expiry = max(
+                self._lease_expiry,
+                rnd.start_local + self.config.lease_duration,
+            )
+
+    def lease_remaining(self, real: float) -> float:
+        """Seconds of drift-discounted lease left (<= 0: not serveable)."""
+        if not self.enabled:
+            return 0.0
+        return (
+            self._lease_expiry
+            - self.config.drift_bound
+            - self.clock.now(real)
+        )
+
+    def lease_valid(self, real: float) -> bool:
+        return self.lease_remaining(real) > 0.0
+
+    # -- freshness (follower side) ---------------------------------------
+
+    def note_fresh(self, real: float) -> None:
+        """A completed-round :class:`ReadFresh` whose read index we have
+        applied arrived now: our state reflects every write committed
+        before that round started."""
+        self._last_fresh = self.clock.now(real)
+
+    def staleness(self, real: float) -> float:
+        """Seconds since the last freshness proof (``inf`` if never)."""
+        if self._last_fresh is None:
+            return float("inf")
+        return self.clock.now(real) - self._last_fresh
+
+    # -- lifecycle -------------------------------------------------------
+
+    def reset(self) -> None:
+        """Forget volatile read state (node restart); the clock and its
+        drift factor survive — real clocks do not heal on reboot."""
+        self._last_contact = None
+        self._lease_expiry = 0.0
+        self._last_fresh = None
+        self._rounds.clear()
+
+    @staticmethod
+    def epoch_ready(log: Any, commit_index: int, epoch: Any) -> bool:
+        """ReadIndex/lease precondition: this leader has committed an
+        entry *in its own epoch* (otherwise its commit index may lag a
+        predecessor's — the classic fresh-leader ReadIndex hazard)."""
+        if commit_index <= 0:
+            return False
+        try:
+            return log.term_at(commit_index) == epoch
+        except (AttributeError, IndexError, KeyError):
+            return False

@@ -60,6 +60,14 @@ from repro.algorithms.raft.state_machine import (
     DecideStateMachine,
     StateMachine,
 )
+from repro.algorithms.readpath import (
+    ReadBarrier,
+    ReadConfig,
+    ReadFresh,
+    ReadLedger,
+    ReadProbe,
+    ReadProbeAck,
+)
 from repro.core.confidence import ADOPT, COMMIT, VACILLATE
 from repro.sim.messages import Pid
 from repro.sim.ops import (
@@ -154,6 +162,7 @@ class BallotReplicaNode(Process):
         snapshot_threshold: Optional[int] = None,
         cluster_size: Optional[int] = None,
         propose_on_leadership: bool = False,
+        read_config: Optional[ReadConfig] = None,
     ):
         if heartbeat_interval <= 0:
             raise ValueError("heartbeat_interval must be positive")
@@ -186,6 +195,11 @@ class BallotReplicaNode(Process):
         self._decided = False
         self._last_ack: Optional[Tuple[int, Pid, int, int]] = None
         self._ack_skips = 0
+        #: Fast-read-path state (ReadIndex rounds, lease stickiness,
+        #: follower freshness) — the exact same ledger the Raft backend
+        #: carries, keyed by ballot instead of term.  Inert unless a
+        #: lease duration is configured or a ReadBarrier is injected.
+        self.reads = ReadLedger(read_config)
 
     # ------------------------------------------------------------------
     # Compatibility surface (the live engine seam reads these)
@@ -251,6 +265,7 @@ class BallotReplicaNode(Process):
         self._decided = False
         self._last_ack = None
         self._ack_skips = 0
+        self.reads.reset()
         if self.log.snapshot_index > 0:
             self.machine.restore(self.machine_snapshot)
             self.commit_index = self.log.snapshot_index
@@ -279,6 +294,14 @@ class BallotReplicaNode(Process):
                 yield from self._on_snapshot_ack(api, payload)
             elif isinstance(payload, ClientPropose):
                 yield from self._on_client_propose(api, payload)
+            elif isinstance(payload, ReadBarrier):
+                yield from self._on_read_barrier(api, payload)
+            elif isinstance(payload, ReadProbe):
+                yield from self._on_read_probe(api, payload)
+            elif isinstance(payload, ReadProbeAck):
+                yield from self._on_read_probe_ack(api, payload)
+            elif isinstance(payload, ReadFresh):
+                yield from self._on_read_fresh(api, payload)
             else:
                 yield from self._on_other(api, payload, src)
 
@@ -343,8 +366,21 @@ class BallotReplicaNode(Process):
 
     def _on_prepare(self, api: ProcessAPI, msg: Any) -> ProtocolGenerator:
         self._observe(msg.ballot)
+        # Lease stickiness: within ``lease_duration`` of hearing from the
+        # current leader, refuse challengers *without promising their
+        # ballot* — the nack sends our unchanged ``promised``, so the
+        # campaigner backs off exactly as on an ordinary lost campaign.
+        # This is the Paxos/CT face of the same follower guarantee the
+        # Raft backend enforces in its vote handler, and it is what makes
+        # the leader's lease (round start + lease_duration) sound.
+        if self.reads.sticky(api.now) and msg.sender != self.leader_hint:
+            yield Send(
+                msg.sender, self.PREPARE_NACK_CLS(msg.ballot, self.promised, api.pid)
+            )
+            return
         if msg.ballot >= self.promised:
             self.promised = msg.ballot
+            self.reads.drop_rounds()
             if self.state is not FOLLOWER and msg.ballot != self.ballot:
                 self.state = FOLLOWER
             self.leader_hint = None  # a campaign is in progress
@@ -536,6 +572,7 @@ class BallotReplicaNode(Process):
         if self.state is not FOLLOWER:
             self.state = FOLLOWER
         self.leader_hint = msg.sender
+        self.reads.note_leader_contact(api.now)
         yield from self._on_leader_contact(api, msg.sender)
         ok = self.log.try_append(msg.prev_index, msg.prev_ballot, msg.entries)
         if not ok:
@@ -573,6 +610,7 @@ class BallotReplicaNode(Process):
         if msg.ballot > self.promised:
             # A follower promised someone newer: stop leading.
             self.promised = msg.ballot
+            self.reads.drop_rounds()
             if self.state is not FOLLOWER:
                 self.state = FOLLOWER
                 yield from self._on_campaign_failed(api)
@@ -662,6 +700,7 @@ class BallotReplicaNode(Process):
         if self.state is not FOLLOWER:
             self.state = FOLLOWER
         self.leader_hint = msg.sender
+        self.reads.note_leader_contact(api.now)
         yield from self._on_leader_contact(api, msg.sender)
         if msg.last_included_index > self.log.snapshot_index:
             self.machine_snapshot = msg.machine_state
@@ -685,6 +724,7 @@ class BallotReplicaNode(Process):
         self._observe(msg.ballot)
         if msg.ballot > self.promised:
             self.promised = msg.ballot
+            self.reads.drop_rounds()
             if self.state is not FOLLOWER:
                 self.state = FOLLOWER
                 yield from self._on_campaign_failed(api)
@@ -701,6 +741,99 @@ class BallotReplicaNode(Process):
                 self.sent_index[follower] = self.match_index[follower]
             if self.sent_index.get(follower, 0) < self.log.last_index:
                 yield from self._send_chain(api, follower)
+
+    # ------------------------------------------------------------------
+    # Fast read path (ReadIndex rounds, leases, follower freshness)
+    # ------------------------------------------------------------------
+
+    def _on_read_barrier(self, api: ProcessAPI, msg: ReadBarrier) -> ProtocolGenerator:
+        """Locally-injected: start a ReadIndex round at the current
+        commit index.  Refused unless we lead *and* have committed an
+        entry under our own ballot (the fresh-leader hazard: our commit
+        index may still lag a predecessor's)."""
+        if self.state is not LEADER or not self.reads.epoch_ready(
+            self.log, self.commit_index, self.ballot
+        ):
+            yield Annotate("read_ready", (msg.barrier_id, -1, False))
+            return
+        rnd = self.reads.begin_round(
+            msg.barrier_id,
+            self.ballot,
+            self.commit_index,
+            api.now,
+            self._majority(api),
+            api.pid,
+        )
+        if rnd is not None:  # single-node group: self-ack is a majority
+            yield from self._finish_read_round(api, rnd)
+            return
+        probe = ReadProbe(self.ballot, api.pid, msg.barrier_id)
+        for pid in self._members(api):
+            if pid != api.pid:
+                yield Send(pid, probe)
+
+    def _on_read_probe(self, api: ProcessAPI, msg: ReadProbe) -> ProtocolGenerator:
+        """A probe is an empty heartbeat for read purposes: it proves the
+        sender's leadership and renews our stickiness window."""
+        self._observe(msg.term)
+        if msg.term < self.promised:
+            yield Send(
+                msg.leader_id,
+                ReadProbeAck(self.promised, api.pid, msg.probe_id, False),
+            )
+            return
+        self.promised = msg.term
+        if self.state is not FOLLOWER and msg.term != self.ballot:
+            self.state = FOLLOWER
+        self.leader_hint = msg.leader_id
+        self.reads.note_leader_contact(api.now)
+        yield from self._on_leader_contact(api, msg.leader_id)
+        yield Send(
+            msg.leader_id,
+            ReadProbeAck(msg.term, api.pid, msg.probe_id, True),
+        )
+
+    def _on_read_probe_ack(
+        self, api: ProcessAPI, msg: ReadProbeAck
+    ) -> ProtocolGenerator:
+        self._observe(msg.term)
+        if msg.term > self.promised:
+            self.promised = msg.term
+            self.reads.drop_rounds()
+            if self.state is not FOLLOWER:
+                self.state = FOLLOWER
+                yield from self._on_campaign_failed(api)
+            return
+        if self.state is not LEADER or msg.term != self.ballot or not msg.ok:
+            return
+        rnd = self.reads.record_ack(msg.probe_id, msg.voter_id, self.ballot)
+        if rnd is not None:
+            yield from self._finish_read_round(api, rnd)
+
+    def _finish_read_round(self, api: ProcessAPI, rnd: Any) -> ProtocolGenerator:
+        """A probe round reached its majority: extend the lease, release
+        queued reads, and hand followers a freshness proof — only a live
+        leader can complete rounds, so a deposed leader's cohort stops
+        getting these the moment it is cut off."""
+        self.reads.extend_lease(rnd)
+        yield Annotate("read_ready", (rnd.probe_id, rnd.read_index, True))
+        fresh = ReadFresh(self.ballot, api.pid, rnd.read_index)
+        for pid in self._members(api):
+            if pid != api.pid:
+                yield Send(pid, fresh)
+
+    def _on_read_fresh(self, api: ProcessAPI, msg: ReadFresh) -> ProtocolGenerator:
+        self._observe(msg.term)
+        if msg.term < self.promised:
+            return
+        self.promised = msg.term
+        if self.state is not FOLLOWER and msg.term != self.ballot:
+            self.state = FOLLOWER
+        self.leader_hint = msg.leader_id
+        self.reads.note_leader_contact(api.now)
+        yield from self._on_leader_contact(api, msg.leader_id)
+        if self.last_applied >= msg.read_index:
+            self.reads.note_fresh(api.now)
 
     # ------------------------------------------------------------------
     # Client proposals

@@ -23,6 +23,20 @@ unless ``--data-dir`` is set), so kills are power failures and restarts
 are WAL crash recovery.  ``--inject-bug lost-ack`` skips every fsync —
 acked writes then vanish in a ``power-fail-all``, which the checker must
 reject.
+
+Lease-attack campaigns (fast read path, docs/reads.md)::
+
+    python -m repro chaos --seed 11 --read-tier lease --drift-bound 0.25 \\
+        --campaign lease-attack
+    python -m repro chaos --seed 11 --read-tier lease \\
+        --campaign lease-attack --inject-bug unbounded-lease   # exits 1
+
+``--read-tier`` selects how the workload's linearizable reads are served
+(safe log markers, batched ReadIndex rounds, or clock-based leases); the
+``clock-skew`` fault slows the leaseholder's clock, which a correctly
+sized ``--drift-bound`` must absorb.  ``--inject-bug unbounded-lease``
+zeroes the drift bound, so a skewed leaseholder keeps serving after a
+rival leader commits — a stale read the checker must reject.
 """
 
 from __future__ import annotations
@@ -47,6 +61,7 @@ from repro.chaos.timeline import render_html, render_text
 from repro.chaos.workload import close_clients, make_clients, run_workload
 from repro.live.engine import DEFAULT_ENGINE, ENGINES, EngineError, parse_engine_spec
 from repro.live.harness import LiveKVCluster
+from repro.live.kv import READ_TIERS
 
 #: Fast-failover timings for campaigns: elections resolve in ~a second,
 #: so a 20-second campaign sees many leadership changes.
@@ -102,6 +117,13 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"fault kinds to draw from (choose from {', '.join(FAULT_KINDS)})",
     )
     parser.add_argument(
+        "--campaign", choices=("random", "lease-attack"), default="random",
+        help="plan shape: random (default) draws one independent fault "
+        "per period; lease-attack stacks clock-skew + timeout-skew + "
+        "partition-leader each cycle so the deposed leaseholder's clock "
+        "is still skewed when it is isolated (ignores --kinds)",
+    )
+    parser.add_argument(
         "--time-budget", type=float, default=30.0, metavar="SECS",
         help="linearizability checker wall-clock budget",
     )
@@ -124,11 +146,32 @@ def build_parser() -> argparse.ArgumentParser:
         "directory when omitted)",
     )
     parser.add_argument(
-        "--inject-bug", choices=("stale-reads", "lost-ack"), default=None,
+        "--read-tier", choices=READ_TIERS, default="safe",
+        help="how the workload's linearizable reads are served "
+        "(default safe; lease exercises the clock-based fast path the "
+        "clock-skew fault attacks)",
+    )
+    parser.add_argument(
+        "--lease-duration", type=float, default=None, metavar="SECS",
+        help="leader-lease window (defaults to the election-timeout "
+        "floor when --read-tier is lease/follower)",
+    )
+    parser.add_argument(
+        "--drift-bound", type=float, default=0.25, metavar="SECS",
+        help="clock-drift allowance subtracted from every lease "
+        "(default 0.25: safe against the default clock-skew factor 4 "
+        "on the default 0.3s lease, since 0.3 * (1 - 1/4) = 0.225)",
+    )
+    parser.add_argument(
+        "--inject-bug",
+        choices=("stale-reads", "lost-ack", "unbounded-lease"),
+        default=None,
         help="deliberately break the cluster (stale-reads: nodes that "
         "believe they lead serve lin reads from local state; lost-ack: "
         "writes are acknowledged before fsync, so a power failure "
-        "forgets them) — the campaign should then FAIL the check",
+        "forgets them; unbounded-lease: leases ignore clock drift, so a "
+        "clock-skewed leaseholder serves stale reads after deposition) "
+        "— the campaign should then FAIL the check",
     )
     parser.add_argument(
         "--quiet", action="store_true", help="print only the verdict"
@@ -143,12 +186,20 @@ async def run_campaign(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
-    plan = FaultPlan.random_campaign(
-        args.seed,
-        duration=args.duration,
-        period=args.fault_period,
-        kinds=kinds,
-    )
+    if args.campaign == "lease-attack":
+        kinds = ("clock-skew", "timeout-skew", "partition-leader")
+        plan = FaultPlan.lease_attack_campaign(
+            args.seed,
+            duration=args.duration,
+            period=args.fault_period,
+        )
+    else:
+        plan = FaultPlan.random_campaign(
+            args.seed,
+            duration=args.duration,
+            period=args.fault_period,
+            kinds=kinds,
+        )
     data_dir = args.data_dir
     tmp_dir = None
     if data_dir is None and (
@@ -157,6 +208,9 @@ async def run_campaign(args: argparse.Namespace) -> int:
     ):
         tmp_dir = tempfile.TemporaryDirectory(prefix="repro-chaos-")
         data_dir = tmp_dir.name
+    read_tier = args.read_tier
+    if args.inject_bug == "unbounded-lease" and read_tier == "safe":
+        read_tier = "lease"  # the bug needs a lease to mis-bound
     cluster = LiveKVCluster(
         args.nodes,
         seed=args.seed,
@@ -165,6 +219,11 @@ async def run_campaign(args: argparse.Namespace) -> int:
         unsafe_lin_reads=(args.inject_bug == "stale-reads"),
         data_dir=data_dir,
         lost_ack_bug=(args.inject_bug == "lost-ack"),
+        read_tier=read_tier,
+        lease_duration=args.lease_duration,
+        drift_bound=(
+            0.0 if args.inject_bug == "unbounded-lease" else args.drift_bound
+        ),
         **CAMPAIGN_TIMINGS,
     )
     history = History()
@@ -174,8 +233,8 @@ async def run_campaign(args: argparse.Namespace) -> int:
     say = (lambda *_a, **_k: None) if args.quiet else print
     say(
         f"campaign: {args.nodes} nodes / {args.shards} shards "
-        f"({args.engine}), seed {args.seed}, {len(plan.events)} fault "
-        f"events over {args.duration:.0f}s"
+        f"({args.engine}, reads={read_tier}), seed {args.seed}, "
+        f"{len(plan.events)} fault events over {args.duration:.0f}s"
     )
     try:
         await cluster.start()

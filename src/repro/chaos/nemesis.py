@@ -28,6 +28,12 @@ Fault kinds
 ``delay``             extra one-way latency on every link of one node
 ``timeout-skew``      scale one node's election-timeout range (a slow or
                       hasty clock), restored on ``heal``
+``clock-skew``        slow a node's *drift clock* by ``factor`` — the
+                      clock the read path's leader lease is measured on
+                      — preferring the current leader (the dangerous
+                      victim: a slow-clocked leaseholder under-measures
+                      how much real time its lease has burned);
+                      restored on ``heal``
 ``heal``              clear every link fault and timeout skew
 ``power-fail``        cut one node's power: an abrupt kill where WAL
                       state not yet fsynced is really lost; ``restart``
@@ -80,6 +86,7 @@ FAULT_KINDS = (
     "power-fail-all",
     "torn-tail",
     "bit-flip",
+    "clock-skew",
 )
 
 #: The default campaign mix: each cycle injects one disruptive fault,
@@ -99,6 +106,15 @@ DURABILITY_KINDS = (
     "power-fail-all",
     "torn-tail",
     "bit-flip",
+)
+
+#: The lease-attack mix: skew the leaseholder's clock, isolate deposed
+#: leaders, and stretch election timers — the faults that break a
+#: mis-bounded clock lease (``--read-tier lease``, see docs/reads.md).
+LEASE_ATTACK_KINDS = (
+    "clock-skew",
+    "partition-leader",
+    "timeout-skew",
 )
 
 
@@ -151,6 +167,7 @@ class FaultPlan:
         drop_prob: float = 0.4,
         delay: float = 0.05,
         skew_factor: float = 3.0,
+        clock_factor: float = 4.0,
     ) -> "FaultPlan":
         """A seeded disrupt→heal cycle schedule.
 
@@ -180,11 +197,71 @@ class FaultPlan:
                 args = (("delay", delay),)
             elif kind == "timeout-skew":
                 args = (("factor", skew_factor),)
+            elif kind == "clock-skew":
+                args = (("factor", clock_factor),)
             # One random draw reserved per event for victim selection, so
             # inserting new kinds upstream never shifts later victims.
             victim_roll = rng.random()
             events.append(
                 FaultEvent(round(at, 6), kind, args + (("roll", victim_roll),))
+            )
+            heal_at = at + heal_fraction * period
+            if heal_at < duration:
+                events.append(FaultEvent(round(heal_at, 6), "heal"))
+                events.append(FaultEvent(round(heal_at, 6), "restart"))
+            at += period
+        return cls(tuple(events), seed=seed)
+
+    @classmethod
+    def lease_attack_campaign(
+        cls,
+        seed: int,
+        *,
+        duration: float = 20.0,
+        period: float = 3.0,
+        clock_factor: float = 4.0,
+        skew_factor: float = 3.0,
+        heal_fraction: float = 0.6,
+    ) -> "FaultPlan":
+        """The compound attack on clock-based leases.
+
+        Unlike :meth:`random_campaign`, faults here are *stacked*, not
+        independent: each cycle slows the current leaseholder's drift
+        clock, stretches a random node's election timers, and only
+        *then* isolates the (still skewed) leader from its peers.  The
+        deposed leader's lease now burns real time ``clock_factor``
+        times faster than it measures — with a correctly sized drift
+        bound it stops serving before the majority's new leader can
+        commit; with ``drift_bound = 0`` it keeps answering long after,
+        which is the stale read the checker must catch.
+        """
+        if period <= 0:
+            raise ValueError("period must be positive")
+        rng = random.Random(seed)
+        events: List[FaultEvent] = []
+        at = period
+        while at < duration:
+            roll = rng.random()
+            events.append(
+                FaultEvent(
+                    round(at, 6),
+                    "clock-skew",
+                    (("factor", clock_factor), ("roll", roll)),
+                )
+            )
+            events.append(
+                FaultEvent(
+                    round(at + 0.2, 6),
+                    "timeout-skew",
+                    (("factor", skew_factor), ("roll", roll)),
+                )
+            )
+            events.append(
+                FaultEvent(
+                    round(at + 0.4, 6),
+                    "partition-leader",
+                    (("roll", roll),),
+                )
             )
             heal_at = at + heal_fraction * period
             if heal_at < duration:
@@ -225,6 +302,7 @@ class Nemesis:
         self.rng = random.Random(plan.seed if seed is None else seed)
         self.log: List[NemesisAction] = []
         self._skewed: Dict[int, Tuple[float, float]] = {}
+        self._clock_skewed: set = set()
         self._epoch: Optional[float] = None
 
     # ------------------------------------------------------------------
@@ -259,6 +337,7 @@ class Nemesis:
             "drop": self._drop,
             "delay": self._delay,
             "timeout-skew": self._timeout_skew,
+            "clock-skew": self._clock_skew,
             "heal": self._heal,
             "power-fail": self._power_fail,
             "power-fail-all": self._power_fail_all,
@@ -541,6 +620,33 @@ class Nemesis:
             "timeout-skew", f"node {victim} election timeout x{factor:g}"
         )
 
+    async def _clock_skew(self, event: FaultEvent) -> None:
+        """Slow a node's drift clock — preferring the current leader.
+
+        Slowing the *leaseholder's* clock is the attack the drift bound
+        exists for: the leader under-measures elapsed real time, so its
+        lease outlives the followers' stickiness window unless
+        ``drift_bound >= lease * (1 - 1/factor)``.  Skewing a follower
+        merely stretches its refusal window, which is safe — hence the
+        leader preference.
+        """
+        alive = self._alive()
+        if not alive:
+            self._note("clock-skew", "skipped: nothing alive")
+            return
+        factor = float(event.arg("factor", 4.0))
+        shard_id = event.arg("shard", 0)
+        victim = self.cluster.leader_pid(shard_id)
+        if victim is None or victim not in alive:
+            victim = self._pick(alive, event)
+        server = self.cluster.servers[victim]
+        for shard in server.shards:
+            shard.node.reads.clock.set_factor(factor, shard.runtime.now)
+        self._clock_skewed.add(victim)
+        self._note(
+            "clock-skew", f"node {victim} drift clock x{factor:g} slow"
+        )
+
     async def _heal(self, event: FaultEvent) -> None:
         for _pid, transport in self._transports():
             transport.heal_link()
@@ -550,7 +656,13 @@ class Nemesis:
                 for shard in server.shards:
                     shard.node.election_timeout = base
             del self._skewed[pid]
-        self._note("heal", "all link faults cleared, timeouts restored")
+        for pid in list(self._clock_skewed):
+            server = self.cluster.servers[pid]
+            if server is not None:
+                for shard in server.shards:
+                    shard.node.reads.clock.set_factor(1.0, shard.runtime.now)
+            self._clock_skewed.discard(pid)
+        self._note("heal", "all link faults cleared, clocks restored")
 
 
 def partition_cluster(

@@ -49,6 +49,7 @@ from repro.live.engine import (
 )
 from repro.live.harness import LiveCluster, LiveKVCluster, merge_traces
 from repro.live.kv import (
+    READ_TIERS,
     KVServer,
     KVShard,
     KvBatch,
@@ -103,6 +104,7 @@ __all__ = [
     "NodeSpec",
     "NotLeaderError",
     "PeerTransport",
+    "READ_TIERS",
     "ShardRouter",
     "TaggedPut",
     "TransportStats",

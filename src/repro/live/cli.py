@@ -33,7 +33,12 @@ from repro.live.config import (
     validate_shards,
 )
 from repro.live.engine import DEFAULT_ENGINE, ENGINES, EngineError, parse_engine_spec
-from repro.live.kv import KVServer
+from repro.live.kv import (
+    DEFAULT_DRIFT_BOUND,
+    DEFAULT_STALENESS_BOUND,
+    READ_TIERS,
+    KVServer,
+)
 from repro.live.loadgen import KEY_DISTRIBUTIONS, run_closed_loop, run_open_loop
 from repro.storage.engine import StorageQuarantineError
 
@@ -148,7 +153,25 @@ def build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     serve = commands.add_parser(
-        "serve", help="run one replicated-KV node until interrupted"
+        "serve",
+        help="run one replicated-KV node until interrupted",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "read tiers (--read-tier, see docs/reads.md):\n"
+            "  safe       linearizable get as a committed log marker "
+            "(default)\n"
+            "  readindex  one batched leadership-probe round per get "
+            "batch, no log writes\n"
+            "  lease      zero-round local reads while the clock-based "
+            "leader lease is live\n"
+            "  follower   like lease on the leader; clients may also "
+            "read bounded-stale\n"
+            "             state from any replica (client get "
+            "--staleness)\n"
+            "The lease/follower tiers assume bounded clock drift: a "
+            "clock up to f times\n"
+            "slow needs --drift-bound >= lease * (1 - 1/f)."
+        ),
     )
     _add_peers_argument(serve)
     serve.add_argument("--pid", type=int, required=True, help="this node's pid")
@@ -197,6 +220,39 @@ def build_parser() -> argparse.ArgumentParser:
         "trade-off)",
     )
     serve.add_argument(
+        "--read-tier",
+        choices=READ_TIERS,
+        default="safe",
+        help="default serving tier for linearizable gets (see epilog; "
+        "default safe); clients can override per request",
+    )
+    serve.add_argument(
+        "--lease-duration",
+        type=float,
+        default=None,
+        metavar="SECS",
+        help="leader-lease / follower-stickiness window; defaults to the "
+        "election-timeout floor when --read-tier is lease or follower, "
+        "else 0 (lease machinery off)",
+    )
+    serve.add_argument(
+        "--drift-bound",
+        type=float,
+        default=DEFAULT_DRIFT_BOUND,
+        metavar="SECS",
+        help="clock-drift allowance subtracted from every lease "
+        f"(default {DEFAULT_DRIFT_BOUND}); 0 is UNSAFE under skewed "
+        "clocks and exists for the chaos canary",
+    )
+    serve.add_argument(
+        "--staleness-bound",
+        type=float,
+        default=DEFAULT_STALENESS_BOUND,
+        metavar="SECS",
+        help="cap on the staleness bound follower reads may request "
+        f"(default {DEFAULT_STALENESS_BOUND})",
+    )
+    serve.add_argument(
         "--max-inflight",
         type=_parse_max_inflight,
         default=DEFAULT_MAX_INFLIGHT,
@@ -217,6 +273,21 @@ def build_parser() -> argparse.ArgumentParser:
     put.add_argument("value")
     get = sub.add_parser("get", help="read KEY (local read, may be stale)")
     get.add_argument("key")
+    get.add_argument(
+        "--tier",
+        choices=("safe", "readindex", "lease"),
+        default=None,
+        help="linearizable read through the leader at this tier "
+        "(omit for the plain local read)",
+    )
+    get.add_argument(
+        "--staleness",
+        type=float,
+        default=None,
+        metavar="SECS",
+        help="bounded-stale read: accept any replica whose state is "
+        "provably at most SECS old (fans out, followers first)",
+    )
     sub.add_parser("status", help="print each node's role/term/indices")
 
     loadgen = commands.add_parser(
@@ -261,6 +332,29 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="S",
         help="zipf exponent; larger = more skew (default 1.1)",
     )
+    loadgen.add_argument(
+        "--read-ratio",
+        type=float,
+        default=0.0,
+        metavar="R",
+        help="fraction of ops issued as linearizable gets instead of "
+        "puts (default 0.0; combinable with --key-dist zipf)",
+    )
+    loadgen.add_argument(
+        "--read-tier",
+        choices=("safe", "readindex", "lease"),
+        default=None,
+        help="serving tier requested for the gets (omit for the "
+        "servers' default tier)",
+    )
+    loadgen.add_argument(
+        "--read-staleness",
+        type=float,
+        default=None,
+        metavar="SECS",
+        help="issue the gets as bounded-stale follower reads with this "
+        "staleness bound instead of linearizable reads",
+    )
     _add_codec_argument(loadgen)
     _add_client_shards_argument(loadgen)
     _add_engine_argument(loadgen, serve=False)
@@ -298,6 +392,10 @@ async def _serve(args: argparse.Namespace) -> int:
             max_inflight=args.max_inflight,
             data_dir=args.data_dir,
             no_rejoin=args.no_rejoin,
+            read_tier=args.read_tier,
+            lease_duration=args.lease_duration,
+            drift_bound=args.drift_bound,
+            staleness_bound=args.staleness_bound,
             transport_options={"codec": args.codec},
         )
     except StorageQuarantineError as exc:
@@ -308,9 +406,16 @@ async def _serve(args: argparse.Namespace) -> int:
     await server.start()
     spec = args.peers[args.pid]
     groups = f", {args.shards} shards" if args.shards > 1 else ""
+    reads = f", reads={server.read_tier}"
+    if server.read_config.lease_duration > 0:
+        reads += (
+            f" (lease={server.read_config.lease_duration:g}s"
+            f" drift={server.read_config.drift_bound:g}s)"
+        )
     print(
         f"node {args.pid}/{args.peers.n} serving ({args.engine}): "
-        f"peers on {spec.peer_addr}, clients on {spec.client_addr}{groups}",
+        f"peers on {spec.peer_addr}, clients on "
+        f"{spec.client_addr}{groups}{reads}",
         flush=True,
     )
     stopped = asyncio.get_event_loop().create_future()
@@ -346,14 +451,18 @@ async def _client(args: argparse.Namespace) -> int:
             index = await client.put(args.key, args.value)
             print(f"ok: {args.key!r} committed at index {index}")
         elif args.operation == "get":
-            response = await client.get(args.key)
+            response = await client.get(
+                args.key, tier=args.tier, staleness=args.staleness
+            )
+            detail = f"applied index {response['applied']}"
+            if response.get("read"):
+                detail += f", via {response['read']}"
+            if response.get("staleness") is not None:
+                detail += f", staleness {response['staleness']:.3f}s"
             if response["found"]:
-                print(
-                    f"{args.key!r} = {response['value']!r} "
-                    f"(applied index {response['applied']})"
-                )
+                print(f"{args.key!r} = {response['value']!r} ({detail})")
             else:
-                print(f"{args.key!r} not found")
+                print(f"{args.key!r} not found ({detail})")
                 return 1
         else:  # status
             for pid in range(args.peers.n):
@@ -363,12 +472,18 @@ async def _client(args: argparse.Namespace) -> int:
                         asyncio.IncompleteReadError):
                     print(f"node {pid}: unreachable")
                     continue
+                reads = f" reads={status['read_tier']}" \
+                    if "read_tier" in status else ""
+                lease = status.get("lease_remaining")
+                if lease is not None and lease > 0:
+                    reads += f" lease={lease:.2f}s"
                 print(
                     f"node {pid}: {status['role']} "
                     f"engine={status.get('engine', DEFAULT_ENGINE)} "
                     f"term={status['term']} "
                     f"commit={status['commit_index']} "
-                    f"applied={status['applied']} leader={status['leader']}"
+                    f"applied={status['applied']} "
+                    f"leader={status['leader']}{reads}"
                 )
                 for group in status.get("groups", [])[1:]:
                     print(
@@ -391,6 +506,11 @@ async def _loadgen(args: argparse.Namespace) -> int:
             return 2
         finally:
             await probe.close()
+    read_mix = dict(
+        read_ratio=args.read_ratio,
+        read_tier=args.read_tier,
+        read_staleness=args.read_staleness,
+    )
     if args.rate is not None:
         report = await run_open_loop(
             args.peers,
@@ -403,6 +523,7 @@ async def _loadgen(args: argparse.Namespace) -> int:
             key_dist=args.key_dist,
             zipf_s=args.zipf_s,
             shards=args.shards,
+            **read_mix,
         )
     else:
         report = await run_closed_loop(
@@ -416,6 +537,7 @@ async def _loadgen(args: argparse.Namespace) -> int:
             key_dist=args.key_dist,
             zipf_s=args.zipf_s,
             shards=args.shards,
+            **read_mix,
         )
     print(report.summary())
     if args.json:

@@ -102,6 +102,7 @@ class AsyncKVClient:
 
     async def get(
         self, key: Any, *, linearizable: bool = False,
+        tier: Optional[str] = None, staleness: Optional[float] = None,
         op_id: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Read ``key`` from whichever node we are connected to.
@@ -111,11 +112,24 @@ class AsyncKVClient:
         local and may lag).
 
         With ``linearizable=True`` the read is routed to the owning
-        shard's leader (redirect-following, like a put) and served as a
-        committed :class:`~repro.live.kv.KvRead` log marker, so it is
-        linearizable with respect to every put.  Reads are idempotent, so
+        shard's leader (redirect-following, like a put) and served
+        linearizably.  ``tier`` (implies linearizable) overrides the
+        server's default read tier per request: ``"safe"`` commits a
+        :class:`~repro.live.kv.KvRead` log marker, ``"readindex"`` joins
+        a batched leadership-probe round, ``"lease"`` answers locally
+        while the leader lease is live.  Reads are idempotent, so
         retrying a timed-out linearizable get is always safe.
+
+        With ``staleness=<seconds>`` the read is *bounded-stale* instead:
+        it fans out over the owning shard's replicas (followers first,
+        leader last) and returns the first answer whose proven staleness
+        is within the bound.  The response carries the serving replica's
+        actual ``staleness``.
         """
+        if staleness is not None:
+            return await self._stale_get(key, staleness)
+        if tier is not None:
+            linearizable = True
         if not linearizable:
             return await self._request({"type": "get", "key": key}, want="value")
         if op_id is None:
@@ -123,10 +137,59 @@ class AsyncKVClient:
             op_id = f"{uuid.uuid4().hex[:12]}-{self._ops}"
         router = await self._ensure_router()
         shard = router.shard_of(key) if router.shards > 1 else None
-        return await self._request(
-            {"type": "get", "key": key, "lin": True, "id": op_id},
-            want="value",
-            shard=shard,
+        request: Dict[str, Any] = {
+            "type": "get", "key": key, "lin": True, "id": op_id,
+        }
+        if tier is not None:
+            request["tier"] = tier
+        return await self._request(request, want="value", shard=shard)
+
+    async def _stale_get(self, key: Any, staleness: float) -> Dict[str, Any]:
+        """Fan a bounded-stale read out across the owning shard's replicas.
+
+        Followers are tried first (rotating the start point so read load
+        spreads over them), the hinted leader last — the point of the
+        tier is to take reads *off* the leader.  Replica answers of
+        ``"stale"`` (freshness proof older than the bound) and connection
+        failures both move on to the next replica.
+        """
+        router = await self._ensure_router()
+        shard = router.shard_of(key) if router.shards > 1 else 0
+        request = {"type": "get", "key": key, "staleness": staleness}
+        leader = router.hint(shard)
+        followers = [
+            self.cluster[pid].client_addr for pid in range(self.cluster.n)
+            if self.cluster[pid].client_addr != leader
+        ]
+        offset = next(self._rotation)
+        followers = followers[offset % len(followers):] + \
+            followers[:offset % len(followers)]
+        order = followers + ([leader] if leader is not None else [])
+        if self._lock is None:
+            self._lock = asyncio.Lock()
+        last_error: Optional[BaseException] = None
+        async with self._lock:
+            for addr in order:
+                try:
+                    reader, writer = await self._connect(addr)
+                    writer.write(frame_bytes(request, self.codec))
+                    await writer.drain()
+                    response = await asyncio.wait_for(
+                        read_frame(reader), timeout=self.request_timeout
+                    )
+                except (ConnectionError, OSError, asyncio.TimeoutError,
+                        asyncio.IncompleteReadError) as exc:
+                    last_error = exc
+                    self._drop_connection(addr)
+                    continue
+                if (
+                    isinstance(response, dict)
+                    and response.get("type") == "value"
+                ):
+                    return response
+                last_error = RuntimeError(f"server said {response!r}")
+        raise ClusterUnavailableError(
+            f"no replica within staleness bound {staleness}: {last_error!r}"
         )
 
     async def status(self) -> Dict[str, Any]:

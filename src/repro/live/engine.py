@@ -24,7 +24,16 @@ Node contract (duck-typed, pinned by tests/live/test_engine_conformance.py):
   ``("applied", (index, epoch, command))`` trace annotations — the
   commit stream the KV layer resolves client futures from;
 * installs snapshots from peers and supports crash-restart from a
-  :class:`~repro.storage.engine.RaftStorage` directory.
+  :class:`~repro.storage.engine.RaftStorage` directory;
+* carries a :class:`~repro.algorithms.readpath.ReadLedger` as ``reads``
+  (configured via ``build_node``'s ``read``), consumes a locally
+  injected :class:`~repro.algorithms.readpath.ReadBarrier`, answers it
+  with a ``("read_ready", (barrier_id, read_index, ok))`` annotation
+  after one probe round, and — when a lease is configured — refuses
+  votes/promises to challengers within the stickiness window.  The
+  read-path messages (:data:`~repro.algorithms.readpath.READ_WIRE_CLASSES`)
+  are engine-independent and admitted by every engine's wire filter on
+  top of its own disjoint family.
 
 Engines available (``--engine`` on serve/client/loadgen/chaos):
 
@@ -81,6 +90,7 @@ from repro.algorithms.raft.messages import (
     RequestVoteReply,
 )
 from repro.algorithms.raft.node import RaftNode
+from repro.algorithms.readpath import READ_WIRE_CLASSES, ReadConfig
 from repro.live.detector import FdHeartbeat
 from repro.live.sharding import preferred_leader, staggered_election_timeout
 from repro.sim.process import Process
@@ -128,19 +138,29 @@ class ConsensusEngine:
         state_machine_factory: Callable[[], Any],
         snapshot_threshold: Optional[int],
         storage: Optional[RaftStorage],
+        read: Optional[ReadConfig] = None,
     ) -> Process:
         """Build this shard's protocol node (durable iff ``storage``).
 
         ``election_timeout``/``heartbeat_interval`` are the service-level
         knobs; each engine maps them onto its own parameters (the ct
         engine derives its detector cadence from the heartbeat interval,
-        for example) so one CLI surface tunes every backend.
+        for example) so one CLI surface tunes every backend.  ``read``
+        configures the fast read path (lease duration + drift bound);
+        ``None`` keeps it inert.
         """
         raise NotImplementedError
 
     def accepts(self, payload: Any) -> bool:
-        """Wire filter: is ``payload`` part of this engine's protocol?"""
-        return type(payload) in self.wire_classes
+        """Wire filter: is ``payload`` part of this engine's protocol?
+
+        Every engine also admits the engine-independent read-path family
+        (probes, acks, freshness) on top of its own disjoint classes.
+        """
+        return (
+            type(payload) in self.wire_classes
+            or type(payload) in READ_WIRE_CLASSES
+        )
 
 
 class RaftEngine(ConsensusEngine):
@@ -170,6 +190,7 @@ class RaftEngine(ConsensusEngine):
         state_machine_factory: Callable[[], Any],
         snapshot_threshold: Optional[int],
         storage: Optional[RaftStorage],
+        read: Optional[ReadConfig] = None,
     ) -> Process:
         if shard_count > 1:
             # Stagger first elections so shard i's leadership starts on
@@ -184,6 +205,7 @@ class RaftEngine(ConsensusEngine):
             propose_on_leadership=False,
             snapshot_threshold=snapshot_threshold,
             cluster_size=n,
+            read_config=read,
         )
         if storage is not None:
             return DurableRaftNode(storage=storage, **args)
@@ -218,6 +240,7 @@ class MultiPaxosEngine(ConsensusEngine):
         state_machine_factory: Callable[[], Any],
         snapshot_threshold: Optional[int],
         storage: Optional[RaftStorage],
+        read: Optional[ReadConfig] = None,
     ) -> Process:
         if shard_count > 1:
             election_timeout = staggered_election_timeout(
@@ -230,6 +253,7 @@ class MultiPaxosEngine(ConsensusEngine):
             propose_on_leadership=False,
             snapshot_threshold=snapshot_threshold,
             cluster_size=n,
+            read_config=read,
         )
         if storage is not None:
             return DurableMultiPaxosNode(storage=storage, **args)
@@ -272,6 +296,7 @@ class ChandraTouegEngine(ConsensusEngine):
         state_machine_factory: Callable[[], Any],
         snapshot_threshold: Optional[int],
         storage: Optional[RaftStorage],
+        read: Optional[ReadConfig] = None,
     ) -> Process:
         args = dict(
             detector_interval=heartbeat_interval,
@@ -281,6 +306,7 @@ class ChandraTouegEngine(ConsensusEngine):
             propose_on_leadership=False,
             snapshot_threshold=snapshot_threshold,
             cluster_size=n,
+            read_config=read,
         )
         if storage is not None:
             return DurableCtReplicatedNode(storage=storage, **args)

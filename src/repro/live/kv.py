@@ -75,6 +75,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.algorithms.raft.messages import ClientPropose
 from repro.algorithms.raft.node import LEADER
 from repro.algorithms.raft.state_machine import KeyValueStateMachine, Put
+from repro.algorithms.readpath import ReadBarrier, ReadConfig
 from repro.live.config import (
     DEFAULT_MAX_INFLIGHT,
     ClusterConfig,
@@ -100,6 +101,16 @@ from repro.storage.engine import RaftStorage
 #: election/jitter randomness while shard 0 keeps the pre-sharding
 #: derivation exactly (a prime far above any realistic pid/seed reuse).
 SHARD_SEED_STRIDE = 7919
+
+#: Server-side linearizable-read tiers, slowest/safest first.  See
+#: docs/reads.md for the ladder and each tier's safety argument.
+READ_TIERS = ("safe", "readindex", "lease", "follower")
+
+#: Default clock-drift bound subtracted from every lease (seconds).
+DEFAULT_DRIFT_BOUND = 0.03
+
+#: Default bound accepted for follower (bounded-stale) reads (seconds).
+DEFAULT_STALENESS_BOUND = 0.5
 
 
 @dataclass(frozen=True)
@@ -195,6 +206,7 @@ class KVShard:
         epoch: Optional[float],
         observers: Tuple = (),
         storage: Optional[RaftStorage] = None,
+        read_config: Optional[ReadConfig] = None,
     ):
         self.shard_id = shard_id
         self.pid = pid
@@ -213,6 +225,7 @@ class KVShard:
             state_machine_factory=KVCommandMachine,
             snapshot_threshold=snapshot_threshold,
             storage=storage,
+            read=read_config,
         )
         self.runtime = LiveRuntime(
             self.node,
@@ -232,6 +245,16 @@ class KVShard:
         self._flush_handle: Optional[asyncio.TimerHandle] = None
         self._batch_counter = 0
         self._barrier_terms: set = set()
+        # ReadIndex batching: at most one probe round in flight per
+        # shard.  Reads arriving while a round is in flight queue for the
+        # *next* round — joining the current one would be unsound, since
+        # its read index may predate a write committed after the round
+        # began but before the read arrived.
+        self._ri_counter = 0
+        self._ri_inflight: Optional[Tuple[Any, ...]] = None
+        self._ri_waiting: List[asyncio.Future] = []
+        self._ri_queue: List[asyncio.Future] = []
+        self._applied_waiters: List[Tuple[int, asyncio.Future]] = []
 
     @property
     def is_leader(self) -> bool:
@@ -242,7 +265,12 @@ class KVShard:
         return self.node.leader_hint
 
     def has_pending(self) -> bool:
-        return bool(self._pending)
+        return bool(
+            self._pending
+            or self._ri_waiting
+            or self._ri_queue
+            or self._applied_waiters
+        )
 
     # ------------------------------------------------------------------
     # Write path
@@ -271,6 +299,71 @@ class KVShard:
         """Drop a pending waiter (the frontend timed the request out)."""
         self._pending.pop(op_id, None)
 
+    # ------------------------------------------------------------------
+    # Fast read path (ReadIndex rounds, lease bookkeeping)
+    # ------------------------------------------------------------------
+
+    def read_index(self) -> asyncio.Future:
+        """Join the next ReadIndex round: the future resolves with the
+        round's read index (serve once ``last_applied`` reaches it), or
+        raises :class:`NotLeaderError` if the node cannot confirm
+        leadership — including the fresh-leader case where no entry of
+        the current epoch has committed yet."""
+        future: asyncio.Future = asyncio.get_event_loop().create_future()
+        self._ri_queue.append(future)
+        if self._ri_inflight is None:
+            self._start_read_round()
+        return future
+
+    def renew_lease(self) -> None:
+        """Start an empty probe round (lease heartbeat) unless one is
+        already in flight — a completed round extends the lease whether
+        or not any read is waiting on it."""
+        if self._ri_inflight is None and self.is_leader:
+            self._start_read_round(force=True)
+
+    def _start_read_round(self, *, force: bool = False) -> None:
+        if self._ri_inflight is not None or not (self._ri_queue or force):
+            return
+        waiters, self._ri_queue = self._ri_queue, []
+        if self.node.state is not LEADER:
+            for future in waiters:
+                if not future.done():
+                    future.set_exception(NotLeaderError())
+            return
+        self._ri_counter += 1
+        probe_id = ("ri", self.shard_id, self.pid, self._ri_counter)
+        self._ri_inflight = probe_id
+        self._ri_waiting = waiters
+        self.runtime.inject(ReadBarrier(probe_id))
+
+    def wait_applied(self, index: int) -> asyncio.Future:
+        """A future resolving once ``last_applied >= index``."""
+        future: asyncio.Future = asyncio.get_event_loop().create_future()
+        if self.node.last_applied >= index:
+            future.set_result(self.node.last_applied)
+        else:
+            self._applied_waiters.append((index, future))
+        return future
+
+    def lease_remaining(self) -> float:
+        """Drift-discounted seconds of leader lease left (0 when none)."""
+        return max(0.0, self.node.reads.lease_remaining(self.runtime.now))
+
+    def lease_serveable(self) -> bool:
+        """May this node answer a read locally with zero rounds?"""
+        return (
+            self.is_leader
+            and self.node.reads.lease_valid(self.runtime.now)
+            and self.node.reads.epoch_ready(
+                self.node.log, self.node.commit_index, self.node.current_term
+            )
+        )
+
+    def staleness(self) -> float:
+        """Seconds since this replica's last freshness proof."""
+        return self.node.reads.staleness(self.runtime.now)
+
     def _on_trace(self, event) -> None:
         if event.kind != tr.ANNOTATE:
             return
@@ -297,6 +390,16 @@ class KVShard:
                             )
                         else:
                             future.set_result(_index)
+            if self._applied_waiters:
+                applied = self.node.last_applied
+                due = [w for w in self._applied_waiters if w[0] <= applied]
+                if due:
+                    self._applied_waiters = [
+                        w for w in self._applied_waiters if w[0] > applied
+                    ]
+                    for _, future in due:
+                        if not future.done():
+                            future.set_result(applied)
             # Group commit: a commit freed pipeline room, so flush writes
             # that accumulated while it was full without waiting for the
             # batch-window timer.
@@ -309,6 +412,23 @@ class KVShard:
                     self._flush_handle.cancel()
                     self._flush_handle = None
                 asyncio.get_event_loop().call_soon(self._flush_batch)
+        elif key == "read_ready":
+            probe_id, read_index, ok = value
+            if probe_id == self._ri_inflight:
+                waiters = self._ri_waiting
+                self._ri_inflight = None
+                self._ri_waiting = []
+                for future in waiters:
+                    if not future.done():
+                        if ok:
+                            future.set_result(read_index)
+                        else:
+                            future.set_exception(NotLeaderError())
+                if self._ri_queue:
+                    # Reads queued while this round was in flight: start
+                    # theirs now (scheduled — listener context must not
+                    # recurse into the runtime driver).
+                    asyncio.get_event_loop().call_soon(self._start_read_round)
         elif key == "leader" and value[1] == self.pid:
             term = value[0]
             if term not in self._barrier_terms:
@@ -361,6 +481,17 @@ class KVShard:
                 future.set_exception(NotLeaderError())
         self._pending.clear()
         self._batch.clear()
+        read_waiters = self._ri_waiting + self._ri_queue
+        self._ri_inflight = None
+        self._ri_waiting = []
+        self._ri_queue = []
+        for future in read_waiters:
+            if not future.done():
+                future.set_exception(NotLeaderError())
+        applied_waiters, self._applied_waiters = self._applied_waiters, []
+        for _, future in applied_waiters:
+            if not future.done():
+                future.set_exception(NotLeaderError())
 
 
 class KVServer:
@@ -402,6 +533,27 @@ class KVServer:
             uncommitted log memory, not replication traffic.
         commit_timeout: how long a client ``put`` may wait for commit
             before the server answers with an error (client retries).
+        read_tier: default path for linearizable reads — one of
+            :data:`READ_TIERS`.  ``safe`` (default) commits a log marker
+            per read; ``readindex`` confirms leadership with one probe
+            round amortized over all queued reads; ``lease`` answers
+            with zero rounds while the drift-discounted leader lease is
+            live (falling back to readindex otherwise); ``follower``
+            behaves like ``safe`` server-side but runs the lease/
+            freshness machinery so followers can serve bounded-stale
+            reads.  A per-request ``"tier"`` field overrides it.  See
+            docs/reads.md.
+        lease_duration: the lease/stickiness window W, seconds on each
+            node's local clock.  Defaults to ``election_timeout[0]``
+            when the tier uses leases (``lease``/``follower``) — the
+            same horizon the election timers already respect — and 0
+            (disabled) otherwise.
+        drift_bound: seconds subtracted from every lease before serving;
+            must be at least ``W * (1 - 1/f)`` to tolerate clocks up to
+            ``f`` times slow.  ``0`` with a skewed clock is the
+            mis-bounded lease the chaos canary demonstrates.
+        staleness_bound: maximum bounded-stale age this server accepts
+            for follower reads (requests may ask for stricter bounds).
         snapshot_threshold: forwarded to each Raft node (log compaction).
         epoch: shared trace-time origin (see :class:`LiveRuntime`).
         observers: extra trace listeners for every shard's runtime.
@@ -444,6 +596,10 @@ class KVServer:
         max_batch: int = 64,
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
         commit_timeout: float = 5.0,
+        read_tier: str = "safe",
+        lease_duration: Optional[float] = None,
+        drift_bound: float = DEFAULT_DRIFT_BOUND,
+        staleness_bound: float = DEFAULT_STALENESS_BOUND,
         snapshot_threshold: Optional[int] = None,
         epoch: Optional[float] = None,
         observers: Tuple = (),
@@ -462,6 +618,24 @@ class KVServer:
         self.max_batch = max_batch
         self.max_inflight = validate_max_inflight(max_inflight)
         self.commit_timeout = commit_timeout
+        if read_tier not in READ_TIERS:
+            raise ValueError(
+                f"unknown read tier {read_tier!r} (choose from {READ_TIERS})"
+            )
+        self.read_tier = read_tier
+        self.heartbeat_interval = heartbeat_interval
+        if lease_duration is None:
+            lease_duration = (
+                election_timeout[0] if read_tier in ("lease", "follower") else 0.0
+            )
+        if drift_bound < 0:
+            raise ValueError("drift_bound must be >= 0")
+        self.lease_duration = lease_duration
+        self.drift_bound = drift_bound
+        self.staleness_bound = staleness_bound
+        self.read_config = ReadConfig(
+            lease_duration=lease_duration, drift_bound=drift_bound
+        )
         self.unsafe_lin_reads = unsafe_lin_reads
         self.data_dir = data_dir
         self.lost_ack_bug = lost_ack_bug
@@ -500,11 +674,13 @@ class KVServer:
                     epoch=epoch,
                     observers=observers,
                     storage=storage,
+                    read_config=self.read_config,
                 )
             )
         self._client_server: Optional[asyncio.AbstractServer] = None
         self._client_writers: List[asyncio.StreamWriter] = []
         self._watchdog: Optional[asyncio.Task] = None
+        self._lease_renewer: Optional[asyncio.Task] = None
 
     # ------------------------------------------------------------------
     # Single-group compatibility surface (shard 0)
@@ -537,6 +713,8 @@ class KVServer:
         for shard in self.shards:
             await shard.runtime.start(restart=restart)
         self._watchdog = asyncio.ensure_future(self._watch_leadership())
+        if self.read_config.lease_duration > 0:
+            self._lease_renewer = asyncio.ensure_future(self._renew_leases())
 
     async def stop(self, *, crash: bool = False, torn: bool = False) -> None:
         """Stop the node.
@@ -552,6 +730,13 @@ class KVServer:
             except (asyncio.CancelledError, Exception):
                 pass
             self._watchdog = None
+        if self._lease_renewer is not None:
+            self._lease_renewer.cancel()
+            try:
+                await self._lease_renewer
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._lease_renewer = None
         if self._client_server is not None:
             self._client_server.close()
             await self._client_server.wait_closed()
@@ -591,6 +776,20 @@ class KVServer:
             for shard in self.shards:
                 if shard.has_pending() and not shard.is_leader:
                     shard.fail_pending()
+
+    async def _renew_leases(self) -> None:
+        """Keep each led shard's lease live with empty probe rounds.
+
+        Probe rounds run at the heartbeat cadence, but only while this
+        node leads a shard and a lease is configured — the read path
+        adds zero traffic to clusters that don't use it.  Each completed
+        round also broadcasts a freshness proof, which is what keeps
+        follower bounded-stale reads serveable.
+        """
+        while True:
+            await asyncio.sleep(self.heartbeat_interval)
+            for shard in self.shards:
+                shard.renew_lease()
 
     # ------------------------------------------------------------------
     # Client frontend
@@ -634,6 +833,8 @@ class KVServer:
             shard = self.shards[self.shard_for_key(key)]
             if request.get("lin"):
                 return await self._serve_lin_get(request, shard)
+            if request.get("staleness") is not None:
+                return self._serve_stale_get(request, shard)
             machine = shard.node.machine
             return {
                 "type": "value",
@@ -657,6 +858,8 @@ class KVServer:
                 "commit_index": head.node.commit_index,
                 "applied": head.node.last_applied,
                 "leader": head.leader_hint,
+                "read_tier": self.read_tier,
+                "lease_remaining": head.lease_remaining(),
                 "groups": [
                     {
                         "shard": shard.shard_id,
@@ -667,6 +870,7 @@ class KVServer:
                         "applied": shard.node.last_applied,
                         "leader": shard.leader_hint,
                         "foreign_frames": shard.runtime.foreign_frames,
+                        "lease_remaining": shard.lease_remaining(),
                     }
                     for shard in self.shards
                 ],
@@ -698,11 +902,12 @@ class KVServer:
     async def _serve_lin_get(
         self, request: Dict[str, Any], shard: KVShard
     ) -> Dict[str, Any]:
-        """A linearizable read: a :class:`KvRead` through the log.
+        """A linearizable read, dispatched by tier.
 
-        Redirects unless this node leads the owning shard; times out (the
-        client retries) if the marker cannot commit — which is exactly
-        what happens on a deposed leader, keeping stale values unservable.
+        The request's ``"tier"`` field overrides the server default; the
+        ``safe`` tier (and any tier's fallback of last resort) is the
+        read-as-log-entry marker.  Redirects unless this node leads the
+        owning shard.
         """
         key = request.get("key")
         op_id = request.get("id")
@@ -722,6 +927,24 @@ class KVServer:
                 "leader": shard.leader_hint,
                 "shard": shard.shard_id, "lin": True,
             }
+        tier = request.get("tier") or self.read_tier
+        if tier == "lease":
+            return await self._serve_lease_get(request, shard)
+        if tier == "readindex":
+            return await self._serve_readindex_get(request, shard)
+        return await self._serve_safe_lin_get(request, shard)
+
+    async def _serve_safe_lin_get(
+        self, request: Dict[str, Any], shard: KVShard
+    ) -> Dict[str, Any]:
+        """The safe tier: a :class:`KvRead` marker through the log.
+
+        Times out (the client retries) if the marker cannot commit —
+        which is exactly what happens on a deposed leader, keeping stale
+        values unservable.
+        """
+        key = request.get("key")
+        op_id = request["id"]
         future = shard.enqueue(KvRead(key, op_id))
         try:
             index, found, value = await asyncio.wait_for(
@@ -738,6 +961,124 @@ class KVServer:
             return {"type": "error", "reason": "read timeout", "id": op_id}
         finally:
             shard.forget(op_id)
+
+    async def _serve_readindex_get(
+        self, request: Dict[str, Any], shard: KVShard
+    ) -> Dict[str, Any]:
+        """The ReadIndex tier: one probe round amortized over a batch.
+
+        The shard records its commit index, confirms leadership with a
+        single probe round shared by every read queued while the round
+        was in flight, waits for the applied index to reach the recorded
+        one, and answers from local state — no log writes.  A refused
+        round on a node still believing it leads (the fresh-leader
+        window before its barrier commits) falls back to the safe
+        marker read, which both answers correctly and advances the
+        epoch.
+        """
+        key = request.get("key")
+        op_id = request["id"]
+        try:
+            read_index = await asyncio.wait_for(
+                shard.read_index(), timeout=self.commit_timeout
+            )
+            await asyncio.wait_for(
+                shard.wait_applied(read_index), timeout=self.commit_timeout
+            )
+        except NotLeaderError:
+            if shard.is_leader:
+                return await self._serve_safe_lin_get(request, shard)
+            return self._redirect(shard)
+        except asyncio.TimeoutError:
+            return {"type": "error", "reason": "read timeout", "id": op_id}
+        machine = shard.node.machine
+        return {
+            "type": "value", "key": key,
+            "found": key in machine.data,
+            "value": machine.data.get(key),
+            "applied": shard.node.last_applied,
+            "leader": shard.leader_hint,
+            "shard": shard.shard_id, "lin": True, "read": "readindex",
+        }
+
+    async def _serve_lease_get(
+        self, request: Dict[str, Any], shard: KVShard
+    ) -> Dict[str, Any]:
+        """The lease tier: zero rounds while the leader lease is live.
+
+        While ``lease expiry - drift bound`` (local clock) is in the
+        future, no rival leader can have been elected — followers refuse
+        votes/promises inside the stickiness window — so the leader's
+        commit index is the global one and reading applied local state
+        is linearizable.  Without a live lease the read degrades to a
+        ReadIndex round (which also re-extends the lease).
+        """
+        key = request.get("key")
+        op_id = request["id"]
+        if not shard.lease_serveable():
+            return await self._serve_readindex_get(request, shard)
+        try:
+            await asyncio.wait_for(
+                shard.wait_applied(shard.node.commit_index),
+                timeout=self.commit_timeout,
+            )
+        except NotLeaderError:
+            return self._redirect(shard)
+        except asyncio.TimeoutError:
+            return {"type": "error", "reason": "read timeout", "id": op_id}
+        if not shard.lease_serveable():
+            # The lease lapsed while we waited for the applied index.
+            return await self._serve_readindex_get(request, shard)
+        machine = shard.node.machine
+        return {
+            "type": "value", "key": key,
+            "found": key in machine.data,
+            "value": machine.data.get(key),
+            "applied": shard.node.last_applied,
+            "leader": shard.leader_hint,
+            "shard": shard.shard_id, "lin": True, "read": "lease",
+            "lease_remaining": shard.lease_remaining(),
+        }
+
+    def _serve_stale_get(
+        self, request: Dict[str, Any], shard: KVShard
+    ) -> Dict[str, Any]:
+        """A bounded-stale read served from any replica's applied state.
+
+        The staleness figure is the age of the replica's last freshness
+        proof (a completed probe round whose read index it had applied).
+        A replica partitioned alongside a deposed leader stops receiving
+        proofs the moment the partition lands — deposed leaders cannot
+        complete rounds — so its served staleness grows honestly.  The
+        current leader answers with staleness 0 while its lease is live.
+        """
+        key = request.get("key")
+        try:
+            bound = float(request.get("staleness"))
+        except (TypeError, ValueError):
+            return {"type": "error", "reason": "staleness must be a number"}
+        bound = min(bound, self.staleness_bound)
+        if shard.lease_serveable():
+            staleness = 0.0
+        else:
+            staleness = shard.staleness()
+            if staleness > bound:
+                return {
+                    "type": "error", "reason": "stale",
+                    "staleness": staleness,
+                    "leader": shard.leader_hint,
+                    "shard": shard.shard_id,
+                }
+        machine = shard.node.machine
+        return {
+            "type": "value", "key": key,
+            "found": key in machine.data,
+            "value": machine.data.get(key),
+            "applied": shard.node.last_applied,
+            "leader": shard.leader_hint,
+            "shard": shard.shard_id,
+            "read": "follower", "staleness": staleness,
+        }
 
     def _redirect(self, shard: KVShard) -> Dict[str, Any]:
         leader = shard.leader_hint

@@ -15,6 +15,12 @@ put to the shard owning its key, so against a sharded cluster the load
 spreads across all shard leaders.  The shard count is discovered once
 (one ``status`` round trip) and handed to every worker client.
 
+Mixed workloads: ``read_ratio`` turns that fraction of operations into
+linearizable gets (drawn from the same key distribution, so a Zipf mix
+reads the hot keys it writes).  ``read_tier`` picks the serving tier per
+read (safe / readindex / lease — see docs/reads.md); ``read_staleness``
+switches reads to the bounded-stale follower tier instead.
+
 Key distributions: ``uniform`` (the default) draws keys uniformly from
 the keyspace; ``zipf`` draws rank ``k`` with probability proportional to
 ``1 / k**s`` (:class:`ZipfSampler`), the standard model for hot-key
@@ -103,10 +109,12 @@ class LoadReport:
     acked: Dict[Any, Any] = field(default_factory=dict)
     key_dist: str = "uniform"
     shards: int = 1
+    reads: int = 0
+    writes: int = 0
 
     @property
     def throughput(self) -> float:
-        """Acknowledged writes per second."""
+        """Acknowledged operations per second."""
         return self.ops / self.duration if self.duration > 0 else 0.0
 
     def to_dict(self) -> Dict[str, Any]:
@@ -121,12 +129,15 @@ class LoadReport:
             "latency_s": self.latency,
             "key_dist": self.key_dist,
             "shards": self.shards,
+            "reads": self.reads,
+            "writes": self.writes,
         }
 
     def summary(self) -> str:
         lat = self.latency
+        mix = f" ({self.reads}r/{self.writes}w)" if self.reads else ""
         return (
-            f"{self.mode}: {self.ops} ops in {self.duration:.2f}s "
+            f"{self.mode}: {self.ops} ops{mix} in {self.duration:.2f}s "
             f"({self.throughput:.0f} ops/s, {self.errors} errors); "
             f"commit latency p50={lat.get('p50', 0) * 1e3:.1f}ms "
             f"p95={lat.get('p95', 0) * 1e3:.1f}ms "
@@ -168,8 +179,18 @@ async def run_closed_loop(
     key_dist: str = "uniform",
     zipf_s: float = 1.1,
     shards: Optional[int] = None,
+    read_ratio: float = 0.0,
+    read_tier: Optional[str] = None,
+    read_staleness: Optional[float] = None,
 ) -> LoadReport:
-    """``concurrency`` workers each issue puts back-to-back, ``ops`` total."""
+    """``concurrency`` workers each issue ops back-to-back, ``ops`` total.
+
+    Each operation is a linearizable get with probability ``read_ratio``
+    (served at ``read_tier``, or bounded-stale if ``read_staleness`` is
+    set) and a put otherwise.
+    """
+    if not 0.0 <= read_ratio <= 1.0:
+        raise ValueError(f"read_ratio must be in [0, 1], got {read_ratio}")
     sample_key = make_key_sampler(key_dist, key_space, zipf_s)
     shard_count = await _discover_shards(
         cluster, shards, codec=codec, request_timeout=request_timeout
@@ -177,11 +198,12 @@ async def run_closed_loop(
     latencies: List[float] = []
     acked: Dict[Any, Any] = {}
     errors = 0
+    reads = writes = 0
     counter = iter(range(ops))
     lock = asyncio.Lock()
 
     async def worker(worker_id: int) -> None:
-        nonlocal errors
+        nonlocal errors, reads, writes
         rng = random.Random((seed << 8) | worker_id)
         client = AsyncKVClient(
             cluster, request_timeout=request_timeout, codec=codec,
@@ -194,15 +216,27 @@ async def run_closed_loop(
                         i = next(counter)
                     except StopIteration:
                         return
-                key, value = sample_key(rng), _value(i, value_size)
+                key = sample_key(rng)
+                is_read = rng.random() < read_ratio
                 begin = time.monotonic()
                 try:
-                    await client.put(key, value)
+                    if is_read:
+                        await client.get(
+                            key, linearizable=True, tier=read_tier,
+                            staleness=read_staleness,
+                        )
+                    else:
+                        value = _value(i, value_size)
+                        await client.put(key, value)
                 except ClusterUnavailableError:
                     errors += 1
                     continue
                 latencies.append(time.monotonic() - begin)
-                acked[key] = value
+                if is_read:
+                    reads += 1
+                else:
+                    writes += 1
+                    acked[key] = value
         finally:
             await client.close()
 
@@ -219,6 +253,8 @@ async def run_closed_loop(
         acked=acked,
         key_dist=key_dist,
         shards=shard_count,
+        reads=reads,
+        writes=writes,
     )
 
 
@@ -237,15 +273,21 @@ async def run_open_loop(
     key_dist: str = "uniform",
     zipf_s: float = 1.1,
     shards: Optional[int] = None,
+    read_ratio: float = 0.0,
+    read_tier: Optional[str] = None,
+    read_staleness: Optional[float] = None,
 ) -> LoadReport:
     """Schedule arrivals at ``rate``/s for ``duration`` seconds.
 
     Arrivals beyond ``max_outstanding`` in-flight requests are counted as
     errors (load shedding) instead of queueing without bound inside the
-    generator itself.
+    generator itself.  ``read_ratio``/``read_tier``/``read_staleness``
+    mix in reads exactly as in :func:`run_closed_loop`.
     """
     if rate <= 0:
         raise ValueError("rate must be positive")
+    if not 0.0 <= read_ratio <= 1.0:
+        raise ValueError(f"read_ratio must be in [0, 1], got {read_ratio}")
     sample_key = make_key_sampler(key_dist, key_space, zipf_s)
     shard_count = await _discover_shards(
         cluster, shards, codec=codec, request_timeout=request_timeout
@@ -253,6 +295,7 @@ async def run_open_loop(
     latencies: List[float] = []
     acked: Dict[Any, Any] = {}
     errors = 0
+    reads = writes = 0
     rng = random.Random(seed)
     # Each connection carries one request at a time, so arrivals take an
     # idle connection (or open a new one, up to ``max_connections``) rather
@@ -277,12 +320,19 @@ async def run_open_loop(
         return await free.get()
 
     async def one(i: int) -> None:
-        nonlocal errors, outstanding
+        nonlocal errors, outstanding, reads, writes
         key, value = sample_key(rng), _value(i, value_size)
+        is_read = rng.random() < read_ratio
         begin = time.monotonic()
         client = await acquire()
         try:
-            await client.put(key, value)
+            if is_read:
+                await client.get(
+                    key, linearizable=True, tier=read_tier,
+                    staleness=read_staleness,
+                )
+            else:
+                await client.put(key, value)
         except ClusterUnavailableError:
             errors += 1
             return
@@ -290,7 +340,11 @@ async def run_open_loop(
             outstanding -= 1
             free.put_nowait(client)
         latencies.append(time.monotonic() - begin)
-        acked[key] = value
+        if is_read:
+            reads += 1
+        else:
+            writes += 1
+            acked[key] = value
 
     interval = 1.0 / rate
     total = int(rate * duration)
@@ -324,4 +378,6 @@ async def run_open_loop(
         acked=acked,
         key_dist=key_dist,
         shards=shard_count,
+        reads=reads,
+        writes=writes,
     )

@@ -33,16 +33,24 @@ async def _campaign(
     nodes=5,
     shards=2,
     clients=4,
+    lease_attack=False,
+    **server_options,
 ):
     """Boot → fault+load → heal → grace reads → check.  Returns report."""
-    plan = FaultPlan.random_campaign(
-        seed, duration=duration, period=3.0, kinds=kinds
-    )
+    if lease_attack:
+        plan = FaultPlan.lease_attack_campaign(
+            seed, duration=duration, period=3.0
+        )
+    else:
+        plan = FaultPlan.random_campaign(
+            seed, duration=duration, period=3.0, kinds=kinds
+        )
     cluster = LiveKVCluster(
         nodes,
         seed=seed,
         shards=shards,
         unsafe_lin_reads=unsafe_lin_reads,
+        **server_options,
         **CAMPAIGN_TIMINGS,
     )
     history = History()
@@ -104,3 +112,36 @@ class TestCampaigns:
         assert "linearized" in violation.reason or "linearization" in (
             violation.reason
         )
+
+    def test_lease_attack_with_drift_bound_is_linearizable(self):
+        """Clock-skewed, isolated leaseholders with a correct drift
+        bound stop serving before a rival can commit past them."""
+        report = run(
+            _campaign(
+                seed=11,
+                nodes=3,
+                shards=1,
+                lease_attack=True,
+                read_tier="lease",
+                drift_bound=0.25,
+            )
+        )
+        assert report.ok is True, report.summary()
+
+    def test_unbounded_lease_is_caught_with_witness(self):
+        """A lease that ignores clock drift serves stale reads after
+        deposition; the checker must reject the history."""
+        report = run(
+            _campaign(
+                seed=11,
+                nodes=3,
+                shards=1,
+                lease_attack=True,
+                read_tier="lease",
+                drift_bound=0.0,
+            )
+        )
+        assert report.ok is False, report.summary()
+        violation = report.violations[0]
+        assert violation.witness, "violations must carry a witness"
+        assert len(violation.witness) <= violation.ops

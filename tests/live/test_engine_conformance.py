@@ -212,6 +212,136 @@ class TestEngineConformance:
         run(scenario())
 
 
+@pytest.mark.parametrize("engine", ENGINE_NAMES)
+class TestReadTierConformance:
+    """The fast read tiers are part of the node contract: every engine
+    must answer ReadIndex rounds, honour leases, and prove freshness."""
+
+    def test_readindex_serves_without_log_growth(self, engine):
+        async def scenario():
+            cluster = LiveKVCluster(
+                3, seed=41, engine=engine, read_tier="readindex", **FAST
+            )
+            await cluster.start()
+            try:
+                leader = await cluster.wait_for_leader(timeout=20.0)
+                client = AsyncKVClient(cluster.cluster)
+                await client.put("ri", "v1")
+                await client.close()
+                server = cluster.servers[leader]
+                shard = server.shards[0]
+                before_log = shard.node.log.last_index
+                before_rounds = shard._ri_counter
+                responses = await asyncio.gather(*(
+                    server._serve(
+                        {"type": "get", "key": "ri", "lin": True,
+                         "id": f"r{i}", "tier": "readindex"}
+                    )
+                    for i in range(6)
+                ))
+                for response in responses:
+                    assert response["type"] == "value", response
+                    assert response["value"] == "v1"
+                    assert response.get("read") == "readindex"
+                # The batch shared probe rounds (first read opens one,
+                # the rest join the next) and wrote nothing to the log.
+                assert shard._ri_counter - before_rounds <= 2
+                assert shard.node.log.last_index == before_log
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+    def test_lease_reads_refuse_after_expiry(self, engine):
+        async def scenario():
+            cluster = LiveKVCluster(
+                3, seed=42, engine=engine, read_tier="lease", **FAST
+            )
+            await cluster.start()
+            try:
+                leader = await cluster.wait_for_leader(timeout=20.0)
+                client = AsyncKVClient(cluster.cluster)
+                await client.put("lease-key", "v1")
+                await client.close()
+                server = cluster.servers[leader]
+                shard = server.shards[0]
+                # Renewal rounds establish the lease within a heartbeat
+                # or two; a lease read then touches no peer.
+                deadline = asyncio.get_event_loop().time() + 5.0
+                while not shard.lease_serveable():
+                    assert asyncio.get_event_loop().time() < deadline
+                    await asyncio.sleep(0.02)
+                response = await server._serve(
+                    {"type": "get", "key": "lease-key", "lin": True,
+                     "id": "l1", "tier": "lease"}
+                )
+                assert response["type"] == "value" and response["value"] == "v1"
+                assert response.get("read") == "lease"
+                # Kill the followers: renewals can no longer complete, so
+                # the lease must lapse within its window (plus drift) even
+                # though the leader still *believes* it leads.
+                for pid in range(3):
+                    if pid != leader:
+                        await cluster.kill(pid)
+                await asyncio.sleep(
+                    server.lease_duration + server.drift_bound + 0.2
+                )
+                assert not shard.lease_serveable()
+                server.commit_timeout = 0.5  # keep the refusal quick
+                refused = await server._serve(
+                    {"type": "get", "key": "lease-key", "lin": True,
+                     "id": "l2", "tier": "lease"}
+                )
+                # Without a quorum the fallback ReadIndex round cannot
+                # complete either: the read times out instead of serving
+                # possibly-stale state.
+                assert refused["type"] == "error", refused
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+    def test_follower_reads_respect_staleness_bound(self, engine):
+        async def scenario():
+            cluster = LiveKVCluster(
+                3, seed=43, engine=engine, read_tier="follower", **FAST
+            )
+            await cluster.start()
+            try:
+                leader = await cluster.wait_for_leader(timeout=20.0)
+                client = AsyncKVClient(cluster.cluster)
+                await client.put("f-key", "v1")
+                follower = next(pid for pid in range(3) if pid != leader)
+                server = cluster.servers[follower]
+                # Freshness proofs ride the lease renewals: the follower
+                # becomes serveable within a heartbeat or two.
+                deadline = asyncio.get_event_loop().time() + 5.0
+                while server.shards[0].staleness() > 0.5:
+                    assert asyncio.get_event_loop().time() < deadline
+                    await asyncio.sleep(0.02)
+                response = await server._serve(
+                    {"type": "get", "key": "f-key", "staleness": 5.0}
+                )
+                assert response["type"] == "value" and response["value"] == "v1"
+                assert response.get("read") == "follower"
+                assert 0.0 <= response["staleness"] <= 0.5
+                # An unmeetable bound is refused, not silently stretched.
+                refused = await server._serve(
+                    {"type": "get", "key": "f-key", "staleness": 1e-9}
+                )
+                assert refused["type"] == "error", refused
+                assert refused["reason"] == "stale"
+                # The client-side fan-out finds a serveable replica.
+                fanned = await client.get("f-key", staleness=5.0)
+                assert fanned["found"] and fanned["value"] == "v1"
+                assert fanned.get("read") == "follower"
+                await client.close()
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+
 class TestWireIsolation:
     def test_foreign_frames_are_counted_and_dropped(self):
         async def scenario():
