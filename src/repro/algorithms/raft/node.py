@@ -166,6 +166,11 @@ class RaftNode(Process):
         # suppressions so a lost ack cannot stall the leader's commit rule.
         self._last_ack: Optional[Tuple[int, Pid, int, int]] = None
         self._ack_skips = 0
+        # Lease piggyback (volatile, leader-side): the *oldest unacked*
+        # AppendEntries send time per follower.  A success ack proves the
+        # follower deferred elections from that send onward, so ordinary
+        # replication traffic renews the lease with zero extra frames.
+        self._ae_sent: Dict[Pid, float] = {}
         #: Fast-read-path state: leader-contact stickiness, in-flight
         #: ReadIndex probe rounds, the lease, follower freshness.  Inert
         #: (zero behaviour change) unless a lease duration is configured
@@ -193,6 +198,7 @@ class RaftNode(Process):
         self._proposed_ids = set()
         self._last_ack = None
         self._ack_skips = 0
+        self._ae_sent = {}
         self.reads.reset()
         if self.log.snapshot_index > 0:
             # Recover from the durable snapshot: the compacted prefix can
@@ -348,6 +354,7 @@ class RaftNode(Process):
         # cursor starts at the optimistic floor, so the first AppendEntries
         # of the term carries exactly the (possibly empty) new suffix.
         self.sent_index = {pid: index - 1 for pid, index in self.next_index.items()}
+        self._ae_sent = {}  # no sends from this incarnation acked yet
         value = self._current_value(api)
         if self.propose_on_leadership:
             self.log.append_new(Entry(self.current_term, DecideAndStop(value)))
@@ -393,6 +400,10 @@ class RaftNode(Process):
             )
             self.sent_index[dst] = self.log.snapshot_index
             return
+        if self.reads.enabled and dst not in self._ae_sent:
+            # Lease evidence anchors at the *oldest* unacked send: recording
+            # before the Send executes under-estimates, never over-extends.
+            self._ae_sent[dst] = api.now
         yield Send(
             dst,
             AppendEntries(
@@ -463,6 +474,13 @@ class RaftNode(Process):
             return
         follower = msg.follower_id
         if msg.success:
+            sent = self._ae_sent.pop(follower, None)
+            if sent is not None and self.reads.enabled:
+                # Piggybacked lease renewal: this ack confirms every
+                # AppendEntries sent to ``follower`` since ``sent``.
+                self.reads.note_ack_time(
+                    follower, sent, self._majority(api), api.now
+                )
             match = max(self.match_index.get(follower, 0), msg.match_index)
             self.match_index[follower] = match
             self.next_index[follower] = match + 1
@@ -707,6 +725,7 @@ class RaftNode(Process):
         self.current_term = term
         self.voted_for = None
         self.reads.drop_rounds()
+        self._ae_sent = {}
         if self.state is not FOLLOWER:
             self.state = FOLLOWER
             yield self._arm_election_timer(api)

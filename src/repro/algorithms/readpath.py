@@ -215,6 +215,9 @@ class ReadLedger:
         self._lease_expiry = 0.0  # local clock
         self._last_fresh: Optional[float] = None  # local clock
         self._rounds: Dict[Tuple[Any, ...], ReadRound] = {}
+        # Per-peer latest heartbeat send time (local clock) whose ack
+        # has arrived — the piggyback lease's quorum evidence.
+        self._ack_starts: Dict[int, float] = {}
 
     # -- stickiness (the lease's other half, enforced by *followers*) ----
 
@@ -286,10 +289,48 @@ class ReadLedger:
         return None
 
     def drop_rounds(self) -> None:
-        """Abandon all in-flight rounds (leadership lost)."""
+        """Abandon all in-flight rounds and heartbeat-ack evidence
+        (leadership lost)."""
         self._rounds.clear()
+        self._ack_starts.clear()
 
     # -- lease (leader side) ---------------------------------------------
+
+    def note_ack_time(
+        self, peer: int, sent_real: float, majority: int, real: float
+    ) -> bool:
+        """Piggybacked lease renewal: ``peer`` acknowledged an
+        AppendEntries the leader sent at ``sent_real``, with zero extra
+        probe frames.
+
+        The lease argument is the probe round's, reassembled from the
+        heartbeat traffic the leader generates anyway: an accepted
+        AppendEntries makes the follower sticky for W past its receipt,
+        and receipt happened at-or-after our send.  So once a majority
+        (the leader itself counts, at ``real``) has acked sends, no rival
+        can be elected before ``anchor + W``, where ``anchor`` is the
+        *oldest* send time among the newest majority-forming acks — the
+        same quantity a probe round anchors at its start time.  Returns
+        True when the lease actually extended.
+        """
+        if not self.enabled:
+            return False
+        sent_local = self.clock.now(sent_real)
+        if sent_local > self._ack_starts.get(peer, float("-inf")):
+            self._ack_starts[peer] = sent_local
+        needed = majority - 1  # peers beyond the leader itself
+        if needed <= 0:
+            anchor = self.clock.now(real)
+        else:
+            starts = sorted(self._ack_starts.values(), reverse=True)
+            if len(starts) < needed:
+                return False
+            anchor = starts[needed - 1]
+        expiry = anchor + self.config.lease_duration
+        if expiry > self._lease_expiry:
+            self._lease_expiry = expiry
+            return True
+        return False
 
     def extend_lease(self, rnd: ReadRound) -> None:
         """A completed round proves no rival leader before
@@ -336,6 +377,7 @@ class ReadLedger:
         self._lease_expiry = 0.0
         self._last_fresh = None
         self._rounds.clear()
+        self._ack_starts.clear()
 
     @staticmethod
     def epoch_ready(log: Any, commit_index: int, epoch: Any) -> bool:

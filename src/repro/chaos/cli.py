@@ -62,6 +62,7 @@ from repro.chaos.workload import close_clients, make_clients, run_workload
 from repro.live.engine import DEFAULT_ENGINE, ENGINES, EngineError, parse_engine_spec
 from repro.live.harness import LiveKVCluster
 from repro.live.kv import READ_TIERS
+from repro.storage.engine import SYNC_MODES
 
 #: Fast-failover timings for campaigns: elections resolve in ~a second,
 #: so a 20-second campaign sees many leadership changes.
@@ -146,6 +147,13 @@ def build_parser() -> argparse.ArgumentParser:
         "directory when omitted)",
     )
     parser.add_argument(
+        "--sync-mode", choices=SYNC_MODES, default="inline",
+        help="WAL durability pipeline: inline fsyncs on the event loop "
+        "(default); pipelined off-loads fsync to a thread behind the "
+        "durability watermark — power-failure campaigns must stay "
+        "linearizable in both modes",
+    )
+    parser.add_argument(
         "--read-tier", choices=READ_TIERS, default="safe",
         help="how the workload's linearizable reads are served "
         "(default safe; lease exercises the clock-based fast path the "
@@ -218,6 +226,7 @@ async def run_campaign(args: argparse.Namespace) -> int:
         engine=args.engine,
         unsafe_lin_reads=(args.inject_bug == "stale-reads"),
         data_dir=data_dir,
+        sync_mode=args.sync_mode,
         lost_ack_bug=(args.inject_bug == "lost-ack"),
         read_tier=read_tier,
         lease_duration=args.lease_duration,

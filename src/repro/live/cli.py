@@ -40,7 +40,7 @@ from repro.live.kv import (
     KVServer,
 )
 from repro.live.loadgen import KEY_DISTRIBUTIONS, run_closed_loop, run_open_loop
-from repro.storage.engine import StorageQuarantineError
+from repro.storage.engine import SYNC_MODES, StorageQuarantineError
 
 
 def _parse_max_inflight(text: str) -> int:
@@ -212,6 +212,24 @@ def build_parser() -> argparse.ArgumentParser:
         "DIR and recover it on restart; omit for the in-memory behaviour",
     )
     serve.add_argument(
+        "--sync-mode",
+        choices=SYNC_MODES,
+        default="inline",
+        help="WAL durability pipeline under --data-dir: inline blocks the "
+        "event loop on every group fsync (default); pipelined hands the "
+        "fsync to a dedicated thread and releases acks when the "
+        "durability watermark catches up (see docs/performance.md)",
+    )
+    serve.add_argument(
+        "--status-interval",
+        type=float,
+        default=None,
+        metavar="SECS",
+        help="print one commit-pipeline health line (fsync queue depth, "
+        "watermark lag, batch occupancy, frames per write) every SECS "
+        "seconds",
+    )
+    serve.add_argument(
         "--no-rejoin",
         action="store_true",
         help="strict quarantine: refuse to start when the durable state "
@@ -367,6 +385,31 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _format_pipeline(pipeline: dict) -> str:
+    """One human line of commit-pipeline health (serve + client status)."""
+    return (
+        f"sync={pipeline.get('sync_mode', 'inline')} "
+        f"fsync_queue={pipeline.get('fsync_queue_depth', 0)} "
+        f"watermark_lag={pipeline.get('watermark_lag', 0)} "
+        f"fsyncs/commit={pipeline.get('fsyncs_per_commit', 0.0)} "
+        f"batch_occupancy={pipeline.get('batch_occupancy', 0.0)} "
+        f"frames/write={pipeline.get('frames_per_write', 0.0)}"
+    )
+
+
+async def _report_pipeline(server: KVServer, pid: int, interval: float) -> None:
+    """Periodically print pipeline health until cancelled (serve --status-interval)."""
+    try:
+        while True:
+            await asyncio.sleep(interval)
+            print(
+                f"node {pid} pipeline: {_format_pipeline(server.pipeline_status())}",
+                flush=True,
+            )
+    except asyncio.CancelledError:  # pragma: no cover - shutdown race
+        pass
+
+
 async def _serve(args: argparse.Namespace) -> int:
     if not 0 <= args.pid < args.peers.n:
         print(
@@ -391,6 +434,7 @@ async def _serve(args: argparse.Namespace) -> int:
             snapshot_threshold=args.snapshot_threshold,
             max_inflight=args.max_inflight,
             data_dir=args.data_dir,
+            sync_mode=args.sync_mode,
             no_rejoin=args.no_rejoin,
             read_tier=args.read_tier,
             lease_duration=args.lease_duration,
@@ -430,9 +474,16 @@ async def _serve(args: argparse.Namespace) -> int:
             loop.add_signal_handler(sig, request_stop)
         except NotImplementedError:  # pragma: no cover - non-unix
             pass
+    reporter = None
+    if args.status_interval is not None and args.status_interval > 0:
+        reporter = asyncio.ensure_future(
+            _report_pipeline(server, args.pid, args.status_interval)
+        )
     try:
         await stopped
     finally:
+        if reporter is not None:
+            reporter.cancel()
         await server.stop()
     print(f"node {args.pid} stopped")
     return 0
@@ -491,6 +542,9 @@ async def _client(args: argparse.Namespace) -> int:
                         f"term={group['term']} commit={group['commit_index']} "
                         f"applied={group['applied']} leader={group['leader']}"
                     )
+                pipeline = status.get("pipeline")
+                if pipeline:
+                    print(f"  pipeline: {_format_pipeline(pipeline)}")
     finally:
         await client.close()
     return 0

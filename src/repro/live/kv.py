@@ -95,7 +95,7 @@ from repro.live.wire import (
 )
 from repro.sim import trace as tr
 from repro.sim.serialize import WireError, register_wire_type
-from repro.storage.engine import RaftStorage
+from repro.storage.engine import SYNC_MODES, RaftStorage
 
 #: Seed offset between co-hosted shards, so each group draws distinct
 #: election/jitter randomness while shard 0 keeps the pre-sharding
@@ -255,6 +255,10 @@ class KVShard:
         self._ri_waiting: List[asyncio.Future] = []
         self._ri_queue: List[asyncio.Future] = []
         self._applied_waiters: List[Tuple[int, asyncio.Future]] = []
+        # Pipeline telemetry: proposed batches and the ops they carried
+        # (occupancy = ops/batch), surfaced by the server's status RPC.
+        self.flushed_batches = 0
+        self.flushed_ops = 0
 
     @property
     def is_leader(self) -> bool:
@@ -370,26 +374,43 @@ class KVShard:
         key, value = event.detail
         if key == "applied":
             _index, _term, command = value
-            if self.storage is not None and self.storage.dirty:
-                # Ack ⇒ durable, unconditionally: the replication sync
-                # barrier already covers any cluster with peers, but a
+            if isinstance(command, KvBatch) and command.ops:
+                # Capture each op's result *now* — the machine just
+                # applied this very batch, so its state is the read's
+                # linearization point — but release the futures only
+                # once the WAL covering the batch is durable.  Ack ⇒
+                # durable, unconditionally: the replication barrier
+                # already covers any cluster with peers, but a
                 # single-node group commits without ever sending, so
-                # sync here before resolving client futures.
-                self.storage.sync()
-            if isinstance(command, KvBatch):
-                for op in command.ops:
-                    future = self._pending.pop(op.op_id, None)
-                    if future is not None and not future.done():
-                        if isinstance(op, KvRead):
-                            # The machine just applied this very batch, so
-                            # its state *is* the read's linearization
-                            # point.
-                            data = self.node.machine.data
-                            future.set_result(
-                                (_index, op.key in data, data.get(op.key))
-                            )
-                        else:
-                            future.set_result(_index)
+                # the barrier must also run here.  Under the inline
+                # sync mode this resolves synchronously exactly as
+                # before; under the pipelined mode resolution queues on
+                # the durability watermark while the fsync overlaps the
+                # next batch.
+                data = self.node.machine.data
+                results = tuple(
+                    (
+                        op.op_id,
+                        (_index, op.key in data, data.get(op.key))
+                        if isinstance(op, KvRead)
+                        else _index,
+                    )
+                    for op in command.ops
+                )
+                storage = self.storage
+                if storage is None:
+                    self._resolve_ops(results)
+                else:
+                    if storage.dirty:
+                        storage.begin_sync()
+                    storage.notify_durable(
+                        storage.generation,
+                        lambda: self._resolve_ops(results),
+                    )
+            elif self.storage is not None and self.storage.dirty:
+                # Barrier no-ops and the like: nothing to ack, but keep
+                # every applied entry flowing toward the disk.
+                self.storage.begin_sync()
             if self._applied_waiters:
                 applied = self.node.last_applied
                 due = [w for w in self._applied_waiters if w[0] <= applied]
@@ -437,6 +458,13 @@ class KVShard:
                 # into the runtime from inside its own driver.
                 asyncio.get_event_loop().call_soon(self._propose_barrier, term)
 
+    def _resolve_ops(self, results: Tuple[Tuple[str, Any], ...]) -> None:
+        """Release client futures whose results are now durable."""
+        for op_id, result in results:
+            future = self._pending.pop(op_id, None)
+            if future is not None and not future.done():
+                future.set_result(result)
+
     def _propose_barrier(self, term: int) -> None:
         if self.node.state is not LEADER or self.node.current_term != term:
             return
@@ -468,6 +496,8 @@ class KVShard:
         ops = tuple(self._batch[: self.max_batch])
         del self._batch[: len(ops)]
         self._batch_counter += 1
+        self.flushed_batches += 1
+        self.flushed_ops += len(ops)
         batch = KvBatch(ops, batch_id=(self.pid, self._batch_counter))
         self.runtime.inject(ClientPropose(batch.batch_id, batch))
         if self._batch:
@@ -580,6 +610,18 @@ class KVServer:
             the constructor instead of moving the files aside and
             rejoining as an empty follower.  See docs/storage.md for the
             single-disk vs majority-disk-loss trade-off.
+        sync_mode: durability barrier execution — ``"inline"`` (default)
+            fsyncs on the event loop before anything externally visible
+            escapes; ``"pipelined"`` runs fsync on a per-shard worker
+            thread and holds outbound messages/acks on the durability
+            watermark instead, overlapping fsync with replication and
+            serialization (same persist-before-respond guarantee, see
+            docs/performance.md "Commit pipeline").
+        fsync_delay: extra seconds slept per real fsync, emulating a
+            device write barrier that costs something — localhost CI
+            disks absorb fsync in microseconds, so the E19 benchmark
+            injects a realistic latency here to compare sync modes
+            honestly.  0 (default) outside benchmarks.
     """
 
     def __init__(
@@ -608,6 +650,8 @@ class KVServer:
         data_dir: Optional[str] = None,
         lost_ack_bug: bool = False,
         no_rejoin: bool = False,
+        sync_mode: str = "inline",
+        fsync_delay: float = 0.0,
     ):
         self.cluster = cluster
         self.pid = pid
@@ -640,6 +684,12 @@ class KVServer:
         self.data_dir = data_dir
         self.lost_ack_bug = lost_ack_bug
         self.no_rejoin = no_rejoin
+        if sync_mode not in SYNC_MODES:
+            raise ValueError(
+                f"unknown sync mode {sync_mode!r} (choose from {SYNC_MODES})"
+            )
+        self.sync_mode = sync_mode
+        self.fsync_delay = fsync_delay
         options = dict(transport_options or {})
         options.setdefault(
             "jitter_seed", derive_process_seed(seed, pid, cluster.n) ^ 1
@@ -654,6 +704,8 @@ class KVServer:
                 storage = RaftStorage(
                     os.path.join(data_dir, f"shard-{shard_id}"),
                     sync_policy="none" if lost_ack_bug else "fsync",
+                    sync_mode=sync_mode,
+                    fsync_delay=fsync_delay,
                     no_rejoin=no_rejoin,
                 )
             self.shards.append(
@@ -769,6 +821,49 @@ class KVServer:
         """The shard owning ``key`` (the same hash clients compute)."""
         return shard_of(key, self.shard_count)
 
+    def pipeline_status(self) -> Dict[str, Any]:
+        """Commit-pipeline health across all shards.
+
+        The amortization story in numbers: how deep the fsync queue
+        runs, how far the durability watermark trails the journal,
+        how many ops each proposed batch carried, and how many frames
+        each socket write coalesced.
+        """
+        queue_depth = lag = waiters = syncs = appends = compactions = 0
+        max_compact = 0.0
+        batches = ops = 0
+        for shard in self.shards:
+            storage = shard.storage
+            if storage is not None:
+                queue_depth += storage.fsync_queue_depth
+                lag += storage.watermark_lag
+                waiters += storage.sync_waiters
+                syncs += storage.stats.syncs
+                appends += storage.stats.appends
+                compactions += storage.compactions
+                max_compact = max(max_compact, storage.max_compact_seconds)
+            batches += shard.flushed_batches
+            ops += shard.flushed_ops
+        tstats = self.transport.stats
+        return {
+            "sync_mode": self.sync_mode,
+            "fsync_queue_depth": queue_depth,
+            "watermark_lag": lag,
+            "sync_waiters": waiters,
+            "wal_appends": appends,
+            "wal_syncs": syncs,
+            "fsyncs_per_commit": round(syncs / ops, 4) if ops else 0.0,
+            "batches": batches,
+            "batch_occupancy": round(ops / batches, 2) if batches else 0.0,
+            "compactions": compactions,
+            "max_compact_seconds": round(max_compact, 6),
+            "frames_sent": tstats.sent,
+            "socket_writes": tstats.writes,
+            "frames_per_write": (
+                round(tstats.sent / tstats.writes, 2) if tstats.writes else 0.0
+            ),
+        }
+
     async def _watch_leadership(self) -> None:
         """Fail pending writes promptly when a shard loses leadership."""
         while True:
@@ -778,18 +873,28 @@ class KVServer:
                     shard.fail_pending()
 
     async def _renew_leases(self) -> None:
-        """Keep each led shard's lease live with empty probe rounds.
+        """Fallback lease renewal with empty probe rounds.
 
-        Probe rounds run at the heartbeat cadence, but only while this
-        node leads a shard and a lease is configured — the read path
-        adds zero traffic to clusters that don't use it.  Each completed
-        round also broadcasts a freshness proof, which is what keeps
-        follower bounded-stale reads serveable.
+        The primary renewal path costs zero extra frames: a Raft leader
+        extends its lease from the AppendEntries acks its heartbeats
+        already collect (see ``ReadLedger.note_ack_time``).  This loop
+        only fires a probe round when that piggyback is not keeping the
+        lease healthy — a ballot engine without the hook, a shard whose
+        acks are being coalesced away — or on the ``follower`` tier,
+        where probe rounds additionally broadcast the freshness proofs
+        that keep bounded-stale follower reads serveable.  Probes run at
+        the heartbeat cadence at most, and only while this node leads a
+        shard with a lease configured.
         """
+        threshold = self.lease_duration * 0.5
         while True:
             await asyncio.sleep(self.heartbeat_interval)
             for shard in self.shards:
-                shard.renew_lease()
+                if (
+                    self.read_tier == "follower"
+                    or shard.lease_remaining() <= threshold
+                ):
+                    shard.renew_lease()
 
     # ------------------------------------------------------------------
     # Client frontend
@@ -860,6 +965,7 @@ class KVServer:
                 "leader": head.leader_hint,
                 "read_tier": self.read_tier,
                 "lease_remaining": head.lease_remaining(),
+                "pipeline": self.pipeline_status(),
                 "groups": [
                     {
                         "shard": shard.shard_id,
@@ -871,6 +977,16 @@ class KVServer:
                         "leader": shard.leader_hint,
                         "foreign_frames": shard.runtime.foreign_frames,
                         "lease_remaining": shard.lease_remaining(),
+                        "fsync_queue_depth": (
+                            shard.storage.fsync_queue_depth
+                            if shard.storage is not None
+                            else 0
+                        ),
+                        "watermark_lag": (
+                            shard.storage.watermark_lag
+                            if shard.storage is not None
+                            else 0
+                        ),
                     }
                     for shard in self.shards
                 ],

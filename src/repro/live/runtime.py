@@ -428,11 +428,23 @@ class LiveRuntime:
             self._mailbox.append(envelope)
             self._mail_event.set()
         else:
-            # Sync barrier: nothing reaches a peer before the durable
-            # state backing it is on disk.
-            if self._storage is not None and self._storage.dirty:
-                self._storage.sync()
-            self.transport.send(dst, payload, now, shard=self.shard)
+            # Durability barrier: nothing reaches a peer before the
+            # durable state backing it is on disk.  Under the inline
+            # sync mode the barrier fsyncs here and the send happens
+            # immediately; under the pipelined mode the fsync runs on
+            # the storage's worker thread and the send is queued on the
+            # durability watermark, released in order once the fsync
+            # covering this message's storage generation completes.
+            storage = self._storage
+            if storage is None:
+                self.transport.send(dst, payload, now, shard=self.shard)
+                return
+            if storage.dirty:
+                storage.begin_sync()
+            storage.notify_durable(
+                storage.generation,
+                lambda: self.transport.send(dst, payload, now, shard=self.shard),
+            )
 
     def _next_seq(self) -> int:
         self._seq += 1

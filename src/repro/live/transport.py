@@ -58,6 +58,7 @@ from repro.live.wire import (
     FrameError,
     WireCodec,
     encode_peer_frame,
+    encode_peer_frame_into,
     enable_nodelay,
     get_codec,
     parse_peer_frame,
@@ -131,6 +132,7 @@ class TransportStats:
         "bytes_sent",
         "bytes_received",
         "writes",
+        "max_batch_frames",
         "unrouted",
         "faulted",
     )
@@ -144,6 +146,7 @@ class TransportStats:
         self.bytes_sent = 0
         self.bytes_received = 0
         self.writes = 0
+        self.max_batch_frames = 0
         self.unrouted = 0
         self.faulted = 0
 
@@ -427,18 +430,23 @@ class PeerTransport:
         event: asyncio.Event,
         writer: asyncio.StreamWriter,
     ) -> None:
-        """Drain the queue onto one live connection; ping when idle.
+        """The per-connection write scheduler; pings when idle.
 
-        Writes are *coalesced*: every frame queued at this moment (up to
-        ``max_coalesce_bytes``) is packed into one buffer, written with a
-        single ``write()`` and drained once — a replication burst costs
-        one syscall instead of one per message.
+        Writes are *vectored*: every frame queued at this moment (up to
+        the ``max_coalesce_bytes`` flush budget) is serialized straight
+        into one shared buffer — length prefixes patched in place, no
+        per-frame ``bytes`` join — then written with a single ``write()``
+        and drained once, so a replication burst costs one syscall
+        instead of one per message.  Frames beyond the budget stay
+        queued for the next tick, keeping any one peer from monopolizing
+        the loop.
         """
         # Checked every iteration rather than relying on cancellation:
         # ``wait_for`` can swallow a cancel that races with the awaited
         # future completing, leaving this task alive after ``stop()``.
         codec = self.codec
         stats = self.stats
+        budget = self.max_coalesce_bytes
         while not self._closed:
             if not queue:
                 event.clear()
@@ -462,15 +470,22 @@ class PeerTransport:
                     await writer.drain()
                     continue
             buffer = bytearray()
-            while queue and len(buffer) < self.max_coalesce_bytes:
+            frames = 0
+            while queue and len(buffer) < budget:
                 payload, send_time, shard = queue.popleft()
-                buffer += encode_peer_frame(
-                    "msg", codec, payload=payload, ts=send_time, shard=shard
+                encode_peer_frame_into(
+                    buffer, "msg", codec, payload=payload, ts=send_time, shard=shard
                 )
-                stats.sent += 1
-            writer.write(bytes(buffer))
+                frames += 1
+            stats.sent += frames
+            if frames > stats.max_batch_frames:
+                stats.max_batch_frames = frames
             stats.bytes_sent += len(buffer)
             stats.writes += 1
+            # Hand the buffer over without a copy; a fresh one is built
+            # next tick, so the transport may keep this one as long as it
+            # likes.
+            writer.write(buffer)
             await writer.drain()
 
     # ------------------------------------------------------------------

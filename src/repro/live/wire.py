@@ -41,6 +41,7 @@ from typing import Any, Optional, Tuple
 
 from repro.sim.serialize import (
     binary_dumps,
+    binary_dumps_into,
     binary_loads,
     wire_dumps,
     wire_loads,
@@ -51,27 +52,39 @@ MAX_FRAME_BYTES = 16 * 1024 * 1024
 
 _LEN = struct.Struct(">I")
 
+#: Length-prefix hole reserved in a shared buffer and patched once the
+#: body is encoded in place (see :func:`frame_bytes_into`).
+_LEN_PAD = b"\x00" * _LEN.size
+
 
 class FrameError(ConnectionError):
     """The stream violated the framing protocol (oversized or truncated)."""
 
 
 class WireCodec:
-    """One frame-body encoding: a name plus dumps/loads functions."""
+    """One frame-body encoding: a name plus dumps/loads functions.
 
-    __slots__ = ("name", "dumps", "loads")
+    ``dumps_into(value, out)`` — appending the body to a shared
+    ``bytearray`` — is optional; codecs without it fall back to
+    ``dumps`` plus a copy in :func:`frame_bytes_into`.
+    """
 
-    def __init__(self, name, dumps, loads):
+    __slots__ = ("name", "dumps", "loads", "dumps_into")
+
+    def __init__(self, name, dumps, loads, dumps_into=None):
         self.name = name
         self.dumps = dumps
         self.loads = loads
+        self.dumps_into = dumps_into
 
     def __repr__(self) -> str:
         return f"WireCodec({self.name!r})"
 
 
 JSON_CODEC = WireCodec("json", wire_dumps, wire_loads)
-BINARY_CODEC = WireCodec("binary", binary_dumps, binary_loads)
+BINARY_CODEC = WireCodec(
+    "binary", binary_dumps, binary_loads, dumps_into=binary_dumps_into
+)
 
 CODECS = {codec.name: codec for codec in (JSON_CODEC, BINARY_CODEC)}
 
@@ -133,6 +146,32 @@ def frame_bytes(value: Any, codec: Optional[WireCodec] = None) -> bytes:
     return _LEN.pack(len(body)) + body
 
 
+def frame_bytes_into(
+    out: bytearray, value: Any, codec: Optional[WireCodec] = None
+) -> int:
+    """Append one complete frame to ``out``; returns its byte length.
+
+    The vectored-write path: a pre-sized length-prefix hole is reserved
+    in the shared buffer, the body is encoded straight into it (when the
+    codec supports in-place encoding), and the prefix is patched — so a
+    coalescing loop builds one contiguous write buffer with no per-frame
+    ``bytes`` allocation or join.
+    """
+    codec = codec or CODECS[DEFAULT_CODEC_NAME]
+    at = len(out)
+    out += _LEN_PAD
+    if codec.dumps_into is not None:
+        codec.dumps_into(value, out)
+    else:
+        out += codec.dumps(value)
+    size = len(out) - at - _LEN.size
+    if size > MAX_FRAME_BYTES:
+        del out[at:]
+        raise FrameError(f"frame of {size} bytes exceeds {MAX_FRAME_BYTES}")
+    _LEN.pack_into(out, at, size)
+    return _LEN.size + size
+
+
 async def write_frame(
     writer: asyncio.StreamWriter, value: Any, codec: Optional[WireCodec] = None
 ) -> None:
@@ -168,16 +207,15 @@ async def read_frame(reader: asyncio.StreamReader) -> Any:
 # Compact peer frames
 # ----------------------------------------------------------------------
 
-def encode_peer_frame(
+def _peer_frame_value(
     kind: str,
     codec: WireCodec,
-    *,
-    payload: Any = None,
-    ts: Optional[float] = None,
-    pid: Optional[int] = None,
-    shard: int = 0,
-) -> bytes:
-    """One complete peer-link frame (``hello`` / ``msg`` / ``ping``).
+    payload: Any,
+    ts: Optional[float],
+    pid: Optional[int],
+    shard: int,
+) -> Any:
+    """The frame value for one peer-link frame (``hello``/``msg``/``ping``).
 
     The JSON codec keeps the legacy self-describing dict shape; the binary
     codec uses short tuples tagged by their first element.  ``msg`` frames
@@ -207,7 +245,39 @@ def encode_peer_frame(
             value = ("h", pid)
         else:
             raise ValueError(f"unknown peer frame kind {kind!r}")
-    return frame_bytes(value, codec)
+    return value
+
+
+def encode_peer_frame(
+    kind: str,
+    codec: WireCodec,
+    *,
+    payload: Any = None,
+    ts: Optional[float] = None,
+    pid: Optional[int] = None,
+    shard: int = 0,
+) -> bytes:
+    """One complete peer-link frame as standalone bytes."""
+    return frame_bytes(
+        _peer_frame_value(kind, codec, payload, ts, pid, shard), codec
+    )
+
+
+def encode_peer_frame_into(
+    out: bytearray,
+    kind: str,
+    codec: WireCodec,
+    *,
+    payload: Any = None,
+    ts: Optional[float] = None,
+    pid: Optional[int] = None,
+    shard: int = 0,
+) -> int:
+    """Append one peer-link frame to a shared write buffer; returns its
+    byte length (see :func:`frame_bytes_into`)."""
+    return frame_bytes_into(
+        out, _peer_frame_value(kind, codec, payload, ts, pid, shard), codec
+    )
 
 
 def parse_peer_frame(frame: Any) -> Tuple[Optional[str], Any, Any, int]:

@@ -565,6 +565,21 @@ def binary_dumps(value: Any) -> bytes:
     return bytes(out)
 
 
+def binary_dumps_into(value: Any, out: bytearray) -> int:
+    """Append the binary encoding of ``value`` to ``out``; returns the
+    number of bytes appended.
+
+    The vectored-write building block: callers (the WAL's frame writer,
+    the transport's coalescing pump) reserve a length-prefix hole in a
+    shared buffer, encode straight into it, and patch the prefix — no
+    per-frame ``bytes`` materialization or join.  The appended bytes are
+    identical to :func:`binary_dumps`.
+    """
+    start = len(out)
+    _bin_encode(value, out, {})
+    return len(out) - start
+
+
 # Decoding dispatches through a 256-entry handler table — one dict/list
 # index instead of a tag comparison chain per value, which is most of the
 # decode cost on message-dense frames.  Handlers receive ``pos`` already

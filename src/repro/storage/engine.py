@@ -39,14 +39,20 @@ for the trade-off discussion.
 
 from __future__ import annotations
 
+import asyncio
 import os
+import queue
+import threading
+import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, Deque, List, Optional, Sequence, Tuple
 
 from repro.algorithms.raft.log import Entry, RaftLog
 from repro.algorithms.raft.node import RaftNode
 from repro.storage.wal import (
     DEFAULT_SEGMENT_BYTES,
+    DEFAULT_SNAPSHOT_CHAIN,
     Recovery,
     Wal,
     WalCheckpoint,
@@ -54,12 +60,23 @@ from repro.storage.wal import (
     WalEntry,
     WalStats,
     WalTerm,
-    read_snapshot,
+    delta_files,
+    delta_path,
+    load_snapshot,
     recover_wal,
+    snapshot_chain_indexes,
     snapshot_files,
     snapshot_path,
     write_snapshot,
+    write_snapshot_delta,
 )
+
+#: Sync barrier execution modes (``--sync-mode``): ``inline`` fsyncs on
+#: the event loop before anything externally visible escapes (the PR-6
+#: behavior); ``pipelined`` hands the fsync to a dedicated thread and
+#: holds outbound effects on the durability watermark instead, so fsync
+#: overlaps replication and serialization.
+SYNC_MODES = ("inline", "pipelined")
 
 
 @dataclass
@@ -151,22 +168,50 @@ class RaftStorage:
         *,
         segment_bytes: int = DEFAULT_SEGMENT_BYTES,
         sync_policy: str = "fsync",
+        sync_mode: str = "inline",
+        fsync_delay: float = 0.0,
+        snapshot_chain_limit: int = DEFAULT_SNAPSHOT_CHAIN,
         no_rejoin: bool = False,
     ):
+        if sync_mode not in SYNC_MODES:
+            raise ValueError(f"unknown sync mode {sync_mode!r}")
         os.makedirs(directory, exist_ok=True)
         self.directory = directory
         self.segment_bytes = segment_bytes
+        self.sync_mode = sync_mode
+        self.fsync_delay = fsync_delay
+        self.snapshot_chain_limit = snapshot_chain_limit
         self.no_rejoin = no_rejoin
         self.quarantined = False
         self.quarantine_reason: Optional[str] = None
+        # Commit-pipeline state.  ``generation`` counts journalled
+        # records; ``durable_generation`` is the monotonic watermark of
+        # the newest generation a completed barrier covers.  Waiters are
+        # (generation, callback) in submission order.
+        self.generation = 0
+        self.durable_generation = 0
+        self._waiters: Deque[Tuple[int, Callable[[], None]]] = deque()
+        self._releasing = False
+        self._inflight = 0
+        self._completions: Deque[Tuple[int, int, List[Tuple[int, int]]]] = deque()
+        self._fsync_queue: Optional["queue.Queue"] = None
+        self._fsync_thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        # Compaction telemetry (the incremental-snapshot stall story).
+        self.compactions = 0
+        self.delta_compactions = 0
+        self.last_compact_seconds = 0.0
+        self.max_compact_seconds = 0.0
         try:
             recovery = recover_wal(directory)
             state = replay_records(recovery.records)
-            machine_snapshot = (
-                read_snapshot(directory, state.snapshot_index)
-                if state.snapshot_index > 0
-                else None
-            )
+            machine_snapshot = None
+            chain_length = 0
+            if state.snapshot_index > 0:
+                machine_snapshot = load_snapshot(directory, state.snapshot_index)
+                chain_length = len(
+                    snapshot_chain_indexes(directory, state.snapshot_index)
+                )
         except WalCorruptionError as exc:
             if no_rejoin:
                 raise StorageQuarantineError(
@@ -179,6 +224,7 @@ class RaftStorage:
             recovery = Recovery(next_segment=1)
             state = DurableState()
             machine_snapshot = None
+            chain_length = 0
         self.term = state.term
         self.voted_for = state.voted_for
         self.snapshot_index = state.snapshot_index
@@ -187,10 +233,12 @@ class RaftStorage:
         self.machine_snapshot = machine_snapshot
         self.torn_tail = recovery.torn_tail
         self.torn_detail = recovery.torn_detail
+        self._chain_length = chain_length
         self._wal = Wal(
             directory,
             start_segment=recovery.next_segment,
             sync_policy=sync_policy,
+            sync_delay=fsync_delay,
         )
         self._checkpoint()
 
@@ -203,8 +251,8 @@ class RaftStorage:
         os.makedirs(quarantine_dir)
         for name in os.listdir(self.directory):
             path = os.path.join(self.directory, name)
-            if os.path.isfile(path) and (
-                name.startswith("wal-") or name.startswith("snap-")
+            if os.path.isfile(path) and name.startswith(
+                ("wal-", "snap-", "snapd-")
             ):
                 os.replace(path, os.path.join(quarantine_dir, name))
         self.quarantined = True
@@ -222,9 +270,33 @@ class RaftStorage:
             for i, entry in enumerate(self.entries)
         )
         self._wal.checkpoint(records)
-        current = snapshot_path(self.directory, self.snapshot_index)
-        for stale in snapshot_files(self.directory):
-            if stale != current:
+        # A checkpoint is an inline durability point: the fresh segment
+        # restates every journalled record, fsynced before this returns,
+        # so the watermark jumps past anything still in the fsync queue.
+        self._advance_watermark(self.generation)
+        self._gc_snapshots()
+
+    def _gc_snapshots(self) -> None:
+        """Delete snapshot files no longer referenced by the live chain.
+
+        Chain-aware: an incremental snapshot keeps its whole ancestry
+        (every delta link back to the full base) alive, so GC walks the
+        chain from the current ``snapshot_index`` and only unlinks files
+        outside it.  Runs strictly *after* the checkpoint referencing
+        the new chain is durable, so a crash at any point leaves some
+        checkpoint on disk whose full chain still exists.
+        """
+        keep = set()
+        if self.snapshot_index > 0:
+            try:
+                chain = snapshot_chain_indexes(self.directory, self.snapshot_index)
+            except WalCorruptionError:  # pragma: no cover - defensive
+                return  # never GC around a chain we cannot prove dead
+            for at in chain:
+                keep.add(snapshot_path(self.directory, at))
+                keep.add(delta_path(self.directory, at))
+        for stale in snapshot_files(self.directory) + delta_files(self.directory):
+            if stale not in keep:
                 os.unlink(stale)
 
     # -- journalling API (called by the durable node bindings) ----------
@@ -236,6 +308,7 @@ class RaftStorage:
         self.term = term
         self.voted_for = voted_for
         self._wal.append(WalTerm(term, voted_for))
+        self.generation += 1
 
     def record_append(self, index: int, entry: Entry) -> None:
         """Journal the entry written at ``index`` (suffix discarded)."""
@@ -249,6 +322,7 @@ class RaftStorage:
         del self.entries[position:]
         self.entries.append(entry)
         self._wal.append(WalEntry(index, entry.term, entry.command))
+        self.generation += 1
 
     def record_compact(
         self,
@@ -262,14 +336,49 @@ class RaftStorage:
         The ordering is the durability protocol: the snapshot file is
         fsynced and renamed into place *before* the checkpoint frame
         that references it is written, so a checkpoint on disk always
-        points at a snapshot that exists.
+        points at a snapshot that exists (GC of the old chain runs only
+        after the new checkpoint is durable).
+
+        Writes an **incremental** snapshot — a ``snapd-`` delta against
+        the previous snapshot holding only the changed/removed keys —
+        whenever both states are dicts and the chain is shorter than
+        ``snapshot_chain_limit``; otherwise a full base image resets the
+        chain.  A large, slowly-mutating machine therefore pays O(delta)
+        per compaction instead of rewriting the whole image on the apply
+        loop.
         """
-        write_snapshot(self.directory, index, machine_state)
+        started = time.perf_counter()
+        prev_state = self.machine_snapshot
+        prev_index = self.snapshot_index
+        if (
+            self.snapshot_chain_limit > 1
+            and 0 < prev_index < index
+            and self._chain_length < self.snapshot_chain_limit
+            and isinstance(machine_state, dict)
+            and isinstance(prev_state, dict)
+        ):
+            changed = {
+                key: value
+                for key, value in machine_state.items()
+                if key not in prev_state or prev_state[key] != value
+            }
+            removed = tuple(key for key in prev_state if key not in machine_state)
+            write_snapshot_delta(self.directory, index, prev_index, changed, removed)
+            self._chain_length += 1
+            self.delta_compactions += 1
+        else:
+            write_snapshot(self.directory, index, machine_state)
+            self._chain_length = 1
         self.machine_snapshot = machine_state
         self.snapshot_index = index
         self.snapshot_term = term
         self.entries = list(entries)
+        self.generation += 1
         self._checkpoint()
+        self.compactions += 1
+        self.last_compact_seconds = time.perf_counter() - started
+        if self.last_compact_seconds > self.max_compact_seconds:
+            self.max_compact_seconds = self.last_compact_seconds
 
     # -- barrier / lifecycle --------------------------------------------
 
@@ -286,23 +395,231 @@ class RaftStorage:
     def closed(self) -> bool:
         return self._wal.closed
 
+    @property
+    def fsync_queue_depth(self) -> int:
+        """Barriers submitted to the fsync thread and not yet confirmed."""
+        return self._inflight
+
+    @property
+    def watermark_lag(self) -> int:
+        """Journalled generations not yet covered by the watermark."""
+        return self.generation - self.durable_generation
+
+    @property
+    def sync_waiters(self) -> int:
+        """Callbacks queued on :meth:`notify_durable`."""
+        return len(self._waiters)
+
     def sync(self) -> None:
-        """The sync barrier: make every journalled record durable.
+        """The inline sync barrier: make every journalled record durable
+        before returning.
 
         Also rotates to a fresh checkpointed segment once the current
         one outgrows ``segment_bytes`` — rotation happens *at* a
         barrier, so no frame ever straddles segments.
         """
         self._wal.sync()
+        self._advance_watermark(self.generation)
         if self._wal.segment_size > self.segment_bytes:
             self._checkpoint()
 
+    def begin_sync(self) -> None:
+        """Start a durability barrier covering every record journalled
+        so far, without waiting for it.
+
+        In ``inline`` mode this *is* :meth:`sync` (fsync on the calling
+        thread, watermark advanced before returning).  In ``pipelined``
+        mode the buffered frames are handed to the OS here — the cheap
+        half — and the fsync stall moves to a dedicated thread; the
+        watermark advances when the loop observes the completion, which
+        releases :meth:`notify_durable` callbacks in submission order.
+        """
+        self._drain_completions()
+        if self.sync_mode == "inline":
+            self.sync()
+            return
+        gen = self.generation
+        written = self._wal.flush_os()
+        if self._wal.segment_size > self.segment_bytes:
+            # Rotation restates and fsyncs everything inline; it both
+            # subsumes this barrier and advances the watermark.
+            self._checkpoint()
+            return
+        if self._wal.sync_policy != "fsync":
+            # The deliberately broken lost-ack mode: claim durability
+            # without fsync so acks escape — the chaos canary's bug.
+            self._advance_watermark(gen)
+            return
+        fd = self._wal.fileno()
+        if fd is None:
+            self._advance_watermark(gen)
+            return
+        segment = self._wal.current_segment
+        try:
+            dup = os.dup(fd)
+        except OSError:  # pragma: no cover - fd table exhausted
+            self.sync()
+            return
+        try:
+            self._loop = asyncio.get_running_loop()
+        except RuntimeError:
+            pass  # offline caller: completions drain via polling
+        self._ensure_worker()
+        self._inflight += 1
+        assert self._fsync_queue is not None
+        self._fsync_queue.put((gen, segment, dup, written))
+
+    def notify_durable(self, generation: int, callback: Callable[[], None]) -> None:
+        """Run ``callback`` once the watermark covers ``generation``.
+
+        Callbacks fire in submission order (generations are monotonic),
+        so queueing an outbound message here preserves wire order; when
+        the watermark already covers the generation and nothing is
+        queued ahead, the callback runs immediately on this thread.
+        """
+        self._drain_completions()
+        if not self._waiters and generation <= self.durable_generation:
+            callback()
+        else:
+            self._waiters.append((generation, callback))
+
+    def wait_durable(self, generation: Optional[int] = None, timeout: float = 5.0) -> bool:
+        """Block until the watermark covers ``generation`` (default: all
+        records journalled so far).  Test/offline helper — the live
+        runtime never blocks, it queues on :meth:`notify_durable`."""
+        target = self.generation if generation is None else generation
+        deadline = time.monotonic() + timeout
+        while True:
+            self._drain_completions()
+            if self.durable_generation >= target:
+                return True
+            if time.monotonic() > deadline:
+                return False
+            time.sleep(0.001)
+
+    def _advance_watermark(self, generation: int) -> None:
+        if generation > self.durable_generation:
+            self.durable_generation = generation
+        self._release_waiters()
+
+    def _release_waiters(self) -> None:
+        if self._releasing:
+            return  # re-entrant release: the outer loop re-checks
+        self._releasing = True
+        try:
+            while self._waiters and self._waiters[0][0] <= self.durable_generation:
+                self._waiters.popleft()[1]()
+        finally:
+            self._releasing = False
+
+    def _drain_completions(self) -> None:
+        """Apply fsync completions posted by the worker thread (runs on
+        the event-loop thread, or inline for offline callers)."""
+        advanced = False
+        while self._completions:
+            gen, count, synced = self._completions.popleft()
+            self._inflight -= count
+            for segment, written in synced:
+                self._wal.mark_synced(segment, written)
+            if gen > self.durable_generation:
+                self.durable_generation = gen
+                advanced = True
+        if advanced:
+            self._release_waiters()
+            if not self._wal.closed and self._wal.segment_size > self.segment_bytes:
+                self._checkpoint()
+
+    def _ensure_worker(self) -> None:
+        if self._fsync_thread is not None and self._fsync_thread.is_alive():
+            return
+        self._fsync_queue = queue.Queue()
+        self._fsync_thread = threading.Thread(
+            target=self._fsync_worker,
+            args=(self._fsync_queue,),
+            name=f"wal-fsync:{os.path.basename(self.directory)}",
+            daemon=True,
+        )
+        self._fsync_thread.start()
+
+    def _fsync_worker(self, jobs_queue: "queue.Queue") -> None:
+        """Dedicated fsync thread: drain all queued barriers, fsync once
+        per distinct segment (group commit across barriers), and post
+        the completion back to the loop."""
+        while True:
+            job = jobs_queue.get()
+            if job is None:
+                return
+            jobs = [job]
+            stop = False
+            while True:
+                try:
+                    job = jobs_queue.get_nowait()
+                except queue.Empty:
+                    break
+                if job is None:
+                    stop = True
+                    break
+                jobs.append(job)
+            # Every job for one segment holds a dup of the same file, so
+            # fsyncing the newest dup makes all of them durable at once.
+            latest: dict = {}
+            for gen, segment, fd, written in jobs:
+                latest[segment] = (gen, fd, written)
+            failed = False
+            for segment, (gen, fd, written) in latest.items():
+                try:
+                    os.fsync(fd)
+                    if self.fsync_delay:
+                        # Emulated device latency (benchmarks): the sleep
+                        # lands here, off the event loop — the whole point.
+                        time.sleep(self.fsync_delay)
+                except OSError:  # pragma: no cover - crashed mid-flight
+                    failed = True
+            for gen, segment, fd, written in jobs:
+                try:
+                    os.close(fd)
+                except OSError:  # pragma: no cover - defensive
+                    pass
+            if not failed:
+                top = max(gen for gen, _segment, _fd, _written in jobs)
+                synced = [
+                    (segment, written)
+                    for segment, (_gen, _fd, written) in latest.items()
+                ]
+                self._completions.append((top, len(jobs), synced))
+                loop = self._loop
+                if loop is not None:
+                    try:
+                        loop.call_soon_threadsafe(self._drain_completions)
+                    except RuntimeError:
+                        pass  # loop already closed; polling will drain
+            if stop:
+                return
+
+    def _stop_worker(self) -> None:
+        if self._fsync_queue is not None:
+            self._fsync_queue.put(None)
+            self._fsync_queue = None
+            self._fsync_thread = None
+
     def crash(self, *, torn: bool = False) -> None:
-        """Simulated power failure (see :meth:`repro.storage.wal.Wal.crash`)."""
+        """Simulated power failure (see :meth:`repro.storage.wal.Wal.crash`).
+
+        In-flight pipelined fsyncs are abandoned, not awaited — and
+        completions the loop never observed are dropped too: whatever
+        the watermark did not confirm before the power died is exactly
+        what recovery is allowed to lose.
+        """
+        self._stop_worker()
+        self._completions.clear()
         self._wal.crash(torn=torn)
 
     def close(self) -> None:
+        self._stop_worker()
+        self._drain_completions()
         self._wal.close()
+        # A clean close flushes and fsyncs everything inline.
+        self._advance_watermark(self.generation)
 
 
 class DurableRaftLog(RaftLog):

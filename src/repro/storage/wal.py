@@ -63,6 +63,7 @@ from __future__ import annotations
 import os
 import re
 import struct
+import time
 import zlib
 from dataclasses import dataclass, field
 from typing import Any, BinaryIO, List, Optional, Tuple
@@ -70,6 +71,7 @@ from typing import Any, BinaryIO, List, Optional, Tuple
 from repro.sim.serialize import (
     WireError,
     binary_dumps,
+    binary_dumps_into,
     binary_loads,
     register_wire_type,
 )
@@ -86,8 +88,14 @@ MAX_FRAME_BYTES = 64 * 1024 * 1024
 #: straddle segments).
 DEFAULT_SEGMENT_BYTES = 4 * 1024 * 1024
 
+#: Longest base→delta chain a snapshot may form before compaction must
+#: rewrite a full base image.  Bounds both recovery replay work and the
+#: disk amplification of keeping every chained file alive.
+DEFAULT_SNAPSHOT_CHAIN = 8
+
 _SEGMENT_RE = re.compile(r"^wal-(\d{8})\.log$")
 _SNAPSHOT_RE = re.compile(r"^snap-(\d{16})\.bin$")
+_DELTA_RE = re.compile(r"^snapd-(\d{16})\.bin$")
 
 
 class WalError(Exception):
@@ -131,11 +139,24 @@ class WalEntry:
     command: Any
 
 
+@dataclass(frozen=True)
+class SnapshotDelta:
+    """An incremental snapshot: the machine state at this file's index
+    equals the state at ``prev_index`` with ``changed`` keys overwritten
+    and ``removed`` keys deleted.  Stored in ``snapd-*.bin`` files that
+    chain back (via ``prev_index``) to a full ``snap-*.bin`` base."""
+
+    prev_index: int
+    changed: Any
+    removed: Tuple[Any, ...] = ()
+
+
 # Short pinned wire names: embedded in every frame, and must stay
 # stable across refactors for old segments to remain readable.
 register_wire_type(WalCheckpoint, "wal:C")
 register_wire_type(WalTerm, "wal:T")
 register_wire_type(WalEntry, "wal:E")
+register_wire_type(SnapshotDelta, "wal:D")
 
 
 # ----------------------------------------------------------------------
@@ -143,10 +164,32 @@ register_wire_type(WalEntry, "wal:E")
 # ----------------------------------------------------------------------
 
 
+#: Placeholder for a frame header, patched in place once the body size
+#: and checksum are known (see :func:`encode_frame_into`).
+_HEADER_PAD = b"\x00" * FRAME_HEADER.size
+
+
 def encode_frame(record: Any) -> bytes:
     """One record as a checksummed frame."""
     body = binary_dumps(record)
     return FRAME_HEADER.pack(len(body), zlib.crc32(body)) + body
+
+
+def encode_frame_into(out: bytearray, record: Any) -> int:
+    """Append one checksummed frame to ``out``; returns its byte length.
+
+    Encodes the body straight into the shared buffer (reserving a header
+    hole, then patching length + CRC over the in-place body), so a batch
+    of appends builds one contiguous write buffer with no per-frame
+    ``bytes`` join.
+    """
+    header_at = len(out)
+    out += _HEADER_PAD
+    body_at = len(out)
+    binary_dumps_into(record, out)
+    body = memoryview(out)[body_at:]
+    FRAME_HEADER.pack_into(out, header_at, len(body), zlib.crc32(body))
+    return FRAME_HEADER.size + len(body)
 
 
 def scan_frames(
@@ -219,6 +262,18 @@ def snapshot_path(directory: str, index: int) -> str:
     return os.path.join(directory, f"snap-{index:016d}.bin")
 
 
+def delta_files(directory: str) -> List[str]:
+    """All incremental-snapshot file paths in ``directory``, oldest first."""
+    if not os.path.isdir(directory):
+        return []
+    names = sorted(n for n in os.listdir(directory) if _DELTA_RE.match(n))
+    return [os.path.join(directory, n) for n in names]
+
+
+def delta_path(directory: str, index: int) -> str:
+    return os.path.join(directory, f"snapd-{index:016d}.bin")
+
+
 def _fsync_dir(directory: str) -> None:
     """Persist directory metadata (new/renamed/unlinked entries)."""
     try:
@@ -275,6 +330,108 @@ def read_snapshot(directory: str, index: int) -> Any:
             f"damaged snapshot file {path!r}: {reason or 'extra frames'}"
         )
     return records[0]
+
+
+def write_snapshot_delta(
+    directory: str,
+    index: int,
+    prev_index: int,
+    changed: Any,
+    removed: Tuple[Any, ...],
+) -> str:
+    """Durably write an incremental snapshot at ``index``.
+
+    Same single-frame tmp/fsync/rename discipline as
+    :func:`write_snapshot`, but the payload is a :class:`SnapshotDelta`
+    against the snapshot at ``prev_index`` instead of a full state
+    image — O(changed keys), not O(state), which is the whole point:
+    compaction of a large machine no longer stalls the apply loop
+    rewriting an image that barely changed.
+    """
+    path = delta_path(directory, index)
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as handle:
+        handle.write(encode_frame(SnapshotDelta(prev_index, changed, tuple(removed))))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    _fsync_dir(directory)
+    return path
+
+
+def read_snapshot_delta(directory: str, index: int) -> SnapshotDelta:
+    """Load and verify the incremental snapshot at ``index``."""
+    path = delta_path(directory, index)
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        raise WalCorruptionError(f"missing snapshot delta file {path!r}")
+    records, damage, reason = scan_frames(data)
+    if damage is not None or len(records) != 1:
+        raise WalCorruptionError(
+            f"damaged snapshot delta file {path!r}: {reason or 'extra frames'}"
+        )
+    record = records[0]
+    if not isinstance(record, SnapshotDelta):
+        raise WalCorruptionError(
+            f"snapshot delta file {path!r} holds a {type(record).__name__}"
+        )
+    return record
+
+
+def apply_snapshot_delta(state: Any, delta: SnapshotDelta) -> Any:
+    """One step of delta-chain replay: overlay ``delta`` onto ``state``."""
+    if not isinstance(state, dict) or not isinstance(delta.changed, dict):
+        raise WalCorruptionError("snapshot delta applied over non-dict state")
+    merged = dict(state)
+    for key in delta.removed:
+        merged.pop(key, None)
+    merged.update(delta.changed)
+    return merged
+
+
+def snapshot_chain_indexes(directory: str, index: int) -> List[int]:
+    """The indexes of every file in the live chain ending at ``index``,
+    newest first; the last element is the full base image.
+
+    Raises :class:`WalCorruptionError` when the chain is broken: a
+    missing or damaged link, a ``prev_index`` that fails to strictly
+    decrease (a cycle cannot arise from torn writes — only from a lying
+    disk), or a chain deeper than any writer would produce.
+    """
+    chain: List[int] = []
+    at = index
+    while True:
+        chain.append(at)
+        if os.path.exists(snapshot_path(directory, at)):
+            return chain
+        delta = read_snapshot_delta(directory, at)
+        if not 0 < delta.prev_index < at:
+            raise WalCorruptionError(
+                f"snapshot delta at index {at} links to "
+                f"non-decreasing prev_index {delta.prev_index}"
+            )
+        if len(chain) > 4 * DEFAULT_SNAPSHOT_CHAIN:
+            raise WalCorruptionError(
+                f"snapshot chain at index {index} exceeds "
+                f"{4 * DEFAULT_SNAPSHOT_CHAIN} links"
+            )
+        at = delta.prev_index
+
+
+def load_snapshot(directory: str, index: int) -> Any:
+    """Reconstruct the machine state at ``index``, following the delta
+    chain back to its full base and replaying forward.
+
+    A plain whole-file snapshot is the one-link case, so callers never
+    need to know which form compaction chose.
+    """
+    chain = snapshot_chain_indexes(directory, index)
+    state = read_snapshot(directory, chain[-1])
+    for at in reversed(chain[:-1]):
+        state = apply_snapshot_delta(state, read_snapshot_delta(directory, at))
+    return state
 
 
 # ----------------------------------------------------------------------
@@ -376,6 +533,11 @@ class Wal:
             skips ``fsync`` entirely — the deliberately broken mode
             behind the chaos ``lost-ack`` bug injection, where
             acknowledged state evaporates on power failure.
+        sync_delay: extra seconds slept after every real ``fsync``,
+            emulating a device whose write barrier costs something —
+            localhost CI disks absorb ``fsync`` in microseconds, so
+            benchmarks comparing sync modes (E19) inject a realistic
+            device latency here.  0 (default) for production use.
 
     Appends buffer in-process until :meth:`sync`, so one ``fsync``
     covers every record journalled since the last barrier (group
@@ -390,14 +552,17 @@ class Wal:
         *,
         start_segment: int = 1,
         sync_policy: str = "fsync",
+        sync_delay: float = 0.0,
     ):
         if sync_policy not in ("fsync", "none"):
             raise WalError(f"unknown sync policy {sync_policy!r}")
         os.makedirs(directory, exist_ok=True)
         self.directory = directory
         self.sync_policy = sync_policy
+        self.sync_delay = sync_delay
         self.stats = WalStats()
         self._next_segment = start_segment
+        self._segment = 0  # number of the open segment (0 = none yet)
         self._file: Optional[BinaryIO] = None
         self._path: Optional[str] = None
         self._buffer = bytearray()
@@ -418,6 +583,11 @@ class Wal:
         return self._written + len(self._buffer)
 
     @property
+    def current_segment(self) -> int:
+        """Number of the open segment (0 before the first checkpoint)."""
+        return self._segment
+
+    @property
     def closed(self) -> bool:
         return self._closed
 
@@ -429,8 +599,44 @@ class Wal:
             raise WalError("wal is closed")
         if self._file is None:
             raise WalError("no open segment (checkpoint first)")
-        self._buffer += encode_frame(record)
+        encode_frame_into(self._buffer, record)
         self.stats.appends += 1
+
+    def flush_os(self) -> int:
+        """Hand buffered frames to the OS **without** fsync.
+
+        The first half of a pipelined sync: the event loop pays only the
+        (cheap) buffered write, an fsync thread pays the stall, and
+        :meth:`mark_synced` later records how far durability reached.
+        Returns the total bytes written to the open segment so far — the
+        value a completed fsync of the current file covers.
+        """
+        if self._closed:
+            raise WalError("wal is closed")
+        if self._file is None:
+            return 0
+        if self._buffer:
+            self._file.write(self._buffer)
+            self._file.flush()
+            self._written += len(self._buffer)
+            self.stats.bytes_written += len(self._buffer)
+            self._buffer.clear()
+        return self._written
+
+    def fileno(self) -> Optional[int]:
+        """Raw descriptor of the open segment (for off-thread fsync)."""
+        return None if self._file is None else self._file.fileno()
+
+    def mark_synced(self, segment: int, written: int) -> None:
+        """Record that an off-thread fsync of ``segment`` completed,
+        covering the first ``written`` bytes.  Completions for rotated
+        segments are ignored — the rotation itself was a synchronous
+        durability point that restated everything."""
+        if self._file is None or segment != self._segment:
+            return
+        if written > self._synced:
+            self._synced = min(written, self._written)
+        self.stats.syncs += 1
 
     def sync(self) -> None:
         """Flush buffered frames and make them durable (one fsync)."""
@@ -438,15 +644,11 @@ class Wal:
             raise WalError("wal is closed")
         if self._file is None:
             return
-        if self._buffer:
-            data = bytes(self._buffer)
-            self._buffer.clear()
-            self._file.write(data)
-            self._file.flush()
-            self._written += len(data)
-            self.stats.bytes_written += len(data)
+        self.flush_os()
         if self.sync_policy == "fsync":
             os.fsync(self._file.fileno())
+            if self.sync_delay:
+                time.sleep(self.sync_delay)
             self._synced = self._written
         self.stats.syncs += 1
 
@@ -469,6 +671,7 @@ class Wal:
         path = segment_path(self.directory, number)
         self._file = open(path, "wb")
         self._path = path
+        self._segment = number
         self._written = self._synced = 0
         for record in records:
             self.append(record)
@@ -489,15 +692,19 @@ class Wal:
     def crash(self, *, torn: bool = False) -> None:
         """Simulate power failure: whatever was not fsynced is lost.
 
-        Buffered records vanish; under ``sync_policy="none"`` the
-        segment is also truncated back to the last *really* fsynced
-        byte (written-but-unsynced data dies with the page cache).
-        With ``torn=True`` a strict prefix of the buffered tail lands
-        on disk instead, leaving a torn final frame for recovery to
-        find.
+        Buffered records vanish and the segment is truncated back to
+        the last byte a *confirmed* fsync covered — written-but-unsynced
+        data dies with the page cache.  Under the inline fsync policy
+        the truncation is a no-op at any stable point (every ``sync``
+        advances the watermark before returning); under the pipelined
+        mode it faithfully models an fsync still in flight; under
+        ``sync_policy="none"`` nothing was ever synced and the whole
+        segment evaporates (the lost-ack bug).  With ``torn=True`` a
+        strict prefix of the buffered tail lands on disk instead,
+        leaving a torn final frame for recovery to find.
         """
         if self._file is not None:
-            if self.sync_policy != "fsync":
+            if self._written != self._synced:
                 try:
                     self._file.truncate(self._synced)
                     self._file.seek(self._synced)

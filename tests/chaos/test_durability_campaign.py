@@ -33,6 +33,7 @@ async def _campaign(
     duration=12.0,
     kinds=("power-fail", "power-fail-all", "torn-tail", "bit-flip"),
     lost_ack_bug=False,
+    sync_mode="inline",
     nodes=5,
     shards=2,
     clients=4,
@@ -47,6 +48,7 @@ async def _campaign(
         shards=shards,
         data_dir=data_dir,
         lost_ack_bug=lost_ack_bug,
+        sync_mode=sync_mode,
         **CAMPAIGN_TIMINGS,
     )
     history = History()
@@ -82,22 +84,31 @@ async def _campaign(
 
 
 class TestDurabilityCampaigns:
-    def test_power_failure_campaign_is_linearizable(self, tmp_path):
+    @pytest.mark.parametrize("sync_mode", ["inline", "pipelined"])
+    def test_power_failure_campaign_is_linearizable(self, tmp_path, sync_mode):
         """Correct WAL + fsync barriers survive every power-failure kind,
-        including full-cluster outages that restart from disk alone."""
-        report = run(_campaign(seed=5, data_dir=str(tmp_path)))
+        including full-cluster outages that restart from disk alone —
+        with the fsync inline on the event loop or off-loaded to the
+        pipelined durability-watermark thread."""
+        report = run(
+            _campaign(seed=5, data_dir=str(tmp_path), sync_mode=sync_mode)
+        )
         assert report.ok is True, report.summary()
 
-    def test_lost_ack_bug_is_caught_with_witness(self, tmp_path):
+    @pytest.mark.parametrize("sync_mode", ["inline", "pipelined"])
+    def test_lost_ack_bug_is_caught_with_witness(self, tmp_path, sync_mode):
         """Acking before fsync must fail the check after a full power
         loss: the cluster forgets writes it confirmed, and the checker
-        produces a witness proving it."""
+        produces a witness proving it.  The pipelined barrier must not
+        mask the bug: with fsync skipped the watermark still advances,
+        so acks escape and the canary still fires."""
         report = run(
             _campaign(
                 seed=5,
                 data_dir=str(tmp_path),
                 kinds=("power-fail-all",),
                 lost_ack_bug=True,
+                sync_mode=sync_mode,
             )
         )
         assert report.ok is False, report.summary()

@@ -17,7 +17,13 @@ from repro.storage import RaftStorage
 
 pytestmark = pytest.mark.storage
 
-FAST = dict(election_timeout=(0.15, 0.3), heartbeat_interval=0.05)
+# CI runs this suite once per commit-pipeline mode: inline fsync on the
+# event loop, and the pipelined fsync thread (REPRO_SYNC_MODE=pipelined).
+FAST = dict(
+    election_timeout=(0.15, 0.3),
+    heartbeat_interval=0.05,
+    sync_mode=os.environ.get("REPRO_SYNC_MODE", "inline"),
+)
 
 
 def run(coro, timeout=180.0):

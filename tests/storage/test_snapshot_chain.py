@@ -1,0 +1,211 @@
+"""Incremental snapshots: delta chains, chain-aware GC, fuzzed recovery.
+
+Compaction of a dict machine writes a ``snapd-`` delta (changed/removed
+keys against the previous snapshot) instead of rewriting the full image,
+up to ``snapshot_chain_limit`` links; recovery replays base + deltas.
+The properties under test:
+
+* ``load_snapshot`` reconstructs exactly the state the writer saw, for
+  any mix of full bases and deltas;
+* GC is chain-aware: every link back to the full base stays on disk for
+  as long as a durable checkpoint references the chain head — including
+  across a crash mid-compaction (the regression this file pins down);
+* a damaged, cyclic or over-deep chain is a *corruption*, handled by the
+  same quarantine/no-rejoin policy as a damaged WAL segment.
+
+Tier-1: all scenarios are tmp-dir local and fast.
+"""
+
+import os
+
+import pytest
+
+from repro.algorithms.raft.log import Entry
+from repro.storage import (
+    RaftStorage,
+    StorageQuarantineError,
+    WalCorruptionError,
+    load_snapshot,
+    read_snapshot_delta,
+    snapshot_chain_indexes,
+    write_snapshot,
+    write_snapshot_delta,
+)
+from repro.storage.wal import delta_files, delta_path, snapshot_files
+
+
+def compact_to(storage, index, machine):
+    """Append up to ``index`` and compact with ``machine`` as the image."""
+    for at in range(storage.snapshot_index + len(storage.entries) + 1, index + 1):
+        storage.record_append(at, Entry(1, f"cmd-{at}"))
+    storage.record_compact(index, 1, machine, [])
+
+
+class TestDeltaFormat:
+    def test_chain_roundtrip(self, tmp_path):
+        directory = str(tmp_path)
+        write_snapshot(directory, 10, {"a": 1, "b": 2})
+        write_snapshot_delta(directory, 20, 10, {"b": 3, "c": 4}, ())
+        write_snapshot_delta(directory, 30, 20, {"d": 5}, ("a",))
+        assert snapshot_chain_indexes(directory, 30) == [30, 20, 10]
+        assert load_snapshot(directory, 30) == {"b": 3, "c": 4, "d": 5}
+        assert load_snapshot(directory, 20) == {"a": 1, "b": 3, "c": 4}
+        assert load_snapshot(directory, 10) == {"a": 1, "b": 2}
+
+    def test_missing_link_is_corruption(self, tmp_path):
+        directory = str(tmp_path)
+        write_snapshot_delta(directory, 20, 10, {"x": 1}, ())
+        with pytest.raises(WalCorruptionError):
+            load_snapshot(directory, 20)  # base at 10 never written
+
+    def test_damaged_delta_is_corruption(self, tmp_path):
+        directory = str(tmp_path)
+        write_snapshot(directory, 10, {"a": 1})
+        path = write_snapshot_delta(directory, 20, 10, {"b": 2}, ())
+        blob = bytearray(open(path, "rb").read())
+        blob[len(blob) // 2] ^= 0x40
+        with open(path, "wb") as handle:
+            handle.write(blob)
+        with pytest.raises(WalCorruptionError):
+            read_snapshot_delta(directory, 20)
+        with pytest.raises(WalCorruptionError):
+            load_snapshot(directory, 20)
+
+    def test_non_decreasing_prev_index_is_corruption(self, tmp_path):
+        directory = str(tmp_path)
+        # A lying disk could produce a self-link; torn writes cannot.
+        write_snapshot_delta(directory, 20, 20, {"x": 1}, ())
+        with pytest.raises(WalCorruptionError):
+            snapshot_chain_indexes(directory, 20)
+
+    def test_cycle_is_corruption(self, tmp_path):
+        directory = str(tmp_path)
+        write_snapshot_delta(directory, 30, 20, {"x": 1}, ())
+        write_snapshot_delta(directory, 20, 10, {"y": 2}, ())
+        os.replace(delta_path(directory, 30), delta_path(directory, 10))
+        # 30 is gone; 20 -> 10 -> 20 would loop forever without the
+        # strictly-decreasing check.
+        with pytest.raises(WalCorruptionError):
+            snapshot_chain_indexes(directory, 20)
+
+
+class TestChainedCompaction:
+    def test_deltas_then_full_base_reset(self, tmp_path):
+        storage = RaftStorage(str(tmp_path), snapshot_chain_limit=3)
+        machine = {}
+        for step in range(1, 6):
+            machine = dict(machine, **{f"k{step}": step})
+            compact_to(storage, step * 10, machine)
+        # Chain limit 3: full@10, delta@20, delta@30, full@40, delta@50.
+        assert storage.delta_compactions == 3
+        assert storage.compactions == 5
+        assert snapshot_chain_indexes(str(tmp_path), 50) == [50, 40]
+        storage.crash()
+        recovered = RaftStorage(str(tmp_path), snapshot_chain_limit=3)
+        assert recovered.snapshot_index == 50
+        assert recovered.machine_snapshot == machine
+        recovered.close()
+
+    def test_removed_keys_replay(self, tmp_path):
+        storage = RaftStorage(str(tmp_path))
+        compact_to(storage, 10, {"keep": 1, "drop": 2})
+        compact_to(storage, 20, {"keep": 1, "new": 3})
+        assert read_snapshot_delta(str(tmp_path), 20).removed == ("drop",)
+        storage.crash()
+        recovered = RaftStorage(str(tmp_path))
+        assert recovered.machine_snapshot == {"keep": 1, "new": 3}
+        recovered.close()
+
+    def test_gc_keeps_whole_live_chain(self, tmp_path):
+        storage = RaftStorage(str(tmp_path), snapshot_chain_limit=8)
+        machine = {}
+        for step in range(1, 5):
+            machine = dict(machine, **{f"k{step}": step})
+            compact_to(storage, step * 10, machine)
+        survivors = {
+            os.path.basename(p)
+            for p in snapshot_files(str(tmp_path)) + delta_files(str(tmp_path))
+        }
+        # The base at 10 is still referenced by the 40 -> 30 -> 20 -> 10
+        # chain and must survive every later compaction's GC.
+        assert survivors == {
+            "snap-0000000000000010.bin",
+            "snapd-0000000000000020.bin",
+            "snapd-0000000000000030.bin",
+            "snapd-0000000000000040.bin",
+        }
+        storage.close()
+
+    def test_gc_unlinks_dead_chain_after_full_reset(self, tmp_path):
+        storage = RaftStorage(str(tmp_path), snapshot_chain_limit=2)
+        machine = {}
+        for step in range(1, 5):
+            machine = dict(machine, **{f"k{step}": step})
+            compact_to(storage, step * 10, machine)
+        survivors = {
+            os.path.basename(p)
+            for p in snapshot_files(str(tmp_path)) + delta_files(str(tmp_path))
+        }
+        # full@10, delta@20, full@30 (limit reached), delta@40: the GC
+        # after the full reset must have dropped the 20 -> 10 chain.
+        assert survivors == {
+            "snap-0000000000000030.bin",
+            "snapd-0000000000000040.bin",
+        }
+        storage.close()
+
+
+class TestCrashMidCompaction:
+    def test_orphan_delta_never_unlinks_referenced_base(self, tmp_path):
+        """Regression: compaction crashes after writing the delta file
+        but before the checkpoint that references it.  The old chain is
+        still the durable truth — recovery must restore it, and its GC
+        must drop only the orphan, never the still-referenced base."""
+        storage = RaftStorage(str(tmp_path))
+        compact_to(storage, 10, {"a": 1})
+        compact_to(storage, 20, {"a": 1, "b": 2})
+        # The crash point: a delta at 30 exists, no checkpoint names it.
+        write_snapshot_delta(str(tmp_path), 30, 20, {"c": 3}, ())
+        storage.crash()
+        recovered = RaftStorage(str(tmp_path))
+        assert recovered.snapshot_index == 20
+        assert recovered.machine_snapshot == {"a": 1, "b": 2}
+        survivors = {
+            os.path.basename(p)
+            for p in snapshot_files(str(tmp_path)) + delta_files(str(tmp_path))
+        }
+        assert "snap-0000000000000010.bin" in survivors, (
+            "GC unlinked the base the live 20 -> 10 chain still needs"
+        )
+        assert "snapd-0000000000000030.bin" not in survivors, (
+            "recovery's checkpoint GC must clear the orphaned delta"
+        )
+        # And the recovered chain still loads.
+        assert load_snapshot(str(tmp_path), 20) == {"a": 1, "b": 2}
+        recovered.close()
+
+
+class TestQuarantinePolicy:
+    def _damage_delta(self, directory):
+        storage = RaftStorage(directory)
+        compact_to(storage, 10, {"a": 1})
+        compact_to(storage, 20, {"a": 1, "b": 2})
+        storage.crash()
+        path = delta_path(directory, 20)
+        blob = bytearray(open(path, "rb").read())
+        blob[-1] ^= 0xFF
+        with open(path, "wb") as handle:
+            handle.write(blob)
+
+    def test_damaged_chain_quarantines_and_rejoins_empty(self, tmp_path):
+        self._damage_delta(str(tmp_path))
+        recovered = RaftStorage(str(tmp_path))
+        assert recovered.quarantined
+        assert recovered.snapshot_index == 0
+        assert recovered.entries == []
+        recovered.close()
+
+    def test_damaged_chain_respects_no_rejoin(self, tmp_path):
+        self._damage_delta(str(tmp_path))
+        with pytest.raises(StorageQuarantineError):
+            RaftStorage(str(tmp_path), no_rejoin=True)
