@@ -23,10 +23,10 @@ linearizability.
 from __future__ import annotations
 
 import json
-import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional
 
+from repro.core.runtime import Runtime, current_runtime
 from repro.live.client import AsyncKVClient, ClusterUnavailableError
 
 #: Operation kinds recorded in a history.
@@ -88,13 +88,19 @@ class History:
     locking: ``begin`` appends, the completion methods mutate in place.
     """
 
-    def __init__(self, epoch: Optional[float] = None):
-        self.epoch = time.monotonic() if epoch is None else epoch
+    def __init__(
+        self,
+        epoch: Optional[float] = None,
+        *,
+        runtime: Optional[Runtime] = None,
+    ):
+        self.rt = runtime if runtime is not None else current_runtime()
+        self.epoch = self.rt.now() if epoch is None else epoch
         self.ops: List[OpRecord] = []
         self._counter = 0
 
     def now(self) -> float:
-        return time.monotonic() - self.epoch
+        return self.rt.now() - self.epoch
 
     # ------------------------------------------------------------------
     # Recording

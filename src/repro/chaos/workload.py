@@ -32,6 +32,7 @@ def make_clients(
     request_timeout: float = 1.0,
     max_attempts: int = 8,
     retry_delay: float = 0.1,
+    deterministic_ids: bool = False,
 ) -> List[HistoryClient]:
     """Build ``count`` recording clients sharing one history.
 
@@ -41,6 +42,11 @@ def make_clients(
     client that blocks half the campaign waiting on a black hole — a
     writer stuck on an isolated leader commits nothing anywhere, and
     commits are what give the checker contradictions to find.
+
+    ``deterministic_ids=True`` gives each client a sequential
+    ``op_id_prefix`` (``"c<id>"``) instead of uuid4-based ids — required
+    for byte-identical DST replays, safe here because campaign clients
+    all live in one process.
     """
     return [
         HistoryClient(
@@ -50,6 +56,7 @@ def make_clients(
                 max_attempts=max_attempts,
                 retry_delay=retry_delay,
                 shards=shards,
+                op_id_prefix=f"c{cid}" if deterministic_ids else None,
             ),
             history=history,
             client_id=cid,

@@ -19,7 +19,16 @@ The workflow (see ``docs/testing.md``):
 3. **corpus** — :mod:`repro.dst.corpus` stores minimized cases as JSON
    under ``tests/regressions/corpus/`` and replays them as pytest cases.
 
-CLI: ``python -m repro explore <algorithm> ...`` and
+The same workflow also runs against the **production stack**
+(:mod:`repro.dst.livestack`): ``--stack live`` boots real
+:class:`~repro.live.kv.KVServer` clusters — sharding, TCP framing,
+clients, nemesis and all — under a virtual-time
+:class:`~repro.core.runtime.SimRuntime`, with the linearizability
+checker as the oracle.  Same explore → shrink → corpus loop, same
+replayable JSON cases.
+
+CLI: ``python -m repro explore <algorithm> ...``,
+``python -m repro explore --stack live ...`` and
 ``python -m repro replay <case.json>``.
 """
 
@@ -38,6 +47,16 @@ from repro.dst.explorer import (
     generate_scenarios,
     mutate,
     random_scenario,
+)
+from repro.dst.livestack import (
+    LiveExplorationReport,
+    LiveRunResult,
+    LiveScenario,
+    explore_live,
+    generate_live_scenarios,
+    run_live,
+    run_live_scenario,
+    shrink_live,
 )
 from repro.dst.oracle import OnlineInvariantChecker, OnlineViolation
 from repro.dst.registry import (
@@ -66,6 +85,9 @@ __all__ = [
     "CrashSpec",
     "DelaySpec",
     "ExplorationReport",
+    "LiveExplorationReport",
+    "LiveRunResult",
+    "LiveScenario",
     "NetworkSpec",
     "OnlineInvariantChecker",
     "OnlineViolation",
@@ -78,6 +100,8 @@ __all__ = [
     "assert_still_fails",
     "case_name",
     "explore",
+    "explore_live",
+    "generate_live_scenarios",
     "generate_scenarios",
     "get_algorithm",
     "load_case",
@@ -86,7 +110,10 @@ __all__ = [
     "random_scenario",
     "register",
     "replay",
+    "run_live",
+    "run_live_scenario",
     "run_scenario",
     "save_case",
     "shrink",
+    "shrink_live",
 ]

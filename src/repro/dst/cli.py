@@ -8,8 +8,20 @@ and saves it to the regression corpus::
     python -m repro explore phase-king --schedules 500 --workers 4
     python -m repro explore ben-or-broken-coherence --shrink --save-corpus
 
-``replay`` re-runs a stored corpus case (or any scenario JSON) and reports
-whether the recorded violation still reproduces::
+With ``--stack live`` the sweep targets the *production* stack instead:
+each schedule boots a full sharded :class:`~repro.live.kv.KVServer`
+cluster under a virtual-time :class:`~repro.core.runtime.SimRuntime`,
+runs a seeded nemesis campaign against a recorded client workload, and
+checks the history for linearizability.  The sweep is a pure function of
+``--seed`` — the printed digest is byte-identical on repeat runs::
+
+    python -m repro explore --stack live --schedules 50 --seed 3
+    python -m repro explore --stack live --inject-bug stale-reads \\
+        --shrink --save-corpus
+
+``replay`` re-runs a stored corpus case (or any scenario JSON — simulator
+or live-stack) and reports whether the recorded violation still
+reproduces::
 
     python -m repro replay tests/regressions/corpus/<case>.json
 
@@ -35,6 +47,14 @@ from repro.dst.corpus import (
     save_case,
 )
 from repro.dst.explorer import explore
+from repro.dst.livestack import (
+    LIVE_BUGS,
+    LIVE_EXPLORE_KINDS,
+    LiveScenario,
+    explore_live,
+    run_live_scenario,
+    shrink_live,
+)
 from repro.dst.registry import algorithm_names, get_algorithm
 from repro.dst.scenario import VIOLATION, Scenario, run_scenario
 from repro.dst.shrinker import shrink
@@ -54,14 +74,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ex.add_argument(
         "algorithm",
+        nargs="?",
+        default=None,
         choices=algorithm_names(include_broken=True),
-        help="registry name to sweep",
+        help="registry name to sweep (required unless --stack live)",
+    )
+    ex.add_argument(
+        "--stack",
+        choices=("sim", "live"),
+        default="sim",
+        help="what to explore: bare simulator algorithms (sim) or the "
+        "full KVServer production stack in virtual time (live)",
     )
     ex.add_argument(
         "--schedules", type=int, default=200, help="scenarios to run"
     )
     ex.add_argument(
         "--meta-seed",
+        "--seed",
+        dest="meta_seed",
         type=int,
         default=0,
         help="seed of the generator walk (the sweep is a pure function of it)",
@@ -112,6 +143,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="print only the outcome counts"
     )
 
+    live = ex.add_argument_group("live-stack options (--stack live)")
+    live.add_argument(
+        "--nodes", type=int, default=3, help="cluster size per schedule"
+    )
+    live.add_argument(
+        "--shards", type=int, default=2, help="consensus groups per node"
+    )
+    live.add_argument(
+        "--duration",
+        type=float,
+        default=6.0,
+        help="virtual seconds of faulted workload per schedule",
+    )
+    live.add_argument(
+        "--clients", type=int, default=3, help="workload clients"
+    )
+    live.add_argument(
+        "--inject-bug",
+        choices=[bug for bug in LIVE_BUGS if bug],
+        default="",
+        help="run a known-buggy cluster (canary sweeps should violate)",
+    )
+    live.add_argument(
+        "--kinds",
+        type=str,
+        default=None,
+        metavar="K1,K2,...",
+        help="comma-separated fault kinds "
+        f"(default: {','.join(LIVE_EXPLORE_KINDS)})",
+    )
+    live.add_argument(
+        "--fault-period",
+        type=float,
+        default=1.5,
+        help="virtual seconds between scheduled faults",
+    )
+    live.add_argument(
+        "--trace-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="append every schedule's full node trace to PATH "
+        "(byte-identical across repeat runs of the same sweep)",
+    )
+
     rp = sub.add_parser(
         "replay", help="re-run a stored corpus case or scenario JSON"
     )
@@ -119,7 +195,91 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _explore_live(args: argparse.Namespace) -> int:
+    kinds = LIVE_EXPLORE_KINDS
+    if args.kinds:
+        kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
+    base = LiveScenario(
+        n=args.nodes,
+        shards=args.shards,
+        duration=args.duration,
+        clients=args.clients,
+        inject_bug=args.inject_bug,
+        op_pause=0.005,
+    )
+    trace_file = open(args.trace_out, "w") if args.trace_out else None
+
+    def trace_sink(index, scenario, result):
+        if trace_file is not None:
+            trace_file.write(
+                f"=== schedule {index} seed {scenario.seed} "
+                f"fingerprint {result.fingerprint} ===\n"
+            )
+            trace_file.write(result.trace_text)
+            trace_file.write("\n")
+
+    started = time.perf_counter()
+    try:
+        report = explore_live(
+            args.schedules,
+            args.meta_seed,
+            base=base,
+            kinds=kinds,
+            fault_period=args.fault_period,
+            stop_after=args.stop_after,
+            trace_sink=trace_sink,
+        )
+    finally:
+        if trace_file is not None:
+            trace_file.close()
+    elapsed = time.perf_counter() - started
+    print(report.summary())
+    print(f"sweep digest: {report.digest()}")
+    if not args.quiet:
+        print(f"elapsed: {elapsed:.1f}s")
+    for scenario, violation in report.failures:
+        print(f"\n[{violation.kind}] {violation.message}")
+        if args.shrink:
+            scenario, violation = shrink_live(scenario, violation)
+            print(
+                f"shrunk to {len(scenario.faults)} fault event(s), "
+                f"{scenario.clients} client(s):"
+            )
+            print(f"  {json.dumps(scenario.to_dict())}")
+        if args.save_corpus:
+            case = CorpusCase(
+                name=case_name(scenario, violation),
+                scenario=scenario,
+                violation=violation,
+                notes=(
+                    f"found by `python -m repro explore --stack live "
+                    f"--schedules {args.schedules} --seed {args.meta_seed}"
+                    + (
+                        f" --inject-bug {args.inject_bug}"
+                        if args.inject_bug else ""
+                    )
+                    + "`"
+                    + (", shrunk" if args.shrink else "")
+                ),
+            )
+            path = save_case(case, args.save_corpus)
+            print(f"saved corpus case: {path}")
+    # A live violation on a *correct* cluster is always a real failure;
+    # canary sweeps (--inject-bug) are expected to violate.
+    if report.violations and not args.inject_bug:
+        return 1
+    return 0
+
+
 def _explore(args: argparse.Namespace) -> int:
+    if args.stack == "live":
+        return _explore_live(args)
+    if args.algorithm is None:
+        print(
+            "error: an algorithm is required unless --stack live",
+            file=sys.stderr,
+        )
+        return 2
     try:
         lo, hi = (int(part) for part in args.n_range.split(":"))
     except ValueError:
@@ -202,7 +362,10 @@ def _replay(args: argparse.Namespace) -> int:
         )
         return 1
     # A bare scenario JSON: just run it and report.
-    outcome = run_scenario(Scenario.from_dict(data))
+    if data.get("stack") == "live":
+        outcome = run_live_scenario(LiveScenario.from_dict(data))
+    else:
+        outcome = run_scenario(Scenario.from_dict(data))
     print(f"status={outcome.status} ({outcome.events} events)")
     if outcome.violation is not None:
         print(f"  [{outcome.violation.kind}] {outcome.violation.message}")

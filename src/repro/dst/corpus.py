@@ -19,8 +19,9 @@ import json
 import os
 import re
 from dataclasses import dataclass
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Union
 
+from repro.dst.livestack import LiveScenario, run_live_scenario
 from repro.dst.scenario import (
     VIOLATION,
     Scenario,
@@ -28,6 +29,11 @@ from repro.dst.scenario import (
     ViolationRecord,
     run_scenario,
 )
+
+#: Either kind of replayable schedule: a simulator :class:`Scenario` or a
+#: full-production-stack :class:`LiveScenario` (discriminated in JSON by
+#: ``scenario.stack == "live"``).
+AnyScenario = Union[Scenario, LiveScenario]
 
 #: Default corpus location, relative to the repository root.
 DEFAULT_CORPUS_DIR = os.path.join("tests", "regressions", "corpus")
@@ -47,7 +53,7 @@ class CorpusCase:
     """
 
     name: str
-    scenario: Scenario
+    scenario: AnyScenario
     violation: ViolationRecord
     notes: str = ""
 
@@ -67,9 +73,15 @@ class CorpusCase:
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "CorpusCase":
         violation = data["violation"]
+        scenario_data = data["scenario"]
+        scenario: AnyScenario
+        if scenario_data.get("stack") == "live":
+            scenario = LiveScenario.from_dict(scenario_data)
+        else:
+            scenario = Scenario.from_dict(scenario_data)
         return cls(
             name=data["name"],
-            scenario=Scenario.from_dict(data["scenario"]),
+            scenario=scenario,
             violation=ViolationRecord(
                 kind=violation["kind"],
                 message=violation.get("message", ""),
@@ -79,9 +91,15 @@ class CorpusCase:
         )
 
 
-def case_name(scenario: Scenario, violation: ViolationRecord) -> str:
+def case_name(scenario: AnyScenario, violation: ViolationRecord) -> str:
     """A stable, filesystem-safe name for a minimized case."""
-    slug = re.sub(r"[^a-z0-9]+", "-", scenario.algorithm.lower()).strip("-")
+    if isinstance(scenario, LiveScenario):
+        bug = scenario.inject_bug or "correct"
+        slug = re.sub(r"[^a-z0-9]+", "-", f"live-{bug}".lower()).strip("-")
+    else:
+        slug = re.sub(
+            r"[^a-z0-9]+", "-", scenario.algorithm.lower()
+        ).strip("-")
     return f"{slug}-{violation.kind}-n{scenario.n}-seed{scenario.seed}"
 
 
@@ -114,6 +132,8 @@ def load_corpus(directory: str = DEFAULT_CORPUS_DIR) -> List[CorpusCase]:
 
 def replay(case: CorpusCase) -> ScenarioOutcome:
     """Re-run a stored case deterministically and return its outcome."""
+    if isinstance(case.scenario, LiveScenario):
+        return run_live_scenario(case.scenario)
     return run_scenario(case.scenario)
 
 

@@ -22,6 +22,7 @@ import itertools
 import uuid
 from typing import Any, Dict, Optional, Tuple
 
+from repro.core.runtime import Runtime, current_runtime
 from repro.live.config import ClusterConfig
 from repro.live.sharding import ShardRouter
 from repro.live.wire import enable_nodelay, frame_bytes, get_codec, read_frame
@@ -47,6 +48,14 @@ class AsyncKVClient:
             this needs no coordination with the cluster.
         shards: the cluster's shard count; ``None`` (the default)
             discovers it with a ``status`` request on first use.
+        op_id_prefix: deterministic ``op_id`` generation — ids become
+            ``"<prefix>-<counter>"`` instead of carrying a ``uuid4``
+            fragment.  The DST harness sets a distinct prefix per
+            simulated client so replays are byte-identical; leave
+            ``None`` in production, where two client *processes* must
+            never collide.
+        runtime: the runtime seam (:mod:`repro.core.runtime`); defaults
+            to the ambient runtime.
     """
 
     def __init__(
@@ -58,8 +67,12 @@ class AsyncKVClient:
         retry_delay: float = 0.1,
         codec: Any = None,
         shards: Optional[int] = None,
+        op_id_prefix: Optional[str] = None,
+        runtime: Optional[Runtime] = None,
     ):
         self.cluster = cluster
+        self.rt = runtime if runtime is not None else current_runtime()
+        self.op_id_prefix = op_id_prefix
         self.codec = get_codec(codec)
         self.request_timeout = request_timeout
         self.max_attempts = max_attempts
@@ -87,8 +100,7 @@ class AsyncKVClient:
         different shards are not comparable.
         """
         if op_id is None:
-            self._ops += 1
-            op_id = f"{uuid.uuid4().hex[:12]}-{self._ops}"
+            op_id = self._next_op_id()
         router = await self._ensure_router()
         # One group: fall back to the pre-sharding behaviour exactly
         # (rotate over nodes, follow redirects on the shared target).
@@ -133,8 +145,7 @@ class AsyncKVClient:
         if not linearizable:
             return await self._request({"type": "get", "key": key}, want="value")
         if op_id is None:
-            self._ops += 1
-            op_id = f"{uuid.uuid4().hex[:12]}-{self._ops}"
+            op_id = self._next_op_id()
         router = await self._ensure_router()
         shard = router.shard_of(key) if router.shards > 1 else None
         request: Dict[str, Any] = {
@@ -143,6 +154,14 @@ class AsyncKVClient:
         if tier is not None:
             request["tier"] = tier
         return await self._request(request, want="value", shard=shard)
+
+    def _next_op_id(self) -> str:
+        """A fresh operation id: random in production, sequential under a
+        deterministic prefix (see ``op_id_prefix``)."""
+        self._ops += 1
+        if self.op_id_prefix is not None:
+            return f"{self.op_id_prefix}-{self._ops}"
+        return f"{uuid.uuid4().hex[:12]}-{self._ops}"
 
     async def _stale_get(self, key: Any, staleness: float) -> Dict[str, Any]:
         """Fan a bounded-stale read out across the owning shard's replicas.
@@ -200,7 +219,7 @@ class AsyncKVClient:
         """Status of one specific node (dedicated short-lived connection)."""
         spec = self.cluster[pid]
         reader, writer = await asyncio.wait_for(
-            asyncio.open_connection(*spec.client_addr),
+            self.rt.open_connection(*spec.client_addr),
             timeout=self.request_timeout,
         )
         enable_nodelay(writer)
@@ -341,12 +360,12 @@ class AsyncKVClient:
 
     async def _connect(
         self, addr: Addr
-    ) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    ) -> Tuple[asyncio.StreamReader, Any]:
         conn = self._conns.get(addr)
         if conn is not None:
             return conn
         reader, writer = await asyncio.wait_for(
-            asyncio.open_connection(*addr),
+            self.rt.open_connection(*addr),
             timeout=self.request_timeout,
         )
         enable_nodelay(writer)

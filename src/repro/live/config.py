@@ -154,6 +154,26 @@ class ClusterConfig:
         ]
         return cls(tuple(nodes))
 
+    @classmethod
+    def simulated(cls, n: int, *, base_port: int = 20000) -> "ClusterConfig":
+        """An ``n``-node cluster with synthetic, deterministic ports.
+
+        No OS sockets are touched — addresses only have to be *unique*
+        because the simulated network (:class:`repro.core.runtime.SimNetwork`)
+        keys listeners by ``(host, port)`` in memory.  Identical inputs
+        produce identical configs, which byte-identical replay requires.
+        """
+        nodes = [
+            NodeSpec(
+                pid,
+                "127.0.0.1",
+                base_port + 2 * pid,
+                base_port + 2 * pid + 1,
+            )
+            for pid in range(n)
+        ]
+        return cls(tuple(nodes))
+
 
 def _free_ports(count: int) -> List[int]:
     # Hold every reservation open until all ports are picked: releasing

@@ -13,11 +13,10 @@ property checkers and metrics unchanged.
 
 from __future__ import annotations
 
-import asyncio
 import os
-import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.runtime import Runtime, current_runtime
 from repro.live.config import ClusterConfig
 from repro.live.kv import KVServer
 from repro.live.runtime import LiveRuntime
@@ -60,6 +59,7 @@ class LiveCluster:
         seed: int = 0,
         cluster: Optional[ClusterConfig] = None,
         transport_options: Optional[Dict[str, Any]] = None,
+        runtime: Optional[Runtime] = None,
     ):
         n = len(processes)
         if n == 0:
@@ -68,8 +68,9 @@ class LiveCluster:
             init_values = [None] * n
         if len(init_values) != n:
             raise ValueError("init_values length must match processes")
-        self.cluster = cluster or ClusterConfig.localhost(n)
-        self.epoch = time.monotonic()
+        self.rt = runtime if runtime is not None else current_runtime()
+        self.cluster = cluster or self._default_cluster(n)
+        self.epoch = self.rt.now()
         self.runtimes: List[Optional[LiveRuntime]] = []
         self._processes = list(processes)
         self._args = dict(
@@ -79,6 +80,11 @@ class LiveCluster:
         self._traces: List[Trace] = []
         for pid, process in enumerate(self._processes):
             self.runtimes.append(self._build(pid))
+
+    def _default_cluster(self, n: int) -> ClusterConfig:
+        if self.rt.name == "sim":
+            return ClusterConfig.simulated(n)
+        return ClusterConfig.localhost(n)
 
     def _build(self, pid: int) -> LiveRuntime:
         runtime = LiveRuntime(
@@ -90,6 +96,7 @@ class LiveCluster:
             seed=self._args["seed"],
             epoch=self.epoch,
             transport_options=dict(self._args["transport_options"]),
+            runtime=self.rt,
         )
         self._traces.append(runtime.trace)
         return runtime
@@ -128,12 +135,12 @@ class LiveCluster:
         """Wait until the given (default: all live) nodes decide."""
         if pids is None:
             pids = [p for p, r in enumerate(self.runtimes) if r is not None]
-        deadline = time.monotonic() + timeout
+        deadline = self.rt.now() + timeout
         out: Dict[int, Any] = {}
         for pid in pids:
             runtime = self.runtimes[pid]
             assert runtime is not None
-            remaining = max(0.01, deadline - time.monotonic())
+            remaining = max(0.01, deadline - self.rt.now())
             out[pid] = await runtime.wait_decided(timeout=remaining)
         return out
 
@@ -164,10 +171,17 @@ class LiveKVCluster:
         election_timeout: Tuple[float, float] = (0.3, 0.6),
         heartbeat_interval: float = 0.06,
         data_dir: Optional[str] = None,
+        runtime: Optional[Runtime] = None,
         **server_options: Any,
     ):
-        self.cluster = cluster or ClusterConfig.localhost(n)
-        self.epoch = time.monotonic()
+        self.rt = runtime if runtime is not None else current_runtime()
+        if cluster is None:
+            cluster = (
+                ClusterConfig.simulated(n) if self.rt.name == "sim"
+                else ClusterConfig.localhost(n)
+            )
+        self.cluster = cluster
+        self.epoch = self.rt.now()
         self.data_dir = data_dir
         self._server_options = dict(
             seed=seed,
@@ -198,6 +212,7 @@ class LiveKVCluster:
             transport_options=(
                 dict(transport_options) if transport_options else None
             ),
+            runtime=self.rt,
             **options,
         )
         self._traces.extend(shard.runtime.trace for shard in server.shards)
@@ -269,24 +284,24 @@ class LiveKVCluster:
         A node also must have *committed* in its term (applied barrier)
         before it counts, so the returned leader is actually serviceable.
         """
-        deadline = time.monotonic() + timeout
-        while time.monotonic() < deadline:
+        deadline = self.rt.now() + timeout
+        while self.rt.now() < deadline:
             for server in self.servers:
                 if server is None or server.pid in exclude:
                     continue
                 if server.shards[shard].is_leader:
                     return server.pid
-            await asyncio.sleep(0.02)
+            await self.rt.sleep(0.02)
         raise TimeoutError(f"no leader for shard {shard} within {timeout}s")
 
     async def wait_for_all_leaders(
         self, timeout: float = 10.0
     ) -> Dict[int, int]:
         """Wait until every shard has a leader; returns shard -> pid."""
-        deadline = time.monotonic() + timeout
+        deadline = self.rt.now() + timeout
         leaders: Dict[int, int] = {}
         for shard in range(self.shard_count):
-            remaining = max(0.02, deadline - time.monotonic())
+            remaining = max(0.02, deadline - self.rt.now())
             leaders[shard] = await self.wait_for_leader(remaining, shard=shard)
         return leaders
 

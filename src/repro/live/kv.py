@@ -76,6 +76,7 @@ from repro.algorithms.raft.messages import ClientPropose
 from repro.algorithms.raft.node import LEADER
 from repro.algorithms.raft.state_machine import KeyValueStateMachine, Put
 from repro.algorithms.readpath import ReadBarrier, ReadConfig
+from repro.core.runtime import Runtime, current_runtime
 from repro.live.config import (
     DEFAULT_MAX_INFLIGHT,
     ClusterConfig,
@@ -207,6 +208,7 @@ class KVShard:
         observers: Tuple = (),
         storage: Optional[RaftStorage] = None,
         read_config: Optional[ReadConfig] = None,
+        runtime: Optional[Runtime] = None,
     ):
         self.shard_id = shard_id
         self.pid = pid
@@ -238,7 +240,11 @@ class KVShard:
             shard=shard_id,
             storage=storage,
             wire_filter=engine.accepts,
+            runtime=runtime,
         )
+        #: The runtime seam handle (timers/futures), shared with the
+        #: shard's :class:`LiveRuntime`.
+        self.rt = self.runtime.runtime
         self.runtime.trace.subscribe(self._on_trace)
         self._pending: Dict[str, asyncio.Future] = {}
         self._batch: List[TaggedPut] = []
@@ -285,7 +291,7 @@ class KVShard:
         next batch; the future resolves at apply time — with the commit
         index for a put, with a ``(index, found, value)`` tuple for a
         read."""
-        future: asyncio.Future = asyncio.get_event_loop().create_future()
+        future: asyncio.Future = self.rt.create_future()
         self._pending[op.op_id] = future
         self._batch.append(op)
         if len(self._batch) >= self.max_batch:
@@ -294,7 +300,7 @@ class KVShard:
                 self._flush_handle = None
             self._flush_batch()
         elif self._flush_handle is None:
-            self._flush_handle = asyncio.get_event_loop().call_later(
+            self._flush_handle = self.rt.call_later(
                 self.batch_window, self._flush_batch
             )
         return future
@@ -313,7 +319,7 @@ class KVShard:
         raises :class:`NotLeaderError` if the node cannot confirm
         leadership — including the fresh-leader case where no entry of
         the current epoch has committed yet."""
-        future: asyncio.Future = asyncio.get_event_loop().create_future()
+        future: asyncio.Future = self.rt.create_future()
         self._ri_queue.append(future)
         if self._ri_inflight is None:
             self._start_read_round()
@@ -343,7 +349,7 @@ class KVShard:
 
     def wait_applied(self, index: int) -> asyncio.Future:
         """A future resolving once ``last_applied >= index``."""
-        future: asyncio.Future = asyncio.get_event_loop().create_future()
+        future: asyncio.Future = self.rt.create_future()
         if self.node.last_applied >= index:
             future.set_result(self.node.last_applied)
         else:
@@ -432,7 +438,7 @@ class KVShard:
                 if self._flush_handle is not None:
                     self._flush_handle.cancel()
                     self._flush_handle = None
-                asyncio.get_event_loop().call_soon(self._flush_batch)
+                self.rt.call_soon(self._flush_batch)
         elif key == "read_ready":
             probe_id, read_index, ok = value
             if probe_id == self._ri_inflight:
@@ -449,14 +455,14 @@ class KVShard:
                     # Reads queued while this round was in flight: start
                     # theirs now (scheduled — listener context must not
                     # recurse into the runtime driver).
-                    asyncio.get_event_loop().call_soon(self._start_read_round)
+                    self.rt.call_soon(self._start_read_round)
         elif key == "leader" and value[1] == self.pid:
             term = value[0]
             if term not in self._barrier_terms:
                 self._barrier_terms.add(term)
                 # Listener context: schedule the injection, don't recurse
                 # into the runtime from inside its own driver.
-                asyncio.get_event_loop().call_soon(self._propose_barrier, term)
+                self.rt.call_soon(self._propose_barrier, term)
 
     def _resolve_ops(self, results: Tuple[Tuple[str, Any], ...]) -> None:
         """Release client futures whose results are now durable."""
@@ -489,7 +495,7 @@ class KVShard:
             # Pipeline full: hold the batch until commits catch up so the
             # uncommitted log (and commit latency) stays bounded.  Waiters
             # are still bounded by commit_timeout.
-            self._flush_handle = asyncio.get_event_loop().call_later(
+            self._flush_handle = self.rt.call_later(
                 self.batch_window, self._flush_batch
             )
             return
@@ -501,7 +507,7 @@ class KVShard:
         batch = KvBatch(ops, batch_id=(self.pid, self._batch_counter))
         self.runtime.inject(ClientPropose(batch.batch_id, batch))
         if self._batch:
-            self._flush_handle = asyncio.get_event_loop().call_later(
+            self._flush_handle = self.rt.call_later(
                 self.batch_window, self._flush_batch
             )
 
@@ -652,9 +658,14 @@ class KVServer:
         no_rejoin: bool = False,
         sync_mode: str = "inline",
         fsync_delay: float = 0.0,
+        runtime: Optional[Runtime] = None,
     ):
         self.cluster = cluster
         self.pid = pid
+        #: The runtime seam (:mod:`repro.core.runtime`) this node runs
+        #: on: real sockets and wall clocks in production, the in-memory
+        #: deterministic network and virtual time under DST.
+        self.rt = runtime if runtime is not None else current_runtime()
         self.shard_count = validate_shards(shards)
         self.engines = parse_engine_spec(engine, self.shard_count)
         self.engine_spec = engine
@@ -694,6 +705,7 @@ class KVServer:
         options.setdefault(
             "jitter_seed", derive_process_seed(seed, pid, cluster.n) ^ 1
         )
+        options.setdefault("runtime", self.rt)
         self.transport = PeerTransport(
             cluster, pid, on_event=self._on_transport_event, **options
         )
@@ -727,9 +739,10 @@ class KVServer:
                     observers=observers,
                     storage=storage,
                     read_config=self.read_config,
+                    runtime=self.rt,
                 )
             )
-        self._client_server: Optional[asyncio.AbstractServer] = None
+        self._client_server: Optional[Any] = None
         self._client_writers: List[asyncio.StreamWriter] = []
         self._watchdog: Optional[asyncio.Task] = None
         self._lease_renewer: Optional[asyncio.Task] = None
@@ -758,7 +771,7 @@ class KVServer:
 
     async def start(self, *, restart: bool = False) -> None:
         spec = self.cluster[self.pid]
-        self._client_server = await asyncio.start_server(
+        self._client_server = await self.rt.start_server(
             self._handle_client, spec.host, spec.client_port
         )
         await self.transport.start()
@@ -867,7 +880,7 @@ class KVServer:
     async def _watch_leadership(self) -> None:
         """Fail pending writes promptly when a shard loses leadership."""
         while True:
-            await asyncio.sleep(0.1)
+            await self.rt.sleep(0.1)
             for shard in self.shards:
                 if shard.has_pending() and not shard.is_leader:
                     shard.fail_pending()
@@ -888,7 +901,7 @@ class KVServer:
         """
         threshold = self.lease_duration * 0.5
         while True:
-            await asyncio.sleep(self.heartbeat_interval)
+            await self.rt.sleep(self.heartbeat_interval)
             for shard in self.shards:
                 if (
                     self.read_tier == "follower"

@@ -36,9 +36,9 @@ from __future__ import annotations
 import asyncio
 import logging
 import random
-import time
 from typing import Any, Callable, Dict, Optional, Sequence
 
+from repro.core.runtime import Runtime, current_runtime
 from repro.live import codec  # noqa: F401  (registers the wire types)
 from repro.live.config import ClusterConfig
 from repro.live.transport import PeerTransport
@@ -133,6 +133,7 @@ class LiveRuntime:
         shard: int = 0,
         storage: Optional[Any] = None,
         wire_filter: Optional[Callable[[Any], bool]] = None,
+        runtime: Optional[Runtime] = None,
     ):
         n = cluster.n
         if not 0 <= pid < n:
@@ -144,7 +145,11 @@ class LiveRuntime:
         self.t = t if t is not None else (n - 1) // 2
         self.seed = seed
         self.trace = tr.Trace(tuple(observers))
-        self._epoch = time.monotonic() if epoch is None else epoch
+        #: The runtime seam (:mod:`repro.core.runtime`): supplies the
+        #: clock and timers — wall time in production, virtual time under
+        #: deterministic simulation.
+        self.runtime = runtime if runtime is not None else current_runtime()
+        self._epoch = self.runtime.now() if epoch is None else epoch
         self.api = ProcessAPI(
             pid, n, self.t, init_value,
             random.Random(derive_process_seed(seed, pid, n)),
@@ -161,6 +166,7 @@ class LiveRuntime:
         self._foreign_seen: set = set()
         options = dict(transport_options or {})
         options.setdefault("jitter_seed", derive_process_seed(seed, pid, n) ^ 1)
+        options.setdefault("runtime", self.runtime)
         self.transport = transport or PeerTransport(
             cluster, pid,
             on_event=self._on_transport_event, **options,
@@ -187,8 +193,12 @@ class LiveRuntime:
 
     @property
     def now(self) -> float:
-        """Wall-clock seconds since the shared epoch."""
-        return time.monotonic() - self._epoch
+        """Runtime-clock seconds since the shared epoch.
+
+        Wall clock under :class:`~repro.core.runtime.AsyncioRuntime`,
+        virtual time under :class:`~repro.core.runtime.SimRuntime`.
+        """
+        return self.runtime.now() - self._epoch
 
     async def start(self, *, restart: bool = False) -> None:
         """Open the transport and start driving the process generator.
@@ -376,7 +386,7 @@ class LiveRuntime:
             pending = self._timer_handles.pop(op.name, None)
             if pending is not None:
                 pending.cancel()
-            self._timer_handles[op.name] = asyncio.get_event_loop().call_later(
+            self._timer_handles[op.name] = self.runtime.call_later(
                 op.delay, self._fire_timer, op.name, gen
             )
         elif isinstance(op, CancelTimer):

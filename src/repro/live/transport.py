@@ -53,6 +53,7 @@ import random
 from collections import deque
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
+from repro.core.runtime import Runtime, current_runtime
 from repro.live.config import ClusterConfig
 from repro.live.wire import (
     FrameError,
@@ -206,9 +207,14 @@ class PeerTransport:
         codec: Any = None,
         max_coalesce_bytes: int = 256 * 1024,
         link_delay: float = 0.0,
+        runtime: Optional[Runtime] = None,
     ):
         self.cluster = cluster
         self.pid = pid
+        #: The runtime seam: real asyncio sockets in production, the
+        #: in-memory deterministic network under DST (see
+        #: :mod:`repro.core.runtime`).
+        self.runtime = runtime if runtime is not None else current_runtime()
         #: Shard-0 handler; kept as a plain attribute (not an entry in
         #: ``_handlers``) so existing single-group users can read and
         #: swap it directly.
@@ -241,7 +247,7 @@ class PeerTransport:
         self._queues: Dict[int, Deque[Tuple[Any, Optional[float], int]]] = {}
         self._queue_events: Dict[int, asyncio.Event] = {}
         self._tasks: List[asyncio.Task] = []
-        self._server: Optional[asyncio.AbstractServer] = None
+        self._server: Optional[Any] = None
         self._inbound_tasks: List[asyncio.Task] = []
         self._inbound_writers: List[asyncio.StreamWriter] = []
         self._closed = False
@@ -252,7 +258,7 @@ class PeerTransport:
 
     async def start(self) -> None:
         spec = self.cluster[self.pid]
-        self._server = await asyncio.start_server(
+        self._server = await self.runtime.start_server(
             self._handle_inbound, spec.host, spec.port
         )
         for peer in range(self.cluster.n):
@@ -396,7 +402,7 @@ class PeerTransport:
             writer = None
             try:
                 reader, writer = await asyncio.wait_for(
-                    asyncio.open_connection(spec.host, spec.port),
+                    self.runtime.open_connection(spec.host, spec.port),
                     timeout=self.connect_timeout,
                 )
                 enable_nodelay(writer)
@@ -420,7 +426,7 @@ class PeerTransport:
             self.stats.reconnects += 1
             # Exponential backoff with jitter in [0.5x, 1.5x].
             delay = min(self.reconnect_max, self.reconnect_base * 2**attempt)
-            await asyncio.sleep(delay * (0.5 + self._rng.random()))
+            await self.runtime.sleep(delay * (0.5 + self._rng.random()))
             attempt += 1
 
     async def _pump(
@@ -537,9 +543,7 @@ class PeerTransport:
                         # call_later is FIFO at equal delays, so per-link
                         # frame order survives the emulated (and injected)
                         # latency as long as the delay stays constant.
-                        asyncio.get_event_loop().call_later(
-                            delay, handler, src, payload, ts
-                        )
+                        self.runtime.call_later(delay, handler, src, payload, ts)
                     else:
                         handler(src, payload, ts)
         except asyncio.CancelledError:

@@ -1,0 +1,219 @@
+"""The runtime seam: virtual time, deadlock detection, memory sockets.
+
+:class:`~repro.core.runtime.SimRuntime` is the foundation of live-stack
+DST — everything in ``repro.live`` schedules and connects through it.
+These tests pin its contract directly, without any consensus machinery
+on top: virtual clocks advance instantly, plain ``asyncio`` primitives
+work unchanged, the in-memory network behaves like loopback TCP
+(ordering, EOF, refused connections, broken pipes), and a starved loop
+raises instead of hanging forever.
+"""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.core.runtime import (
+    AsyncioRuntime,
+    SimRuntime,
+    SimStarvationError,
+    current_runtime,
+    use_runtime,
+)
+
+
+@pytest.fixture
+def rt():
+    runtime = SimRuntime()
+    yield runtime
+    runtime.close()
+
+
+class TestVirtualTime:
+    def test_sleep_advances_virtual_not_wall_time(self, rt):
+        async def main():
+            start = rt.now()
+            await rt.sleep(1000.0)
+            return rt.now() - start
+
+        wall = time.monotonic()
+        advanced = rt.run(main())
+        wall = time.monotonic() - wall
+        assert advanced == pytest.approx(1000.0)
+        assert wall < 5.0  # a thousand virtual seconds, instantly
+
+    def test_plain_asyncio_primitives_run_unchanged(self, rt):
+        """Production code keeps using bare asyncio; only I/O needs the
+        seam.  sleep/gather/Event/wait_for must all work in virtual time."""
+
+        async def main():
+            event = asyncio.Event()
+
+            async def setter():
+                await asyncio.sleep(3.0)
+                event.set()
+
+            task = rt.spawn(setter())
+            await asyncio.wait_for(event.wait(), timeout=10.0)
+            await task
+            return rt.now()
+
+        assert rt.run(main()) == pytest.approx(3.0)
+
+    def test_timers_fire_in_deadline_order(self, rt):
+        fired = []
+
+        async def main():
+            rt.call_later(0.3, fired.append, "c")
+            rt.call_later(0.1, fired.append, "a")
+            rt.call_later(0.2, fired.append, "b")
+            await rt.sleep(1.0)
+
+        rt.run(main())
+        assert fired == ["a", "b", "c"]
+
+    def test_wait_for_timeout_uses_virtual_clock(self, rt):
+        async def main():
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(asyncio.Event().wait(), timeout=60.0)
+            return rt.now()
+
+        assert rt.run(main()) == pytest.approx(60.0)
+
+    def test_starved_loop_raises_instead_of_hanging(self, rt):
+        async def main():
+            # Nothing will ever set this and no timer is pending: a real
+            # loop would block forever on select(None).
+            await asyncio.Event().wait()
+
+        with pytest.raises(SimStarvationError):
+            rt.run(main())
+
+    def test_run_timeout_is_virtual(self, rt):
+        async def main():
+            await rt.sleep(100.0)
+
+        with pytest.raises(asyncio.TimeoutError):
+            rt.run(main(), timeout=1.0)
+
+
+class TestMemoryNetwork:
+    def test_echo_roundtrip(self, rt):
+        async def main():
+            async def handler(reader, writer):
+                data = await reader.readline()
+                writer.write(b"echo:" + data)
+                await writer.drain()
+                writer.close()
+
+            server = await rt.start_server(handler, "127.0.0.1", 20001)
+            reader, writer = await rt.open_connection("127.0.0.1", 20001)
+            writer.write(b"hello\n")
+            await writer.drain()
+            reply = await reader.readline()
+            eof = await reader.read()
+            writer.close()
+            server.close()
+            await server.wait_closed()
+            return reply, eof
+
+        reply, eof = rt.run(main())
+        assert reply == b"echo:hello\n"
+        assert eof == b""  # handler close delivered EOF to the client
+
+    def test_connect_to_unbound_port_is_refused(self, rt):
+        async def main():
+            with pytest.raises(ConnectionRefusedError):
+                await rt.open_connection("127.0.0.1", 29999)
+
+        rt.run(main())
+
+    def test_writes_preserve_order(self, rt):
+        """Many small writes in one burst must arrive concatenated in
+        order — framing depends on TCP's no-reorder guarantee."""
+
+        async def main():
+            received = []
+            done = asyncio.Event()
+
+            async def handler(reader, writer):
+                received.append(await reader.readexactly(300))
+                done.set()
+
+            await rt.start_server(handler, "127.0.0.1", 20002)
+            _, writer = await rt.open_connection("127.0.0.1", 20002)
+            for i in range(100):
+                writer.write(b"%03d" % i)
+            await writer.drain()
+            await asyncio.wait_for(done.wait(), 5.0)
+            return received[0]
+
+        data = rt.run(main())
+        assert data == b"".join(b"%03d" % i for i in range(100))
+
+    def test_drain_after_peer_close_raises_reset(self, rt):
+        async def main():
+            async def handler(reader, writer):
+                writer.close()
+
+            await rt.start_server(handler, "127.0.0.1", 20003)
+            reader, writer = await rt.open_connection("127.0.0.1", 20003)
+            await reader.read()  # EOF: the peer is gone
+            with pytest.raises(ConnectionResetError):
+                for _ in range(10):
+                    writer.write(b"x")
+                    await writer.drain()
+                    await asyncio.sleep(0.01)
+
+        rt.run(main())
+
+    def test_closed_server_refuses_new_connections(self, rt):
+        async def main():
+            server = await rt.start_server(
+                lambda r, w: w.close(), "127.0.0.1", 20004
+            )
+            server.close()
+            await server.wait_closed()
+            with pytest.raises(ConnectionRefusedError):
+                await rt.open_connection("127.0.0.1", 20004)
+
+        rt.run(main())
+
+    def test_duplicate_bind_fails(self, rt):
+        async def main():
+            await rt.start_server(lambda r, w: None, "127.0.0.1", 20005)
+            with pytest.raises(OSError):
+                await rt.start_server(lambda r, w: None, "127.0.0.1", 20005)
+
+        rt.run(main())
+
+
+class TestAmbientRuntime:
+    def test_default_is_asyncio(self):
+        assert current_runtime().name == "asyncio"
+        assert isinstance(current_runtime(), AsyncioRuntime)
+
+    def test_use_runtime_scopes_the_ambient_default(self):
+        sim = SimRuntime()
+        try:
+            with use_runtime(sim):
+                assert current_runtime() is sim
+                with use_runtime(AsyncioRuntime()):
+                    assert current_runtime().name == "asyncio"
+                assert current_runtime() is sim
+            assert current_runtime().name == "asyncio"
+        finally:
+            sim.close()
+
+    def test_sim_run_installs_itself_as_ambient(self):
+        sim = SimRuntime()
+        try:
+            assert sim.run(_ambient_name()) == "sim"
+        finally:
+            sim.close()
+        assert current_runtime().name == "asyncio"
+
+
+async def _ambient_name():
+    return current_runtime().name

@@ -3,12 +3,19 @@
 `test_leader_kill_loses_no_acked_write` is the CI smoke's core guarantee:
 every write acknowledged before the leader is killed must be readable
 after re-election, because acks only happen on majority commit.
+
+The timing-heavy failover tests run under
+:class:`~repro.core.runtime.SimRuntime`: identical production code, but
+elections, retry backoffs and leader waits burn *virtual* seconds — the
+tests are faster and cannot flake on a loaded CI box.  The rest stay on
+real asyncio/TCP so this file keeps covering both sides of the seam.
 """
 
 import asyncio
 
 import pytest
 
+from repro.core.runtime import SimRuntime
 from repro.live import (
     AsyncKVClient,
     ClusterUnavailableError,
@@ -21,6 +28,20 @@ FAST = dict(election_timeout=(0.15, 0.3), heartbeat_interval=0.05)
 
 def run(coro, timeout=120.0):
     return asyncio.run(asyncio.wait_for(coro, timeout))
+
+
+def sim_run(coro, timeout=120.0):
+    """Run a scenario in virtual time; ``timeout`` is virtual seconds.
+
+    ``SimRuntime.run`` installs the runtime as the ambient default, so
+    scenario bodies build clusters and clients exactly as the asyncio
+    tests do — no plumbing changes, which is the point of the seam.
+    """
+    rt = SimRuntime()
+    try:
+        return rt.run(coro, timeout=timeout)
+    finally:
+        rt.close()
 
 
 async def _read_from_leader(cluster, client, key):
@@ -142,7 +163,7 @@ class TestFailover:
             finally:
                 await cluster.stop()
 
-        run(scenario())
+        sim_run(scenario())
 
     def test_all_nodes_down_is_unavailable(self):
         async def scenario():
@@ -157,7 +178,7 @@ class TestFailover:
                 await client.put("k", "v")
             await client.close()
 
-        run(scenario())
+        sim_run(scenario())
 
 
 class TestLoadgen:

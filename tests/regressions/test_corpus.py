@@ -18,7 +18,7 @@ import os
 
 import pytest
 
-from repro.dst import assert_still_fails, load_corpus, replay
+from repro.dst import LiveScenario, assert_still_fails, load_corpus, replay
 from repro.dst.scenario import VIOLATION
 
 CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
@@ -35,9 +35,15 @@ def test_recorded_violation_reproduces(case):
     outcome = assert_still_fails(case)
     assert outcome.violation is not None
     assert outcome.violation.kind == case.violation.kind
-    # Minimized cases replay bit-for-bit: same message, same event index.
-    assert outcome.violation.message == case.violation.message
-    assert outcome.violation.event_index == case.violation.event_index
+    if not isinstance(case.scenario, LiveScenario):
+        # Simulator cases replay bit-for-bit: same message, same index.
+        # Live-stack cases are deterministic *per interpreter* but ride
+        # on asyncio scheduling internals that shift between Python
+        # versions, so only the violation kind is pinned across the CI
+        # matrix (the dedicated determinism tests pin byte-identity
+        # within one interpreter).
+        assert outcome.violation.message == case.violation.message
+        assert outcome.violation.event_index == case.violation.event_index
 
 
 @pytest.mark.parametrize("case", CASES, ids=[c.name for c in CASES])
